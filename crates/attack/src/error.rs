@@ -1,0 +1,82 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for attack construction and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AttackError {
+    /// A model operation failed.
+    Nn(seal_nn::NnError),
+    /// A dataset operation failed.
+    Data(seal_data::DataError),
+    /// A plan operation failed.
+    Core(seal_core::CoreError),
+    /// Victim and substitute disagree structurally.
+    ModelMismatch {
+        /// Human-readable description of the mismatch.
+        reason: String,
+    },
+    /// An attack parameter is out of range.
+    InvalidParameter {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::Nn(e) => write!(f, "model error: {e}"),
+            AttackError::Data(e) => write!(f, "dataset error: {e}"),
+            AttackError::Core(e) => write!(f, "plan error: {e}"),
+            AttackError::ModelMismatch { reason } => write!(f, "model mismatch: {reason}"),
+            AttackError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+        }
+    }
+}
+
+impl Error for AttackError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AttackError::Nn(e) => Some(e),
+            AttackError::Data(e) => Some(e),
+            AttackError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<seal_nn::NnError> for AttackError {
+    fn from(e: seal_nn::NnError) -> Self {
+        AttackError::Nn(e)
+    }
+}
+
+impl From<seal_data::DataError> for AttackError {
+    fn from(e: seal_data::DataError) -> Self {
+        AttackError::Data(e)
+    }
+}
+
+impl From<seal_core::CoreError> for AttackError {
+    fn from(e: seal_core::CoreError) -> Self {
+        AttackError::Core(e)
+    }
+}
+
+impl From<seal_tensor::TensorError> for AttackError {
+    fn from(e: seal_tensor::TensorError) -> Self {
+        AttackError::Nn(seal_nn::NnError::Tensor(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AttackError>();
+    }
+}

@@ -1,0 +1,95 @@
+//! Transferability measurement (Fig. 4).
+//!
+//! Transferability is "the ratio of the adversarial examples that
+//! successfully attack the victim model to all adversarial examples" — the
+//! standard metric for how useful a substitute is for black-box
+//! adversarial attacks.
+
+use seal_nn::Sequential;
+
+use crate::fgsm::AdversarialExample;
+use crate::AttackError;
+
+/// How success against the victim is judged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuccessCriterion {
+    /// The victim misclassifies (prediction ≠ true label).
+    Untargeted,
+    /// The victim outputs the attacker's pre-assigned target.
+    Targeted,
+}
+
+/// Fraction of `examples` that successfully attack `victim`.
+///
+/// # Errors
+///
+/// Propagates model errors; returns 0 for an empty list.
+pub fn transferability(
+    victim: &mut Sequential,
+    examples: &[AdversarialExample],
+    criterion: SuccessCriterion,
+) -> Result<f64, AttackError> {
+    if examples.is_empty() {
+        return Ok(0.0);
+    }
+    let mut successes = 0usize;
+    for e in examples {
+        let pred = victim.predict(&e.image)?[0];
+        let success = match criterion {
+            SuccessCriterion::Untargeted => pred != e.true_label,
+            SuccessCriterion::Targeted => pred == e.target,
+        };
+        if success {
+            successes += 1;
+        }
+    }
+    Ok(successes as f64 / examples.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seal_tensor::{Shape, Tensor};
+
+    fn example(image_val: f32, true_label: usize, target: usize) -> AdversarialExample {
+        AdversarialExample {
+            image: Tensor::full(Shape::matrix(1, 2), image_val),
+            true_label,
+            target,
+            fools_substitute: true,
+        }
+    }
+
+    /// Identity "model" over 2 logits: predicts argmax of the input row.
+    fn identity_model() -> Sequential {
+        Sequential::new("id")
+    }
+
+    #[test]
+    fn untargeted_counts_misclassifications() {
+        let mut victim = identity_model();
+        // Input [v, v] → argmax 0 always. true_label 0 ⇒ not fooled;
+        // true_label 1 ⇒ fooled.
+        let examples = vec![example(1.0, 0, 1), example(1.0, 1, 0)];
+        let t = transferability(&mut victim, &examples, SuccessCriterion::Untargeted).unwrap();
+        assert!((t - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn targeted_requires_exact_target() {
+        let mut victim = identity_model();
+        // Prediction is always 0.
+        let examples = vec![example(1.0, 1, 0), example(1.0, 1, 1)];
+        let t = transferability(&mut victim, &examples, SuccessCriterion::Targeted).unwrap();
+        assert!((t - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_list_is_zero() {
+        let mut victim = identity_model();
+        assert_eq!(
+            transferability(&mut victim, &[], SuccessCriterion::Untargeted).unwrap(),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,66 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for plan construction and traffic/workload derivation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A policy or plan parameter is invalid.
+    InvalidPolicy {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A plan does not match the network it is applied to.
+    PlanMismatch {
+        /// Human-readable description of the mismatch.
+        reason: String,
+    },
+    /// An underlying simulator error.
+    Sim(seal_gpusim::SimError),
+    /// An underlying crypto error.
+    Crypto(seal_crypto::CryptoError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidPolicy { reason } => write!(f, "invalid policy: {reason}"),
+            CoreError::PlanMismatch { reason } => write!(f, "plan mismatch: {reason}"),
+            CoreError::Sim(e) => write!(f, "simulator error: {e}"),
+            CoreError::Crypto(e) => write!(f, "crypto error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Sim(e) => Some(e),
+            CoreError::Crypto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<seal_gpusim::SimError> for CoreError {
+    fn from(e: seal_gpusim::SimError) -> Self {
+        CoreError::Sim(e)
+    }
+}
+
+impl From<seal_crypto::CryptoError> for CoreError {
+    fn from(e: seal_crypto::CryptoError) -> Self {
+        CoreError::Crypto(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

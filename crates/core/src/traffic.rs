@@ -1,0 +1,248 @@
+//! Encrypted-vs-plain traffic accounting.
+//!
+//! Given a network topology, an [`EncryptionPlan`] and a [`Scheme`], this
+//! module computes how many bytes of each layer's weights and feature maps
+//! must pass the AES engine. Channel coupling follows Sec. III-A: the
+//! encrypted kernel rows of a CONV layer determine the encrypted channels
+//! of its *input* feature map; pooling layers pass channel tags through
+//! unchanged; a tensor's encryption is therefore fixed by the requirements
+//! of the weight layer that consumes it.
+
+use seal_nn::NetworkTopology;
+use serde::{Deserialize, Serialize};
+
+use crate::{CoreError, EncryptionPlan, Scheme};
+
+/// Encrypted/plain byte split for one topology layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerTrafficSplit {
+    /// Layer name.
+    pub name: String,
+    /// Encrypted weight bytes.
+    pub weight_enc: u64,
+    /// Plain weight bytes.
+    pub weight_plain: u64,
+    /// Encrypted input-feature-map bytes.
+    pub ifmap_enc: u64,
+    /// Plain input-feature-map bytes.
+    pub ifmap_plain: u64,
+    /// Encrypted output-feature-map bytes.
+    pub ofmap_enc: u64,
+    /// Plain output-feature-map bytes.
+    pub ofmap_plain: u64,
+}
+
+impl LayerTrafficSplit {
+    /// All encrypted bytes of this layer.
+    pub fn encrypted_bytes(&self) -> u64 {
+        self.weight_enc + self.ifmap_enc + self.ofmap_enc
+    }
+
+    /// All plain bytes of this layer.
+    pub fn plain_bytes(&self) -> u64 {
+        self.weight_plain + self.ifmap_plain + self.ofmap_plain
+    }
+
+    /// Total bytes of this layer.
+    pub fn total_bytes(&self) -> u64 {
+        self.encrypted_bytes() + self.plain_bytes()
+    }
+
+    /// Encrypted fraction in `[0, 1]`.
+    pub fn encrypted_fraction(&self) -> f64 {
+        let total = self.total_bytes();
+        if total == 0 {
+            0.0
+        } else {
+            self.encrypted_bytes() as f64 / total as f64
+        }
+    }
+}
+
+fn split(bytes: u64, frac: f64) -> (u64, u64) {
+    let enc = (bytes as f64 * frac).round() as u64;
+    (enc.min(bytes), bytes - enc.min(bytes))
+}
+
+/// Computes the per-layer encrypted/plain traffic split.
+///
+/// # Errors
+///
+/// Returns [`CoreError::PlanMismatch`] if the plan's kernel-matrix layers
+/// do not line up with the topology's CONV/FC layers.
+pub fn network_traffic(
+    topo: &NetworkTopology,
+    plan: &EncryptionPlan,
+    scheme: Scheme,
+) -> Result<Vec<LayerTrafficSplit>, CoreError> {
+    let weight_layers: Vec<usize> = topo
+        .layers()
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.has_kernel_matrix())
+        .map(|(i, _)| i)
+        .collect();
+    if weight_layers.len() != plan.layers().len() {
+        return Err(CoreError::PlanMismatch {
+            reason: format!(
+                "plan has {} kernel layers, topology has {}",
+                plan.layers().len(),
+                weight_layers.len()
+            ),
+        });
+    }
+
+    // Per-topology-layer weight-encryption fraction under this scheme.
+    let n = topo.layers().len();
+    let mut weight_frac = vec![0.0f64; n];
+    for (pi, &ti) in weight_layers.iter().enumerate() {
+        weight_frac[ti] = match scheme {
+            Scheme::Baseline => 0.0,
+            Scheme::Direct | Scheme::Counter => 1.0,
+            Scheme::SealDirect | Scheme::SealCounter => plan.layers()[pi].encrypted_fraction(),
+        };
+    }
+    let fmap_full = match scheme {
+        Scheme::Baseline => Some(0.0),
+        Scheme::Direct | Scheme::Counter => Some(1.0),
+        _ => None,
+    };
+
+    // `after[i]`: encrypted channel fraction of the tensor produced by
+    // layer i — set by the consumer's requirement, walking backward.
+    let mut after = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        after[i] = if let Some(f) = fmap_full {
+            f
+        } else if i + 1 < n {
+            let next = &topo.layers()[i + 1];
+            if next.has_kernel_matrix() {
+                weight_frac[i + 1]
+            } else {
+                after[i + 1]
+            }
+        } else {
+            // The network output: tagged like the last weight layer.
+            weight_frac[i]
+        };
+    }
+
+    let mut out = Vec::with_capacity(n);
+    for (i, layer) in topo.layers().iter().enumerate() {
+        let before = if let Some(f) = fmap_full {
+            f
+        } else if i == 0 {
+            if layer.has_kernel_matrix() {
+                weight_frac[0]
+            } else {
+                after[0]
+            }
+        } else {
+            after[i - 1]
+        };
+        let (w_enc, w_plain) = split(layer.weight_bytes(), weight_frac[i]);
+        let (i_enc, i_plain) = split(layer.ifmap_bytes(), before);
+        let (o_enc, o_plain) = split(layer.ofmap_bytes(), after[i]);
+        out.push(LayerTrafficSplit {
+            name: layer.name.clone(),
+            weight_enc: w_enc,
+            weight_plain: w_plain,
+            ifmap_enc: i_enc,
+            ifmap_plain: i_plain,
+            ofmap_enc: o_enc,
+            ofmap_plain: o_plain,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SePolicy;
+    use seal_nn::models::vgg16_topology;
+
+    fn plan_and_topo(ratio: f64) -> (NetworkTopology, EncryptionPlan) {
+        let topo = vgg16_topology();
+        let plan =
+            EncryptionPlan::from_topology(&topo, SePolicy::default().with_ratio(ratio)).unwrap();
+        (topo, plan)
+    }
+
+    #[test]
+    fn baseline_encrypts_nothing() {
+        let (topo, plan) = plan_and_topo(0.5);
+        let t = network_traffic(&topo, &plan, Scheme::Baseline).unwrap();
+        assert!(t.iter().all(|l| l.encrypted_bytes() == 0));
+        let total: u64 = t.iter().map(|l| l.total_bytes()).sum();
+        assert_eq!(total, topo.total_traffic_bytes());
+    }
+
+    #[test]
+    fn direct_encrypts_everything() {
+        let (topo, plan) = plan_and_topo(0.5);
+        let t = network_traffic(&topo, &plan, Scheme::Direct).unwrap();
+        assert!(t.iter().all(|l| l.plain_bytes() == 0));
+    }
+
+    #[test]
+    fn seal_halves_se_layer_weights() {
+        let (topo, plan) = plan_and_topo(0.5);
+        let t = network_traffic(&topo, &plan, Scheme::SealDirect).unwrap();
+        // Find an SE (non-boundary) conv layer: conv2_2 is the 4th conv.
+        let l = t.iter().find(|l| l.name == "conv3_1").unwrap();
+        let wf = l.weight_enc as f64 / (l.weight_enc + l.weight_plain) as f64;
+        assert!((wf - 0.5).abs() < 0.05, "{wf}");
+    }
+
+    #[test]
+    fn pool_layers_inherit_neighbouring_fractions() {
+        let (topo, plan) = plan_and_topo(0.5);
+        let t = network_traffic(&topo, &plan, Scheme::SealCounter).unwrap();
+        // pool2's output feeds conv3_1 (SE layer at 50%): its ofmap must be
+        // ~50% encrypted; its weights are zero bytes.
+        let pool2 = t.iter().find(|l| l.name == "pool2").unwrap();
+        assert_eq!(pool2.weight_enc + pool2.weight_plain, 0);
+        let of = pool2.ofmap_enc as f64 / (pool2.ofmap_enc + pool2.ofmap_plain) as f64;
+        assert!((of - 0.5).abs() < 0.05, "{of}");
+    }
+
+    #[test]
+    fn ifmap_fraction_equals_consumer_row_fraction() {
+        let (topo, plan) = plan_and_topo(0.3);
+        let t = network_traffic(&topo, &plan, Scheme::SealDirect).unwrap();
+        let l = t.iter().find(|l| l.name == "conv4_2").unwrap();
+        let r#if = l.ifmap_enc as f64 / (l.ifmap_enc + l.ifmap_plain) as f64;
+        assert!((r#if - 0.3).abs() < 0.05, "{if}");
+    }
+
+    #[test]
+    fn first_conv_input_fully_encrypted_under_seal() {
+        // The first conv is boundary-encrypted, so the network input (its
+        // ifmap) is fully encrypted too.
+        let (topo, plan) = plan_and_topo(0.5);
+        let t = network_traffic(&topo, &plan, Scheme::SealDirect).unwrap();
+        assert_eq!(t[0].ifmap_plain, 0);
+        assert_eq!(t[0].weight_plain, 0);
+    }
+
+    #[test]
+    fn seal_total_encrypted_fraction_is_materially_below_one() {
+        let (topo, plan) = plan_and_topo(0.5);
+        let t = network_traffic(&topo, &plan, Scheme::SealDirect).unwrap();
+        let enc: u64 = t.iter().map(|l| l.encrypted_bytes()).sum();
+        let total: u64 = t.iter().map(|l| l.total_bytes()).sum();
+        let frac = enc as f64 / total as f64;
+        assert!(
+            (0.4..0.75).contains(&frac),
+            "VGG-16 at 50% ratio with boundary layers: {frac}"
+        );
+    }
+
+    #[test]
+    fn plan_topology_mismatch_detected() {
+        let (_, plan) = plan_and_topo(0.5);
+        let other = seal_nn::models::resnet18_topology();
+        assert!(network_traffic(&other, &plan, Scheme::SealDirect).is_err());
+    }
+}

@@ -1,0 +1,206 @@
+//! Algebraic security-invariant checking (the paper's Eqs. 1–3).
+//!
+//! The SE scheme is only sound if, in every equation visible to a bus
+//! snooper, encrypted operands never pair with plaintext ones: "encrypted
+//! input channels are never multiplied with unencrypted weight rows, and
+//! unencrypted input channels are never multiplied with encrypted weight
+//! rows" (Sec. III-A). Then every unknown appears only inside a product of
+//! two unknowns, and no individual matrix can be solved for.
+//!
+//! [`derive_assignment`] lowers a plan to the wire-level channel/row tags
+//! and [`verify_assignment`] checks the invariant, flagging any
+//! row-channel mismatch.
+
+use std::collections::BTreeSet;
+
+use crate::{EncryptionPlan, LayerPlan};
+
+/// Wire-level encryption tags for one CONV/FC layer: which kernel rows are
+/// ciphertext, and which channels of the input feature map arriving on the
+/// bus are ciphertext.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelAssignment {
+    /// Layer name.
+    pub layer: String,
+    /// Total rows/channels.
+    pub rows: usize,
+    /// Encrypted kernel rows.
+    pub encrypted_rows: BTreeSet<usize>,
+    /// Encrypted input-feature-map channels.
+    pub encrypted_input_channels: BTreeSet<usize>,
+}
+
+/// A violation of the SE coupling invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SecurityViolation {
+    /// An encrypted kernel row multiplies a plaintext input channel: the
+    /// adversary sees `Y = Σ … + X_i · ω_i` with `X_i` known — the
+    /// encrypted `ω_i` can be solved for (given enough spatial positions).
+    ExposedWeightRow {
+        /// Layer name.
+        layer: String,
+        /// Offending row/channel index.
+        row: usize,
+    },
+    /// A plaintext kernel row multiplies an encrypted input channel: the
+    /// known `ω_i` lets the adversary solve for the encrypted activations
+    /// `X_i`, defeating the channel's encryption.
+    ExposedChannel {
+        /// Layer name.
+        layer: String,
+        /// Offending row/channel index.
+        row: usize,
+    },
+}
+
+impl std::fmt::Display for SecurityViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SecurityViolation::ExposedWeightRow { layer, row } => write!(
+                f,
+                "layer {layer}: encrypted weight row {row} pairs with a plaintext input channel"
+            ),
+            SecurityViolation::ExposedChannel { layer, row } => write!(
+                f,
+                "layer {layer}: encrypted input channel {row} pairs with a plaintext weight row"
+            ),
+        }
+    }
+}
+
+/// Derives the wire-level assignment implied by a plan (SE's rule: input
+/// channel `i` is encrypted iff kernel row `i` is).
+pub fn derive_assignment(plan: &EncryptionPlan) -> Vec<ChannelAssignment> {
+    plan.layers().iter().map(assignment_for).collect()
+}
+
+fn assignment_for(l: &LayerPlan) -> ChannelAssignment {
+    let rows: BTreeSet<usize> = if l.fully_encrypted {
+        (0..l.rows).collect()
+    } else {
+        l.encrypted_rows.iter().copied().collect()
+    };
+    ChannelAssignment {
+        layer: l.name.clone(),
+        rows: l.rows,
+        encrypted_rows: rows.clone(),
+        encrypted_input_channels: rows,
+    }
+}
+
+/// Checks the SE coupling invariant over a wire-level assignment.
+///
+/// # Errors
+///
+/// Returns every violation found (empty `Ok(())` when the assignment is
+/// sound).
+pub fn verify_assignment(
+    assignments: &[ChannelAssignment],
+) -> Result<(), Vec<SecurityViolation>> {
+    let mut violations = Vec::new();
+    for a in assignments {
+        for row in 0..a.rows {
+            let w_enc = a.encrypted_rows.contains(&row);
+            let x_enc = a.encrypted_input_channels.contains(&row);
+            match (w_enc, x_enc) {
+                (true, false) => violations.push(SecurityViolation::ExposedWeightRow {
+                    layer: a.layer.clone(),
+                    row,
+                }),
+                (false, true) => violations.push(SecurityViolation::ExposedChannel {
+                    layer: a.layer.clone(),
+                    row,
+                }),
+                _ => {}
+            }
+        }
+    }
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SePolicy;
+    use seal_nn::models::vgg16_topology;
+
+    #[test]
+    fn plans_are_sound_by_construction() {
+        let topo = vgg16_topology();
+        for ratio in [0.0, 0.3, 0.5, 0.9, 1.0] {
+            let plan =
+                crate::EncryptionPlan::from_topology(&topo, SePolicy::default().with_ratio(ratio))
+                    .unwrap();
+            let a = derive_assignment(&plan);
+            assert!(verify_assignment(&a).is_ok(), "ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn corrupted_assignment_is_caught() {
+        let topo = vgg16_topology();
+        let plan =
+            crate::EncryptionPlan::from_topology(&topo, SePolicy::paper_default()).unwrap();
+        let mut a = derive_assignment(&plan);
+        // Find an SE layer and break the coupling: encrypt a row whose
+        // channel stays plaintext.
+        let se = a
+            .iter_mut()
+            .find(|x| x.encrypted_rows.len() < x.rows)
+            .unwrap();
+        let plain_row = (0..se.rows)
+            .find(|r| !se.encrypted_rows.contains(r))
+            .unwrap();
+        se.encrypted_rows.insert(plain_row);
+        let err = verify_assignment(&a).unwrap_err();
+        assert!(matches!(
+            err[0],
+            SecurityViolation::ExposedWeightRow { .. }
+        ));
+        assert!(err[0].to_string().contains("plaintext input channel"));
+    }
+
+    #[test]
+    fn exposed_channel_direction_also_caught() {
+        let a = vec![ChannelAssignment {
+            layer: "toy".into(),
+            rows: 2,
+            encrypted_rows: BTreeSet::from([0]),
+            encrypted_input_channels: BTreeSet::from([0, 1]),
+        }];
+        let err = verify_assignment(&a).unwrap_err();
+        assert_eq!(
+            err,
+            vec![SecurityViolation::ExposedChannel {
+                layer: "toy".into(),
+                row: 1
+            }]
+        );
+    }
+
+    /// The paper's two-layer worked example (Eqs. 1–3): with a 50% ratio,
+    /// row ω_r0 of layer 1 and row ω'_r1 of layer 2 encrypted, channels X0
+    /// and Y1 are encrypted — every bus-visible product pairs two unknowns.
+    #[test]
+    fn paper_worked_example_is_sound() {
+        let a = vec![
+            ChannelAssignment {
+                layer: "layer1".into(),
+                rows: 2,
+                encrypted_rows: BTreeSet::from([0]),
+                encrypted_input_channels: BTreeSet::from([0]),
+            },
+            ChannelAssignment {
+                layer: "layer2".into(),
+                rows: 2,
+                encrypted_rows: BTreeSet::from([1]),
+                encrypted_input_channels: BTreeSet::from([1]),
+            },
+        ];
+        assert!(verify_assignment(&a).is_ok());
+    }
+}

@@ -1,0 +1,292 @@
+//! On-chip counter cache for counter-mode encryption.
+//!
+//! Counter-mode encryption needs the per-line write counter before it can
+//! generate a pad. Counters live in DRAM; an on-chip *counter cache* holds
+//! recently used counter lines so that most accesses avoid a second memory
+//! round-trip. Figure 1 of the paper sweeps this cache from 24 KB to
+//! 1536 KB and reports the hit rate (Fig. 1b) and the resulting IPC
+//! (Fig. 1a).
+//!
+//! We model a set-associative, LRU, write-allocate cache. Following the
+//! split-counter organisation of Yan et al. (ISCA'06), one 64-byte counter
+//! line covers a 4 KB data page, so a cache of `S` bytes tracks counters for
+//! `64 · S` bytes of data.
+
+use serde::{Deserialize, Serialize};
+
+use crate::CryptoError;
+
+/// Geometry of a counter cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterCacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: usize,
+    /// Cache line size in bytes (one line holds the counters of one page).
+    pub line_bytes: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Bytes of *data* covered by one counter line (split-counter page).
+    pub coverage_bytes: usize,
+}
+
+impl CounterCacheConfig {
+    /// The paper's sweep point at `kb` kilobytes with the default geometry
+    /// (64-byte lines, 8 ways, 4 KB coverage per line).
+    pub fn with_kilobytes(kb: usize) -> Self {
+        CounterCacheConfig {
+            capacity_bytes: kb * 1024,
+            line_bytes: 64,
+            ways: 8,
+            coverage_bytes: 4096,
+        }
+    }
+
+    /// Number of sets implied by this geometry.
+    pub fn sets(&self) -> usize {
+        self.capacity_bytes / (self.line_bytes * self.ways)
+    }
+}
+
+impl Default for CounterCacheConfig {
+    /// The paper's baseline counter cache: 96 KB.
+    fn default() -> Self {
+        CounterCacheConfig::with_kilobytes(96)
+    }
+}
+
+/// Hit/miss counters of a [`CounterCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterCacheStats {
+    /// Accesses that found their counter line resident.
+    pub hits: u64,
+    /// Accesses that required a counter fetch from DRAM.
+    pub misses: u64,
+}
+
+impl CounterCacheStats {
+    /// Hit rate in `[0, 1]`; 0 when no accesses were made.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    tag: u64,
+    last_use: u64,
+    valid: bool,
+}
+
+/// A set-associative LRU counter cache.
+///
+/// ```
+/// use seal_crypto::{CounterCache, CounterCacheConfig};
+///
+/// # fn main() -> Result<(), seal_crypto::CryptoError> {
+/// let mut cc = CounterCache::new(CounterCacheConfig::with_kilobytes(24))?;
+/// assert!(!cc.access(0x1000)); // cold miss
+/// assert!(cc.access(0x1040));  // same 4 KB page → hit
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CounterCache {
+    config: CounterCacheConfig,
+    sets: Vec<Vec<Way>>,
+    tick: u64,
+    stats: CounterCacheStats,
+}
+
+impl CounterCache {
+    /// Builds an empty cache with the given geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidConfig`] if any geometry field is zero
+    /// or the capacity does not hold at least one set.
+    pub fn new(config: CounterCacheConfig) -> Result<Self, CryptoError> {
+        if config.line_bytes == 0 || config.ways == 0 || config.coverage_bytes == 0 {
+            return Err(CryptoError::InvalidConfig {
+                reason: "line size, ways and coverage must be positive".into(),
+            });
+        }
+        let sets = config.sets();
+        if sets == 0 {
+            return Err(CryptoError::InvalidConfig {
+                reason: format!(
+                    "capacity {} B holds no complete set of {} × {} B",
+                    config.capacity_bytes, config.ways, config.line_bytes
+                ),
+            });
+        }
+        Ok(CounterCache {
+            config,
+            sets: vec![
+                vec![
+                    Way {
+                        tag: 0,
+                        last_use: 0,
+                        valid: false
+                    };
+                    config.ways
+                ];
+                sets
+            ],
+            tick: 0,
+            stats: CounterCacheStats::default(),
+        })
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CounterCacheConfig {
+        &self.config
+    }
+
+    /// Looks up the counter line covering data address `addr`, allocating it
+    /// on a miss. Returns `true` on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.tick += 1;
+        let line_id = addr / self.config.coverage_bytes as u64;
+        let num_sets = self.sets.len() as u64;
+        let set_idx = (line_id % num_sets) as usize;
+        let tag = line_id / num_sets;
+        let set = &mut self.sets[set_idx];
+
+        if let Some(way) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
+            way.last_use = self.tick;
+            self.stats.hits += 1;
+            return true;
+        }
+        self.stats.misses += 1;
+        // Victimise an invalid way, else the LRU way.
+        let victim = set
+            .iter_mut()
+            .min_by_key(|w| if w.valid { w.last_use } else { 0 })
+            .expect("set has at least one way");
+        victim.tag = tag;
+        victim.valid = true;
+        victim.last_use = self.tick;
+        false
+    }
+
+    /// Accumulated hit/miss statistics.
+    pub fn stats(&self) -> CounterCacheStats {
+        self.stats
+    }
+
+    /// Clears contents and statistics.
+    pub fn reset(&mut self) {
+        for set in &mut self.sets {
+            for way in set {
+                way.valid = false;
+            }
+        }
+        self.tick = 0;
+        self.stats = CounterCacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_page_hits_after_cold_miss() {
+        let mut cc = CounterCache::new(CounterCacheConfig::with_kilobytes(24)).unwrap();
+        assert!(!cc.access(0x0000));
+        assert!(cc.access(0x0FC0));
+        assert!(!cc.access(0x1000), "next page is a new counter line");
+        assert_eq!(cc.stats().hits, 1);
+        assert_eq!(cc.stats().misses, 2);
+    }
+
+    #[test]
+    fn capacity_bounds_resident_lines() {
+        // 24 KB cache = 384 lines; touching 384 distinct pages fits, the
+        // 385th within the same set range evicts.
+        let cfg = CounterCacheConfig::with_kilobytes(24);
+        let mut cc = CounterCache::new(cfg).unwrap();
+        let lines = cfg.capacity_bytes / cfg.line_bytes;
+        for i in 0..lines as u64 {
+            cc.access(i * cfg.coverage_bytes as u64);
+        }
+        // Revisit: everything should still hit (full but not over).
+        for i in 0..lines as u64 {
+            assert!(cc.access(i * cfg.coverage_bytes as u64), "line {i}");
+        }
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // 1-set direct test: capacity = ways * line.
+        let cfg = CounterCacheConfig {
+            capacity_bytes: 2 * 64,
+            line_bytes: 64,
+            ways: 2,
+            coverage_bytes: 4096,
+        };
+        let mut cc = CounterCache::new(cfg).unwrap();
+        cc.access(0); // A miss
+        cc.access(4096); // B miss
+        cc.access(0); // A hit (B becomes LRU)
+        cc.access(8192); // C miss, evicts B
+        assert!(cc.access(0), "A survives");
+        assert!(!cc.access(4096), "B was evicted");
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let s = CounterCacheStats { hits: 3, misses: 1 };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(CounterCacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn larger_cache_never_hits_less_on_a_scan_with_reuse() {
+        // Cyclic scan over 3 MB of data: bigger caches hold more pages.
+        let mut small = CounterCache::new(CounterCacheConfig::with_kilobytes(24)).unwrap();
+        let mut big = CounterCache::new(CounterCacheConfig::with_kilobytes(1536)).unwrap();
+        for pass in 0..3u64 {
+            for addr in (0..3 * 1024 * 1024).step_by(128) {
+                let a = addr as u64 + pass * 0; // same addresses each pass
+                small.access(a);
+                big.access(a);
+            }
+        }
+        assert!(big.stats().hit_rate() > small.stats().hit_rate());
+        assert!(big.stats().hit_rate() > 0.9, "1536 KB covers 96 MB of data");
+    }
+
+    #[test]
+    fn invalid_geometry_rejected() {
+        let bad = CounterCacheConfig {
+            capacity_bytes: 32,
+            line_bytes: 64,
+            ways: 8,
+            coverage_bytes: 4096,
+        };
+        assert!(CounterCache::new(bad).is_err());
+        let zero = CounterCacheConfig {
+            capacity_bytes: 1024,
+            line_bytes: 0,
+            ways: 1,
+            coverage_bytes: 4096,
+        };
+        assert!(CounterCache::new(zero).is_err());
+    }
+
+    #[test]
+    fn reset_restores_cold_state() {
+        let mut cc = CounterCache::new(CounterCacheConfig::default()).unwrap();
+        cc.access(0);
+        cc.access(0);
+        cc.reset();
+        assert!(!cc.access(0));
+        assert_eq!(cc.stats().misses, 1);
+    }
+}

@@ -1,0 +1,139 @@
+//! Counter-mode memory encryption.
+//!
+//! Counter mode (Yan et al., ISCA'06) hides the AES latency by encrypting a
+//! *counter* — not the data — into a one-time pad while the data is still in
+//! flight from DRAM; the pad is then XORed with the data. The cost is a
+//! per-line counter that must itself be fetched from memory on a counter
+//! cache miss, which is exactly the extra traffic the paper's `Counter`
+//! scheme pays in Figure 1.
+//!
+//! The pad seed is `(address, counter)`, so re-encrypting a line after a
+//! write bumps its counter to keep the pad single-use.
+
+use std::collections::HashMap;
+
+use crate::{Aes128, BLOCK_BYTES};
+
+/// Counter-mode cipher with per-line write counters.
+///
+/// ```
+/// use seal_crypto::{Aes128, CtrCipher, Key128};
+///
+/// let c = CtrCipher::new(Aes128::new(&Key128::from_seed(3)), 0);
+/// let data = vec![7u8; 64];
+/// let ct = c.encrypt(0x40, &data);
+/// assert_eq!(c.decrypt(0x40, &ct), data);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CtrCipher {
+    aes: Aes128,
+    /// Global nonce mixed into every pad (distinguishes key epochs).
+    nonce: u64,
+    /// Per-line write counters, keyed by line address.
+    counters: HashMap<u64, u64>,
+}
+
+impl CtrCipher {
+    /// Creates a counter-mode cipher with the given epoch nonce.
+    pub fn new(aes: Aes128, nonce: u64) -> Self {
+        CtrCipher {
+            aes,
+            nonce,
+            counters: HashMap::new(),
+        }
+    }
+
+    /// Current write counter for `addr` (0 if never written).
+    pub fn counter(&self, addr: u64) -> u64 {
+        self.counters.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// Encrypts `data` at `addr` using the line's current counter.
+    ///
+    /// The pad is `AES_k(nonce ‖ addr ‖ ctr ‖ block_idx)` truncated to the
+    /// data length, so buffers need not be block-aligned.
+    pub fn encrypt(&self, addr: u64, data: &[u8]) -> Vec<u8> {
+        self.xor_pad(addr, self.counter(addr), data)
+    }
+
+    /// Decrypts `data` at `addr` (CTR decryption = encryption).
+    pub fn decrypt(&self, addr: u64, data: &[u8]) -> Vec<u8> {
+        self.xor_pad(addr, self.counter(addr), data)
+    }
+
+    /// Records a write-back of the line at `addr`, bumping its counter so
+    /// the next pad differs. Returns the new counter value.
+    pub fn bump_counter(&mut self, addr: u64) -> u64 {
+        let c = self.counters.entry(addr).or_insert(0);
+        *c += 1;
+        *c
+    }
+
+    fn xor_pad(&self, addr: u64, ctr: u64, data: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(data.len());
+        for (i, chunk) in data.chunks(BLOCK_BYTES).enumerate() {
+            let mut seed = [0u8; BLOCK_BYTES];
+            seed[..8].copy_from_slice(&(self.nonce ^ addr).to_le_bytes());
+            seed[8..].copy_from_slice(&(ctr.wrapping_mul(1 << 20) + i as u64).to_le_bytes());
+            let pad = self.aes.encrypt_block(&seed);
+            for (b, p) in chunk.iter().zip(pad.iter()) {
+                out.push(b ^ p);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Key128;
+
+    fn cipher() -> CtrCipher {
+        CtrCipher::new(Aes128::new(&Key128::from_seed(11)), 0xFEED)
+    }
+
+    #[test]
+    fn roundtrip_various_lengths() {
+        let c = cipher();
+        for len in [0usize, 1, 15, 16, 17, 64, 100] {
+            let data: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let ct = c.encrypt(0x100, &data);
+            assert_eq!(c.decrypt(0x100, &ct), data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn pad_depends_on_address() {
+        let c = cipher();
+        let data = vec![0u8; 32];
+        assert_ne!(c.encrypt(0x100, &data), c.encrypt(0x140, &data));
+    }
+
+    #[test]
+    fn bump_counter_changes_pad() {
+        let mut c = cipher();
+        let data = vec![0u8; 32];
+        let before = c.encrypt(0x200, &data);
+        assert_eq!(c.bump_counter(0x200), 1);
+        let after = c.encrypt(0x200, &data);
+        assert_ne!(before, after);
+        // And decryption still works with the bumped counter.
+        assert_eq!(c.decrypt(0x200, &after), data);
+    }
+
+    #[test]
+    fn nonce_separates_key_epochs() {
+        let a = CtrCipher::new(Aes128::new(&Key128::from_seed(11)), 1);
+        let b = CtrCipher::new(Aes128::new(&Key128::from_seed(11)), 2);
+        let data = vec![9u8; 16];
+        assert_ne!(a.encrypt(0, &data), b.encrypt(0, &data));
+    }
+
+    #[test]
+    fn ciphertext_is_not_plaintext() {
+        let c = cipher();
+        let data = vec![0x55u8; 64];
+        assert_ne!(c.encrypt(0x300, &data), data);
+    }
+}

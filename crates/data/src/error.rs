@@ -1,0 +1,52 @@
+use std::error::Error;
+use std::fmt;
+
+use seal_tensor::TensorError;
+
+/// Error type for dataset construction and manipulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DataError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// Images and labels disagree, or a parameter is out of range.
+    InvalidDataset {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Tensor(e) => write!(f, "tensor error: {e}"),
+            DataError::InvalidDataset { reason } => write!(f, "invalid dataset: {reason}"),
+        }
+    }
+}
+
+impl Error for DataError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DataError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for DataError {
+    fn from(e: TensorError) -> Self {
+        DataError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DataError>();
+    }
+}

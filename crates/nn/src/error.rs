@@ -1,0 +1,77 @@
+use std::error::Error;
+use std::fmt;
+
+use seal_tensor::TensorError;
+
+/// Error type for model construction, forward/backward passes and training.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// A tensor operation inside a layer failed.
+    Tensor(TensorError),
+    /// `backward` was called before `forward` cached its inputs.
+    BackwardBeforeForward {
+        /// Name of the offending layer.
+        layer: String,
+    },
+    /// A model or layer configuration is invalid.
+    InvalidConfig {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// Labels and batch size disagree, or a label is out of range.
+    InvalidLabels {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::BackwardBeforeForward { layer } => {
+                write!(f, "backward called before forward on layer {layer}")
+            }
+            NnError::InvalidConfig { reason } => write!(f, "invalid model configuration: {reason}"),
+            NnError::InvalidLabels { reason } => write!(f, "invalid labels: {reason}"),
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_tensor_error_with_source() {
+        let te = TensorError::LengthMismatch {
+            expected: 1,
+            actual: 2,
+        };
+        let ne: NnError = te.clone().into();
+        assert!(ne.source().is_some());
+        assert!(ne.to_string().contains("tensor error"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

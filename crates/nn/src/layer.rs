@@ -1,0 +1,222 @@
+use seal_tensor::{Shape, Tensor};
+
+use crate::NnError;
+
+/// Broad classification of a layer, used by `seal-core` to decide which
+/// layers the smart-encryption scheme applies to (CONV and FC carry kernel
+/// matrices; the rest carry no weights).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum LayerKind {
+    /// 2-D convolution (a kernel matrix of `out × in` kernels).
+    Conv,
+    /// Fully connected / linear layer.
+    Fc,
+    /// Pooling (max or average).
+    Pool,
+    /// Element-wise activation.
+    Activation,
+    /// Batch normalisation.
+    Norm,
+    /// Shape adapter (e.g. flatten).
+    Reshape,
+    /// Composite container (e.g. residual block).
+    Block,
+}
+
+/// A trainable parameter: value, accumulated gradient, and an optional
+/// trainability mask.
+///
+/// The mask supports the paper's SEAL-substitute attack (Sec. III-B1): the
+/// adversary "keeps the known weight parameters unchanged and fine-tunes
+/// unknown weight parameters". A mask entry of `0.0` freezes the
+/// corresponding element; `1.0` trains it; `None` trains everything.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Gradient accumulated by the latest backward pass.
+    pub grad: Tensor,
+    /// Optional per-element trainability mask (same length as `value`).
+    pub mask: Option<Vec<f32>>,
+}
+
+impl Param {
+    /// Creates a trainable parameter with a zeroed gradient.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape().clone());
+        Param {
+            value,
+            grad,
+            mask: None,
+        }
+    }
+
+    /// Zeroes the gradient in place.
+    pub fn zero_grad(&mut self) {
+        self.grad.map_inplace(|_| 0.0);
+    }
+
+    /// Applies the trainability mask to the gradient (no-op without a mask).
+    pub fn mask_grad(&mut self) {
+        if let Some(mask) = &self.mask {
+            for (g, m) in self.grad.as_mut_slice().iter_mut().zip(mask) {
+                *g *= m;
+            }
+        }
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Returns `true` if the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+/// Description of one kernel matrix (a CONV layer's `[out, in, k, k]`
+/// weights or an FC layer's `[out, in]` weights) as seen by the SEAL smart
+/// encryption scheme.
+///
+/// `row_l1[i]` is the ℓ1-norm of kernel row `i` — all weights coupled to
+/// input channel/feature `i` — which the SE scheme uses as the importance
+/// measure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelMatrix {
+    /// Owning layer name.
+    pub name: String,
+    /// [`LayerKind::Conv`] or [`LayerKind::Fc`].
+    pub kind: LayerKind,
+    /// Number of kernel rows (input channels / features).
+    pub rows: usize,
+    /// ℓ1-norm of each row.
+    pub row_l1: Vec<f32>,
+}
+
+/// A differentiable network layer.
+///
+/// Layers cache whatever they need during `forward` so that `backward` can
+/// run without re-supplying the input. `backward` consumes the upstream
+/// gradient and returns the gradient w.r.t. the layer input, accumulating
+/// parameter gradients into [`Param::grad`] along the way.
+pub trait Layer: std::fmt::Debug {
+    /// Stable human-readable layer name (e.g. `conv3_2`).
+    fn name(&self) -> &str;
+
+    /// The layer's classification.
+    fn kind(&self) -> LayerKind;
+
+    /// Forward pass. `train` selects training behaviour (e.g. batch-norm
+    /// batch statistics).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the underlying tensor kernels.
+    fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor, NnError>;
+
+    /// Backward pass: upstream gradient in, input gradient out.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BackwardBeforeForward`] if no forward activation
+    /// is cached, plus any shape errors.
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError>;
+
+    /// Mutable access to the layer's parameters (empty for stateless layers).
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Shared access to the layer's parameters.
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    /// Output shape for a given input shape, without running the layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the input shape is incompatible.
+    fn output_shape(&self, input: &Shape) -> Result<Shape, NnError>;
+
+    /// Kernel matrices this layer (or its sub-layers) carries, for the SEAL
+    /// importance scan. Stateless layers return nothing.
+    fn kernel_matrices(&self) -> Vec<KernelMatrix> {
+        Vec::new()
+    }
+
+    /// Mutable access to the weight [`Param`] of each kernel matrix, paired
+    /// with its layer name, in the same order as
+    /// [`kernel_matrices`](Self::kernel_matrices). Used by the substitute
+    /// attack to overwrite/freeze known weights.
+    fn kernel_weights_mut(&mut self) -> Vec<(String, &mut Param)> {
+        Vec::new()
+    }
+
+    /// Normalisation parameters (batch-norm γ/β), recursing through
+    /// containers. Empty for layers without normalisation.
+    fn norm_params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    /// Mutable access to normalisation parameters.
+    fn norm_params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Non-parameter state that travels with the model (e.g. batch-norm
+    /// running statistics). Empty for stateless layers.
+    fn export_state(&self) -> Vec<f32> {
+        Vec::new()
+    }
+
+    /// Restores state previously produced by
+    /// [`export_state`](Self::export_state).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] on length mismatch.
+    fn import_state(&mut self, state: &[f32]) -> Result<(), NnError> {
+        if state.is_empty() {
+            Ok(())
+        } else {
+            Err(NnError::InvalidConfig {
+                reason: format!("{} holds no state but got {}", self.name(), state.len()),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seal_tensor::Shape;
+
+    #[test]
+    fn param_zero_grad_clears() {
+        let mut p = Param::new(Tensor::ones(Shape::vector(3)));
+        p.grad = Tensor::full(Shape::vector(3), 2.0);
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+    }
+
+    #[test]
+    fn mask_freezes_selected_gradients() {
+        let mut p = Param::new(Tensor::ones(Shape::vector(4)));
+        p.grad = Tensor::full(Shape::vector(4), 1.0);
+        p.mask = Some(vec![1.0, 0.0, 1.0, 0.0]);
+        p.mask_grad();
+        assert_eq!(p.grad.as_slice(), &[1.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn unmasked_param_grad_untouched() {
+        let mut p = Param::new(Tensor::ones(Shape::vector(2)));
+        p.grad = Tensor::full(Shape::vector(2), 3.0);
+        p.mask_grad();
+        assert_eq!(p.grad.as_slice(), &[3.0, 3.0]);
+    }
+}

@@ -1,0 +1,79 @@
+use seal_tensor::{Shape, Tensor};
+
+use crate::{Layer, LayerKind, NnError};
+
+/// Flattens `NCHW` activations to `[batch, C·H·W]` for the classifier head.
+#[derive(Debug, Default)]
+pub struct Flatten {
+    name: String,
+    cached_shape: Option<Shape>,
+}
+
+impl Flatten {
+    /// Creates a named flatten layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        Flatten {
+            name: name.into(),
+            cached_shape: None,
+        }
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Reshape
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor, NnError> {
+        let shape = input.shape().clone();
+        let out = self.output_shape(&shape)?;
+        self.cached_shape = Some(shape);
+        Ok(input.clone().reshape(out)?)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {
+        let shape = self
+            .cached_shape
+            .as_ref()
+            .ok_or_else(|| NnError::BackwardBeforeForward {
+                layer: self.name.clone(),
+            })?;
+        Ok(grad_output.clone().reshape(shape.clone())?)
+    }
+
+    fn output_shape(&self, input: &Shape) -> Result<Shape, NnError> {
+        if input.rank() < 2 {
+            return Err(NnError::InvalidConfig {
+                reason: format!("flatten expects rank ≥ 2, got {input}"),
+            });
+        }
+        let batch = input.dim(0);
+        let features: usize = input.dims()[1..].iter().product();
+        Ok(Shape::matrix(batch, features))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_and_unflatten() {
+        let mut f = Flatten::new("f");
+        let x = Tensor::zeros(Shape::nchw(2, 3, 4, 4));
+        let y = f.forward(&x, true).unwrap();
+        assert_eq!(y.shape().dims(), &[2, 48]);
+        let gi = f.backward(&Tensor::ones(y.shape().clone())).unwrap();
+        assert_eq!(gi.shape(), x.shape());
+    }
+
+    #[test]
+    fn rank_one_rejected() {
+        let f = Flatten::new("f");
+        assert!(f.output_shape(&Shape::vector(8)).is_err());
+    }
+}

@@ -1,0 +1,236 @@
+use rand::Rng;
+use seal_tensor::{xavier_uniform, Shape, Tensor};
+
+use crate::{Layer, LayerKind, NnError, Param};
+
+/// A fully connected layer: `y = x · Wᵀ + b` on `[batch, in]` inputs.
+///
+/// The weight matrix `[out, in]` is an FC *kernel matrix* in the paper's
+/// sense — column `i` (all weights reading input feature `i`) plays the role
+/// a kernel row plays in a CONV layer, so the SE scheme applies here too
+/// (Sec. III-A: "the SE scheme can also be applied to full-connected
+/// layers").
+#[derive(Debug)]
+pub struct Linear {
+    name: String,
+    weights: Param,
+    bias: Param,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a linear layer with Xavier-uniform weights and zero bias.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidConfig`] for zero dimensions.
+    pub fn new(
+        rng: &mut impl Rng,
+        name: impl Into<String>,
+        in_features: usize,
+        out_features: usize,
+    ) -> Result<Self, NnError> {
+        if in_features == 0 || out_features == 0 {
+            return Err(NnError::InvalidConfig {
+                reason: "linear needs positive feature counts".into(),
+            });
+        }
+        Ok(Linear {
+            name: name.into(),
+            weights: Param::new(xavier_uniform(
+                rng,
+                Shape::matrix(out_features, in_features),
+                in_features,
+                out_features,
+            )),
+            bias: Param::new(Tensor::zeros(Shape::vector(out_features))),
+            cached_input: None,
+        })
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.weights.value.shape().dim(1)
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.weights.value.shape().dim(0)
+    }
+
+    /// The weight parameter (`[out, in]`).
+    pub fn weights(&self) -> &Param {
+        &self.weights
+    }
+
+    /// Mutable weight parameter.
+    pub fn weights_mut(&mut self) -> &mut Param {
+        &mut self.weights
+    }
+
+    /// ℓ1-norm of input-column `i` (the FC analogue of a kernel row).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= in_features()`.
+    pub fn input_column_l1(&self, i: usize) -> f32 {
+        assert!(i < self.in_features());
+        let (out, inf) = (self.out_features(), self.in_features());
+        let w = self.weights.value.as_slice();
+        (0..out).map(|o| w[o * inf + i].abs()).sum()
+    }
+}
+
+impl Layer for Linear {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Fc
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor, NnError> {
+        if input.shape().rank() != 2 {
+            return Err(NnError::InvalidConfig {
+                reason: format!("linear expects [batch, features], got {}", input.shape()),
+            });
+        }
+        let wt = self.weights.value.transpose()?;
+        let mut out = input.matmul(&wt)?;
+        // Broadcast-add bias over the batch.
+        let (batch, outf) = (out.shape().dim(0), out.shape().dim(1));
+        let b = self.bias.value.as_slice().to_vec();
+        let o = out.as_mut_slice();
+        for r in 0..batch {
+            for c in 0..outf {
+                o[r * outf + c] += b[c];
+            }
+        }
+        self.cached_input = Some(input.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or_else(|| NnError::BackwardBeforeForward {
+                layer: self.name.clone(),
+            })?;
+        // dW = gᵀ · x ; dx = g · W ; db = sum over batch of g.
+        let gw = grad_output.transpose()?.matmul(input)?;
+        self.weights.grad.axpy(1.0, &gw)?;
+        let (batch, outf) = (grad_output.shape().dim(0), grad_output.shape().dim(1));
+        {
+            let gb = self.bias.grad.as_mut_slice();
+            let g = grad_output.as_slice();
+            for r in 0..batch {
+                for c in 0..outf {
+                    gb[c] += g[r * outf + c];
+                }
+            }
+        }
+        Ok(grad_output.matmul(&self.weights.value)?)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weights, &mut self.bias]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weights, &self.bias]
+    }
+
+    fn kernel_matrices(&self) -> Vec<crate::layer::KernelMatrix> {
+        vec![crate::layer::KernelMatrix {
+            name: self.name.clone(),
+            kind: LayerKind::Fc,
+            rows: self.in_features(),
+            row_l1: (0..self.in_features())
+                .map(|i| self.input_column_l1(i))
+                .collect(),
+        }]
+    }
+
+    fn kernel_weights_mut(&mut self) -> Vec<(String, &mut Param)> {
+        vec![(self.name.clone(), &mut self.weights)]
+    }
+
+    fn output_shape(&self, input: &Shape) -> Result<Shape, NnError> {
+        if input.rank() != 2 || input.dim(1) != self.in_features() {
+            return Err(NnError::InvalidConfig {
+                reason: format!(
+                    "linear {} expects [batch, {}], got {input}",
+                    self.name,
+                    self.in_features()
+                ),
+            });
+        }
+        Ok(Shape::matrix(input.dim(0), self.out_features()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_applies_weights_and_bias() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut l = Linear::new(&mut rng, "fc", 2, 2).unwrap();
+        // W = [[1, 2], [3, 4]], b = [10, 20].
+        l.weights.value = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], Shape::matrix(2, 2)).unwrap();
+        l.bias.value = Tensor::from_vec(vec![10.0, 20.0], Shape::vector(2)).unwrap();
+        let x = Tensor::from_vec(vec![1.0, 1.0], Shape::matrix(1, 2)).unwrap();
+        let y = l.forward(&x, true).unwrap();
+        assert_eq!(y.as_slice(), &[13.0, 27.0]);
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut l = Linear::new(&mut rng, "fc", 3, 2).unwrap();
+        let x = seal_tensor::uniform(&mut rng, Shape::matrix(4, 3), -1.0, 1.0);
+        let y = l.forward(&x, true).unwrap();
+        let go = Tensor::ones(y.shape().clone());
+        let gi = l.backward(&go).unwrap();
+
+        let eps = 1e-3f32;
+        for idx in 0..6 {
+            let orig = l.weights.value.as_slice()[idx];
+            l.weights.value.as_mut_slice()[idx] = orig + eps;
+            let up = l.forward(&x, true).unwrap().sum();
+            l.weights.value.as_mut_slice()[idx] = orig - eps;
+            let dn = l.forward(&x, true).unwrap().sum();
+            l.weights.value.as_mut_slice()[idx] = orig;
+            let numeric = (up - dn) / (2.0 * eps);
+            let analytic = l.weights.grad.as_slice()[idx];
+            assert!(
+                (numeric - analytic).abs() < 0.02 * analytic.abs().max(1.0),
+                "idx {idx}: {numeric} vs {analytic}"
+            );
+        }
+        assert_eq!(gi.shape().dims(), &[4, 3]);
+    }
+
+    #[test]
+    fn input_column_l1() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut l = Linear::new(&mut rng, "fc", 2, 2).unwrap();
+        l.weights.value =
+            Tensor::from_vec(vec![1.0, -2.0, 3.0, -4.0], Shape::matrix(2, 2)).unwrap();
+        assert_eq!(l.input_column_l1(0), 4.0);
+        assert_eq!(l.input_column_l1(1), 6.0);
+    }
+
+    #[test]
+    fn rank_mismatch_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut l = Linear::new(&mut rng, "fc", 4, 2).unwrap();
+        let x = Tensor::zeros(Shape::nchw(1, 1, 2, 2));
+        assert!(l.forward(&x, true).is_err());
+    }
+}

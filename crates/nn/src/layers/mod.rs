@@ -1,0 +1,23 @@
+//! Concrete layer implementations.
+//!
+//! Every layer implements [`Layer`](crate::Layer) with a hand-derived
+//! backward pass; the convolution/pooling math itself lives in
+//! [`seal_tensor::ops`] and is verified there by finite differences.
+
+mod batchnorm;
+mod conv;
+mod dropout;
+mod flatten;
+mod linear;
+mod pool;
+mod relu;
+mod residual;
+
+pub use batchnorm::BatchNorm2d;
+pub use conv::Conv2d;
+pub use dropout::Dropout;
+pub use flatten::Flatten;
+pub use linear::Linear;
+pub use pool::{AvgPool2d, MaxPool2d};
+pub use relu::ReLU;
+pub use residual::ResidualBlock;

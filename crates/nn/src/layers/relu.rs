@@ -1,0 +1,87 @@
+use seal_tensor::{Shape, Tensor};
+
+use crate::{Layer, LayerKind, NnError};
+
+/// Rectified linear activation, `y = max(0, x)`.
+#[derive(Debug, Default)]
+pub struct ReLU {
+    name: String,
+    cached_mask: Option<Vec<bool>>,
+}
+
+impl ReLU {
+    /// Creates a named ReLU.
+    pub fn new(name: impl Into<String>) -> Self {
+        ReLU {
+            name: name.into(),
+            cached_mask: None,
+        }
+    }
+}
+
+impl Layer for ReLU {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Activation
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor, NnError> {
+        self.cached_mask = Some(input.as_slice().iter().map(|v| *v > 0.0).collect());
+        Ok(input.map(|v| v.max(0.0)))
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {
+        let mask = self
+            .cached_mask
+            .as_ref()
+            .ok_or_else(|| NnError::BackwardBeforeForward {
+                layer: self.name.clone(),
+            })?;
+        if mask.len() != grad_output.len() {
+            return Err(NnError::InvalidConfig {
+                reason: "relu backward shape differs from cached forward".into(),
+            });
+        }
+        let data = grad_output
+            .as_slice()
+            .iter()
+            .zip(mask)
+            .map(|(g, m)| if *m { *g } else { 0.0 })
+            .collect();
+        Ok(Tensor::from_vec(data, grad_output.shape().clone())?)
+    }
+
+    fn output_shape(&self, input: &Shape) -> Result<Shape, NnError> {
+        Ok(input.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let mut r = ReLU::new("r");
+        let x = Tensor::from_vec(vec![-1.0, 0.0, 2.0], Shape::vector(3)).unwrap();
+        assert_eq!(r.forward(&x, true).unwrap().as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_gates_gradient() {
+        let mut r = ReLU::new("r");
+        let x = Tensor::from_vec(vec![-1.0, 3.0], Shape::vector(2)).unwrap();
+        r.forward(&x, true).unwrap();
+        let g = Tensor::from_vec(vec![5.0, 7.0], Shape::vector(2)).unwrap();
+        assert_eq!(r.backward(&g).unwrap().as_slice(), &[0.0, 7.0]);
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut r = ReLU::new("r");
+        assert!(r.backward(&Tensor::zeros(Shape::vector(1))).is_err());
+    }
+}

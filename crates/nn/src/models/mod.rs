@@ -1,0 +1,12 @@
+//! The paper's model zoo: VGG-16, ResNet-18 and ResNet-34 in their CIFAR-10
+//! form, each available as a full-size [`NetworkTopology`](crate::NetworkTopology)
+//! (for the performance experiments) and as a width-configurable trainable
+//! [`Sequential`](crate::Sequential) (for the security experiments).
+
+mod mlp;
+mod resnet;
+mod vgg;
+
+pub use mlp::{mlp, mlp_topology, MlpConfig};
+pub use resnet::{resnet, resnet18_topology, resnet34_topology, ResNetConfig};
+pub use vgg::{vgg16, vgg16_topology, VggConfig};

@@ -1,0 +1,189 @@
+//! Flat binary serialisation of model weights and state.
+//!
+//! The format is deliberately minimal (no external format crates): a
+//! magic/version header, then every parameter tensor and every layer's
+//! exported state as length-prefixed little-endian `f32` runs, in the
+//! model's stable parameter order. Loading validates lengths against the
+//! receiving model, so weights can only be restored into an
+//! architecturally identical network — the same property the paper's
+//! white-box adversary relies on.
+
+use crate::{NnError, Sequential};
+
+const MAGIC: &[u8; 4] = b"SEAL";
+const VERSION: u8 = 1;
+
+fn push_run(out: &mut Vec<u8>, values: &[f32]) {
+    out.extend_from_slice(&(values.len() as u32).to_le_bytes());
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn read_run(bytes: &[u8], off: &mut usize) -> Result<Vec<f32>, NnError> {
+    let err = || NnError::InvalidConfig {
+        reason: "truncated weight blob".into(),
+    };
+    if *off + 4 > bytes.len() {
+        return Err(err());
+    }
+    let n = u32::from_le_bytes(bytes[*off..*off + 4].try_into().expect("4 bytes")) as usize;
+    *off += 4;
+    if *off + 4 * n > bytes.len() {
+        return Err(err());
+    }
+    let mut values = Vec::with_capacity(n);
+    for i in 0..n {
+        let b = &bytes[*off + 4 * i..*off + 4 * i + 4];
+        values.push(f32::from_le_bytes(b.try_into().expect("4 bytes")));
+    }
+    *off += 4 * n;
+    Ok(values)
+}
+
+/// Serialises every parameter and state block of `model`.
+pub fn save_weights(model: &Sequential) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    let params = model.params();
+    out.extend_from_slice(&(params.len() as u32).to_le_bytes());
+    for p in params {
+        push_run(&mut out, p.value.as_slice());
+    }
+    let state = model.export_state();
+    out.extend_from_slice(&(state.len() as u32).to_le_bytes());
+    for s in state {
+        push_run(&mut out, &s);
+    }
+    out
+}
+
+/// Restores a blob produced by [`save_weights`] into an architecturally
+/// identical model.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidConfig`] on bad magic/version, truncation,
+/// or any shape mismatch with the receiving model.
+pub fn load_weights(model: &mut Sequential, bytes: &[u8]) -> Result<(), NnError> {
+    if bytes.len() < 9 || &bytes[..4] != MAGIC || bytes[4] != VERSION {
+        return Err(NnError::InvalidConfig {
+            reason: "not a SEAL v1 weight blob".into(),
+        });
+    }
+    let mut off = 5usize;
+    let n_params =
+        u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes")) as usize;
+    off += 4;
+    {
+        let mut params = model.params_mut();
+        if params.len() != n_params {
+            return Err(NnError::InvalidConfig {
+                reason: format!("blob has {n_params} params, model has {}", params.len()),
+            });
+        }
+        for p in params.iter_mut() {
+            let values = read_run(bytes, &mut off)?;
+            if values.len() != p.value.len() {
+                return Err(NnError::InvalidConfig {
+                    reason: format!(
+                        "param of {} values cannot fill tensor of {}",
+                        values.len(),
+                        p.value.len()
+                    ),
+                });
+            }
+            p.value.as_mut_slice().copy_from_slice(&values);
+        }
+    }
+    if off + 4 > bytes.len() {
+        return Err(NnError::InvalidConfig {
+            reason: "truncated weight blob".into(),
+        });
+    }
+    let n_state = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes")) as usize;
+    off += 4;
+    let mut state = Vec::with_capacity(n_state);
+    for _ in 0..n_state {
+        state.push(read_run(bytes, &mut off)?);
+    }
+    model.import_state(&state)?;
+    if off != bytes.len() {
+        return Err(NnError::InvalidConfig {
+            reason: "trailing bytes after weight blob".into(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{resnet, vgg16, ResNetConfig, VggConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use seal_tensor::{Shape, Tensor};
+
+    #[test]
+    fn vgg_roundtrip_preserves_inference() {
+        let mut r1 = StdRng::seed_from_u64(1);
+        let mut r2 = StdRng::seed_from_u64(2);
+        let cfg = VggConfig::reduced();
+        let mut a = vgg16(&mut r1, &cfg).unwrap();
+        let mut b = vgg16(&mut r2, &cfg).unwrap();
+        let x = seal_tensor::uniform(&mut r1, Shape::nchw(2, 3, 16, 16), -1.0, 1.0);
+        // Warm BN stats so state transfer is observable.
+        a.forward(&x, true).unwrap();
+
+        let blob = save_weights(&a);
+        load_weights(&mut b, &blob).unwrap();
+        let ya = a.forward(&x, false).unwrap();
+        let yb = b.forward(&x, false).unwrap();
+        assert_eq!(ya, yb, "identical inference after load");
+    }
+
+    #[test]
+    fn resnet_roundtrip_through_blocks() {
+        let mut r1 = StdRng::seed_from_u64(3);
+        let mut r2 = StdRng::seed_from_u64(4);
+        let cfg = ResNetConfig::reduced(18);
+        let a = resnet(&mut r1, &cfg).unwrap();
+        let mut b = resnet(&mut r2, &cfg).unwrap();
+        load_weights(&mut b, &save_weights(&a)).unwrap();
+        for (pa, pb) in a.params().iter().zip(b.params()) {
+            assert_eq!(pa.value, pb.value);
+        }
+    }
+
+    #[test]
+    fn wrong_architecture_rejected() {
+        let mut r = StdRng::seed_from_u64(5);
+        let a = vgg16(&mut r, &VggConfig::reduced()).unwrap();
+        let mut small_cfg = VggConfig::reduced();
+        small_cfg.base_width = 4;
+        let mut b = vgg16(&mut r, &small_cfg).unwrap();
+        assert!(load_weights(&mut b, &save_weights(&a)).is_err());
+    }
+
+    #[test]
+    fn corrupt_blobs_rejected() {
+        let mut r = StdRng::seed_from_u64(6);
+        let mut m = vgg16(&mut r, &VggConfig::reduced()).unwrap();
+        assert!(load_weights(&mut m, b"nope").is_err());
+        let mut blob = save_weights(&m);
+        blob.truncate(blob.len() / 2);
+        assert!(load_weights(&mut m, &blob).is_err());
+        let mut blob = save_weights(&m);
+        blob.push(0);
+        assert!(load_weights(&mut m, &blob).is_err());
+    }
+
+    #[test]
+    fn empty_model_roundtrips() {
+        let a = crate::Sequential::new("empty");
+        let mut b = crate::Sequential::new("empty");
+        load_weights(&mut b, &save_weights(&a)).unwrap();
+        let _ = Tensor::zeros(Shape::vector(1));
+    }
+}

@@ -1,0 +1,99 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::Shape;
+
+/// Error type for tensor construction and arithmetic.
+///
+/// Every fallible public function in this crate returns `Result<_, TensorError>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// The element buffer length does not match the product of the shape dims.
+    LengthMismatch {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Number of elements actually supplied.
+        actual: usize,
+    },
+    /// Two operands have incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        lhs: Shape,
+        /// Shape of the right-hand operand.
+        rhs: Shape,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// The operation requires a tensor of a specific rank.
+    RankMismatch {
+        /// Required rank.
+        expected: usize,
+        /// Rank of the tensor supplied.
+        actual: usize,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// A convolution / pooling geometry is invalid (e.g. kernel larger than
+    /// the padded input, or a zero-sized dimension).
+    InvalidGeometry {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => write!(
+                f,
+                "buffer length {actual} does not match shape volume {expected}"
+            ),
+            TensorError::ShapeMismatch { lhs, rhs, op } => {
+                write!(f, "incompatible shapes {lhs} and {rhs} for {op}")
+            }
+            TensorError::RankMismatch {
+                expected,
+                actual,
+                op,
+            } => write!(f, "{op} requires rank {expected}, got rank {actual}"),
+            TensorError::InvalidGeometry { reason } => {
+                write!(f, "invalid geometry: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let err = TensorError::LengthMismatch {
+            expected: 4,
+            actual: 3,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains('3') && msg.contains('4'));
+        assert!(msg.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+
+    #[test]
+    fn shape_mismatch_names_the_operation() {
+        let err = TensorError::ShapeMismatch {
+            lhs: Shape::matrix(2, 3),
+            rhs: Shape::matrix(4, 5),
+            op: "matmul",
+        };
+        assert!(err.to_string().contains("matmul"));
+    }
+}

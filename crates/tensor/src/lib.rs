@@ -1,0 +1,45 @@
+//! # seal-tensor
+//!
+//! Dense `f32` tensor substrate for the SEAL reproduction.
+//!
+//! This crate provides the numeric foundation used by [`seal-nn`] to train
+//! and evaluate the victim and substitute CNN models of the paper
+//! *SEALing Neural Network Models in Encrypted Deep Learning Accelerators*
+//! (DAC 2021): row-major tensors, matrix multiplication, 2-D convolution
+//! (forward and backward), pooling, and deterministic random initialisation.
+//!
+//! The implementation is deliberately dependency-free (only `rand`) and
+//! single-threaded: the security experiments of the paper run on small,
+//! width-reduced networks where clarity and determinism matter more than
+//! peak throughput.
+//!
+//! ## Example
+//!
+//! ```
+//! use seal_tensor::{Tensor, Shape};
+//!
+//! # fn main() -> Result<(), seal_tensor::TensorError> {
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], Shape::matrix(2, 2))?;
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`seal-nn`]: https://example.com/seal
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod error;
+mod init;
+mod shape;
+mod tensor;
+
+pub mod ops;
+
+pub use error::TensorError;
+pub use init::{he_normal, uniform, xavier_uniform};
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,395 @@
+use crate::{Shape, Tensor, TensorError};
+
+/// Geometry of a 2-D convolution: kernel size, stride and zero padding
+/// (square in both dimensions, matching every CONV layer of VGG/ResNet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2dGeometry {
+    /// Kernel height and width.
+    pub kernel: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Zero padding on every border.
+    pub padding: usize,
+}
+
+impl Conv2dGeometry {
+    /// The common `3×3 / stride 1 / pad 1` geometry.
+    pub fn same3x3() -> Self {
+        Conv2dGeometry {
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        }
+    }
+
+    /// Output spatial size for an input of `n` pixels along one dimension.
+    ///
+    /// Returns `None` when the kernel does not fit in the padded input.
+    pub fn output_size(&self, n: usize) -> Option<usize> {
+        let padded = n + 2 * self.padding;
+        if padded < self.kernel || self.stride == 0 {
+            return None;
+        }
+        Some((padded - self.kernel) / self.stride + 1)
+    }
+}
+
+impl Default for Conv2dGeometry {
+    fn default() -> Self {
+        Conv2dGeometry::same3x3()
+    }
+}
+
+/// Gradients produced by [`conv2d_backward`].
+#[derive(Debug, Clone)]
+pub struct Conv2dGradients {
+    /// Gradient w.r.t. the input feature map, shaped like the input.
+    pub grad_input: Tensor,
+    /// Gradient w.r.t. the weights, shaped like the weights.
+    pub grad_weights: Tensor,
+    /// Gradient w.r.t. the per-output-channel bias.
+    pub grad_bias: Tensor,
+}
+
+fn check_conv_shapes(
+    input: &Tensor,
+    weights: &Tensor,
+    geom: &Conv2dGeometry,
+) -> Result<(usize, usize, usize, usize, usize, usize, usize, usize), TensorError> {
+    if input.shape().rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: input.shape().rank(),
+            op: "conv2d input",
+        });
+    }
+    if weights.shape().rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: weights.shape().rank(),
+            op: "conv2d weights",
+        });
+    }
+    let (n, c_in, h, w) = (
+        input.shape().dim(0),
+        input.shape().dim(1),
+        input.shape().dim(2),
+        input.shape().dim(3),
+    );
+    let (c_out, wc_in, kh, kw) = (
+        weights.shape().dim(0),
+        weights.shape().dim(1),
+        weights.shape().dim(2),
+        weights.shape().dim(3),
+    );
+    if wc_in != c_in {
+        return Err(TensorError::ShapeMismatch {
+            lhs: input.shape().clone(),
+            rhs: weights.shape().clone(),
+            op: "conv2d channel count",
+        });
+    }
+    if kh != geom.kernel || kw != geom.kernel {
+        return Err(TensorError::InvalidGeometry {
+            reason: format!(
+                "weight kernel {kh}x{kw} disagrees with geometry kernel {}",
+                geom.kernel
+            ),
+        });
+    }
+    let oh = geom.output_size(h).ok_or_else(|| TensorError::InvalidGeometry {
+        reason: format!("kernel {} does not fit height {h}", geom.kernel),
+    })?;
+    let ow = geom.output_size(w).ok_or_else(|| TensorError::InvalidGeometry {
+        reason: format!("kernel {} does not fit width {w}", geom.kernel),
+    })?;
+    Ok((n, c_in, h, w, c_out, oh, ow, geom.kernel))
+}
+
+/// 2-D convolution forward pass.
+///
+/// * `input` — `NCHW` activations.
+/// * `weights` — `[c_out, c_in, k, k]` kernel matrix. The slice
+///   `weights[:, i, :, :]` is *kernel row i* in the paper's terminology and
+///   is the unit the SE scheme encrypts or bypasses.
+/// * `bias` — optional `[c_out]` bias.
+///
+/// # Errors
+///
+/// Shape/geometry mismatches produce the corresponding [`TensorError`].
+pub fn conv2d(
+    input: &Tensor,
+    weights: &Tensor,
+    bias: Option<&Tensor>,
+    geom: &Conv2dGeometry,
+) -> Result<Tensor, TensorError> {
+    let (n, c_in, h, w, c_out, oh, ow, k) = check_conv_shapes(input, weights, geom)?;
+    if let Some(b) = bias {
+        if b.len() != c_out {
+            return Err(TensorError::LengthMismatch {
+                expected: c_out,
+                actual: b.len(),
+            });
+        }
+    }
+    let mut out = Tensor::zeros(Shape::nchw(n, c_out, oh, ow));
+    let x = input.as_slice();
+    let wt = weights.as_slice();
+    let o = out.as_mut_slice();
+    let (stride, pad) = (geom.stride, geom.padding);
+
+    for b_idx in 0..n {
+        for co in 0..c_out {
+            let bias_v = bias.map_or(0.0, |b| b.as_slice()[co]);
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bias_v;
+                    for ci in 0..c_in {
+                        let w_base = ((co * c_in + ci) * k) * k;
+                        let x_base = (b_idx * c_in + ci) * h * w;
+                        for ky in 0..k {
+                            let iy = (oy * stride + ky) as isize - pad as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            let xrow = x_base + iy as usize * w;
+                            let wrow = w_base + ky * k;
+                            for kx in 0..k {
+                                let ix = (ox * stride + kx) as isize - pad as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                acc += x[xrow + ix as usize] * wt[wrow + kx];
+                            }
+                        }
+                    }
+                    o[((b_idx * c_out + co) * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// 2-D convolution backward pass.
+///
+/// Given the upstream gradient `grad_output` (shaped like the forward
+/// output), produces gradients w.r.t. input, weights and bias.
+///
+/// # Errors
+///
+/// Shape/geometry mismatches produce the corresponding [`TensorError`].
+pub fn conv2d_backward(
+    input: &Tensor,
+    weights: &Tensor,
+    grad_output: &Tensor,
+    geom: &Conv2dGeometry,
+) -> Result<Conv2dGradients, TensorError> {
+    let (n, c_in, h, w, c_out, oh, ow, k) = check_conv_shapes(input, weights, geom)?;
+    let expected = Shape::nchw(n, c_out, oh, ow);
+    if !grad_output.shape().same_dims(&expected) {
+        return Err(TensorError::ShapeMismatch {
+            lhs: grad_output.shape().clone(),
+            rhs: expected,
+            op: "conv2d_backward grad_output",
+        });
+    }
+
+    let mut grad_input = Tensor::zeros(input.shape().clone());
+    let mut grad_weights = Tensor::zeros(weights.shape().clone());
+    let mut grad_bias = Tensor::zeros(Shape::vector(c_out));
+
+    let x = input.as_slice();
+    let wt = weights.as_slice();
+    let go = grad_output.as_slice();
+    let gi = grad_input.as_mut_slice();
+    let gw = grad_weights.as_mut_slice();
+    let gb = grad_bias.as_mut_slice();
+    let (stride, pad) = (geom.stride, geom.padding);
+
+    for b_idx in 0..n {
+        for co in 0..c_out {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = go[((b_idx * c_out + co) * oh + oy) * ow + ox];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    gb[co] += g;
+                    for ci in 0..c_in {
+                        let w_base = ((co * c_in + ci) * k) * k;
+                        let x_base = (b_idx * c_in + ci) * h * w;
+                        for ky in 0..k {
+                            let iy = (oy * stride + ky) as isize - pad as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            let xrow = x_base + iy as usize * w;
+                            let wrow = w_base + ky * k;
+                            for kx in 0..k {
+                                let ix = (ox * stride + kx) as isize - pad as isize;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                gw[wrow + kx] += g * x[xrow + ix as usize];
+                                gi[xrow + ix as usize] += g * wt[wrow + kx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(Conv2dGradients {
+        grad_input,
+        grad_weights,
+        grad_bias,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_input() -> Tensor {
+        // 1x1x3x3 ascending values.
+        Tensor::from_vec(
+            (1..=9).map(|v| v as f32).collect(),
+            Shape::nchw(1, 1, 3, 3),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn identity_kernel_preserves_input() {
+        let input = simple_input();
+        // 3x3 kernel with centre 1, pad 1 => identity.
+        let mut wdata = vec![0.0f32; 9];
+        wdata[4] = 1.0;
+        let w = Tensor::from_vec(wdata, Shape::nchw(1, 1, 3, 3)).unwrap();
+        let out = conv2d(&input, &w, None, &Conv2dGeometry::same3x3()).unwrap();
+        assert_eq!(out.as_slice(), input.as_slice());
+    }
+
+    #[test]
+    fn valid_convolution_sums_window() {
+        let input = simple_input();
+        let w = Tensor::ones(Shape::nchw(1, 1, 3, 3));
+        let geom = Conv2dGeometry {
+            kernel: 3,
+            stride: 1,
+            padding: 0,
+        };
+        let out = conv2d(&input, &w, None, &geom).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 1, 1, 1]);
+        assert_eq!(out.as_slice()[0], 45.0);
+    }
+
+    #[test]
+    fn bias_added_per_output_channel() {
+        let input = simple_input();
+        let w = Tensor::zeros(Shape::nchw(2, 1, 3, 3));
+        let bias = Tensor::from_vec(vec![1.5, -2.0], Shape::vector(2)).unwrap();
+        let out = conv2d(&input, &w, Some(&bias), &Conv2dGeometry::same3x3()).unwrap();
+        assert_eq!(out.at4(0, 0, 1, 1), 1.5);
+        assert_eq!(out.at4(0, 1, 2, 2), -2.0);
+    }
+
+    #[test]
+    fn stride_two_downsamples() {
+        let input = Tensor::ones(Shape::nchw(1, 1, 4, 4));
+        let w = Tensor::ones(Shape::nchw(1, 1, 1, 1));
+        let geom = Conv2dGeometry {
+            kernel: 1,
+            stride: 2,
+            padding: 0,
+        };
+        let out = conv2d(&input, &w, None, &geom).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn channel_mismatch_rejected() {
+        let input = Tensor::zeros(Shape::nchw(1, 2, 3, 3));
+        let w = Tensor::zeros(Shape::nchw(1, 3, 3, 3));
+        assert!(conv2d(&input, &w, None, &Conv2dGeometry::same3x3()).is_err());
+    }
+
+    /// Finite-difference check of the backward pass: perturb each weight and
+    /// compare the numeric gradient of a scalar loss (sum of outputs) with
+    /// the analytic gradient.
+    #[test]
+    fn backward_matches_finite_differences() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(42);
+        let input = crate::uniform(&mut rng, Shape::nchw(1, 2, 4, 4), -1.0, 1.0);
+        let weights = crate::uniform(&mut rng, Shape::nchw(3, 2, 3, 3), -0.5, 0.5);
+        let geom = Conv2dGeometry::same3x3();
+
+        let out = conv2d(&input, &weights, None, &geom).unwrap();
+        let grad_out = Tensor::ones(out.shape().clone());
+        let grads = conv2d_backward(&input, &weights, &grad_out, &geom).unwrap();
+
+        let eps = 1e-2f32;
+        for idx in [0usize, 7, 20, 53] {
+            let mut wp = weights.clone();
+            wp.as_mut_slice()[idx] += eps;
+            let up = conv2d(&input, &wp, None, &geom).unwrap().sum();
+            let mut wm = weights.clone();
+            wm.as_mut_slice()[idx] -= eps;
+            let dn = conv2d(&input, &wm, None, &geom).unwrap().sum();
+            let numeric = (up - dn) / (2.0 * eps);
+            let analytic = grads.grad_weights.as_slice()[idx];
+            assert!(
+                (numeric - analytic).abs() < 0.05 * analytic.abs().max(1.0),
+                "weight {idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+
+        // Same check for a couple of input elements.
+        for idx in [0usize, 13, 31] {
+            let mut xp = input.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let up = conv2d(&xp, &weights, None, &geom).unwrap().sum();
+            let mut xm = input.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let dn = conv2d(&xm, &weights, None, &geom).unwrap().sum();
+            let numeric = (up - dn) / (2.0 * eps);
+            let analytic = grads.grad_input.as_slice()[idx];
+            assert!(
+                (numeric - analytic).abs() < 0.05 * analytic.abs().max(1.0),
+                "input {idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn grad_bias_counts_output_elements() {
+        let input = Tensor::ones(Shape::nchw(1, 1, 3, 3));
+        let w = Tensor::ones(Shape::nchw(1, 1, 3, 3));
+        let geom = Conv2dGeometry::same3x3();
+        let out = conv2d(&input, &w, None, &geom).unwrap();
+        let grads =
+            conv2d_backward(&input, &w, &Tensor::ones(out.shape().clone()), &geom).unwrap();
+        assert_eq!(grads.grad_bias.as_slice(), &[9.0]);
+    }
+
+    #[test]
+    fn output_size_edge_cases() {
+        let g = Conv2dGeometry {
+            kernel: 5,
+            stride: 1,
+            padding: 0,
+        };
+        assert_eq!(g.output_size(4), None);
+        assert_eq!(g.output_size(5), Some(1));
+        let z = Conv2dGeometry {
+            kernel: 1,
+            stride: 0,
+            padding: 0,
+        };
+        assert_eq!(z.output_size(4), None);
+    }
+}

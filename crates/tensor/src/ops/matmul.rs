@@ -1,0 +1,121 @@
+use crate::{Shape, Tensor, TensorError};
+
+/// Matrix product `lhs · rhs` of two rank-2 tensors.
+///
+/// Uses a cache-friendly i-k-j loop order. This is also the paper's
+/// motivating workload: "matrix multiplication computation that is the most
+/// common operation in DL algorithms" (Sec. II-B, Fig. 1).
+///
+/// # Errors
+///
+/// * [`TensorError::RankMismatch`] if either operand is not rank 2.
+/// * [`TensorError::ShapeMismatch`] if the inner dimensions disagree.
+///
+/// ```
+/// use seal_tensor::{ops::matmul, Shape, Tensor};
+///
+/// # fn main() -> Result<(), seal_tensor::TensorError> {
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], Shape::matrix(2, 2))?;
+/// let b = Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0], Shape::matrix(2, 2))?;
+/// assert_eq!(matmul(&a, &b)?.as_slice(), &[2.0, 1.0, 4.0, 3.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul(lhs: &Tensor, rhs: &Tensor) -> Result<Tensor, TensorError> {
+    for (t, _name) in [(lhs, "lhs"), (rhs, "rhs")] {
+        if t.shape().rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: t.shape().rank(),
+                op: "matmul",
+            });
+        }
+    }
+    let (m, k) = (lhs.shape().dim(0), lhs.shape().dim(1));
+    let (k2, n) = (rhs.shape().dim(0), rhs.shape().dim(1));
+    if k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            lhs: lhs.shape().clone(),
+            rhs: rhs.shape().clone(),
+            op: "matmul",
+        });
+    }
+    let a = lhs.as_slice();
+    let b = rhs.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(out, Shape::matrix(m, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], Shape::matrix(2, 3)).unwrap();
+        let id = Tensor::eye(3);
+        assert_eq!(matmul(&a, &id).unwrap(), a);
+    }
+
+    #[test]
+    fn rectangular_product() {
+        // [1 2 3] · [[1],[2],[3]] = [14]
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], Shape::matrix(1, 3)).unwrap();
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0], Shape::matrix(3, 1)).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.shape().dims(), &[1, 1]);
+        assert_eq!(c.as_slice(), &[14.0]);
+    }
+
+    #[test]
+    fn inner_dim_mismatch_is_error() {
+        let a = Tensor::zeros(Shape::matrix(2, 3));
+        let b = Tensor::zeros(Shape::matrix(4, 5));
+        assert!(matches!(
+            matmul(&a, &b),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rank_mismatch_is_error() {
+        let a = Tensor::zeros(Shape::vector(3));
+        let b = Tensor::zeros(Shape::matrix(3, 3));
+        assert!(matches!(
+            matmul(&a, &b),
+            Err(TensorError::RankMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn matches_naive_reference() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = crate::uniform(&mut rng, Shape::matrix(7, 5), -1.0, 1.0);
+        let b = crate::uniform(&mut rng, Shape::matrix(5, 9), -1.0, 1.0);
+        let fast = matmul(&a, &b).unwrap();
+        for i in 0..7 {
+            for j in 0..9 {
+                let mut acc = 0.0f32;
+                for k in 0..5 {
+                    acc += a.at2(i, k) * b.at2(k, j);
+                }
+                assert!((fast.at2(i, j) - acc).abs() < 1e-4);
+            }
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Numeric kernels: matrix multiply, 2-D convolution, pooling.
+//!
+//! Forward *and* backward primitives live here so that `seal-nn` layers are
+//! thin orchestration over well-tested math. All kernels use the `NCHW`
+//! layout for activations and `[out_ch, in_ch, kh, kw]` for convolution
+//! weights — the "kernel matrix" of the paper, where a *kernel row* is the
+//! slice `[*, in_ch_i, :, :]` coupled to input channel `i` and a *kernel
+//! column* is `[out_ch_j, *, :, :]` coupled to output channel `j`.
+
+mod conv;
+mod matmul;
+mod pool;
+
+pub use conv::{conv2d, conv2d_backward, Conv2dGeometry, Conv2dGradients};
+pub use matmul::matmul;
+pub use pool::{avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward, PoolGeometry};

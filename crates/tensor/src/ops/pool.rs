@@ -1,0 +1,299 @@
+use crate::{Shape, Tensor, TensorError};
+
+/// Geometry of a 2-D pooling window (square window, no padding — the
+/// configuration used by every POOL layer in VGG and the ResNets'
+/// downsampling stages).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PoolGeometry {
+    /// Window height and width.
+    pub window: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+}
+
+impl PoolGeometry {
+    /// The ubiquitous `2×2 / stride 2` pooling.
+    pub fn halving() -> Self {
+        PoolGeometry {
+            window: 2,
+            stride: 2,
+        }
+    }
+
+    /// Output spatial size for `n` input pixels, or `None` if the window
+    /// does not fit.
+    pub fn output_size(&self, n: usize) -> Option<usize> {
+        if n < self.window || self.stride == 0 {
+            return None;
+        }
+        Some((n - self.window) / self.stride + 1)
+    }
+}
+
+impl Default for PoolGeometry {
+    fn default() -> Self {
+        PoolGeometry::halving()
+    }
+}
+
+fn check_pool(input: &Tensor, geom: &PoolGeometry) -> Result<(usize, usize, usize, usize, usize, usize), TensorError> {
+    if input.shape().rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: input.shape().rank(),
+            op: "pool2d",
+        });
+    }
+    let (n, c, h, w) = (
+        input.shape().dim(0),
+        input.shape().dim(1),
+        input.shape().dim(2),
+        input.shape().dim(3),
+    );
+    let oh = geom.output_size(h).ok_or_else(|| TensorError::InvalidGeometry {
+        reason: format!("pool window {} does not fit height {h}", geom.window),
+    })?;
+    let ow = geom.output_size(w).ok_or_else(|| TensorError::InvalidGeometry {
+        reason: format!("pool window {} does not fit width {w}", geom.window),
+    })?;
+    Ok((n, c, h, w, oh, ow))
+}
+
+/// Max pooling forward pass. Returns the pooled tensor and the flat index of
+/// each selected element (needed by the backward pass).
+///
+/// # Errors
+///
+/// Returns [`TensorError`] for non-rank-4 inputs or windows that do not fit.
+pub fn max_pool2d(
+    input: &Tensor,
+    geom: &PoolGeometry,
+) -> Result<(Tensor, Vec<usize>), TensorError> {
+    let (n, c, h, w, oh, ow) = check_pool(input, geom)?;
+    let x = input.as_slice();
+    let mut out = Tensor::zeros(Shape::nchw(n, c, oh, ow));
+    let mut argmax = vec![0usize; out.len()];
+    let o = out.as_mut_slice();
+
+    for b in 0..n {
+        for ch in 0..c {
+            let base = (b * c + ch) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for ky in 0..geom.window {
+                        let iy = oy * geom.stride + ky;
+                        for kx in 0..geom.window {
+                            let ix = ox * geom.stride + kx;
+                            let idx = base + iy * w + ix;
+                            if x[idx] > best {
+                                best = x[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    let oidx = ((b * c + ch) * oh + oy) * ow + ox;
+                    o[oidx] = best;
+                    argmax[oidx] = best_idx;
+                }
+            }
+        }
+    }
+    Ok((out, argmax))
+}
+
+/// Max pooling backward pass: routes each upstream gradient to the argmax
+/// element recorded by [`max_pool2d`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::LengthMismatch`] if `argmax` and `grad_output`
+/// disagree in length.
+pub fn max_pool2d_backward(
+    input_shape: &Shape,
+    grad_output: &Tensor,
+    argmax: &[usize],
+) -> Result<Tensor, TensorError> {
+    if argmax.len() != grad_output.len() {
+        return Err(TensorError::LengthMismatch {
+            expected: grad_output.len(),
+            actual: argmax.len(),
+        });
+    }
+    let mut grad_input = Tensor::zeros(input_shape.clone());
+    let gi = grad_input.as_mut_slice();
+    for (g, &idx) in grad_output.as_slice().iter().zip(argmax) {
+        gi[idx] += g;
+    }
+    Ok(grad_input)
+}
+
+/// Average pooling forward pass.
+///
+/// # Errors
+///
+/// Returns [`TensorError`] for non-rank-4 inputs or windows that do not fit.
+pub fn avg_pool2d(input: &Tensor, geom: &PoolGeometry) -> Result<Tensor, TensorError> {
+    let (n, c, h, w, oh, ow) = check_pool(input, geom)?;
+    let x = input.as_slice();
+    let mut out = Tensor::zeros(Shape::nchw(n, c, oh, ow));
+    let o = out.as_mut_slice();
+    let norm = 1.0 / (geom.window * geom.window) as f32;
+
+    for b in 0..n {
+        for ch in 0..c {
+            let base = (b * c + ch) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0f32;
+                    for ky in 0..geom.window {
+                        let iy = oy * geom.stride + ky;
+                        for kx in 0..geom.window {
+                            acc += x[base + iy * w + ox * geom.stride + kx];
+                        }
+                    }
+                    o[((b * c + ch) * oh + oy) * ow + ox] = acc * norm;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Average pooling backward pass: spreads each upstream gradient uniformly
+/// over its window.
+///
+/// # Errors
+///
+/// Returns [`TensorError`] if `grad_output` does not have the shape implied
+/// by `input_shape` and `geom`.
+pub fn avg_pool2d_backward(
+    input_shape: &Shape,
+    grad_output: &Tensor,
+    geom: &PoolGeometry,
+) -> Result<Tensor, TensorError> {
+    if input_shape.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: input_shape.rank(),
+            op: "avg_pool2d_backward",
+        });
+    }
+    let (n, c, h, w) = (
+        input_shape.dim(0),
+        input_shape.dim(1),
+        input_shape.dim(2),
+        input_shape.dim(3),
+    );
+    let oh = geom.output_size(h).ok_or_else(|| TensorError::InvalidGeometry {
+        reason: "window does not fit".into(),
+    })?;
+    let ow = geom.output_size(w).ok_or_else(|| TensorError::InvalidGeometry {
+        reason: "window does not fit".into(),
+    })?;
+    let expected = Shape::nchw(n, c, oh, ow);
+    if !grad_output.shape().same_dims(&expected) {
+        return Err(TensorError::ShapeMismatch {
+            lhs: grad_output.shape().clone(),
+            rhs: expected,
+            op: "avg_pool2d_backward",
+        });
+    }
+    let mut grad_input = Tensor::zeros(input_shape.clone());
+    let gi = grad_input.as_mut_slice();
+    let go = grad_output.as_slice();
+    let norm = 1.0 / (geom.window * geom.window) as f32;
+    for b in 0..n {
+        for ch in 0..c {
+            let base = (b * c + ch) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let g = go[((b * c + ch) * oh + oy) * ow + ox] * norm;
+                    for ky in 0..geom.window {
+                        let iy = oy * geom.stride + ky;
+                        for kx in 0..geom.window {
+                            gi[base + iy * w + ox * geom.stride + kx] += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(grad_input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input_4x4() -> Tensor {
+        Tensor::from_vec(
+            (0..16).map(|v| v as f32).collect(),
+            Shape::nchw(1, 1, 4, 4),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn max_pool_picks_window_maxima() {
+        let (out, argmax) = max_pool2d(&input_4x4(), &PoolGeometry::halving()).unwrap();
+        assert_eq!(out.as_slice(), &[5.0, 7.0, 13.0, 15.0]);
+        assert_eq!(argmax, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn avg_pool_averages() {
+        let out = avg_pool2d(&input_4x4(), &PoolGeometry::halving()).unwrap();
+        assert_eq!(out.as_slice(), &[2.5, 4.5, 10.5, 12.5]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_argmax() {
+        let input = input_4x4();
+        let (out, argmax) = max_pool2d(&input, &PoolGeometry::halving()).unwrap();
+        let go = Tensor::ones(out.shape().clone());
+        let gi = max_pool2d_backward(input.shape(), &go, &argmax).unwrap();
+        assert_eq!(gi.sum(), 4.0);
+        assert_eq!(gi.as_slice()[5], 1.0);
+        assert_eq!(gi.as_slice()[0], 0.0);
+    }
+
+    #[test]
+    fn avg_pool_backward_conserves_gradient_mass() {
+        let input = input_4x4();
+        let out = avg_pool2d(&input, &PoolGeometry::halving()).unwrap();
+        let go = Tensor::full(out.shape().clone(), 2.0);
+        let gi = avg_pool2d_backward(input.shape(), &go, &PoolGeometry::halving()).unwrap();
+        assert!((gi.sum() - go.sum()).abs() < 1e-6);
+        assert!((gi.as_slice()[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn window_too_large_is_error() {
+        let g = PoolGeometry {
+            window: 8,
+            stride: 8,
+        };
+        assert!(max_pool2d(&input_4x4(), &g).is_err());
+        assert!(avg_pool2d(&input_4x4(), &g).is_err());
+    }
+
+    #[test]
+    fn global_average_pool_collapses_spatial_dims() {
+        let g = PoolGeometry {
+            window: 4,
+            stride: 4,
+        };
+        let out = avg_pool2d(&input_4x4(), &g).unwrap();
+        assert_eq!(out.shape().dims(), &[1, 1, 1, 1]);
+        assert!((out.as_slice()[0] - 7.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn argmax_length_mismatch_rejected() {
+        let go = Tensor::ones(Shape::nchw(1, 1, 2, 2));
+        let err = max_pool2d_backward(&Shape::nchw(1, 1, 4, 4), &go, &[1, 2]).unwrap_err();
+        assert!(matches!(err, TensorError::LengthMismatch { .. }));
+    }
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper into results/.
+#
+# Usage:
+#   scripts/reproduce_all.sh           # quick mode (seconds per figure)
+#   scripts/reproduce_all.sh --full    # paper-scale mode (minutes per figure)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="${1:-}"
+mkdir -p results
+
+BINS="fig1 table1 fig5 fig6 fig7 fig8 fig3 fig4 ablation_engines ablation_importance ablation_boundary"
+for bin in $BINS; do
+    echo "==> $bin $MODE"
+    cargo run --release -p seal-bench --bin "$bin" -- $MODE 2>/dev/null | tee "results/$bin.txt"
+done
+
+echo
+echo "All outputs written to results/. Compare against EXPERIMENTS.md."

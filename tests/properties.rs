@@ -1,0 +1,142 @@
+//! Property-based tests over the cross-crate invariants that the SEAL
+//! design relies on.
+
+use proptest::prelude::*;
+use seal::core::{
+    derive_assignment, network_traffic, select_encrypted_rows, verify_assignment,
+    EncryptionPlan, ImportanceMetric, Scheme, SePolicy,
+};
+use seal::crypto::{Aes128, CtrCipher, DirectCipher, Key128};
+use seal::gpusim::{EncryptionMode, GpuConfig, Region, Simulator, Workload};
+use seal::nn::NetworkTopology;
+use seal::tensor::Shape;
+
+/// A small random CNN topology: alternating conv/pool stages ending in an
+/// FC head, always geometrically valid.
+fn arb_topology() -> impl Strategy<Value = NetworkTopology> {
+    (
+        2usize..6,            // stages
+        1usize..5,            // base width (×8 channels)
+        any::<bool>(),        // pool after each stage?
+    )
+        .prop_map(|(stages, base, pool)| {
+            let mut b = NetworkTopology::build("random", Shape::nchw(1, 3, 32, 32)).unwrap();
+            let mut hw = 32usize;
+            for s in 0..stages {
+                let ch = base * 8 * (s + 1);
+                b = b.conv(format!("conv{s}"), ch, 3, 1, 1).unwrap();
+                if pool && hw >= 4 {
+                    b = b.pool(format!("pool{s}"), 2, 2).unwrap();
+                    hw /= 2;
+                }
+            }
+            b.fc("fc", 10).unwrap().finish()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every plan derived from any topology at any ratio satisfies the
+    /// Eqs. 1–3 coupling invariant.
+    #[test]
+    fn any_plan_is_algebraically_sound(topo in arb_topology(), ratio in 0.0f64..=1.0) {
+        let plan = EncryptionPlan::from_topology(&topo, SePolicy::default().with_ratio(ratio))
+            .unwrap();
+        prop_assert!(verify_assignment(&derive_assignment(&plan)).is_ok());
+    }
+
+    /// Traffic splits conserve bytes and encrypted bytes grow
+    /// monotonically with the ratio.
+    #[test]
+    fn traffic_is_conserved_and_monotone(topo in arb_topology(), lo in 0.0f64..0.5, delta in 0.0f64..0.5) {
+        let hi = lo + delta;
+        let enc_at = |r: f64| -> (u64, u64) {
+            let plan = EncryptionPlan::from_topology(&topo, SePolicy::default().with_ratio(r))
+                .unwrap();
+            let splits = network_traffic(&topo, &plan, Scheme::SealDirect).unwrap();
+            (
+                splits.iter().map(|l| l.encrypted_bytes()).sum(),
+                splits.iter().map(|l| l.total_bytes()).sum(),
+            )
+        };
+        let (enc_lo, tot_lo) = enc_at(lo);
+        let (enc_hi, tot_hi) = enc_at(hi);
+        // Conservation: totals do not depend on the ratio (up to rounding).
+        prop_assert!((tot_lo as i64 - tot_hi as i64).unsigned_abs() < 64);
+        // Monotonicity (up to per-layer rounding of row counts).
+        prop_assert!(enc_hi + 64 * topo.layers().len() as u64 >= enc_lo);
+    }
+
+    /// Row selection always returns the requested fraction of rows,
+    /// sorted and unique, for every metric.
+    #[test]
+    fn row_selection_is_well_formed(
+        norms in proptest::collection::vec(0.0f32..100.0, 1..256),
+        ratio in 0.0f64..=1.0,
+        metric_pick in 0usize..3,
+    ) {
+        let metric = match metric_pick {
+            0 => ImportanceMetric::L1,
+            1 => ImportanceMetric::Random(7),
+            _ => ImportanceMetric::InverseL1,
+        };
+        let rows = select_encrypted_rows(&norms, ratio, metric).unwrap();
+        let expected = (norms.len() as f64 * ratio).round() as usize;
+        prop_assert_eq!(rows.len(), expected);
+        prop_assert!(rows.windows(2).all(|w| w[0] < w[1]), "sorted unique");
+        prop_assert!(rows.iter().all(|&r| r < norms.len()));
+    }
+
+    /// AES-CTR and direct encryption both roundtrip arbitrary buffers at
+    /// arbitrary addresses.
+    #[test]
+    fn ciphers_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..512), addr in any::<u64>(), seed in any::<u64>()) {
+        let ctr = CtrCipher::new(Aes128::new(&Key128::from_seed(seed)), seed ^ 0xFF);
+        prop_assert_eq!(ctr.decrypt(addr, &ctr.encrypt(addr, &data)), data.clone());
+
+        let direct = DirectCipher::new(Aes128::new(&Key128::from_seed(seed)));
+        let padded_len = data.len().div_ceil(16) * 16;
+        let mut padded = data.clone();
+        padded.resize(padded_len, 0);
+        let ct = direct.encrypt(addr, &padded).unwrap();
+        prop_assert_eq!(direct.decrypt(addr, &ct).unwrap(), padded);
+    }
+
+    /// Simulated encrypted execution is never faster than baseline, and
+    /// larger encrypted fractions are never faster than smaller ones.
+    #[test]
+    fn encryption_never_speeds_things_up(kb in 1u64..32, enc_kb in 0u64..32) {
+        let enc_kb = enc_kb.min(kb);
+        let wl = Workload::builder("p")
+            .region(Region::read("enc", 0, enc_kb.max(1) * 64 * 1024).encrypted(true))
+            .region(Region::read("plain", 1 << 33, (kb - enc_kb).max(1) * 64 * 1024))
+            .instructions(1_000_000)
+            .build()
+            .unwrap();
+        let base = Simulator::new(GpuConfig::gtx480(), EncryptionMode::None)
+            .unwrap()
+            .run(&wl)
+            .unwrap();
+        let enc = Simulator::new(GpuConfig::gtx480(), EncryptionMode::Direct)
+            .unwrap()
+            .run(&wl)
+            .unwrap();
+        prop_assert!(enc.cycles + 1e-6 >= base.cycles);
+    }
+
+    /// The simulator is deterministic: identical runs produce identical
+    /// reports.
+    #[test]
+    fn simulator_is_deterministic(kb in 1u64..16, seed_mode in 0usize..3) {
+        let mode = [EncryptionMode::None, EncryptionMode::Direct, EncryptionMode::Counter][seed_mode];
+        let wl = Workload::builder("d")
+            .region(Region::read("r", 0, kb * 64 * 1024).encrypted(true))
+            .instructions(500_000)
+            .build()
+            .unwrap();
+        let a = Simulator::new(GpuConfig::gtx480(), mode).unwrap().run(&wl).unwrap();
+        let b = Simulator::new(GpuConfig::gtx480(), mode).unwrap().run(&wl).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}
