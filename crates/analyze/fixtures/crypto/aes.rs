@@ -1,0 +1,24 @@
+//! Lint fixture: seeded truncating casts in a crypto hot-path file name.
+//!
+//! The path contains `crypto` and the file is named `aes.rs`, so the
+//! `truncating-cast` rule applies. Never compiled.
+
+/// Drops the top 32 bits — the seeded violation.
+pub fn bad_counter_fold(counter: u64) -> u32 {
+    counter as u32
+}
+
+/// Drops bits twice on one line.
+pub fn bad_split(word: u64) -> (u8, u16) {
+    (word as u8, word as u16)
+}
+
+/// Widening casts are fine.
+pub fn good_widen(byte: u8) -> usize {
+    byte as usize + (byte as u64 as usize)
+}
+
+/// Masked on purpose, suppressed.
+pub fn masked_low_byte(word: u64) -> u8 {
+    (word & 0xff) as u8 // seal-lint: allow(truncating-cast)
+}

@@ -1,0 +1,197 @@
+//! # seal-analyze
+//!
+//! Workspace static analysis for the SEAL reproduction, run as a tier-1
+//! gate (`scripts/check.sh`). Two passes, both dependency-free:
+//!
+//! 1. **Source lint** ([`lint`]): a hand-rolled Rust lexer ([`lexer`])
+//!    drives syntactic rules over non-test library code — panic-prone APIs
+//!    (`unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!`), truncating
+//!    `as` casts in the `seal-crypto` hot paths, and undocumented
+//!    `pub fn`s. `// seal-lint: allow(<rule>)` on the offending line or
+//!    the line above suppresses a finding.
+//! 2. **Semantic checks** ([`semantic`]): static shape inference over the
+//!    model zoo ([`seal_nn::check_model`]) and static encryption-plan /
+//!    heap-layout analysis ([`seal_core::analyze_plan`],
+//!    [`seal_core::verify_heap_layout`]) — the paper's coupling invariant
+//!    and `emalloc` contract checked without running the simulator.
+//!
+//! The `seal-analyze` binary wires both passes behind a CLI:
+//!
+//! ```text
+//! seal-analyze [--workspace] [--json] [paths…]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod lexer;
+pub mod lint;
+pub mod report;
+pub mod semantic;
+
+pub use lint::{lint_source, Rule, ALL_RULES};
+pub use report::{render_human, render_json, Finding};
+pub use semantic::run_semantic_checks;
+
+use std::path::{Path, PathBuf};
+
+/// Directory names the workspace walker never descends into.
+const SKIP_DIRS: [&str; 6] = ["bin", "tests", "benches", "examples", "fixtures", "target"];
+
+/// Collects the library `.rs` sources of the workspace rooted at `root`:
+/// every `crates/*/src/**` plus the root package's `src/**`, excluding
+/// `src/bin/` and the other harness directories.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory walking.
+pub fn workspace_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut entries: Vec<PathBuf> =
+            std::fs::read_dir(&crates)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        entries.sort();
+        for krate in entries {
+            let src = krate.join("src");
+            if src.is_dir() {
+                walk(&src, &mut files)?;
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        walk(&root_src, &mut files)?;
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping harness
+/// directories ([`SKIP_DIRS`]).
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        std::fs::read_dir(dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if !SKIP_DIRS.contains(&name) {
+                walk(&path, out)?;
+            }
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints the given files and directories (directories are walked
+/// recursively for `.rs` files, without the workspace skip-list —
+/// explicitly named paths are always linted).
+///
+/// # Errors
+///
+/// Propagates I/O errors reading sources.
+pub fn lint_paths(paths: &[PathBuf]) -> std::io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    for p in paths {
+        if p.is_dir() {
+            walk_all(p, &mut files)?;
+        } else {
+            files.push(p.clone());
+        }
+    }
+    files.sort();
+    lint_files(&files)
+}
+
+fn walk_all(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        std::fs::read_dir(dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            walk_all(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints the workspace rooted at `root` (the Pass 1 entry point of
+/// `--workspace` mode).
+///
+/// # Errors
+///
+/// Propagates I/O errors from walking or reading sources.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    lint_files(&workspace_sources(root)?)
+}
+
+fn lint_files(files: &[PathBuf]) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for file in files {
+        let source = std::fs::read_to_string(file)?;
+        findings.extend(lint_source(&file.to_string_lossy(), &source));
+    }
+    Ok(findings)
+}
+
+/// Locates the workspace root by walking up from `start` to the first
+/// directory holding both a `Cargo.toml` and a `crates/` directory.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn root() -> PathBuf {
+        // crates/analyze → workspace root is two levels up.
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap()
+    }
+
+    #[test]
+    fn workspace_walker_finds_library_sources_only() {
+        let files = workspace_sources(&root()).unwrap();
+        assert!(files.iter().any(|f| f.ends_with("crates/crypto/src/aes.rs")));
+        assert!(files.iter().any(|f| f.ends_with("src/lib.rs")));
+        let strs: Vec<String> = files.iter().map(|f| f.to_string_lossy().into()).collect();
+        assert!(
+            strs.iter().all(|f| !f.contains("/bin/")
+                && !f.contains("/tests/")
+                && !f.contains("/benches/")
+                && !f.contains("/fixtures/")),
+            "harness files leaked into {strs:?}"
+        );
+    }
+
+    #[test]
+    fn merged_tree_lints_clean() {
+        let findings = lint_workspace(&root()).unwrap();
+        assert!(
+            findings.is_empty(),
+            "workspace must lint clean:\n{}",
+            render_human(&findings)
+        );
+    }
+
+    #[test]
+    fn find_root_from_nested_dir() {
+        let nested = root().join("crates/analyze/src");
+        assert_eq!(find_workspace_root(&nested), Some(root()));
+    }
+}

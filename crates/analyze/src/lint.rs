@@ -1,0 +1,514 @@
+//! The lint rules, driven by the token stream of [`crate::lexer`].
+//!
+//! Scope policy (what "library code" means here):
+//!
+//! * only files under a crate's `src/` are linted; `tests/`, `benches/`,
+//!   `examples/`, `fixtures/` and `src/bin/` are harness/test surface and
+//!   skipped by the workspace walker;
+//! * `#[cfg(test)]` items (and their whole blocks) are skipped;
+//! * a finding on a line carrying — or immediately below — a
+//!   `// seal-lint: allow(<rule>)` directive is suppressed.
+
+use crate::lexer::{lex, Tok, TokKind};
+use crate::report::Finding;
+
+/// Stable rule identifiers, as used in `allow(...)` directives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// `.unwrap()` in library code.
+    Unwrap,
+    /// `.expect(…)` in library code.
+    Expect,
+    /// `panic!(…)` in library code.
+    Panic,
+    /// `todo!(…)` anywhere.
+    Todo,
+    /// `unimplemented!(…)` anywhere.
+    Unimplemented,
+    /// Truncating `as` cast in a crypto hot-path file.
+    TruncatingCast,
+    /// `pub fn` without a doc comment.
+    MissingDocs,
+}
+
+impl Rule {
+    /// The identifier used in diagnostics and `allow(...)` directives.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Unwrap => "unwrap",
+            Rule::Expect => "expect",
+            Rule::Panic => "panic",
+            Rule::Todo => "todo",
+            Rule::Unimplemented => "unimplemented",
+            Rule::TruncatingCast => "truncating-cast",
+            Rule::MissingDocs => "missing-docs",
+        }
+    }
+
+    /// Parses a rule name (the inverse of [`name`](Self::name)).
+    pub fn from_name(name: &str) -> Option<Rule> {
+        Some(match name {
+            "unwrap" => Rule::Unwrap,
+            "expect" => Rule::Expect,
+            "panic" => Rule::Panic,
+            "todo" => Rule::Todo,
+            "unimplemented" => Rule::Unimplemented,
+            "truncating-cast" => Rule::TruncatingCast,
+            "missing-docs" => Rule::MissingDocs,
+            _ => return None,
+        })
+    }
+}
+
+/// Every rule, in reporting order.
+pub const ALL_RULES: [Rule; 7] = [
+    Rule::Unwrap,
+    Rule::Expect,
+    Rule::Panic,
+    Rule::Todo,
+    Rule::Unimplemented,
+    Rule::TruncatingCast,
+    Rule::MissingDocs,
+];
+
+/// Integer types an `as` cast can silently truncate to on the 32-bit-plus
+/// words the crypto kernels move around.
+const NARROW_INTS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Files whose inner loops feed the AES engine: a truncating cast here is
+/// a correctness smell (dropped counter/address bits), so the cast rule
+/// applies only to them.
+const CRYPTO_HOT_PATHS: [&str; 3] = ["aes.rs", "ctr.rs", "engine.rs"];
+
+/// Returns `true` when `path` is one of the crypto hot-path files the
+/// truncating-cast rule watches.
+pub fn is_crypto_hot_path(path: &str) -> bool {
+    let normalized = path.replace('\\', "/");
+    if !normalized.contains("crypto") {
+        return false;
+    }
+    let file = normalized.rsplit('/').next().unwrap_or(&normalized);
+    CRYPTO_HOT_PATHS.contains(&file)
+}
+
+/// Lints one file's source text. `path` is used for reporting and for the
+/// hot-path file selection of [`Rule::TruncatingCast`].
+pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
+    let toks = lex(source);
+    let suppressed = test_region_lines(&toks);
+    let allows = allow_directives(&toks);
+    let code: Vec<&Tok> = toks.iter().filter(|t| !t.is_trivia()).collect();
+
+    let mut findings = Vec::new();
+    let mut emit = |rule: Rule, line: u32, message: String| {
+        if suppressed.contains(&line) {
+            return;
+        }
+        if let Some(rules) = allows.get(&line) {
+            if rules.contains(&rule) {
+                return;
+            }
+        }
+        findings.push(Finding {
+            path: path.to_string(),
+            line,
+            rule,
+            message,
+        });
+    };
+
+    panic_rules(&code, &mut emit);
+    if is_crypto_hot_path(path) {
+        cast_rule(&code, &mut emit);
+    }
+    missing_docs_rule(&toks, &suppressed, &mut emit);
+
+    findings.sort_by_key(|f| f.line);
+    findings
+}
+
+/// Lines covered by `#[cfg(test)]`-gated items, including the attribute
+/// lines themselves.
+fn test_region_lines(toks: &[Tok]) -> std::collections::BTreeSet<u32> {
+    let code: Vec<(usize, &Tok)> = toks
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !t.is_trivia())
+        .collect();
+    let mut lines = std::collections::BTreeSet::new();
+    let mut i = 0;
+    while i < code.len() {
+        if let Some(after_attr) = cfg_test_attr_end(&code, i) {
+            let start_line = code[i].1.line;
+            // Skip to the gated item's opening brace (or a terminating
+            // `;` for gated `use`/`mod foo;` items), then match braces.
+            let mut j = after_attr;
+            let mut depth = 0usize;
+            let mut end_line = code[j.min(code.len() - 1)].1.line;
+            while j < code.len() {
+                let t = code[j].1;
+                if t.kind == TokKind::Punct {
+                    match t.text.as_str() {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                end_line = t.line;
+                                break;
+                            }
+                        }
+                        ";" if depth == 0 => {
+                            end_line = t.line;
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                end_line = t.line;
+                j += 1;
+            }
+            for l in start_line..=end_line {
+                lines.insert(l);
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    lines
+}
+
+/// If the code tokens at `i` start a `#[cfg(test)]`-style attribute
+/// (any `cfg` attribute mentioning `test` outside a `not(...)`), returns
+/// the index just past its closing `]`.
+fn cfg_test_attr_end(code: &[(usize, &Tok)], i: usize) -> Option<usize> {
+    if code[i].1.text != "#" || code.get(i + 1)?.1.text != "[" {
+        return None;
+    }
+    if code.get(i + 2)?.1.text != "cfg" {
+        return None;
+    }
+    // Scan to the matching `]`, tracking whether `test` appears and
+    // whether we are inside a `not(...)` group.
+    let mut depth = 0usize;
+    let mut not_depth: Option<usize> = None;
+    let mut has_test = false;
+    let mut j = i + 1;
+    while j < code.len() {
+        let t = code[j].1;
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, "(") => depth += 1,
+            (TokKind::Punct, ")") => {
+                depth -= 1;
+                if not_depth == Some(depth) {
+                    not_depth = None;
+                }
+            }
+            (TokKind::Ident, "not") if not_depth.is_none() => not_depth = Some(depth),
+            (TokKind::Ident, "test") if not_depth.is_none() => has_test = true,
+            (TokKind::Punct, "]") if depth == 0 => {
+                return if has_test { Some(j + 1) } else { None };
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Parses `seal-lint: allow(rule, rule…)` directives out of comments. The
+/// returned map covers the comment's own line **and** the line below it
+/// (so a directive can sit on its own line above the finding).
+fn allow_directives(toks: &[Tok]) -> std::collections::BTreeMap<u32, Vec<Rule>> {
+    let mut map: std::collections::BTreeMap<u32, Vec<Rule>> = std::collections::BTreeMap::new();
+    for t in toks {
+        if t.kind != TokKind::Comment {
+            continue;
+        }
+        let Some(at) = t.text.find("seal-lint:") else {
+            continue;
+        };
+        let rest = &t.text[at + "seal-lint:".len()..];
+        let Some(open) = rest.find("allow(") else {
+            continue;
+        };
+        let Some(close) = rest[open..].find(')') else {
+            continue;
+        };
+        let inner = &rest[open + "allow(".len()..open + close];
+        let rules: Vec<Rule> = inner
+            .split(',')
+            .filter_map(|s| Rule::from_name(s.trim()))
+            .collect();
+        if rules.is_empty() {
+            continue;
+        }
+        // Comments can span lines (block comments); anchor on the last
+        // line so `line + 1` is the first code line below the comment.
+        let last_line = t.line + t.text.matches('\n').count() as u32;
+        for l in [last_line, last_line + 1] {
+            map.entry(l).or_default().extend(rules.iter().copied());
+        }
+    }
+    map
+}
+
+/// `.unwrap()` / `.expect(` / `panic!` / `todo!` / `unimplemented!`.
+fn panic_rules(code: &[&Tok], emit: &mut impl FnMut(Rule, u32, String)) {
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let prev_dot = i > 0 && code[i - 1].kind == TokKind::Punct && code[i - 1].text == ".";
+        let next_is = |s: &str| {
+            code.get(i + 1)
+                .is_some_and(|n| n.kind == TokKind::Punct && n.text == s)
+        };
+        match t.text.as_str() {
+            "unwrap" if prev_dot && next_is("(") => emit(
+                Rule::Unwrap,
+                t.line,
+                "`.unwrap()` in library code — propagate the error instead".into(),
+            ),
+            "expect" if prev_dot && next_is("(") => emit(
+                Rule::Expect,
+                t.line,
+                "`.expect(…)` in library code — propagate the error instead".into(),
+            ),
+            "panic" if next_is("!") => emit(
+                Rule::Panic,
+                t.line,
+                "`panic!` in library code — return a typed error instead".into(),
+            ),
+            "todo" if next_is("!") => {
+                emit(Rule::Todo, t.line, "`todo!` left in code".into())
+            }
+            "unimplemented" if next_is("!") => emit(
+                Rule::Unimplemented,
+                t.line,
+                "`unimplemented!` left in code".into(),
+            ),
+            _ => {}
+        }
+    }
+}
+
+/// `as u8|u16|u32|i8|i16|i32` in crypto hot-path files.
+fn cast_rule(code: &[&Tok], emit: &mut impl FnMut(Rule, u32, String)) {
+    for (i, t) in code.iter().enumerate() {
+        if t.kind == TokKind::Ident && t.text == "as" {
+            if let Some(n) = code.get(i + 1) {
+                if n.kind == TokKind::Ident && NARROW_INTS.contains(&n.text.as_str()) {
+                    emit(
+                        Rule::TruncatingCast,
+                        t.line,
+                        format!(
+                            "`as {}` in a crypto hot path can silently drop bits — \
+                             use `try_from` or mask explicitly",
+                            n.text
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `pub fn` (plain `pub`, not `pub(crate)`/`pub(super)`) without an
+/// immediately preceding doc comment. Attributes between the docs and the
+/// `fn` are allowed.
+fn missing_docs_rule(
+    toks: &[Tok],
+    suppressed: &std::collections::BTreeSet<u32>,
+    emit: &mut impl FnMut(Rule, u32, String),
+) {
+    // Work on the full token list (docs included), skipping plain comments.
+    let toks: Vec<&Tok> = toks.iter().filter(|t| t.kind != TokKind::Comment).collect();
+    for (i, t) in toks.iter().enumerate() {
+        if !(t.kind == TokKind::Ident && t.text == "pub") || suppressed.contains(&t.line) {
+            continue;
+        }
+        // Restricted visibility is not public API.
+        if toks
+            .get(i + 1)
+            .is_some_and(|n| n.kind == TokKind::Punct && n.text == "(")
+        {
+            continue;
+        }
+        // Allow qualifiers between `pub` and `fn`.
+        let mut j = i + 1;
+        while toks.get(j).is_some_and(|n| {
+            n.kind == TokKind::Ident
+                && matches!(n.text.as_str(), "const" | "unsafe" | "async" | "extern")
+                || n.kind == TokKind::Str // `extern "C"`
+        }) {
+            j += 1;
+        }
+        let Some(fn_tok) = toks.get(j) else { continue };
+        if !(fn_tok.kind == TokKind::Ident && fn_tok.text == "fn") {
+            continue;
+        }
+        let name = toks
+            .get(j + 1)
+            .map(|n| n.text.clone())
+            .unwrap_or_else(|| "?".into());
+        // Walk backwards over attributes `#[…]`; documented iff the next
+        // thing above is a doc comment.
+        let mut k = i;
+        let documented = loop {
+            if k == 0 {
+                break false;
+            }
+            k -= 1;
+            match toks[k].kind {
+                // Only *outer* docs (`///`, `/**`) document the following
+                // item; inner docs (`//!`, `/*!`) belong to the enclosing
+                // module.
+                TokKind::Doc => {
+                    break toks[k].text.starts_with("///") || toks[k].text.starts_with("/**");
+                }
+                TokKind::Punct if toks[k].text == "]" => {
+                    // Skip the attribute: rewind to its `#`.
+                    let mut depth = 1usize;
+                    while k > 0 && depth > 0 {
+                        k -= 1;
+                        match toks[k].text.as_str() {
+                            "]" => depth += 1,
+                            "[" => depth -= 1,
+                            _ => {}
+                        }
+                    }
+                    if k > 0 && toks[k - 1].text == "#" {
+                        k -= 1;
+                        continue;
+                    }
+                    break false;
+                }
+                _ => break false,
+            }
+        };
+        if !documented {
+            emit(
+                Rule::MissingDocs,
+                t.line,
+                format!("public function `{name}` has no doc comment"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_found(src: &str) -> Vec<(Rule, u32)> {
+        lint_source("lib.rs", src)
+            .into_iter()
+            .map(|f| (f.rule, f.line))
+            .collect()
+    }
+
+    #[test]
+    fn flags_every_panic_api() {
+        let src = "fn f() {\n  a.unwrap();\n  b.expect(\"x\");\n  panic!(\"y\");\n  todo!();\n  unimplemented!();\n}\n";
+        let found = rules_found(src);
+        assert_eq!(
+            found,
+            vec![
+                (Rule::Unwrap, 2),
+                (Rule::Expect, 3),
+                (Rule::Panic, 4),
+                (Rule::Todo, 5),
+                (Rule::Unimplemented, 6),
+            ]
+        );
+    }
+
+    #[test]
+    fn unwrap_or_is_not_unwrap() {
+        assert!(rules_found("fn f() { a.unwrap_or(0); a.expect_err(e); }").is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_trigger() {
+        let src = "fn f() { let s = \"call .unwrap() now\"; } // a.unwrap()\n/* panic!(\"no\") */\n";
+        assert!(rules_found(src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_skipped() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n  fn g() { x.unwrap(); }\n}\n";
+        assert!(rules_found(src).is_empty());
+    }
+
+    #[test]
+    fn cfg_not_test_is_still_linted() {
+        let src = "#[cfg(not(test))]\nfn f() { x.unwrap(); }\n";
+        assert_eq!(rules_found(src), vec![(Rule::Unwrap, 2)]);
+    }
+
+    #[test]
+    fn allow_on_same_line_suppresses() {
+        let src = "fn f() { x.unwrap(); } // seal-lint: allow(unwrap)\n";
+        assert!(rules_found(src).is_empty());
+    }
+
+    #[test]
+    fn allow_on_line_above_suppresses() {
+        let src = "fn f() {\n  // seal-lint: allow(expect)\n  x.expect(\"invariant\");\n}\n";
+        assert!(rules_found(src).is_empty());
+    }
+
+    #[test]
+    fn allow_covers_only_its_rule() {
+        let src = "fn f() { x.unwrap(); } // seal-lint: allow(expect)\n";
+        assert_eq!(rules_found(src), vec![(Rule::Unwrap, 1)]);
+    }
+
+    #[test]
+    fn cast_rule_only_in_crypto_hot_paths() {
+        let src = "fn f(x: u64) -> u8 { x as u8 }";
+        assert!(lint_source("crates/tensor/src/ops.rs", src).is_empty());
+        let found = lint_source("crates/crypto/src/ctr.rs", src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, Rule::TruncatingCast);
+        // Widening casts stay legal.
+        assert!(lint_source("crates/crypto/src/aes.rs", "fn f(x: u8) -> usize { x as usize }")
+            .is_empty());
+    }
+
+    #[test]
+    fn undocumented_pub_fn_flagged_documented_ok() {
+        let src = "/// Documented.\npub fn good() {}\npub fn bad() {}\n";
+        let found = rules_found(src);
+        assert_eq!(found, vec![(Rule::MissingDocs, 3)]);
+        let msg = &lint_source("lib.rs", src)[0].message;
+        assert!(msg.contains("bad"), "{msg}");
+    }
+
+    #[test]
+    fn attributes_between_docs_and_fn_are_fine() {
+        let src = "/// Documented.\n#[inline]\n#[must_use]\npub fn good() -> u8 { 0 }\n";
+        assert!(rules_found(src).is_empty());
+    }
+
+    #[test]
+    fn restricted_visibility_not_flagged() {
+        assert!(rules_found("pub(crate) fn internal() {}").is_empty());
+    }
+
+    #[test]
+    fn pub_const_unsafe_fn_still_checked() {
+        let found = rules_found("pub const unsafe fn scary() {}");
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].0, Rule::MissingDocs);
+    }
+
+    #[test]
+    fn rule_names_roundtrip() {
+        for r in ALL_RULES {
+            assert_eq!(Rule::from_name(r.name()), Some(r));
+        }
+        assert_eq!(Rule::from_name("nonsense"), None);
+    }
+}

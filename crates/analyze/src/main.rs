@@ -1,0 +1,128 @@
+//! The `seal-analyze` CLI.
+//!
+//! ```text
+//! seal-analyze [--workspace] [--json] [paths…]
+//! ```
+//!
+//! With `--workspace` (or no arguments) the tool locates the workspace
+//! root, lints every library source (Pass 1), and runs the semantic model
+//! zoo / plan / heap checks (Pass 2). With explicit paths it lints only
+//! those files or directories. Exit codes: `0` clean, `1` findings, `2`
+//! usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use seal_analyze::report::json_escape;
+use seal_analyze::{
+    find_workspace_root, lint_paths, lint_workspace, render_human, render_json,
+    run_semantic_checks, Finding,
+};
+
+const USAGE: &str = "usage: seal-analyze [--workspace] [--json] [paths...]
+
+  --workspace   lint all workspace library sources and run the semantic
+                model-zoo / encryption-plan / heap-layout checks (default
+                when no paths are given)
+  --json        machine-readable output
+  paths...      lint only the given files/directories (Pass 1 only)
+
+exit codes: 0 clean, 1 findings, 2 usage or I/O error";
+
+struct Args {
+    workspace: bool,
+    json: bool,
+    paths: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut args = Args {
+        workspace: false,
+        json: false,
+        paths: Vec::new(),
+    };
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--workspace" => args.workspace = true,
+            "--json" => args.json = true,
+            "--help" | "-h" => return Ok(None),
+            s if s.starts_with('-') => return Err(format!("unknown flag {s}")),
+            s => args.paths.push(PathBuf::from(s)),
+        }
+    }
+    if args.paths.is_empty() {
+        args.workspace = true;
+    } else if args.workspace {
+        return Err("--workspace and explicit paths are mutually exclusive".into());
+    }
+    Ok(Some(args))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(Some(args)) => args,
+        Ok(None) => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => {
+            eprintln!("seal-analyze: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let (findings, semantic): (Vec<Finding>, Vec<String>) = if args.workspace {
+        let cwd = match std::env::current_dir() {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("seal-analyze: cannot determine working directory: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let Some(root) = find_workspace_root(&cwd) else {
+            eprintln!("seal-analyze: no workspace root found above {}", cwd.display());
+            return ExitCode::from(2);
+        };
+        match lint_workspace(&root) {
+            Ok(f) => (f, run_semantic_checks()),
+            Err(e) => {
+                eprintln!("seal-analyze: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        match lint_paths(&args.paths) {
+            Ok(f) => (f, Vec::new()),
+            Err(e) => {
+                eprintln!("seal-analyze: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    if args.json {
+        let sem: Vec<String> = semantic.iter().map(|d| format!("\"{}\"", json_escape(d))).collect();
+        println!(
+            "{{\"findings\":{},\"semantic\":[{}]}}",
+            render_json(&findings).trim_end(),
+            sem.join(",")
+        );
+    } else {
+        print!("{}", render_human(&findings));
+        for d in &semantic {
+            println!("semantic: {d}");
+        }
+        if args.workspace {
+            println!(
+                "seal-analyze: semantic checks {}",
+                if semantic.is_empty() { "clean" } else { "FAILED" }
+            );
+        }
+    }
+
+    if findings.is_empty() && semantic.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

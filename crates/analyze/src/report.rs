@@ -1,0 +1,126 @@
+//! Finding representation and output formatting (human and JSON).
+//!
+//! JSON is emitted by hand — the crate is dependency-free by design — so
+//! the only subtlety is string escaping, kept in [`json_escape`].
+
+use crate::lint::Rule;
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Path of the offending file, as given to the linter.
+    pub path: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path,
+            self.line,
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// Renders findings for terminals: one line per finding plus a summary
+/// line, mirroring compiler diagnostics.
+pub fn render_human(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&f.to_string());
+        out.push('\n');
+    }
+    if findings.is_empty() {
+        out.push_str("seal-analyze: no findings\n");
+    } else {
+        out.push_str(&format!(
+            "seal-analyze: {} finding{}\n",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" }
+        ));
+    }
+    out
+}
+
+/// Renders findings as a JSON array of objects with `path`, `line`,
+/// `rule`, and `message` fields.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"path\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+            json_escape(&f.path),
+            f.line,
+            f.rule.name(),
+            json_escape(&f.message)
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding() -> Finding {
+        Finding {
+            path: "crates/x/src/lib.rs".into(),
+            line: 7,
+            rule: Rule::Unwrap,
+            message: "`.unwrap()` in library code".into(),
+        }
+    }
+
+    #[test]
+    fn human_output_lists_and_counts() {
+        let out = render_human(&[finding()]);
+        assert!(out.contains("crates/x/src/lib.rs:7: [unwrap]"), "{out}");
+        assert!(out.contains("1 finding\n"), "{out}");
+        assert!(render_human(&[]).contains("no findings"));
+    }
+
+    #[test]
+    fn json_output_is_wellformed() {
+        let out = render_json(&[finding()]);
+        assert!(out.starts_with('['));
+        assert!(out.contains("\"rule\":\"unwrap\""), "{out}");
+        assert!(out.contains("\"line\":7"), "{out}");
+        assert_eq!(render_json(&[]).trim(), "[]");
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

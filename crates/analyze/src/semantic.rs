@@ -1,0 +1,158 @@
+//! Pass 2 — semantic self-checks over the in-tree model zoo.
+//!
+//! Where the lint pass reads *source*, this pass exercises the workspace's
+//! own static analyzers against the models and plans the experiments use:
+//!
+//! * [`seal_nn::check_model`] shape-checks every zoo model at its
+//!   configured input shape (Conv2d/Linear/Pool/Flatten chains resolve
+//!   without running a forward pass);
+//! * [`seal_core::analyze_plan`] vets the encryption plans of every paper
+//!   topology across the ratio sweep (coupling invariant, ratio bounds,
+//!   boundary rule);
+//! * [`seal_core::verify_heap_layout`] checks that a [`SecureHeap`]
+//!   provisioned from a plan has no overlapping regions.
+//!
+//! All checks are static: nothing here runs the simulator or trains a
+//! model. A clean run returns no diagnostics.
+
+use seal_core::{analyze_plan, verify_heap_layout, EncryptionPlan, SePolicy, SecureHeap};
+use seal_crypto::Key128;
+use seal_nn::models::{
+    resnet, resnet18_topology, resnet34_topology, vgg16, vgg16_topology, ResNetConfig, VggConfig,
+};
+use seal_nn::{check_model, NetworkTopology, Sequential};
+use seal_tensor::rng::rngs::StdRng;
+use seal_tensor::rng::SeedableRng;
+use seal_tensor::Shape;
+
+/// Runs every semantic self-check and returns the diagnostics (empty when
+/// the workspace is sound).
+pub fn run_semantic_checks() -> Vec<String> {
+    let mut diags = Vec::new();
+    check_zoo_shapes(&mut diags);
+    check_topology_plans(&mut diags);
+    check_heap_provisioning(&mut diags);
+    diags
+}
+
+fn zoo() -> Vec<(Sequential, Shape)> {
+    let mut rng = StdRng::seed_from_u64(0xA11A);
+    let mut models = Vec::new();
+    let vcfg = VggConfig::reduced();
+    if let Ok(m) = vgg16(&mut rng, &vcfg) {
+        models.push((m, Shape::nchw(1, vcfg.input_channels, vcfg.input_hw, vcfg.input_hw)));
+    }
+    for depth in [18, 34] {
+        let rcfg = ResNetConfig::reduced(depth);
+        if let Ok(m) = resnet(&mut rng, &rcfg) {
+            models.push((m, Shape::nchw(1, rcfg.input_channels, rcfg.input_hw, rcfg.input_hw)));
+        }
+    }
+    models
+}
+
+fn check_zoo_shapes(diags: &mut Vec<String>) {
+    let models = zoo();
+    if models.is_empty() {
+        diags.push("shape-check: model zoo failed to construct".into());
+        return;
+    }
+    for (model, input) in &models {
+        if let Err(e) = check_model(model, input) {
+            diags.push(format!("shape-check: {}: {e}", model.name()));
+        }
+    }
+}
+
+fn paper_topologies() -> Vec<NetworkTopology> {
+    vec![vgg16_topology(), resnet18_topology(), resnet34_topology()]
+}
+
+fn check_topology_plans(diags: &mut Vec<String>) {
+    for topo in paper_topologies() {
+        for ratio in [0.0, 0.3, 0.5, 1.0] {
+            match EncryptionPlan::from_topology(&topo, SePolicy::default().with_ratio(ratio)) {
+                Ok(plan) => {
+                    if let Err(findings) = analyze_plan(&plan) {
+                        for f in findings {
+                            diags.push(format!(
+                                "plan-check: {} @ ratio {ratio}: {f}",
+                                topo.name()
+                            ));
+                        }
+                    }
+                }
+                Err(e) => diags.push(format!(
+                    "plan-check: {} @ ratio {ratio}: planner failed: {e}",
+                    topo.name()
+                )),
+            }
+        }
+    }
+    // A plan built from real trained weights must be as sound as one from
+    // synthesized topology norms.
+    let mut rng = StdRng::seed_from_u64(0x5EA1);
+    match vgg16(&mut rng, &VggConfig::reduced()) {
+        Ok(model) => match EncryptionPlan::from_model(&model, SePolicy::paper_default()) {
+            Ok(plan) => {
+                if let Err(findings) = analyze_plan(&plan) {
+                    for f in findings {
+                        diags.push(format!("plan-check: vgg16 (from model): {f}"));
+                    }
+                }
+            }
+            Err(e) => diags.push(format!("plan-check: vgg16 (from model) planner failed: {e}")),
+        },
+        Err(e) => diags.push(format!("plan-check: vgg16 model construction failed: {e}")),
+    }
+}
+
+/// Provisions a [`SecureHeap`] the way a deployment would — one region
+/// per planned layer, `emalloc` for layers that encrypt anything, plain
+/// `malloc` otherwise — and checks the resulting address-space layout.
+fn check_heap_provisioning(diags: &mut Vec<String>) {
+    let topo = vgg16_topology();
+    let plan = match EncryptionPlan::from_topology(&topo, SePolicy::paper_default()) {
+        Ok(p) => p,
+        Err(e) => {
+            diags.push(format!("heap-check: planner failed: {e}"));
+            return;
+        }
+    };
+    let mut heap = SecureHeap::new(Key128::from_seed(0xD0C));
+    for layer in plan.layers() {
+        // Model each kernel row as 64 bytes of weights.
+        let bytes = (layer.rows * 64).max(1);
+        let result = if layer.fully_encrypted || !layer.encrypted_rows.is_empty() {
+            heap.emalloc(bytes)
+        } else {
+            heap.malloc(bytes)
+        };
+        if let Err(e) = result {
+            diags.push(format!("heap-check: allocation for {} failed: {e}", layer.name));
+            return;
+        }
+    }
+    if let Err(findings) = verify_heap_layout(&heap) {
+        for f in findings {
+            diags.push(format!("heap-check: {f}"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merged_tree_passes_all_semantic_checks() {
+        let diags = run_semantic_checks();
+        assert!(diags.is_empty(), "unexpected diagnostics: {diags:#?}");
+    }
+
+    #[test]
+    fn zoo_has_all_three_networks() {
+        assert_eq!(zoo().len(), 3);
+        assert_eq!(paper_topologies().len(), 3);
+    }
+}

@@ -1,0 +1,153 @@
+//! Integration tests for the `seal-analyze` gate: fixture lint coverage,
+//! semantic-pass rejection diagnostics, and CLI exit codes.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use seal_analyze::{lint_paths, Rule};
+
+fn fixture(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(rel)
+}
+
+#[test]
+fn panic_fixture_yields_every_seeded_finding() {
+    let findings = lint_paths(&[fixture("bad_panics.rs")]).unwrap();
+    let rules: Vec<(Rule, u32)> = findings.iter().map(|f| (f.rule, f.line)).collect();
+    assert_eq!(
+        rules,
+        vec![
+            (Rule::MissingDocs, 7),
+            (Rule::Unwrap, 9),
+            (Rule::Expect, 14),
+            (Rule::Panic, 16),
+            (Rule::Todo, 24),
+            (Rule::Unimplemented, 26),
+        ],
+        "full findings: {findings:#?}"
+    );
+}
+
+#[test]
+fn cast_fixture_yields_only_the_truncating_casts() {
+    let findings = lint_paths(&[fixture("crypto/aes.rs")]).unwrap();
+    let rules: Vec<(Rule, u32)> = findings.iter().map(|f| (f.rule, f.line)).collect();
+    assert_eq!(
+        rules,
+        vec![
+            (Rule::TruncatingCast, 8),
+            (Rule::TruncatingCast, 13),
+            (Rule::TruncatingCast, 13),
+        ],
+        "full findings: {findings:#?}"
+    );
+}
+
+#[test]
+fn linting_the_whole_fixture_dir_finds_both_files() {
+    let findings = lint_paths(&[fixture("")]).unwrap();
+    assert!(findings.iter().any(|f| f.path.ends_with("bad_panics.rs")));
+    assert!(findings.iter().any(|f| f.path.ends_with("aes.rs")));
+    assert_eq!(findings.len(), 9);
+}
+
+#[test]
+fn shape_pass_rejects_mismatched_conv_to_linear_chain() {
+    use seal_nn::layers::{Conv2d, Flatten, Linear};
+    use seal_nn::{check_model, Sequential};
+    use seal_tensor::ops::Conv2dGeometry;
+    use seal_tensor::rng::rngs::StdRng;
+    use seal_tensor::rng::SeedableRng;
+    use seal_tensor::Shape;
+
+    let mut rng = StdRng::seed_from_u64(1);
+    // conv_out emits 8×16×16 = 2048 features once flattened; the linear
+    // layer expects 128 — the chain must be rejected statically, naming
+    // the rejecting layer and its producer.
+    let model = Sequential::new("mismatched")
+        .with(Box::new(
+            Conv2d::new(&mut rng, "conv_out", 3, 8, Conv2dGeometry::same3x3()).unwrap(),
+        ))
+        .with(Box::new(Flatten::new("flatten")))
+        .with(Box::new(Linear::new(&mut rng, "classifier", 128, 10).unwrap()));
+    let err = check_model(&model, &Shape::nchw(1, 3, 16, 16)).unwrap_err();
+    assert_eq!(err.layer, "classifier");
+    assert_eq!(err.producer.as_deref(), Some("flatten"));
+    let diag = err.to_string();
+    assert!(
+        diag.contains("classifier") && diag.contains("flatten"),
+        "diagnostic must name both layers: {diag}"
+    );
+}
+
+#[test]
+fn plan_pass_rejects_a_decoupled_plan() {
+    use seal_core::{analyze_plan, EncryptionPlan, LayerPlan, PlanFinding, SePolicy};
+    let mut policy = SePolicy::paper_default();
+    policy.boundary_full_encryption = false;
+    // 3 of 6 rows encrypted (ratio 0.5 holds) but one index out of range
+    // breaks the row/channel coupling derivation's preconditions.
+    let layer = LayerPlan {
+        name: "conv2".into(),
+        is_conv: true,
+        rows: 6,
+        encrypted_rows: vec![0, 2, 9],
+        fully_encrypted: false,
+    };
+    let findings = analyze_plan(&EncryptionPlan::from_parts(policy, vec![layer])).unwrap_err();
+    assert!(findings
+        .iter()
+        .any(|f| matches!(f, PlanFinding::RowOutOfRange { row: 9, .. })));
+}
+
+fn run_cli(args: &[&str], cwd: &std::path::Path) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_seal-analyze"))
+        .args(args)
+        .current_dir(cwd)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn cli_workspace_mode_is_clean_on_the_merged_tree() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let (code, stdout, stderr) = run_cli(&["--workspace"], &root);
+    assert_eq!(code, 0, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("no findings"), "{stdout}");
+    assert!(stdout.contains("semantic checks clean"), "{stdout}");
+}
+
+#[test]
+fn cli_exits_nonzero_on_fixture_findings() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let fixtures = fixture("");
+    let (code, stdout, _) = run_cli(&[fixtures.to_str().unwrap()], &root);
+    assert_eq!(code, 1, "{stdout}");
+    assert!(stdout.contains("[unwrap]"), "{stdout}");
+    assert!(stdout.contains("[truncating-cast]"), "{stdout}");
+}
+
+#[test]
+fn cli_json_output_is_parseable_shape() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let target = fixture("bad_panics.rs");
+    let (code, stdout, _) = run_cli(&["--json", target.to_str().unwrap()], &root);
+    assert_eq!(code, 1);
+    let line = stdout.trim();
+    assert!(line.starts_with("{\"findings\":["), "{line}");
+    assert!(line.ends_with("\"semantic\":[]}"), "{line}");
+    assert!(line.contains("\"rule\":\"missing-docs\""), "{line}");
+}
+
+#[test]
+fn cli_rejects_unknown_flags_with_usage_error() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let (code, _, stderr) = run_cli(&["--bogus"], &root);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("usage"), "{stderr}");
+}

@@ -7,8 +7,8 @@
 //! query labelling, Jacobian-based augmentation, and the three substitute
 //! kinds (white-box / black-box / SEAL at each ratio).
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use seal_tensor::rng::rngs::StdRng;
+use seal_tensor::rng::SeedableRng;
 use seal_core::{EncryptionPlan, SePolicy};
 use seal_data::{Dataset, SyntheticCifar};
 use seal_nn::models::{resnet, vgg16, ResNetConfig, VggConfig};
@@ -426,7 +426,7 @@ mod tests {
                 continue;
             }
             let mask = sp.mask.as_ref().expect("SE layer has mask");
-            assert!(mask.iter().any(|m| *m == 0.0), "has frozen weights");
+            assert!(mask.contains(&0.0), "has frozen weights");
         }
     }
 }

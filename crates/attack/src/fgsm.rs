@@ -168,8 +168,8 @@ pub fn craft_batch(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use seal_tensor::rng::rngs::StdRng;
+    use seal_tensor::rng::SeedableRng;
     use seal_data::SyntheticCifar;
     use seal_nn::layers::{Flatten, Linear};
     use seal_nn::{fit, FitConfig, Sgd};

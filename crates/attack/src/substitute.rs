@@ -11,7 +11,7 @@
 //!   noise and fine-tuned — "the adversary keeps the known weight
 //!   parameters unchanged and fine-tunes unknown weight parameters".
 
-use rand::Rng;
+use seal_tensor::rng::Rng;
 use seal_core::EncryptionPlan;
 use seal_nn::{LayerKind, Param, Sequential};
 use seal_tensor::Tensor;
@@ -128,13 +128,13 @@ pub fn apply_seal_knowledge(
         // Collect victim kernel weight tensors via an immutable walk: the
         // kernel_weights accessor is mutable-only, so clone through params
         // pairing by shape order.
-        let mut v = victim_clone_kernel_values(victim);
+        let v = victim_clone_kernel_values(victim);
         if v.len() != victim_matrices.len() {
             return Err(AttackError::ModelMismatch {
                 reason: "victim kernel inventory inconsistent".into(),
             });
         }
-        v.drain(..).collect()
+        v
     };
     let mut sub_weights = substitute.kernel_weights_mut();
     if sub_weights.len() != victim_matrices.len() || plan.layers().len() != sub_weights.len() {
@@ -250,8 +250,8 @@ fn victim_clone_kernel_values(victim: &Sequential) -> Vec<Tensor> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use seal_tensor::rng::rngs::StdRng;
+    use seal_tensor::rng::SeedableRng;
     use seal_core::SePolicy;
     use seal_nn::models::{vgg16, VggConfig};
 

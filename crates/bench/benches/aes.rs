@@ -1,37 +1,23 @@
-//! Criterion micro-benchmarks for the functional crypto substrate:
-//! block-cipher throughput, CTR-mode line encryption and direct-mode
-//! cache-line encryption — the software counterparts of Table I's rows.
+//! Micro-benchmarks for the functional crypto substrate: block-cipher
+//! throughput, CTR-mode line encryption and direct-mode cache-line
+//! encryption — the software counterparts of Table I's rows.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use seal_bench::timing::bench_bytes;
 use seal_crypto::{Aes128, CtrCipher, DirectCipher, Key128};
 
-fn bench_aes(c: &mut Criterion) {
+fn main() {
     let aes = Aes128::new(&Key128::from_seed(1));
-    let mut g = c.benchmark_group("aes128");
-    g.throughput(Throughput::Bytes(16));
-    g.bench_function("encrypt_block", |b| {
-        let block = [0x5Au8; 16];
-        b.iter(|| std::hint::black_box(aes.encrypt_block(&block)));
-    });
-    g.bench_function("decrypt_block", |b| {
-        let block = [0x5Au8; 16];
-        b.iter(|| std::hint::black_box(aes.decrypt_block(&block)));
-    });
-    g.finish();
+    let block = [0x5Au8; 16];
+    bench_bytes("aes128/encrypt_block", 16, || aes.encrypt_block(&block));
+    bench_bytes("aes128/decrypt_block", 16, || aes.decrypt_block(&block));
 
     let ctr = CtrCipher::new(Aes128::new(&Key128::from_seed(2)), 1);
     let direct = DirectCipher::new(Aes128::new(&Key128::from_seed(3)));
     let line = vec![0xA5u8; 128];
-    let mut g = c.benchmark_group("cache_line_128B");
-    g.throughput(Throughput::Bytes(128));
-    g.bench_function("ctr_encrypt", |b| {
-        b.iter(|| std::hint::black_box(ctr.encrypt(0x1000, &line)));
+    bench_bytes("cache_line_128B/ctr_encrypt", 128, || {
+        ctr.encrypt(0x1000, &line)
     });
-    g.bench_function("direct_encrypt", |b| {
-        b.iter(|| std::hint::black_box(direct.encrypt(0x1000, &line).unwrap()));
+    bench_bytes("cache_line_128B/direct_encrypt", 128, || {
+        direct.encrypt(0x1000, &line).unwrap()
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_aes);
-criterion_main!(benches);

@@ -1,23 +1,16 @@
-//! Criterion micro-benchmark for counter-cache lookups (the per-request
-//! operation on the counter-mode critical path).
+//! Micro-benchmark for counter-cache lookups (the per-request operation
+//! on the counter-mode critical path).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use seal_bench::timing::bench;
 use seal_crypto::{CounterCache, CounterCacheConfig};
 
-fn bench_counter_cache(c: &mut Criterion) {
-    let mut g = c.benchmark_group("counter_cache");
+fn main() {
     for kb in [24usize, 1536] {
-        g.bench_function(format!("access_{kb}kb"), |b| {
-            let mut cc = CounterCache::new(CounterCacheConfig::with_kilobytes(kb)).unwrap();
-            let mut addr = 0u64;
-            b.iter(|| {
-                addr = addr.wrapping_add(4096).wrapping_mul(2862933555777941757) % (1 << 30);
-                std::hint::black_box(cc.access(addr))
-            });
+        let mut cc = CounterCache::new(CounterCacheConfig::with_kilobytes(kb)).unwrap();
+        let mut addr = 0u64;
+        bench(&format!("counter_cache/access_{kb}kb"), || {
+            addr = addr.wrapping_add(4096).wrapping_mul(2862933555777941757) % (1 << 30);
+            cc.access(addr)
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_counter_cache);
-criterion_main!(benches);

@@ -1,32 +1,21 @@
-//! Criterion benchmark of the SE scheme's planning path: ℓ1 ranking and
-//! full-plan construction for VGG-16 — the cost SEAL adds at model-load
-//! time (it is off the inference critical path entirely).
+//! Benchmark of the SE scheme's planning path: ℓ1 ranking and full-plan
+//! construction for VGG-16 — the cost SEAL adds at model-load time (it
+//! is off the inference critical path entirely).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use seal_bench::timing::bench;
 use seal_core::{rank_rows, select_encrypted_rows, EncryptionPlan, ImportanceMetric, SePolicy};
 use seal_nn::models::vgg16_topology;
 
-fn bench_importance(c: &mut Criterion) {
-    let norms: Vec<f32> = (0..4096).map(|i| ((i * 2654435761u64 as usize) % 1000) as f32).collect();
-    c.bench_function("rank_rows_4096", |b| {
-        b.iter(|| std::hint::black_box(rank_rows(&norms, ImportanceMetric::L1)));
-    });
-    c.bench_function("select_rows_4096_at_50pct", |b| {
-        b.iter(|| {
-            std::hint::black_box(
-                select_encrypted_rows(&norms, 0.5, ImportanceMetric::L1).unwrap(),
-            )
-        });
+fn main() {
+    let norms: Vec<f32> = (0..4096)
+        .map(|i| ((i * 2654435761u64 as usize) % 1000) as f32)
+        .collect();
+    bench("rank_rows_4096", || rank_rows(&norms, ImportanceMetric::L1));
+    bench("select_rows_4096_at_50pct", || {
+        select_encrypted_rows(&norms, 0.5, ImportanceMetric::L1).unwrap()
     });
     let topo = vgg16_topology();
-    c.bench_function("plan_vgg16_from_topology", |b| {
-        b.iter(|| {
-            std::hint::black_box(
-                EncryptionPlan::from_topology(&topo, SePolicy::paper_default()).unwrap(),
-            )
-        });
+    bench("plan_vgg16_from_topology", || {
+        EncryptionPlan::from_topology(&topo, SePolicy::paper_default()).unwrap()
     });
 }
-
-criterion_group!(benches, bench_importance);
-criterion_main!(benches);

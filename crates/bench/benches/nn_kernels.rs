@@ -1,31 +1,24 @@
-//! Criterion benchmarks of the numeric kernels behind the security
-//! experiments (conv2d forward/backward, matmul).
+//! Benchmarks of the numeric kernels behind the security experiments
+//! (conv2d forward/backward, matmul).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use seal_bench::timing::bench;
 use seal_tensor::ops::{conv2d, conv2d_backward, matmul, Conv2dGeometry};
+use seal_tensor::rng::rngs::StdRng;
+use seal_tensor::rng::SeedableRng;
 use seal_tensor::{uniform, Shape, Tensor};
 
-fn bench_kernels(c: &mut Criterion) {
+fn main() {
     let mut rng = StdRng::seed_from_u64(1);
     let x = uniform(&mut rng, Shape::nchw(1, 16, 16, 16), -1.0, 1.0);
     let w = uniform(&mut rng, Shape::nchw(16, 16, 3, 3), -0.5, 0.5);
     let geom = Conv2dGeometry::same3x3();
-    c.bench_function("conv2d_16ch_16x16", |b| {
-        b.iter(|| std::hint::black_box(conv2d(&x, &w, None, &geom).unwrap()));
-    });
+    bench("conv2d_16ch_16x16", || conv2d(&x, &w, None, &geom).unwrap());
     let out = conv2d(&x, &w, None, &geom).unwrap();
     let go = Tensor::ones(out.shape().clone());
-    c.bench_function("conv2d_backward_16ch_16x16", |b| {
-        b.iter(|| std::hint::black_box(conv2d_backward(&x, &w, &go, &geom).unwrap()));
+    bench("conv2d_backward_16ch_16x16", || {
+        conv2d_backward(&x, &w, &go, &geom).unwrap()
     });
     let a = uniform(&mut rng, Shape::matrix(128, 128), -1.0, 1.0);
     let bm = uniform(&mut rng, Shape::matrix(128, 128), -1.0, 1.0);
-    c.bench_function("matmul_128", |b| {
-        b.iter(|| std::hint::black_box(matmul(&a, &bm).unwrap()));
-    });
+    bench("matmul_128", || matmul(&a, &bm).unwrap());
 }
-
-criterion_group!(benches, bench_kernels);
-criterion_main!(benches);

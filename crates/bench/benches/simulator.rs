@@ -1,11 +1,11 @@
-//! Criterion benchmark of the GPU memory-system simulator itself: how
-//! fast the harness replays traces (requests simulated per second), per
+//! Benchmark of the GPU memory-system simulator itself: how fast the
+//! harness replays traces (requests simulated per second), per
 //! encryption mode.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use seal_bench::timing::bench_elems;
 use seal_gpusim::{EncryptionMode, GpuConfig, Region, Simulator, Workload};
 
-fn bench_simulator(c: &mut Criterion) {
+fn main() {
     let wl = Workload::builder("bench")
         .region(Region::read("r", 0, 4 << 20).encrypted(true))
         .region(Region::write("w", 1 << 33, 1 << 20).encrypted(true))
@@ -13,20 +13,14 @@ fn bench_simulator(c: &mut Criterion) {
         .build()
         .unwrap();
     let requests = wl.trace(128).len() as u64;
-    let mut g = c.benchmark_group("simulator");
-    g.throughput(Throughput::Elements(requests));
     for mode in [
         EncryptionMode::None,
         EncryptionMode::Direct,
         EncryptionMode::Counter,
     ] {
-        g.bench_function(format!("{mode}"), |b| {
-            let sim = Simulator::new(GpuConfig::gtx480(), mode).unwrap();
-            b.iter(|| std::hint::black_box(sim.run(&wl).unwrap()));
+        let sim = Simulator::new(GpuConfig::gtx480(), mode).unwrap();
+        bench_elems(&format!("simulator/{mode}"), requests, || {
+            sim.run(&wl).unwrap()
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_simulator);
-criterion_main!(benches);

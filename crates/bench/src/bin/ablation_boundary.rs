@@ -16,8 +16,8 @@ use seal_core::{traffic::network_traffic, EncryptionPlan, Scheme, SePolicy};
 use seal_gpusim::GpuConfig;
 use seal_nn::models::vgg16_topology;
 use seal_nn::{fit, FitConfig, Sgd};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use seal_tensor::rng::rngs::StdRng;
+use seal_tensor::rng::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mode = RunMode::from_args();

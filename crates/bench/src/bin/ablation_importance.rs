@@ -16,8 +16,8 @@ use seal_attack::substitute::apply_seal_knowledge;
 use seal_bench::{banner, cell, header, row, RunMode};
 use seal_core::{EncryptionPlan, ImportanceMetric, SePolicy};
 use seal_nn::{fit, FitConfig, Sgd};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use seal_tensor::rng::rngs::StdRng;
+use seal_tensor::rng::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mode = RunMode::from_args();

@@ -159,6 +159,18 @@ impl SecureHeap {
         Ok(region.data[offset..offset + len].to_vec())
     }
 
+    /// The address-space layout of every region, in allocation order:
+    /// `(base address, padded size in bytes, encrypted)`. This is the
+    /// static view the plan analyzer checks for overlaps — an `emalloc`
+    /// region sharing bytes with a plain region would leak those bytes on
+    /// the bus whenever the plain alias is accessed.
+    pub fn layout(&self) -> Vec<(u64, u64, bool)> {
+        self.regions
+            .iter()
+            .map(|r| (r.base, r.data.len() as u64, r.encrypted))
+            .collect()
+    }
+
     /// The bytes a bus snooper captures for this region: AES ciphertext if
     /// `emalloc`ed, raw plaintext otherwise.
     ///

@@ -6,15 +6,15 @@
 //! small sums "tend to produce feature maps with weak activations" (after
 //! Li et al.'s pruning observation) and are left unencrypted.
 
-use serde::{Deserialize, Serialize};
 
 use crate::CoreError;
 
 /// How row importance is scored. ℓ1 is the paper's choice; the others exist
 /// for the ablation bench (`ablation_importance`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ImportanceMetric {
     /// Sum of absolute weights — the paper's measure.
+    #[default]
     L1,
     /// Deterministic pseudo-random scores from the given seed (ablation:
     /// criticality-blind selection).
@@ -24,11 +24,6 @@ pub enum ImportanceMetric {
     InverseL1,
 }
 
-impl Default for ImportanceMetric {
-    fn default() -> Self {
-        ImportanceMetric::L1
-    }
-}
 
 /// Returns row indices ordered from **most** to least important under the
 /// metric.

@@ -64,4 +64,7 @@ pub use importance::{rank_rows, select_encrypted_rows, ImportanceMetric};
 pub use plan::{EncryptionPlan, LayerPlan, SePolicy};
 pub use scheme::Scheme;
 pub use security::{recommended_ratio, security_level, SecurityLevel};
-pub use verify::{derive_assignment, verify_assignment, ChannelAssignment, SecurityViolation};
+pub use verify::{
+    analyze_plan, derive_assignment, verify_assignment, verify_heap_layout,
+    verify_region_layout, ChannelAssignment, PlanFinding, SecurityViolation,
+};

@@ -2,12 +2,11 @@
 //! encrypted (Sec. III-A, "Smart Encryption").
 
 use seal_nn::{KernelMatrix, LayerKind, NetworkTopology, Sequential};
-use serde::{Deserialize, Serialize};
 
 use crate::{select_encrypted_rows, CoreError, ImportanceMetric};
 
 /// The SE policy knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SePolicy {
     /// Fraction of kernel rows encrypted in SE layers (paper default: 0.5,
     /// from the security study of Figs. 3–4).
@@ -46,7 +45,7 @@ impl Default for SePolicy {
 }
 
 /// The encryption decision for one kernel-matrix layer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LayerPlan {
     /// Layer name.
     pub name: String,
@@ -81,7 +80,7 @@ impl LayerPlan {
 
 /// A complete SE plan for one network: one [`LayerPlan`] per kernel-matrix
 /// layer, in execution order.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EncryptionPlan {
     policy: SePolicy,
     layers: Vec<LayerPlan>,
@@ -190,6 +189,15 @@ impl EncryptionPlan {
         Self::from_matrices(&matrices, policy)
     }
 
+    /// Assembles a plan from raw parts **without validation**. This is the
+    /// entry point for plans produced outside the planners above (hand
+    /// written, loaded from disk, mutated for ablations) — exactly the
+    /// input [`analyze_plan`](crate::analyze_plan) is designed to vet
+    /// before the plan touches traffic generation.
+    pub fn from_parts(policy: SePolicy, layers: Vec<LayerPlan>) -> Self {
+        EncryptionPlan { policy, layers }
+    }
+
     /// The policy this plan was built with.
     pub fn policy(&self) -> &SePolicy {
         &self.policy
@@ -285,8 +293,8 @@ mod tests {
 
     #[test]
     fn from_model_uses_real_l1_norms() {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        use seal_tensor::rng::SeedableRng;
+        let mut rng = seal_tensor::rng::rngs::StdRng::seed_from_u64(3);
         let model =
             seal_nn::models::vgg16(&mut rng, &seal_nn::models::VggConfig::reduced()).unwrap();
         let plan = EncryptionPlan::from_model(&model, SePolicy::paper_default()).unwrap();

@@ -1,9 +1,8 @@
 use seal_gpusim::EncryptionMode;
-use serde::{Deserialize, Serialize};
 
 /// The five system configurations compared throughout the paper's
 /// evaluation (Figures 5–8).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scheme {
     /// Insecure GPU without memory encryption.
     Baseline,

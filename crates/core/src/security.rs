@@ -10,7 +10,6 @@
 //! SEAL therefore ships with a 50% default ratio: "the maximum performance
 //! benefit when achieving the same security level as the black-box models".
 
-use serde::{Deserialize, Serialize};
 
 /// Ratio above which IP-stealing resistance matches the black-box model
 /// (Fig. 3).
@@ -20,7 +19,7 @@ pub const IP_SAFE_RATIO: f64 = 0.4;
 pub const ADVERSARIAL_SAFE_RATIO: f64 = 0.5;
 
 /// The security classification of a selective-encryption ratio.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SecurityLevel {
     /// Equivalent to encrypting everything (black-box adversary) for both
     /// IP stealing and adversarial attacks.

@@ -9,12 +9,11 @@
 //! of the weight layer that consumes it.
 
 use seal_nn::NetworkTopology;
-use serde::{Deserialize, Serialize};
 
 use crate::{CoreError, EncryptionPlan, Scheme};
 
 /// Encrypted/plain byte split for one topology layer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LayerTrafficSplit {
     /// Layer name.
     pub name: String,

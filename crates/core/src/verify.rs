@@ -9,11 +9,16 @@
 //!
 //! [`derive_assignment`] lowers a plan to the wire-level channel/row tags
 //! and [`verify_assignment`] checks the invariant, flagging any
-//! row-channel mismatch.
+//! row-channel mismatch. [`analyze_plan`] runs the full static analysis a
+//! deployment should pass before any traffic is generated: the coupling
+//! invariant plus structural plan checks (row indices sorted, in range,
+//! ratio honoured, boundary rule honoured). [`verify_heap_layout`] extends
+//! the same static treatment to [`SecureHeap`](crate::SecureHeap)
+//! allocations. None of these run the simulator.
 
 use std::collections::BTreeSet;
 
-use crate::{EncryptionPlan, LayerPlan};
+use crate::{EncryptionPlan, LayerPlan, SecureHeap};
 
 /// Wire-level encryption tags for one CONV/FC layer: which kernel rows are
 /// ciphertext, and which channels of the input feature map arriving on the
@@ -122,6 +127,221 @@ pub fn verify_assignment(
     }
 }
 
+/// A finding of the static plan/heap analyzer ([`analyze_plan`],
+/// [`verify_heap_layout`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanFinding {
+    /// The wire-level coupling invariant is broken.
+    Coupling(SecurityViolation),
+    /// The plan's policy carries a ratio outside `[0, 1]`.
+    RatioOutOfBounds {
+        /// The offending ratio.
+        ratio: f64,
+    },
+    /// An SE layer encrypts a different number of rows than the policy
+    /// ratio dictates.
+    RatioDrift {
+        /// Layer name.
+        layer: String,
+        /// Rows the policy ratio dictates (`round(rows × ratio)`).
+        expected: usize,
+        /// Rows the plan actually encrypts.
+        actual: usize,
+    },
+    /// A boundary layer (first two CONV, last CONV, or any FC) is not
+    /// fully encrypted although the policy demands it.
+    BoundaryNotEncrypted {
+        /// Layer name.
+        layer: String,
+    },
+    /// A layer is marked fully encrypted although the boundary rule does
+    /// not apply to it (or is disabled) — legal on the wire but it breaks
+    /// the plan's performance contract.
+    UnexpectedFullEncryption {
+        /// Layer name.
+        layer: String,
+    },
+    /// `encrypted_rows` is not strictly ascending (unsorted or duplicated
+    /// indices).
+    UnsortedRows {
+        /// Layer name.
+        layer: String,
+    },
+    /// An encrypted row index is out of range for the layer.
+    RowOutOfRange {
+        /// Layer name.
+        layer: String,
+        /// The offending row index.
+        row: usize,
+        /// The layer's row count.
+        rows: usize,
+    },
+    /// Two heap regions share address-space bytes.
+    OverlappingRegions {
+        /// Index and base address of the earlier region.
+        first: (usize, u64),
+        /// Index and base address of the later region.
+        second: (usize, u64),
+    },
+}
+
+impl std::fmt::Display for PlanFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanFinding::Coupling(v) => write!(f, "coupling: {v}"),
+            PlanFinding::RatioOutOfBounds { ratio } => {
+                write!(f, "policy ratio {ratio} outside [0, 1]")
+            }
+            PlanFinding::RatioDrift {
+                layer,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "layer {layer}: encrypts {actual} rows but the policy ratio dictates {expected}"
+            ),
+            PlanFinding::BoundaryNotEncrypted { layer } => write!(
+                f,
+                "layer {layer}: boundary layer not fully encrypted despite the boundary rule"
+            ),
+            PlanFinding::UnexpectedFullEncryption { layer } => write!(
+                f,
+                "layer {layer}: fully encrypted although the boundary rule does not cover it"
+            ),
+            PlanFinding::UnsortedRows { layer } => {
+                write!(f, "layer {layer}: encrypted_rows is not strictly ascending")
+            }
+            PlanFinding::RowOutOfRange { layer, row, rows } => {
+                write!(f, "layer {layer}: encrypted row {row} out of range ({rows} rows)")
+            }
+            PlanFinding::OverlappingRegions { first, second } => write!(
+                f,
+                "heap regions {} (base {:#x}) and {} (base {:#x}) overlap",
+                first.0, first.1, second.0, second.1
+            ),
+        }
+    }
+}
+
+/// Statically analyzes an encryption plan without running the simulator:
+/// the wire-level coupling invariant (Eqs. 1–3), per-layer structural
+/// sanity (sorted, in-range row indices), the policy ratio, and the
+/// boundary rule.
+///
+/// # Errors
+///
+/// Returns every finding (empty `Ok(())` when the plan is sound).
+pub fn analyze_plan(plan: &EncryptionPlan) -> Result<(), Vec<PlanFinding>> {
+    let mut findings = Vec::new();
+    let policy = plan.policy();
+    if !(0.0..=1.0).contains(&policy.ratio) {
+        findings.push(PlanFinding::RatioOutOfBounds {
+            ratio: policy.ratio,
+        });
+    }
+    let conv_positions: Vec<usize> = plan
+        .layers()
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.is_conv)
+        .map(|(i, _)| i)
+        .collect();
+    for (i, l) in plan.layers().iter().enumerate() {
+        // Structural checks first: row lists must be strictly ascending
+        // and in range regardless of policy.
+        if l.encrypted_rows.windows(2).any(|w| w[0] >= w[1]) {
+            findings.push(PlanFinding::UnsortedRows {
+                layer: l.name.clone(),
+            });
+        }
+        for &row in &l.encrypted_rows {
+            if row >= l.rows {
+                findings.push(PlanFinding::RowOutOfRange {
+                    layer: l.name.clone(),
+                    row,
+                    rows: l.rows,
+                });
+            }
+        }
+        // Boundary rule: first two CONV, last CONV, every FC.
+        let boundary_conv = l.is_conv
+            && (conv_positions.first() == Some(&i)
+                || conv_positions.get(1) == Some(&i)
+                || conv_positions.last() == Some(&i));
+        let is_boundary = boundary_conv || !l.is_conv;
+        if policy.boundary_full_encryption && is_boundary && !l.fully_encrypted {
+            findings.push(PlanFinding::BoundaryNotEncrypted {
+                layer: l.name.clone(),
+            });
+        }
+        if l.fully_encrypted && !(policy.boundary_full_encryption && is_boundary) {
+            findings.push(PlanFinding::UnexpectedFullEncryption {
+                layer: l.name.clone(),
+            });
+        }
+        // SE layers must encrypt exactly the ratio-dictated row count.
+        if !l.fully_encrypted && (0.0..=1.0).contains(&policy.ratio) {
+            let expected = (l.rows as f64 * policy.ratio).round() as usize;
+            if l.encrypted_rows.len() != expected {
+                findings.push(PlanFinding::RatioDrift {
+                    layer: l.name.clone(),
+                    expected,
+                    actual: l.encrypted_rows.len(),
+                });
+            }
+        }
+    }
+    if let Err(violations) = verify_assignment(&derive_assignment(plan)) {
+        findings.extend(violations.into_iter().map(PlanFinding::Coupling));
+    }
+    if findings.is_empty() {
+        Ok(())
+    } else {
+        Err(findings)
+    }
+}
+
+/// Statically checks a heap's address-space layout: no two regions —
+/// whatever their encryption tags — may share bytes. An `emalloc` region
+/// aliased by a plain region would leak its plaintext on the bus through
+/// the alias.
+///
+/// # Errors
+///
+/// Returns one finding per overlapping pair.
+pub fn verify_heap_layout(heap: &SecureHeap) -> Result<(), Vec<PlanFinding>> {
+    verify_region_layout(&heap.layout())
+}
+
+/// [`verify_heap_layout`] over a raw `(base, size, encrypted)` layout —
+/// useful when the layout comes from a trace rather than a live heap.
+///
+/// # Errors
+///
+/// Returns one finding per overlapping pair.
+pub fn verify_region_layout(layout: &[(u64, u64, bool)]) -> Result<(), Vec<PlanFinding>> {
+    // Sort region indices by base so overlaps are adjacent.
+    let mut order: Vec<usize> = (0..layout.len()).collect();
+    order.sort_by_key(|&i| layout[i].0);
+    let mut findings = Vec::new();
+    for pair in order.windows(2) {
+        let (a, b) = (pair[0], pair[1]);
+        let (a_base, a_len, _) = layout[a];
+        let (b_base, _, _) = layout[b];
+        if a_base + a_len > b_base {
+            findings.push(PlanFinding::OverlappingRegions {
+                first: (a, a_base),
+                second: (b, b_base),
+            });
+        }
+    }
+    if findings.is_empty() {
+        Ok(())
+    } else {
+        Err(findings)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,5 +422,114 @@ mod tests {
             },
         ];
         assert!(verify_assignment(&a).is_ok());
+    }
+
+    #[test]
+    fn analyze_accepts_planner_output() {
+        let topo = vgg16_topology();
+        for ratio in [0.0, 0.5, 1.0] {
+            let plan =
+                crate::EncryptionPlan::from_topology(&topo, SePolicy::default().with_ratio(ratio))
+                    .unwrap();
+            assert!(analyze_plan(&plan).is_ok(), "ratio {ratio}");
+        }
+        let mut no_boundary = SePolicy::paper_default();
+        no_boundary.boundary_full_encryption = false;
+        let plan = crate::EncryptionPlan::from_topology(&topo, no_boundary).unwrap();
+        assert!(analyze_plan(&plan).is_ok());
+    }
+
+    #[test]
+    fn analyze_flags_handwritten_plan_defects() {
+        use crate::{EncryptionPlan, LayerPlan};
+        // One SE conv layer with every structural defect at once: unsorted
+        // rows, a row out of range, and three encrypted rows where the 50%
+        // ratio dictates four.
+        let bad = LayerPlan {
+            name: "conv_mid".into(),
+            is_conv: true,
+            rows: 8,
+            encrypted_rows: vec![5, 3, 11],
+            fully_encrypted: false,
+        };
+        let fc = LayerPlan {
+            name: "fc".into(),
+            is_conv: false,
+            rows: 4,
+            encrypted_rows: (0..4).collect(),
+            fully_encrypted: true,
+        };
+        let plan = EncryptionPlan::from_parts(SePolicy::paper_default(), vec![bad, fc]);
+        let findings = analyze_plan(&plan).unwrap_err();
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, PlanFinding::UnsortedRows { layer } if layer == "conv_mid")));
+        assert!(findings.iter().any(
+            |f| matches!(f, PlanFinding::RowOutOfRange { row: 11, rows: 8, .. })
+        ));
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, PlanFinding::RatioDrift { .. })));
+        // The only two CONV boundary positions collapse onto conv_mid,
+        // which is not fully encrypted.
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, PlanFinding::BoundaryNotEncrypted { .. })));
+    }
+
+    #[test]
+    fn analyze_flags_ratio_and_unexpected_full_encryption() {
+        use crate::{EncryptionPlan, LayerPlan};
+        let mut policy = SePolicy::paper_default();
+        policy.boundary_full_encryption = false;
+        policy.ratio = 1.5;
+        let layer = LayerPlan {
+            name: "fc".into(),
+            is_conv: false,
+            rows: 4,
+            encrypted_rows: (0..4).collect(),
+            fully_encrypted: true,
+        };
+        let plan = EncryptionPlan::from_parts(policy, vec![layer]);
+        let findings = analyze_plan(&plan).unwrap_err();
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, PlanFinding::RatioOutOfBounds { .. })));
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, PlanFinding::UnexpectedFullEncryption { layer } if layer == "fc")));
+    }
+
+    #[test]
+    fn heap_layouts_from_the_allocator_never_overlap() {
+        use seal_crypto::Key128;
+        let mut heap = crate::SecureHeap::new(Key128::from_seed(1));
+        for i in 1..16 {
+            if i % 2 == 0 {
+                heap.emalloc(i * 24).unwrap();
+            } else {
+                heap.malloc(i * 24).unwrap();
+            }
+        }
+        assert!(verify_heap_layout(&heap).is_ok());
+    }
+
+    #[test]
+    fn overlapping_regions_are_caught() {
+        let layout = [
+            (0x1000u64, 0x100u64, true),
+            (0x1080, 0x100, false), // overlaps the first region
+            (0x2000, 0x100, true),
+        ];
+        let findings = verify_region_layout(&layout).unwrap_err();
+        assert_eq!(findings.len(), 1);
+        assert!(matches!(
+            findings[0],
+            PlanFinding::OverlappingRegions {
+                first: (0, 0x1000),
+                second: (1, 0x1080)
+            }
+        ));
+        assert!(findings[0].to_string().contains("0x1080"));
     }
 }

@@ -159,10 +159,9 @@ impl Aes128 {
             }
         }
         let mut round_key_words = [[0u32; 4]; NUM_ROUNDS + 1];
-        for (r, rk) in round_keys.iter().enumerate() {
-            for c in 0..4 {
-                round_key_words[r][c] =
-                    u32::from_be_bytes(rk[c * 4..(c + 1) * 4].try_into().expect("4 bytes"));
+        for (r, words) in round_key_words.iter_mut().enumerate() {
+            for (c, word) in words.iter_mut().enumerate() {
+                *word = u32::from_be_bytes(w[r * 4 + c]);
             }
         }
         Aes128 {
@@ -177,17 +176,21 @@ impl Aes128 {
         let rk = &self.round_key_words;
         let mut w = [0u32; 4];
         for i in 0..4 {
-            w[i] = u32::from_be_bytes(block[4 * i..4 * i + 4].try_into().expect("4 bytes"))
-                ^ rk[0][i];
+            w[i] = u32::from_be_bytes([
+                block[4 * i],
+                block[4 * i + 1],
+                block[4 * i + 2],
+                block[4 * i + 3],
+            ]) ^ rk[0][i];
         }
-        for round in 1..NUM_ROUNDS {
+        for round_key in rk.iter().take(NUM_ROUNDS).skip(1) {
             let mut t = [0u32; 4];
             for i in 0..4 {
                 t[i] = te[0][(w[i] >> 24) as usize]
                     ^ te[1][((w[(i + 1) % 4] >> 16) & 0xff) as usize]
                     ^ te[2][((w[(i + 2) % 4] >> 8) & 0xff) as usize]
                     ^ te[3][(w[(i + 3) % 4] & 0xff) as usize]
-                    ^ rk[round][i];
+                    ^ round_key[i];
             }
             w = t;
         }
@@ -344,8 +347,8 @@ mod tests {
 
     #[test]
     fn t_table_path_matches_reference_rounds() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2026);
+        use seal_tensor::rng::{Rng, SeedableRng};
+        let mut rng = seal_tensor::rng::rngs::StdRng::seed_from_u64(2026);
         for key_seed in 0..8u64 {
             let aes = Aes128::new(&Key128::from_seed(key_seed));
             for _ in 0..64 {
@@ -362,8 +365,8 @@ mod tests {
 
     #[test]
     fn roundtrip_random_blocks() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        use seal_tensor::rng::{Rng, SeedableRng};
+        let mut rng = seal_tensor::rng::rngs::StdRng::seed_from_u64(99);
         let aes = Aes128::new(&Key128::from_seed(5));
         for _ in 0..64 {
             let mut block = [0u8; 16];

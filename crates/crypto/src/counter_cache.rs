@@ -12,12 +12,11 @@
 //! line covers a 4 KB data page, so a cache of `S` bytes tracks counters for
 //! `64 · S` bytes of data.
 
-use serde::{Deserialize, Serialize};
 
 use crate::CryptoError;
 
 /// Geometry of a counter cache.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CounterCacheConfig {
     /// Total capacity in bytes.
     pub capacity_bytes: usize,
@@ -55,7 +54,7 @@ impl Default for CounterCacheConfig {
 }
 
 /// Hit/miss counters of a [`CounterCache`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CounterCacheStats {
     /// Accesses that found their counter line resident.
     pub hits: u64,
@@ -164,10 +163,15 @@ impl CounterCache {
         }
         self.stats.misses += 1;
         // Victimise an invalid way, else the LRU way.
-        let victim = set
+        let victim = match set
             .iter_mut()
             .min_by_key(|w| if w.valid { w.last_use } else { 0 })
-            .expect("set has at least one way");
+        {
+            Some(way) => way,
+            // Unreachable: config validation rejects zero-way geometries.
+            // A degenerate empty set simply caches nothing.
+            None => return false,
+        };
         victim.tag = tag;
         victim.valid = true;
         victim.last_use = self.tick;
@@ -251,9 +255,9 @@ mod tests {
         // Cyclic scan over 3 MB of data: bigger caches hold more pages.
         let mut small = CounterCache::new(CounterCacheConfig::with_kilobytes(24)).unwrap();
         let mut big = CounterCache::new(CounterCacheConfig::with_kilobytes(1536)).unwrap();
-        for pass in 0..3u64 {
+        for _pass in 0..3u64 {
             for addr in (0..3 * 1024 * 1024).step_by(128) {
-                let a = addr as u64 + pass * 0; // same addresses each pass
+                let a = addr as u64; // same addresses each pass
                 small.access(a);
                 big.access(a);
             }

@@ -59,7 +59,7 @@ impl DirectCipher {
     }
 
     fn process(&self, addr: u64, data: &[u8], enc: bool) -> Result<Vec<u8>, CryptoError> {
-        if data.len() % BLOCK_BYTES != 0 {
+        if !data.len().is_multiple_of(BLOCK_BYTES) {
             return Err(CryptoError::UnalignedBuffer {
                 len: data.len(),
                 block: BLOCK_BYTES,

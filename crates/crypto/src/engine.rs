@@ -11,12 +11,11 @@
 //! controller: a pipelined unit with a fixed initiation interval (set by
 //! throughput) plus a fixed pipeline latency.
 
-use serde::{Deserialize, Serialize};
 
 use crate::CryptoError;
 
 /// Published characteristics of a hardware AES engine (one row of Table I).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EngineSpec {
     /// Implementation name / citation.
     pub name: &'static str,

@@ -1,5 +1,5 @@
-use rand::seq::SliceRandom;
-use rand::Rng;
+use seal_tensor::rng::seq::SliceRandom;
+use seal_tensor::rng::Rng;
 use seal_tensor::{Shape, Tensor};
 
 use crate::DataError;
@@ -185,8 +185,8 @@ impl Dataset {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use seal_tensor::rng::rngs::StdRng;
+    use seal_tensor::rng::SeedableRng;
 
     fn toy(n: usize) -> Dataset {
         let images = Tensor::from_vec(

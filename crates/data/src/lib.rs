@@ -22,11 +22,11 @@
 //! ## Example
 //!
 //! ```
-//! use rand::SeedableRng;
+//! use seal_tensor::rng::SeedableRng;
 //! use seal_data::{Dataset, SyntheticCifar};
 //!
 //! # fn main() -> Result<(), seal_data::DataError> {
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut rng = seal_tensor::rng::rngs::StdRng::seed_from_u64(0);
 //! let gen = SyntheticCifar::new(16, 10);
 //! let data = gen.generate(&mut rng, 100)?;
 //! let (victim, adversary) = data.split(0.9, &mut rng)?;

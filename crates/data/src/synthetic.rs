@@ -1,4 +1,4 @@
-use rand::Rng;
+use seal_tensor::rng::Rng;
 use seal_tensor::{Shape, Tensor};
 
 use crate::{DataError, Dataset};
@@ -173,7 +173,7 @@ impl SyntheticCifar {
             }
         }
         let mut order: Vec<usize> = (0..n).collect();
-        use rand::seq::SliceRandom;
+        use seal_tensor::rng::seq::SliceRandom;
         order.shuffle(rng);
         Dataset::new(
             seal_tensor::Tensor::from_vec(
@@ -196,8 +196,8 @@ fn standard_normal(rng: &mut impl Rng) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use seal_tensor::rng::rngs::StdRng;
+    use seal_tensor::rng::SeedableRng;
 
     #[test]
     fn generation_is_deterministic_per_seed() {
@@ -249,7 +249,7 @@ mod tests {
         let data = gen
             .generate(&mut StdRng::seed_from_u64(0), 400)
             .unwrap();
-        let mut seen = vec![false; 10];
+        let mut seen = [false; 10];
         for &l in data.labels() {
             seen[l] = true;
         }

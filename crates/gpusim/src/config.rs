@@ -1,5 +1,4 @@
 use seal_crypto::{CounterCacheConfig, EngineSpec};
-use serde::{Deserialize, Serialize};
 
 use crate::{DramTiming, SimError};
 
@@ -9,7 +8,7 @@ use crate::{DramTiming, SimError};
 /// hardware behaviours. SEAL-D/SEAL-C are `Direct`/`Counter` runs whose
 /// workloads mark only the SE-selected fraction of traffic as encrypted
 /// (see `seal-core`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EncryptionMode {
     /// Insecure baseline: the engine is bypassed for everything.
     None,
@@ -45,7 +44,7 @@ impl std::fmt::Display for EncryptionMode {
 /// [`GpuConfig::gtx480`] reproduces the paper's setup (Sec. IV-A):
 /// NVIDIA GeForce GTX480, 15 SMs, GDDR5 at 1848 MHz on a 384-bit bus split
 /// over 6 channels, one AES engine per memory controller.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GpuConfig {
     /// Human-readable configuration name.
     pub name: String,

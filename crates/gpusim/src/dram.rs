@@ -17,12 +17,12 @@
 //! GDDR5-era defaults: 2 KB rows, 16 banks per channel, ~40 ns
 //! row-cycle penalty (≈ 56 cycles at 1.4 GHz).
 
-use serde::Serialize;
 
 /// Channel timing model selector.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum DramTiming {
     /// Fixed per-line service scaled by the workload's efficiency knob.
+    #[default]
     Flat,
     /// Open-row banked model with explicit activate/precharge penalties.
     Banked {
@@ -43,12 +43,6 @@ impl DramTiming {
             row_bytes: 2048,
             row_miss_penalty: 56.0,
         }
-    }
-}
-
-impl Default for DramTiming {
-    fn default() -> Self {
-        DramTiming::Flat
     }
 }
 

@@ -147,12 +147,16 @@ impl MemoryController {
     /// Runs one line through the least-loaded AES engine starting no
     /// earlier than `t`; returns pad/ciphertext-ready time.
     fn engine_run(&mut self, t: f64) -> f64 {
-        let (idx, _) = self
+        let Some((idx, _)) = self
             .engine_next_free
             .iter()
             .enumerate()
             .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-            .expect("at least one engine");
+        else {
+            // Unreachable: GpuConfig validation rejects zero-engine
+            // configurations; with no engines there is no pad to wait on.
+            return t;
+        };
         let start = t.max(self.engine_next_free[idx]);
         self.engine_next_free[idx] = start + self.engine_occupancy;
         self.engine_busy += self.engine_occupancy;

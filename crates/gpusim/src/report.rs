@@ -1,9 +1,8 @@
-use serde::{Deserialize, Serialize};
 
 use crate::EncryptionMode;
 
 /// Per-memory-controller statistics of one run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct McReport {
     /// Lines serviced (excluding counter fetches).
     pub lines: u64,
@@ -22,7 +21,7 @@ pub struct McReport {
 }
 
 /// Results of simulating one workload under one encryption mode.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
     /// Workload name.
     pub workload: String,

@@ -1,6 +1,5 @@
 use std::collections::BinaryHeap;
 
-use serde::{Deserialize, Serialize};
 
 use crate::SimError;
 
@@ -17,7 +16,7 @@ pub struct MemoryRequest {
 }
 
 /// How a region's bytes are walked by the workload.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AccessPattern {
     /// Sequential scan of the whole region, repeated `passes` times
     /// (fractional passes truncate the final scan). This is the DRAM-traffic
@@ -52,7 +51,7 @@ impl Default for AccessPattern {
 }
 
 /// A contiguous address range with an access pattern and security tag.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Region {
     /// Region name (for reports).
     pub name: String,

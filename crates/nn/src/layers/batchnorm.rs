@@ -102,10 +102,10 @@ impl Layer for BatchNorm2d {
         let mut var = vec![0.0f32; c];
         if train {
             for b in 0..n {
-                for ch in 0..c {
+                for (ch, m) in mean.iter_mut().enumerate() {
                     let base = (b * c + ch) * spatial;
                     for v in &x[base..base + spatial] {
-                        mean[ch] += v;
+                        *m += v;
                     }
                 }
             }
@@ -271,8 +271,8 @@ impl Layer for BatchNorm2d {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use seal_tensor::rng::rngs::StdRng;
+    use seal_tensor::rng::SeedableRng;
 
     #[test]
     fn training_output_is_normalised() {

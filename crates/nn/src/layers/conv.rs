@@ -1,4 +1,4 @@
-use rand::Rng;
+use seal_tensor::rng::Rng;
 use seal_tensor::ops::{conv2d, conv2d_backward, Conv2dGeometry};
 use seal_tensor::{he_normal, Shape, Tensor};
 
@@ -158,6 +158,15 @@ impl Layer for Conv2d {
                 reason: format!("conv2d expects NCHW input, got {input}"),
             });
         }
+        if input.dim(1) != self.in_channels() {
+            return Err(NnError::InvalidConfig {
+                reason: format!(
+                    "conv2d has {} input channels but input carries {}",
+                    self.in_channels(),
+                    input.dim(1)
+                ),
+            });
+        }
         let oh = self
             .geom
             .output_size(input.dim(2))
@@ -177,8 +186,8 @@ impl Layer for Conv2d {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use seal_tensor::rng::rngs::StdRng;
+    use seal_tensor::rng::SeedableRng;
 
     fn conv(rng_seed: u64) -> Conv2d {
         let mut rng = StdRng::seed_from_u64(rng_seed);

@@ -1,5 +1,5 @@
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use seal_tensor::rng::rngs::StdRng;
+use seal_tensor::rng::{Rng, SeedableRng};
 use seal_tensor::{Shape, Tensor};
 
 use crate::{Layer, LayerKind, NnError};

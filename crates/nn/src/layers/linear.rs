@@ -1,4 +1,4 @@
-use rand::Rng;
+use seal_tensor::rng::Rng;
 use seal_tensor::{xavier_uniform, Shape, Tensor};
 
 use crate::{Layer, LayerKind, NnError, Param};
@@ -174,8 +174,8 @@ impl Layer for Linear {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use seal_tensor::rng::rngs::StdRng;
+    use seal_tensor::rng::SeedableRng;
 
     #[test]
     fn forward_applies_weights_and_bias() {

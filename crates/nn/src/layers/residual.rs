@@ -210,8 +210,8 @@ impl Layer for ResidualBlock {
 mod tests {
     use super::*;
     use crate::layers::{BatchNorm2d, Conv2d, ReLU};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use seal_tensor::rng::rngs::StdRng;
+    use seal_tensor::rng::SeedableRng;
     use seal_tensor::ops::Conv2dGeometry;
 
     fn identity_block(rng: &mut StdRng, ch: usize) -> ResidualBlock {

@@ -20,12 +20,12 @@
 //! ## Example
 //!
 //! ```
-//! use rand::SeedableRng;
+//! use seal_tensor::rng::SeedableRng;
 //! use seal_nn::models;
 //! use seal_tensor::{Shape, Tensor};
 //!
 //! # fn main() -> Result<(), seal_nn::NnError> {
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut rng = seal_tensor::rng::rngs::StdRng::seed_from_u64(1);
 //! // A width-reduced VGG-16 for 16×16 inputs: same 16-layer topology.
 //! let mut model = models::vgg16(&mut rng, &models::VggConfig::reduced())?;
 //! let x = Tensor::zeros(Shape::nchw(2, 3, 16, 16));
@@ -48,6 +48,7 @@ mod train;
 
 pub mod layers;
 pub mod models;
+pub mod shape_check;
 pub mod topo;
 
 pub use error::NnError;
@@ -56,5 +57,6 @@ pub use loss::SoftmaxCrossEntropy;
 pub use model::Sequential;
 pub use optim::{Adam, Optimizer, Sgd};
 pub use serialize::{load_weights, save_weights};
+pub use shape_check::{check_model, ShapeMismatch, ShapeReport, ShapeStep};
 pub use topo::{LayerRole, LayerTopo, NetworkTopology};
 pub use train::{accuracy, fit, FitConfig, FitReport};

@@ -163,8 +163,8 @@ mod tests {
     /// the one-hot subtracts exactly 1.
     #[test]
     fn gradient_rows_sum_to_zero() {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        use seal_tensor::rng::SeedableRng;
+        let mut rng = seal_tensor::rng::rngs::StdRng::seed_from_u64(4);
         let logits = seal_tensor::uniform(&mut rng, Shape::matrix(5, 7), -3.0, 3.0);
         let mut loss = SoftmaxCrossEntropy::new();
         loss.forward(&logits, &[0, 1, 2, 3, 4]).unwrap();

@@ -194,8 +194,8 @@ impl Sequential {
 mod tests {
     use super::*;
     use crate::layers::{Flatten, Linear, ReLU};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use seal_tensor::rng::rngs::StdRng;
+    use seal_tensor::rng::SeedableRng;
 
     fn tiny_mlp(seed: u64) -> Sequential {
         let mut rng = StdRng::seed_from_u64(seed);

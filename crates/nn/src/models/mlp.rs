@@ -8,7 +8,7 @@
 //! the FC-only network that exercises that claim end to end (plans,
 //! traffic, simulation and the substitute attack all work on it).
 
-use rand::Rng;
+use seal_tensor::rng::Rng;
 use seal_tensor::Shape;
 
 use crate::layers::{Flatten, Linear, ReLU};
@@ -103,8 +103,8 @@ pub fn mlp_topology(config: &MlpConfig, input: Shape) -> Result<NetworkTopology,
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use seal_tensor::rng::rngs::StdRng;
+    use seal_tensor::rng::SeedableRng;
     use seal_tensor::Tensor;
 
     #[test]

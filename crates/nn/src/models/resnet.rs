@@ -2,7 +2,7 @@
 //! convolution, four stages of basic blocks, global average pooling and one
 //! FC classifier — the paper's "17/18" and "33/34" CONV layer counts.
 
-use rand::Rng;
+use seal_tensor::rng::Rng;
 use seal_tensor::ops::{Conv2dGeometry, PoolGeometry};
 use seal_tensor::Shape;
 
@@ -172,8 +172,8 @@ pub fn resnet(rng: &mut impl Rng, config: &ResNetConfig) -> Result<Sequential, N
 
 fn resnet_topology(depth: usize, blocks: [usize; 4]) -> NetworkTopology {
     let mut b = NetworkTopology::build(format!("resnet{depth}"), Shape::nchw(1, 3, 32, 32))
-        .expect("static geometry is valid");
-    b = b.conv("conv1", 64, 3, 1, 1).expect("static geometry is valid");
+        .expect("static geometry is valid"); // seal-lint: allow(expect)
+    b = b.conv("conv1", 64, 3, 1, 1).expect("static geometry is valid"); // seal-lint: allow(expect)
     let widths = [64usize, 128, 256, 512];
     let mut in_ch = 64;
     for (stage, (&width, &nblocks)) in widths.iter().zip(blocks.iter()).enumerate() {
@@ -182,18 +182,18 @@ fn resnet_topology(depth: usize, blocks: [usize; 4]) -> NetworkTopology {
             let bname = format!("stage{}_block{}", stage + 1, blk + 1);
             b = b
                 .conv(format!("{bname}_conv1"), width, 3, stride, 1)
-                .expect("static geometry is valid");
+                .expect("static geometry is valid"); // seal-lint: allow(expect)
             b = b
                 .conv(format!("{bname}_conv2"), width, 3, 1, 1)
-                .expect("static geometry is valid");
+                .expect("static geometry is valid"); // seal-lint: allow(expect)
             let _ = in_ch;
             in_ch = width;
         }
     }
     // Global average pool then classifier.
     let hw = b.current_shape().dim(2);
-    b = b.pool("gap", hw, hw).expect("static geometry is valid");
-    b = b.fc("fc", 10).expect("static geometry is valid");
+    b = b.pool("gap", hw, hw).expect("static geometry is valid"); // seal-lint: allow(expect)
+    b = b.fc("fc", 10).expect("static geometry is valid"); // seal-lint: allow(expect)
     b.finish()
 }
 
@@ -210,8 +210,8 @@ pub fn resnet34_topology() -> NetworkTopology {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use seal_tensor::rng::rngs::StdRng;
+    use seal_tensor::rng::SeedableRng;
     use seal_tensor::Tensor;
 
     #[test]

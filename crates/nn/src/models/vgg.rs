@@ -1,7 +1,7 @@
 //! VGG-16 (Simonyan & Zisserman) in its CIFAR-10 form: 13 CONV + 3 FC
 //! layers — the paper's "13/16" convolutional layer count.
 
-use rand::Rng;
+use seal_tensor::rng::Rng;
 use seal_tensor::ops::{Conv2dGeometry, PoolGeometry};
 use seal_tensor::Shape;
 
@@ -148,28 +148,28 @@ pub fn vgg16(rng: &mut impl Rng, config: &VggConfig) -> Result<Sequential, NnErr
 /// Never panics for the fixed full-size geometry.
 pub fn vgg16_topology() -> NetworkTopology {
     let mut b = NetworkTopology::build("vgg16", Shape::nchw(1, 3, 32, 32))
-        .expect("static geometry is valid");
+        .expect("static geometry is valid"); // seal-lint: allow(expect)
     for (stage, &(width, convs)) in VGG16_STAGES.iter().enumerate() {
         for c in 0..convs {
             b = b
                 .conv(format!("conv{}_{}", stage + 1, c + 1), width, 3, 1, 1)
-                .expect("static geometry is valid");
+                .expect("static geometry is valid"); // seal-lint: allow(expect)
         }
         b = b
             .pool(format!("pool{}", stage + 1), 2, 2)
-            .expect("static geometry is valid");
+            .expect("static geometry is valid"); // seal-lint: allow(expect)
     }
-    b = b.fc("fc1", 512).expect("static geometry is valid");
-    b = b.fc("fc2", 512).expect("static geometry is valid");
-    b = b.fc("fc3", 10).expect("static geometry is valid");
+    b = b.fc("fc1", 512).expect("static geometry is valid"); // seal-lint: allow(expect)
+    b = b.fc("fc2", 512).expect("static geometry is valid"); // seal-lint: allow(expect)
+    b = b.fc("fc3", 10).expect("static geometry is valid"); // seal-lint: allow(expect)
     b.finish()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use seal_tensor::rng::rngs::StdRng;
+    use seal_tensor::rng::SeedableRng;
     use seal_tensor::Tensor;
 
     #[test]

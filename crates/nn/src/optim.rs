@@ -190,8 +190,8 @@ impl Optimizer for Adam {
 mod tests {
     use super::*;
     use crate::layers::Linear;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use seal_tensor::rng::rngs::StdRng;
+    use seal_tensor::rng::SeedableRng;
     use seal_tensor::{Shape, Tensor};
 
     fn model_with_grad(seed: u64) -> Sequential {

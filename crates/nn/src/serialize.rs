@@ -20,22 +20,37 @@ fn push_run(out: &mut Vec<u8>, values: &[f32]) {
     }
 }
 
-fn read_run(bytes: &[u8], off: &mut usize) -> Result<Vec<f32>, NnError> {
-    let err = || NnError::InvalidConfig {
+fn truncated() -> NnError {
+    NnError::InvalidConfig {
         reason: "truncated weight blob".into(),
-    };
-    if *off + 4 > bytes.len() {
-        return Err(err());
     }
-    let n = u32::from_le_bytes(bytes[*off..*off + 4].try_into().expect("4 bytes")) as usize;
-    *off += 4;
+}
+
+/// Reads a little-endian `u32` at `*off`, advancing the cursor.
+fn read_u32_le(bytes: &[u8], off: &mut usize) -> Result<u32, NnError> {
+    match bytes.get(*off..*off + 4) {
+        Some(&[a, b, c, d]) => {
+            *off += 4;
+            Ok(u32::from_le_bytes([a, b, c, d]))
+        }
+        _ => Err(truncated()),
+    }
+}
+
+fn read_run(bytes: &[u8], off: &mut usize) -> Result<Vec<f32>, NnError> {
+    let n = read_u32_le(bytes, off)? as usize;
     if *off + 4 * n > bytes.len() {
-        return Err(err());
+        return Err(truncated());
     }
     let mut values = Vec::with_capacity(n);
     for i in 0..n {
-        let b = &bytes[*off + 4 * i..*off + 4 * i + 4];
-        values.push(f32::from_le_bytes(b.try_into().expect("4 bytes")));
+        let at = *off + 4 * i;
+        values.push(f32::from_le_bytes([
+            bytes[at],
+            bytes[at + 1],
+            bytes[at + 2],
+            bytes[at + 3],
+        ]));
     }
     *off += 4 * n;
     Ok(values)
@@ -73,9 +88,7 @@ pub fn load_weights(model: &mut Sequential, bytes: &[u8]) -> Result<(), NnError>
         });
     }
     let mut off = 5usize;
-    let n_params =
-        u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes")) as usize;
-    off += 4;
+    let n_params = read_u32_le(bytes, &mut off)? as usize;
     {
         let mut params = model.params_mut();
         if params.len() != n_params {
@@ -97,13 +110,7 @@ pub fn load_weights(model: &mut Sequential, bytes: &[u8]) -> Result<(), NnError>
             p.value.as_mut_slice().copy_from_slice(&values);
         }
     }
-    if off + 4 > bytes.len() {
-        return Err(NnError::InvalidConfig {
-            reason: "truncated weight blob".into(),
-        });
-    }
-    let n_state = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes")) as usize;
-    off += 4;
+    let n_state = read_u32_le(bytes, &mut off)? as usize;
     let mut state = Vec::with_capacity(n_state);
     for _ in 0..n_state {
         state.push(read_run(bytes, &mut off)?);
@@ -121,8 +128,8 @@ pub fn load_weights(model: &mut Sequential, bytes: &[u8]) -> Result<(), NnError>
 mod tests {
     use super::*;
     use crate::models::{resnet, vgg16, ResNetConfig, VggConfig};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use seal_tensor::rng::rngs::StdRng;
+    use seal_tensor::rng::SeedableRng;
     use seal_tensor::{Shape, Tensor};
 
     #[test]

@@ -1,8 +1,8 @@
 //! Mini-batch training loop used by both victim training and the
 //! adversary's substitute retraining.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use seal_tensor::rng::seq::SliceRandom;
+use seal_tensor::rng::Rng;
 use seal_tensor::{Shape, Tensor};
 
 use crate::{NnError, Optimizer, Sequential, SoftmaxCrossEntropy};
@@ -160,8 +160,8 @@ mod tests {
     use super::*;
     use crate::layers::{Flatten, Linear};
     use crate::Sgd;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use seal_tensor::rng::rngs::StdRng;
+    use seal_tensor::rng::SeedableRng;
 
     /// Two linearly separable blobs: training should reach high accuracy.
     fn blobs(rng: &mut StdRng, n_per_class: usize) -> (Tensor, Vec<usize>) {

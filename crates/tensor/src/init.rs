@@ -5,23 +5,26 @@
 //! compare substitute models that must be retrained from identical starting
 //! points.
 
-use rand::Rng;
+use crate::rng::Rng;
 
 use crate::{Shape, Tensor};
 
 /// Uniform initialisation in `[lo, hi)`.
 ///
 /// ```
-/// use rand::SeedableRng;
+/// use seal_tensor::rng::SeedableRng;
 /// use seal_tensor::{uniform, Shape};
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut rng = seal_tensor::rng::rngs::StdRng::seed_from_u64(7);
 /// let t = uniform(&mut rng, Shape::vector(4), -1.0, 1.0);
 /// assert!(t.as_slice().iter().all(|v| (-1.0..1.0).contains(v)));
 /// ```
 pub fn uniform(rng: &mut impl Rng, shape: Shape, lo: f32, hi: f32) -> Tensor {
-    let data = (0..shape.volume()).map(|_| rng.gen_range(lo..hi)).collect();
-    Tensor::from_vec(data, shape).expect("generated buffer matches shape volume")
+    let mut t = Tensor::zeros(shape);
+    for v in t.as_mut_slice() {
+        *v = rng.gen_range(lo..hi);
+    }
+    t
 }
 
 /// Xavier/Glorot uniform initialisation for a weight tensor.
@@ -38,10 +41,11 @@ pub fn xavier_uniform(rng: &mut impl Rng, shape: Shape, fan_in: usize, fan_out: 
 /// distribution", scaled for ReLU networks, per He et al. 2015).
 pub fn he_normal(rng: &mut impl Rng, shape: Shape, fan_in: usize) -> Tensor {
     let std = (2.0 / fan_in.max(1) as f32).sqrt();
-    let data = (0..shape.volume())
-        .map(|_| standard_normal(rng) * std)
-        .collect();
-    Tensor::from_vec(data, shape).expect("generated buffer matches shape volume")
+    let mut t = Tensor::zeros(shape);
+    for v in t.as_mut_slice() {
+        *v = standard_normal(rng) * std;
+    }
+    t
 }
 
 /// Box-Muller standard normal sample.
@@ -54,8 +58,8 @@ fn standard_normal(rng: &mut impl Rng) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::rngs::StdRng;
+    use crate::rng::SeedableRng;
 
     #[test]
     fn same_seed_same_tensor() {

@@ -8,7 +8,8 @@
 //! (DAC 2021): row-major tensors, matrix multiplication, 2-D convolution
 //! (forward and backward), pooling, and deterministic random initialisation.
 //!
-//! The implementation is deliberately dependency-free (only `rand`) and
+//! The implementation is deliberately dependency-free — the deterministic
+//! generator behind weight initialisation lives in-tree in [`rng`] — and
 //! single-threaded: the security experiments of the paper run on small,
 //! width-reduced networks where clarity and determinism matter more than
 //! peak throughput.
@@ -38,6 +39,7 @@ mod shape;
 mod tensor;
 
 pub mod ops;
+pub mod rng;
 
 pub use error::TensorError;
 pub use init::{he_normal, uniform, xavier_uniform};

@@ -51,11 +51,14 @@ pub struct Conv2dGradients {
     pub grad_bias: Tensor,
 }
 
+/// Validated conv dimensions: `(n, c_in, h, w, c_out, oh, ow, k)`.
+type ConvDims = (usize, usize, usize, usize, usize, usize, usize, usize);
+
 fn check_conv_shapes(
     input: &Tensor,
     weights: &Tensor,
     geom: &Conv2dGeometry,
-) -> Result<(usize, usize, usize, usize, usize, usize, usize, usize), TensorError> {
+) -> Result<ConvDims, TensorError> {
     if input.shape().rank() != 4 {
         return Err(TensorError::RankMismatch {
             expected: 4,
@@ -321,8 +324,8 @@ mod tests {
     /// the analytic gradient.
     #[test]
     fn backward_matches_finite_differences() {
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+        use crate::rng::rngs::StdRng;
+        use crate::rng::SeedableRng;
         let mut rng = StdRng::seed_from_u64(42);
         let input = crate::uniform(&mut rng, Shape::nchw(1, 2, 4, 4), -1.0, 1.0);
         let weights = crate::uniform(&mut rng, Shape::nchw(3, 2, 3, 3), -0.5, 0.5);

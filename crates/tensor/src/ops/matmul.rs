@@ -102,8 +102,8 @@ mod tests {
 
     #[test]
     fn matches_naive_reference() {
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+        use crate::rng::rngs::StdRng;
+        use crate::rng::SeedableRng;
         let mut rng = StdRng::seed_from_u64(11);
         let a = crate::uniform(&mut rng, Shape::matrix(7, 5), -1.0, 1.0);
         let b = crate::uniform(&mut rng, Shape::matrix(5, 9), -1.0, 1.0);

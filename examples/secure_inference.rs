@@ -10,7 +10,7 @@
 //! cargo run --release --example secure_inference
 //! ```
 
-use rand::SeedableRng;
+use seal_tensor::rng::SeedableRng;
 use seal::core::{
     derive_assignment, verify_assignment, EncryptionPlan, SePolicy, SecureHeap,
 };
@@ -18,7 +18,7 @@ use seal::crypto::Key128;
 use seal::nn::models::{vgg16, VggConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut rng = seal_tensor::rng::rngs::StdRng::seed_from_u64(7);
     let model = vgg16(&mut rng, &VggConfig::reduced())?;
     let plan = EncryptionPlan::from_model(&model, SePolicy::paper_default())?;
 
@@ -53,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let row_payload = |row: usize| -> Vec<u8> {
         format!("row {row:04} l1={:8.4}", m.row_l1[row]).into_bytes()
     };
-    println!("\n{:<6} {:<10} {:<26} {}", "row", "alloc", "bus view (first 16 B)", "leaks?");
+    println!("\n{:<6} {:<10} {:<26} leaks?", "row", "alloc", "bus view (first 16 B)");
     for row in [0usize, 1, 2, 3] {
         let encrypted = se_layer.is_row_encrypted(row);
         let payload = row_payload(row);

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# The tier-1 gate: hermetic build, full test suite, and the seal-analyze
+# static-analysis passes (source lint + semantic model/plan/heap checks).
+#
+# Usage:
+#   scripts/check.sh
+#
+# Everything here runs offline — the workspace has no external
+# dependencies by design.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> seal-analyze --workspace"
+cargo run --release -q -p seal-analyze -- --workspace
+
+# Clippy is optional tooling: run it when the component is installed,
+# skip silently in minimal toolchains.
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy"
+    cargo clippy --workspace --all-targets -- -D warnings
+else
+    echo "==> cargo clippy (not installed, skipped)"
+fi
+
+echo
+echo "check.sh: all gates passed."

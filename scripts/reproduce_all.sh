@@ -10,6 +10,10 @@ cd "$(dirname "$0")/.."
 MODE="${1:-}"
 mkdir -p results
 
+# Gate the reproduction on the tier-1 checks (build, tests, static
+# analysis) so figures are never regenerated from a broken tree.
+scripts/check.sh
+
 BINS="fig1 table1 fig5 fig6 fig7 fig8 fig3 fig4 ablation_engines ablation_importance ablation_boundary"
 for bin in $BINS; do
     echo "==> $bin $MODE"

@@ -3,7 +3,7 @@
 //! the whole pipeline — plan, coupling invariant, traffic, simulation —
 //! on an FC-only model.
 
-use rand::SeedableRng;
+use seal_tensor::rng::SeedableRng;
 use seal::core::{
     derive_assignment, network_traffic, simulate_network, verify_assignment, EncryptionPlan,
     Scheme, SePolicy,
@@ -75,7 +75,7 @@ fn fc_traffic_split_follows_the_plan() {
 
 #[test]
 fn mlp_plans_work_from_trained_models_too() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let mut rng = seal_tensor::rng::rngs::StdRng::seed_from_u64(3);
     let model = mlp(&mut rng, &MlpConfig::reduced()).unwrap();
     let plan = EncryptionPlan::from_model(&model, SePolicy::default().with_ratio(0.4)).unwrap();
     assert_eq!(plan.layers().len(), 4);

@@ -1,14 +1,14 @@
 //! Full-size model smoke tests: the paper-scale architectures must be
 //! constructible and runnable, not just their reduced variants.
 
-use rand::SeedableRng;
+use seal_tensor::rng::SeedableRng;
 use seal::core::{EncryptionPlan, SePolicy};
 use seal::nn::models::{resnet, vgg16, ResNetConfig, VggConfig};
 use seal::tensor::{Shape, Tensor};
 
 #[test]
 fn full_vgg16_forward_and_plan() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut rng = seal_tensor::rng::rngs::StdRng::seed_from_u64(1);
     let mut model = vgg16(&mut rng, &VggConfig::full()).unwrap();
     assert!(
         model.num_parameters() > 14_000_000,
@@ -32,7 +32,7 @@ fn full_vgg16_forward_and_plan() {
 
 #[test]
 fn full_resnet18_forward() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let mut rng = seal_tensor::rng::rngs::StdRng::seed_from_u64(2);
     let mut model = resnet(&mut rng, &ResNetConfig::full(18)).unwrap();
     assert!(model.num_parameters() > 10_000_000);
     let x = Tensor::zeros(Shape::nchw(1, 3, 32, 32));

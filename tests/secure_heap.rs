@@ -2,14 +2,14 @@
 //! crypto substrate: what a bus snooper captures, and that the accelerator
 //! can always recover its own data.
 
-use rand::SeedableRng;
+use seal_tensor::rng::SeedableRng;
 use seal::core::{EncryptionPlan, SePolicy, SecureHeap};
 use seal::crypto::Key128;
 use seal::nn::models::{vgg16, VggConfig};
 
 #[test]
 fn model_weights_in_emalloc_regions_never_leak() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut rng = seal_tensor::rng::rngs::StdRng::seed_from_u64(1);
     let model = vgg16(&mut rng, &VggConfig::reduced()).unwrap();
     let plan = EncryptionPlan::from_model(&model, SePolicy::paper_default()).unwrap();
 
