@@ -29,6 +29,9 @@ pub enum Rule {
     TruncatingCast,
     /// `pub fn` without a doc comment.
     MissingDocs,
+    /// `.lock().unwrap()`-style panic on a synchronisation primitive
+    /// (`lock`/`join`/`read`/`write` followed by `unwrap`/`expect`).
+    LockUnwrap,
 }
 
 impl Rule {
@@ -42,6 +45,7 @@ impl Rule {
             Rule::Unimplemented => "unimplemented",
             Rule::TruncatingCast => "truncating-cast",
             Rule::MissingDocs => "missing-docs",
+            Rule::LockUnwrap => "lock-unwrap",
         }
     }
 
@@ -55,13 +59,14 @@ impl Rule {
             "unimplemented" => Rule::Unimplemented,
             "truncating-cast" => Rule::TruncatingCast,
             "missing-docs" => Rule::MissingDocs,
+            "lock-unwrap" => Rule::LockUnwrap,
             _ => return None,
         })
     }
 }
 
 /// Every rule, in reporting order.
-pub const ALL_RULES: [Rule; 7] = [
+pub const ALL_RULES: [Rule; 8] = [
     Rule::Unwrap,
     Rule::Expect,
     Rule::Panic,
@@ -69,7 +74,13 @@ pub const ALL_RULES: [Rule; 7] = [
     Rule::Unimplemented,
     Rule::TruncatingCast,
     Rule::MissingDocs,
+    Rule::LockUnwrap,
 ];
+
+/// Zero-argument methods whose `Result` encodes a *peer failure* (poisoned
+/// lock, panicked thread) rather than a local error: unwrapping them turns
+/// one thread's failure into a panic cascade across the runtime.
+const SYNC_ACQUIRERS: [&str; 4] = ["lock", "join", "read", "write"];
 
 /// Integer types an `as` cast can silently truncate to on the 32-bit-plus
 /// words the crypto kernels move around.
@@ -264,17 +275,49 @@ fn panic_rules(code: &[&Tok], emit: &mut impl FnMut(Rule, u32, String)) {
             code.get(i + 1)
                 .is_some_and(|n| n.kind == TokKind::Punct && n.text == s)
         };
+        // `.lock().unwrap()` / `.join().expect(…)` and friends: the receiver
+        // is a zero-argument call of a synchronisation acquirer, i.e. the
+        // four code tokens before `unwrap`/`expect` are `<acquirer> ( ) .`.
+        let sync_receiver = || -> Option<&'static str> {
+            if i < 4 {
+                return None;
+            }
+            let (recv, open, close) = (code[i - 4], code[i - 3], code[i - 2]);
+            (recv.kind == TokKind::Ident
+                && open.kind == TokKind::Punct
+                && open.text == "("
+                && close.kind == TokKind::Punct
+                && close.text == ")")
+                .then(|| SYNC_ACQUIRERS.iter().find(|a| **a == recv.text))
+                .flatten()
+                .copied()
+        };
         match t.text.as_str() {
-            "unwrap" if prev_dot && next_is("(") => emit(
-                Rule::Unwrap,
-                t.line,
-                "`.unwrap()` in library code — propagate the error instead".into(),
-            ),
-            "expect" if prev_dot && next_is("(") => emit(
-                Rule::Expect,
-                t.line,
-                "`.expect(…)` in library code — propagate the error instead".into(),
-            ),
+            "unwrap" | "expect" if prev_dot && next_is("(") => {
+                if let Some(acq) = sync_receiver() {
+                    emit(
+                        Rule::LockUnwrap,
+                        t.line,
+                        format!(
+                            "`.{acq}().{}(…)` panics on a poisoned/failed peer — recover \
+                             (`unwrap_or_else(|e| e.into_inner())`) or return an error",
+                            t.text
+                        ),
+                    );
+                } else if t.text == "unwrap" {
+                    emit(
+                        Rule::Unwrap,
+                        t.line,
+                        "`.unwrap()` in library code — propagate the error instead".into(),
+                    );
+                } else {
+                    emit(
+                        Rule::Expect,
+                        t.line,
+                        "`.expect(…)` in library code — propagate the error instead".into(),
+                    );
+                }
+            }
             "panic" if next_is("!") => emit(
                 Rule::Panic,
                 t.line,
@@ -502,6 +545,42 @@ mod tests {
         let found = rules_found("pub const unsafe fn scary() {}");
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].0, Rule::MissingDocs);
+    }
+
+    #[test]
+    fn lock_unwrap_preferred_over_generic_unwrap() {
+        let src = "fn f(m: &std::sync::Mutex<u8>) -> u8 {\n  *m.lock().unwrap()\n}\n";
+        assert_eq!(rules_found(src), vec![(Rule::LockUnwrap, 2)]);
+        let src = "fn f(h: std::thread::JoinHandle<u8>) -> u8 {\n  h.join().expect(\"worker\")\n}\n";
+        assert_eq!(rules_found(src), vec![(Rule::LockUnwrap, 2)]);
+        let src = "fn f(l: &std::sync::RwLock<u8>) -> u8 {\n  *l.read().unwrap() + *l.write().unwrap()\n}\n";
+        assert_eq!(
+            rules_found(src),
+            vec![(Rule::LockUnwrap, 2), (Rule::LockUnwrap, 2)]
+        );
+    }
+
+    #[test]
+    fn lock_unwrap_ignores_recovery_idiom_and_other_receivers() {
+        // Poisoned-lock recovery is the accepted pattern.
+        let src = "fn f(m: &std::sync::Mutex<u8>) -> u8 {\n  *m.lock().unwrap_or_else(|e| e.into_inner())\n}\n";
+        assert!(rules_found(src).is_empty());
+        // `.read(buf)` takes an argument, so it is io, not a lock — the
+        // unwrap is still flagged, but as the generic rule.
+        let src = "fn f() { r.read(&mut buf).unwrap(); parse().unwrap(); }";
+        assert_eq!(
+            rules_found(src),
+            vec![(Rule::Unwrap, 1), (Rule::Unwrap, 1)]
+        );
+    }
+
+    #[test]
+    fn lock_unwrap_suppressible_by_its_own_allow() {
+        let src = "fn f(m: &std::sync::Mutex<u8>) -> u8 {\n  // seal-lint: allow(lock-unwrap)\n  *m.lock().unwrap()\n}\n";
+        assert!(rules_found(src).is_empty());
+        // A generic unwrap allow does not cover the concurrency rule.
+        let src = "fn f(m: &std::sync::Mutex<u8>) -> u8 {\n  // seal-lint: allow(unwrap)\n  *m.lock().unwrap()\n}\n";
+        assert_eq!(rules_found(src), vec![(Rule::LockUnwrap, 3)]);
     }
 
     #[test]

@@ -44,11 +44,32 @@ fn cast_fixture_yields_only_the_truncating_casts() {
 }
 
 #[test]
-fn linting_the_whole_fixture_dir_finds_both_files() {
+fn concurrency_fixture_yields_only_the_lock_unwraps() {
+    let findings = lint_paths(&[fixture("bad_concurrency.rs")]).unwrap();
+    let rules: Vec<(Rule, u32)> = findings.iter().map(|f| (f.rule, f.line)).collect();
+    assert_eq!(
+        rules,
+        vec![
+            (Rule::LockUnwrap, 10),
+            (Rule::LockUnwrap, 16),
+            (Rule::LockUnwrap, 21),
+        ],
+        "full findings: {findings:#?}"
+    );
+    // The poisoned-lock recovery idiom in the same file stays clean, and
+    // the sync-specific rule replaces (not duplicates) the generic ones.
+    assert!(!findings
+        .iter()
+        .any(|f| matches!(f.rule, Rule::Unwrap | Rule::Expect)));
+}
+
+#[test]
+fn linting_the_whole_fixture_dir_finds_all_files() {
     let findings = lint_paths(&[fixture("")]).unwrap();
     assert!(findings.iter().any(|f| f.path.ends_with("bad_panics.rs")));
+    assert!(findings.iter().any(|f| f.path.ends_with("bad_concurrency.rs")));
     assert!(findings.iter().any(|f| f.path.ends_with("aes.rs")));
-    assert_eq!(findings.len(), 9);
+    assert_eq!(findings.len(), 12);
 }
 
 #[test]

@@ -1,0 +1,23 @@
+//! Micro-benchmarks for the serving runtime's per-request hot path: queue
+//! admission + batch assembly, and pricing one batch through the three
+//! virtual encryption lanes.
+
+use std::time::Duration;
+
+use seal_bench::timing::bench;
+use seal_nn::models::vgg16_topology;
+use seal_serve::{BoundedQueue, CostModel, ServerConfig};
+
+fn main() {
+    let queue: BoundedQueue<u64> = BoundedQueue::new(1024);
+    let mut i = 0u64;
+    bench("serve/queue_push_pop", || {
+        i = i.wrapping_add(1);
+        let _ = queue.try_push(i);
+        queue.pop_batch(8, Duration::ZERO)
+    });
+
+    let topo = vgg16_topology();
+    let mut cost = CostModel::new(&topo, &ServerConfig::smoke()).unwrap();
+    bench("serve/cost_batch_vgg16_b8", || cost.cost_batch(8));
+}

@@ -152,7 +152,14 @@ impl EnginePipeline {
 
     /// Submits `bytes` for encryption at cycle `now`; returns the cycle when
     /// the result is available.
+    ///
+    /// An empty submission (`bytes == 0`) is a no-op: nothing enters the
+    /// pipeline, so the engine state (next-free cycle, line count, busy
+    /// cycles) is untouched and the "result" is available at `now`.
     pub fn submit(&mut self, now: u64, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return now;
+        }
         let occupancy = self.spec.occupancy_cycles(bytes, self.clock_ghz);
         let start = now.max(self.next_free);
         self.next_free = start + occupancy;
@@ -229,6 +236,21 @@ mod tests {
         eng.submit(0, 128);
         let done = eng.submit(10_000, 128);
         assert_eq!(done, 10_000 + 23 + 20);
+    }
+
+    #[test]
+    fn zero_byte_submission_is_a_noop() {
+        let mut eng = EnginePipeline::new(EngineSpec::seal_default(), 1.401).unwrap();
+        eng.submit(0, 128);
+        let free_before = eng.next_free_cycle();
+        // An empty request completes instantly and must not occupy the
+        // pipeline or count as a processed line.
+        assert_eq!(eng.submit(5, 0), 5);
+        assert_eq!(eng.next_free_cycle(), free_before);
+        assert_eq!(eng.lines_processed(), 1);
+        assert_eq!(eng.busy_cycles(), 23);
+        // Subsequent real traffic is unaffected.
+        assert_eq!(eng.submit(10_000, 128), 10_000 + 23 + 20);
     }
 
     #[test]

@@ -102,7 +102,13 @@ pub struct KernelMatrix {
 /// run without re-supplying the input. `backward` consumes the upstream
 /// gradient and returns the gradient w.r.t. the layer input, accumulating
 /// parameter gradients into [`Param::grad`] along the way.
-pub trait Layer: std::fmt::Debug {
+///
+/// Layers are `Send + Sync`: a trained model behind an `Arc` can be shared
+/// immutably across serving worker threads. The training-time `forward`
+/// mutates per-layer caches and therefore needs `&mut self`; concurrent
+/// inference goes through [`forward_infer`](Self::forward_infer), which
+/// takes `&self` and leaves no state behind.
+pub trait Layer: std::fmt::Debug + Send + Sync {
     /// Stable human-readable layer name (e.g. `conv3_2`).
     fn name(&self) -> &str;
 
@@ -116,6 +122,17 @@ pub trait Layer: std::fmt::Debug {
     ///
     /// Propagates shape errors from the underlying tensor kernels.
     fn forward(&mut self, input: &Tensor, train: bool) -> Result<Tensor, NnError>;
+
+    /// Inference-only forward pass through a shared layer.
+    ///
+    /// Semantically identical to `forward(input, false)` but takes `&self`
+    /// and caches nothing, so a model can serve many requests concurrently.
+    /// `backward` after `forward_infer` still requires a prior `forward`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the underlying tensor kernels.
+    fn forward_infer(&self, input: &Tensor) -> Result<Tensor, NnError>;
 
     /// Backward pass: upstream gradient in, input gradient out.
     ///

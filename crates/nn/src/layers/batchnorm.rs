@@ -164,6 +164,34 @@ impl Layer for BatchNorm2d {
         Ok(out)
     }
 
+    fn forward_infer(&self, input: &Tensor) -> Result<Tensor, NnError> {
+        let (n, h, w) = self.check_input(input)?;
+        let c = self.channels;
+        let spatial = h * w;
+        let x = input.as_slice();
+        let inv_std: Vec<f32> = self
+            .running_var
+            .iter()
+            .map(|v| 1.0 / (v + self.eps).sqrt())
+            .collect();
+        let gamma = self.gamma.value.as_slice();
+        let beta = self.beta.value.as_slice();
+        let mut out = Tensor::zeros(input.shape().clone());
+        let o = out.as_mut_slice();
+        for b in 0..n {
+            for ch in 0..c {
+                let base = (b * c + ch) * spatial;
+                for i in base..base + spatial {
+                    // Same association as `forward` so eval-mode outputs
+                    // match bitwise.
+                    let v = (x[i] - self.running_mean[ch]) * inv_std[ch];
+                    o[i] = gamma[ch] * v + beta[ch];
+                }
+            }
+        }
+        Ok(out)
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {
         let cache = self
             .cached

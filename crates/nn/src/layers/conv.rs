@@ -113,9 +113,13 @@ impl Layer for Conv2d {
     }
 
     fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor, NnError> {
-        let out = conv2d(input, &self.weights.value, Some(&self.bias.value), &self.geom)?;
+        let out = self.forward_infer(input)?;
         self.cached_input = Some(input.clone());
         Ok(out)
+    }
+
+    fn forward_infer(&self, input: &Tensor) -> Result<Tensor, NnError> {
+        Ok(conv2d(input, &self.weights.value, Some(&self.bias.value), &self.geom)?)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {

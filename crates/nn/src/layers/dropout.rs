@@ -80,6 +80,11 @@ impl Layer for Dropout {
         Ok(Tensor::from_vec(data, input.shape().clone())?)
     }
 
+    fn forward_infer(&self, input: &Tensor) -> Result<Tensor, NnError> {
+        // Inverted dropout is the identity at inference time.
+        Ok(input.clone())
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {
         match &self.cached_mask {
             // Eval-mode or p=0 forward: identity.

@@ -35,6 +35,11 @@ impl Layer for Flatten {
         Ok(input.clone().reshape(out)?)
     }
 
+    fn forward_infer(&self, input: &Tensor) -> Result<Tensor, NnError> {
+        let out = self.output_shape(input.shape())?;
+        Ok(input.clone().reshape(out)?)
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {
         let shape = self
             .cached_shape

@@ -91,6 +91,12 @@ impl Layer for Linear {
     }
 
     fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor, NnError> {
+        let out = self.forward_infer(input)?;
+        self.cached_input = Some(input.clone());
+        Ok(out)
+    }
+
+    fn forward_infer(&self, input: &Tensor) -> Result<Tensor, NnError> {
         if input.shape().rank() != 2 {
             return Err(NnError::InvalidConfig {
                 reason: format!("linear expects [batch, features], got {}", input.shape()),
@@ -100,14 +106,13 @@ impl Layer for Linear {
         let mut out = input.matmul(&wt)?;
         // Broadcast-add bias over the batch.
         let (batch, outf) = (out.shape().dim(0), out.shape().dim(1));
-        let b = self.bias.value.as_slice().to_vec();
+        let b = self.bias.value.as_slice();
         let o = out.as_mut_slice();
         for r in 0..batch {
             for c in 0..outf {
                 o[r * outf + c] += b[c];
             }
         }
-        self.cached_input = Some(input.clone());
         Ok(out)
     }
 

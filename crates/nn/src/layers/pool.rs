@@ -63,6 +63,11 @@ impl Layer for MaxPool2d {
         Ok(out)
     }
 
+    fn forward_infer(&self, input: &Tensor) -> Result<Tensor, NnError> {
+        let (out, _argmax) = max_pool2d(input, &self.geom)?;
+        Ok(out)
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {
         let (shape, argmax) =
             self.cached
@@ -116,6 +121,10 @@ impl Layer for AvgPool2d {
         let out = avg_pool2d(input, &self.geom)?;
         self.cached_shape = Some(input.shape().clone());
         Ok(out)
+    }
+
+    fn forward_infer(&self, input: &Tensor) -> Result<Tensor, NnError> {
+        Ok(avg_pool2d(input, &self.geom)?)
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {

@@ -33,6 +33,10 @@ impl Layer for ReLU {
         Ok(input.map(|v| v.max(0.0)))
     }
 
+    fn forward_infer(&self, input: &Tensor) -> Result<Tensor, NnError> {
+        Ok(input.map(|v| v.max(0.0)))
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {
         let mask = self
             .cached_mask

@@ -97,6 +97,23 @@ impl Layer for ResidualBlock {
         Ok(pre.map(|v| v.max(0.0)))
     }
 
+    fn forward_infer(&self, input: &Tensor) -> Result<Tensor, NnError> {
+        let mut f = input.clone();
+        for layer in &self.main {
+            f = layer.forward_infer(&f)?;
+        }
+        let s = if self.shortcut.is_empty() {
+            input.clone()
+        } else {
+            let mut s = input.clone();
+            for layer in &self.shortcut {
+                s = layer.forward_infer(&s)?;
+            }
+            s
+        };
+        Ok(f.add(&s)?.map(|v| v.max(0.0)))
+    }
+
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {
         let mask = self
             .relu_mask

@@ -62,6 +62,24 @@ impl Sequential {
         Ok(x)
     }
 
+    /// Runs the full forward pass in inference mode through a shared model.
+    ///
+    /// Unlike [`forward`](Self::forward) this takes `&self` and caches no
+    /// per-layer state, so an `Arc<Sequential>` can serve concurrent
+    /// requests from many worker threads (the `seal-serve` runtime relies
+    /// on this).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first layer error.
+    pub fn forward_infer(&self, input: &Tensor) -> Result<Tensor, NnError> {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.forward_infer(&x)?;
+        }
+        Ok(x)
+    }
+
     /// Runs the full backward pass, returning the gradient w.r.t. the model
     /// input (used by I-FGSM and Jacobian augmentation in `seal-attack`).
     ///
@@ -170,14 +188,22 @@ impl Sequential {
 
     /// Class predictions (argmax over logits) for a batch.
     ///
+    /// Runs in inference mode via [`forward_infer`](Self::forward_infer),
+    /// so a shared model needs no exclusive access to classify.
+    ///
     /// # Errors
     ///
     /// Propagates forward-pass errors.
-    pub fn predict(&mut self, input: &Tensor) -> Result<Vec<usize>, NnError> {
-        let logits = self.forward(input, false)?;
+    pub fn predict(&self, input: &Tensor) -> Result<Vec<usize>, NnError> {
+        let logits = self.forward_infer(input)?;
+        Ok(Self::argmax_rows(&logits))
+    }
+
+    /// Row-wise argmax over a `[batch, classes]` logits tensor.
+    pub fn argmax_rows(logits: &Tensor) -> Vec<usize> {
         let (batch, classes) = (logits.shape().dim(0), logits.shape().dim(1));
         let data = logits.as_slice();
-        Ok((0..batch)
+        (0..batch)
             .map(|b| {
                 let row = &data[b * classes..(b + 1) * classes];
                 row.iter()
@@ -186,7 +212,7 @@ impl Sequential {
                     .map(|(i, _)| i)
                     .unwrap_or(0)
             })
-            .collect())
+            .collect()
     }
 }
 
@@ -243,8 +269,35 @@ mod tests {
 
     #[test]
     fn predict_returns_argmax_per_row() {
-        let mut m = Sequential::new("id");
+        let m = Sequential::new("id");
         let x = Tensor::from_vec(vec![0.1, 0.9, 0.8, 0.2], Shape::matrix(2, 2)).unwrap();
         assert_eq!(m.predict(&x).unwrap(), vec![1, 0]);
+    }
+
+    #[test]
+    fn model_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        // A model (including boxed dyn layers) must be shareable across
+        // serving worker threads behind an Arc.
+        assert_send_sync::<Sequential>();
+        assert_send_sync::<std::sync::Arc<Sequential>>();
+        assert_send_sync::<Box<dyn crate::Layer>>();
+    }
+
+    #[test]
+    fn forward_infer_matches_eval_forward_and_leaves_no_state() {
+        let mut m = tiny_mlp(5);
+        let x = Tensor::ones(Shape::nchw(2, 2, 2, 2));
+        let infer = m.forward_infer(&x).unwrap();
+        let eval = m.forward(&x, false).unwrap();
+        assert_eq!(infer, eval, "inference path must match eval-mode forward");
+        // forward_infer on a fresh model must not enable backward.
+        let fresh = tiny_mlp(5);
+        fresh.forward_infer(&x).unwrap();
+        let mut fresh = fresh;
+        assert!(matches!(
+            fresh.backward(&Tensor::ones(infer.shape().clone())),
+            Err(NnError::BackwardBeforeForward { .. })
+        ));
     }
 }

@@ -1,0 +1,144 @@
+//! Server configuration: batching, admission control and the cost-model
+//! knobs that tie serving throughput to the SEAL encryption schemes.
+
+use std::time::Duration;
+
+use crate::ServeError;
+
+/// Configuration of a [`Server`](crate::Server).
+///
+/// The first block configures the *real* runtime (threads, batching,
+/// admission control); the second configures the *virtual* cost model that
+/// prices every realized batch's weight/feature-map traffic under the
+/// memory-encryption schemes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerConfig {
+    /// Zoo model to serve: `mlp`, `vgg16` or `resnet18`.
+    pub model: String,
+    /// Number of worker threads, each running whole batches.
+    pub workers: usize,
+    /// Largest batch a worker may assemble from the queue.
+    pub max_batch: usize,
+    /// How long a worker waits for the queue to fill a batch beyond the
+    /// first request before running what it has (the batching deadline).
+    pub batch_deadline: Duration,
+    /// Bounded queue capacity; submissions beyond it are rejected with
+    /// [`ServeError::QueueFull`] (admission control).
+    pub queue_capacity: usize,
+    /// SEAL smart-encryption ratio for the `SEAL-C` scheme column (the
+    /// paper's security study fixes 0.5).
+    pub se_ratio: f64,
+    /// Accelerator core clock in GHz (cycle domain of the cost model).
+    pub clock_ghz: f64,
+    /// Counter-cache capacity in KiB for the counter-mode schemes.
+    pub counter_cache_kb: usize,
+    /// Sustained accelerator arithmetic throughput in FLOPs per cycle,
+    /// used to convert a batch's FLOPs into compute cycles.
+    pub flops_per_cycle: f64,
+    /// Seed for model weights (the zoo is randomly initialised but
+    /// deterministic per seed).
+    pub seed: u64,
+}
+
+impl ServerConfig {
+    /// A small fast preset for smoke tests and CI: the reduced VGG-16
+    /// behind two workers with gentle batching. (A CONV model, so the
+    /// paper's boundary rule leaves mid-network layers selectively
+    /// encrypted and the three scheme columns stay strictly ordered;
+    /// an all-FC model would collapse SEAL-C into Counter.)
+    pub fn smoke() -> Self {
+        ServerConfig {
+            model: "vgg16".into(),
+            workers: 2,
+            max_batch: 8,
+            batch_deadline: Duration::from_micros(500),
+            queue_capacity: 64,
+            se_ratio: 0.5,
+            clock_ghz: 1.401,
+            counter_cache_kb: 96,
+            flops_per_cycle: 512.0,
+            seed: 7,
+        }
+    }
+
+    /// Validates every field, returning the first violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        let fail = |reason: String| Err(ServeError::InvalidConfig { reason });
+        if self.workers == 0 {
+            return fail("workers must be >= 1".into());
+        }
+        if self.max_batch == 0 {
+            return fail("max_batch must be >= 1".into());
+        }
+        if self.queue_capacity == 0 {
+            return fail("queue_capacity must be >= 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.se_ratio) {
+            return fail(format!("se_ratio {} must be in [0, 1]", self.se_ratio));
+        }
+        if self.clock_ghz <= 0.0 {
+            return fail(format!("clock_ghz {} must be positive", self.clock_ghz));
+        }
+        if self.counter_cache_kb == 0 {
+            return fail("counter_cache_kb must be >= 1".into());
+        }
+        if self.flops_per_cycle <= 0.0 {
+            return fail(format!(
+                "flops_per_cycle {} must be positive",
+                self.flops_per_cycle
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig::smoke()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_preset_is_valid() {
+        assert!(ServerConfig::smoke().validate().is_ok());
+    }
+
+    #[test]
+    fn each_bad_field_is_rejected() {
+        let ok = ServerConfig::smoke();
+        for (mutate, needle) in [
+            (
+                Box::new(|c: &mut ServerConfig| c.workers = 0) as Box<dyn Fn(&mut ServerConfig)>,
+                "workers",
+            ),
+            (Box::new(|c: &mut ServerConfig| c.max_batch = 0), "max_batch"),
+            (
+                Box::new(|c: &mut ServerConfig| c.queue_capacity = 0),
+                "queue_capacity",
+            ),
+            (Box::new(|c: &mut ServerConfig| c.se_ratio = 1.5), "se_ratio"),
+            (Box::new(|c: &mut ServerConfig| c.clock_ghz = 0.0), "clock_ghz"),
+            (
+                Box::new(|c: &mut ServerConfig| c.counter_cache_kb = 0),
+                "counter_cache_kb",
+            ),
+            (
+                Box::new(|c: &mut ServerConfig| c.flops_per_cycle = -1.0),
+                "flops_per_cycle",
+            ),
+        ] {
+            let mut bad = ok.clone();
+            mutate(&mut bad);
+            let err = bad.validate().unwrap_err().to_string();
+            assert!(err.contains(needle), "{err} should mention {needle}");
+        }
+    }
+}

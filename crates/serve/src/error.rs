@@ -1,0 +1,116 @@
+//! Error type of the serving runtime.
+
+use std::fmt;
+
+/// Everything that can go wrong while configuring, loading or running a
+/// [`Server`](crate::Server).
+#[derive(Debug)]
+pub enum ServeError {
+    /// A configuration field is out of range.
+    InvalidConfig {
+        /// Human-readable description of the bad field.
+        reason: String,
+    },
+    /// Admission control rejected the request: the bounded queue is full.
+    ///
+    /// This is backpressure, not failure — the caller may retry once
+    /// in-flight work drains.
+    QueueFull {
+        /// The queue capacity that was exceeded.
+        capacity: usize,
+    },
+    /// The server is shutting down and accepts no new requests.
+    ShuttingDown,
+    /// The worker serving this request died before responding (a model
+    /// error or a panic on the worker thread).
+    WorkerLost {
+        /// Id of the orphaned request.
+        request_id: u64,
+    },
+    /// An unknown model name was requested from the zoo.
+    UnknownModel {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// A tensor could not be assembled (batch concatenation).
+    Tensor(seal_tensor::TensorError),
+    /// The neural-network layer stack rejected an input.
+    Model(seal_nn::NnError),
+    /// The encryption-plan / traffic layer rejected the topology.
+    Core(seal_core::CoreError),
+    /// The AES engine / counter-cache model rejected its configuration.
+    Crypto(seal_crypto::CryptoError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::InvalidConfig { reason } => {
+                write!(f, "invalid serve configuration: {reason}")
+            }
+            ServeError::QueueFull { capacity } => {
+                write!(f, "request queue full (capacity {capacity})")
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::WorkerLost { request_id } => {
+                write!(f, "worker died before answering request {request_id}")
+            }
+            ServeError::UnknownModel { name } => {
+                write!(f, "unknown model `{name}` (zoo: mlp, vgg16, resnet18)")
+            }
+            ServeError::Tensor(e) => write!(f, "tensor error: {e}"),
+            ServeError::Model(e) => write!(f, "model error: {e}"),
+            ServeError::Core(e) => write!(f, "encryption-plan error: {e}"),
+            ServeError::Crypto(e) => write!(f, "crypto-model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Tensor(e) => Some(e),
+            ServeError::Model(e) => Some(e),
+            ServeError::Core(e) => Some(e),
+            ServeError::Crypto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<seal_tensor::TensorError> for ServeError {
+    fn from(e: seal_tensor::TensorError) -> Self {
+        ServeError::Tensor(e)
+    }
+}
+
+impl From<seal_nn::NnError> for ServeError {
+    fn from(e: seal_nn::NnError) -> Self {
+        ServeError::Model(e)
+    }
+}
+
+impl From<seal_core::CoreError> for ServeError {
+    fn from(e: seal_core::CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+impl From<seal_crypto::CryptoError> for ServeError {
+    fn from(e: seal_crypto::CryptoError) -> Self {
+        ServeError::Crypto(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        let e = ServeError::QueueFull { capacity: 8 };
+        assert!(e.to_string().contains("capacity 8"));
+        let e = ServeError::UnknownModel { name: "gpt".into() };
+        assert!(e.to_string().contains("gpt"));
+    }
+}

@@ -1,0 +1,275 @@
+//! Closed-loop and open-loop load generators.
+//!
+//! * **Closed loop** — `concurrency` clients, each keeping exactly one
+//!   request in flight: submit, wait, repeat. Backpressure is absorbed by
+//!   retrying, so every request eventually completes; this measures the
+//!   system's sustainable throughput.
+//! * **Open loop** — requests arrive at a fixed rate regardless of
+//!   completions (the standard arrival model for tail-latency studies).
+//!   Admission-control rejections are *dropped and counted*, not retried.
+//!
+//! Both draw request tensors from the deterministic in-tree generator, so
+//! a (seed, request-count) pair always produces the same request stream.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use seal_tensor::rng::rngs::StdRng;
+use seal_tensor::rng::SeedableRng;
+
+use crate::metrics::LatencyHistogram;
+use crate::{ServeError, Server};
+
+/// How a load generator drove the server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadMode {
+    /// Closed loop with this many concurrent clients.
+    Closed {
+        /// Number of client threads (each with one request in flight).
+        concurrency: usize,
+    },
+    /// Open loop at this many requests per second.
+    Open {
+        /// Arrival rate in requests per second.
+        rate_rps: f64,
+    },
+}
+
+impl LoadMode {
+    /// Short name used in reports and file names.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LoadMode::Closed { .. } => "closed",
+            LoadMode::Open { .. } => "open",
+        }
+    }
+}
+
+/// What the load generator observed from the client side.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// The arrival model used.
+    pub mode: LoadMode,
+    /// Requests the generator tried to issue.
+    pub requested: usize,
+    /// Requests that completed with a prediction.
+    pub completed: usize,
+    /// Requests dropped by admission control (open loop only).
+    pub rejected: usize,
+    /// Wall-clock duration of the run in seconds.
+    pub wall_seconds: f64,
+    /// Completed requests per wall-clock second.
+    pub observed_throughput_rps: f64,
+    /// Client-observed end-to-end latency.
+    pub latency: LatencyHistogram,
+}
+
+/// Runs a closed-loop test: `concurrency` clients issue `requests` total
+/// requests, each waiting for its previous answer before the next send.
+///
+/// # Errors
+///
+/// Propagates the first client-side error other than backpressure
+/// (`QueueFull` is retried after a short pause).
+pub fn run_closed(
+    server: &Server,
+    requests: usize,
+    concurrency: usize,
+    seed: u64,
+) -> Result<LoadReport, ServeError> {
+    if concurrency == 0 {
+        return Err(ServeError::InvalidConfig {
+            reason: "closed-loop concurrency must be >= 1".into(),
+        });
+    }
+    let started = Instant::now();
+    let issued = AtomicUsize::new(0);
+    let latency = Mutex::new(LatencyHistogram::new());
+    let first_error: Mutex<Option<ServeError>> = Mutex::new(None);
+    let completed = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for client in 0..concurrency {
+            let issued = &issued;
+            let latency = &latency;
+            let first_error = &first_error;
+            let completed = &completed;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ (client as u64).wrapping_mul(0x9E37));
+                loop {
+                    if issued.fetch_add(1, Ordering::Relaxed) >= requests {
+                        return;
+                    }
+                    let input = server.sample_input(&mut rng);
+                    let handle = loop {
+                        match server.submit(input.clone()) {
+                            Ok(h) => break h,
+                            Err(ServeError::QueueFull { .. }) => {
+                                std::thread::sleep(Duration::from_micros(50));
+                            }
+                            Err(e) => {
+                                record_error(first_error, e);
+                                return;
+                            }
+                        }
+                    };
+                    match handle.wait() {
+                        Ok(r) => {
+                            completed.fetch_add(1, Ordering::Relaxed);
+                            lock_hist(latency).record(r.latency.as_micros() as u64);
+                        }
+                        Err(e) => {
+                            record_error(first_error, e);
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(e) = first_error
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .take()
+    {
+        return Err(e);
+    }
+    let wall = started.elapsed().as_secs_f64();
+    let done = completed.load(Ordering::Relaxed);
+    let latency = lock_hist(&latency).clone();
+    Ok(LoadReport {
+        mode: LoadMode::Closed { concurrency },
+        requested: requests,
+        completed: done,
+        rejected: 0,
+        wall_seconds: wall,
+        observed_throughput_rps: if wall > 0.0 { done as f64 / wall } else { 0.0 },
+        latency,
+    })
+}
+
+/// Runs an open-loop test: `requests` arrivals paced at `rate_rps`,
+/// submitted without waiting for completions; rejected arrivals are
+/// dropped and counted. After the last arrival the generator waits for
+/// every accepted request.
+///
+/// # Errors
+///
+/// Returns [`ServeError::InvalidConfig`] for a non-positive rate and
+/// propagates non-backpressure submission failures.
+pub fn run_open(
+    server: &Server,
+    requests: usize,
+    rate_rps: f64,
+    seed: u64,
+) -> Result<LoadReport, ServeError> {
+    if rate_rps <= 0.0 {
+        return Err(ServeError::InvalidConfig {
+            reason: format!("open-loop rate {rate_rps} must be positive"),
+        });
+    }
+    let interval = Duration::from_secs_f64(1.0 / rate_rps);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let started = Instant::now();
+    let mut next_fire = started;
+    let mut handles = Vec::with_capacity(requests);
+    let mut rejected = 0usize;
+
+    for _ in 0..requests {
+        let now = Instant::now();
+        if now < next_fire {
+            std::thread::sleep(next_fire - now);
+        }
+        next_fire += interval;
+        let input = server.sample_input(&mut rng);
+        match server.submit(input) {
+            Ok(h) => handles.push(h),
+            Err(ServeError::QueueFull { .. }) => rejected += 1,
+            Err(e) => return Err(e),
+        }
+    }
+
+    let mut latency = LatencyHistogram::new();
+    let mut completed = 0usize;
+    for h in handles {
+        let r = h.wait()?;
+        completed += 1;
+        latency.record(r.latency.as_micros() as u64);
+    }
+    let wall = started.elapsed().as_secs_f64();
+    Ok(LoadReport {
+        mode: LoadMode::Open { rate_rps },
+        requested: requests,
+        completed,
+        rejected,
+        wall_seconds: wall,
+        observed_throughput_rps: if wall > 0.0 {
+            completed as f64 / wall
+        } else {
+            0.0
+        },
+        latency,
+    })
+}
+
+/// Poison-tolerant histogram lock.
+fn lock_hist(m: &Mutex<LatencyHistogram>) -> std::sync::MutexGuard<'_, LatencyHistogram> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Keeps the first error a client hit.
+fn record_error(slot: &Mutex<Option<ServeError>>, e: ServeError) {
+    let mut s = slot.lock().unwrap_or_else(|p| p.into_inner());
+    if s.is_none() {
+        *s = Some(e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServerConfig;
+    use std::time::Duration;
+
+    fn mlp_server() -> Server {
+        Server::start(ServerConfig {
+            model: "mlp".into(),
+            workers: 2,
+            max_batch: 4,
+            batch_deadline: Duration::from_micros(200),
+            queue_capacity: 64,
+            ..ServerConfig::smoke()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn closed_loop_completes_every_request() {
+        let server = mlp_server();
+        let report = run_closed(&server, 20, 4, 9).unwrap();
+        assert_eq!(report.completed, 20);
+        assert_eq!(report.rejected, 0);
+        assert!(report.observed_throughput_rps > 0.0);
+        assert_eq!(report.latency.len(), 20);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn open_loop_accounts_for_every_arrival() {
+        let server = mlp_server();
+        let report = run_open(&server, 20, 5000.0, 9).unwrap();
+        assert_eq!(report.completed + report.rejected, 20);
+        assert!(report.completed > 0);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn bad_parameters_are_rejected() {
+        let server = mlp_server();
+        assert!(run_closed(&server, 1, 0, 0).is_err());
+        assert!(run_open(&server, 1, 0.0, 0).is_err());
+        server.shutdown().unwrap();
+    }
+}

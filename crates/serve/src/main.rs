@@ -1,0 +1,201 @@
+//! The `seal-serve` CLI: drive the serving runtime under a load generator
+//! and emit a JSON report.
+//!
+//! ```text
+//! seal-serve [--smoke] [--model NAME] [--mode closed|open] [--requests N]
+//!            [--concurrency N] [--rate RPS] [--workers N] [--max-batch N]
+//!            [--deadline-us N] [--queue-cap N] [--ratio R] [--seed N]
+//!            [--out PATH]
+//! ```
+//!
+//! `--smoke` runs the CI preset (vgg16, ~100 closed-loop requests), writes
+//! `results/serve_smoke.json` and *fails* (exit 1) if any smoke acceptance
+//! property is violated — including the paper's scheme ordering, Baseline
+//! throughput > SEAL-C > Counter. Exit codes: `0` ok, `1` violations,
+//! `2` usage or runtime error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use seal_serve::{loadgen, ServeReport, Server, ServerConfig};
+
+const USAGE: &str = "usage: seal-serve [options]
+
+  --smoke             CI preset: vgg16, 100 closed-loop requests, write
+                      results/serve_smoke.json, fail on acceptance
+                      violations (overrides model/mode/requests defaults)
+  --model NAME        zoo model: mlp | vgg16 | resnet18   (default vgg16)
+  --mode MODE         closed | open                       (default closed)
+  --requests N        requests to issue                   (default 100)
+  --concurrency N     closed-loop client threads          (default 4)
+  --rate RPS          open-loop arrival rate              (default 200)
+  --workers N         serving worker threads              (default 2)
+  --max-batch N       dynamic batching cap                (default 8)
+  --deadline-us N     batching deadline in microseconds   (default 500)
+  --queue-cap N       bounded queue capacity              (default 64)
+  --ratio R           SEAL smart-encryption ratio in [0,1] (default 0.5)
+  --seed N            weight/request RNG seed             (default 7)
+  --out PATH          JSON report path (default results/serve_<mode>.json)
+
+exit codes: 0 ok, 1 acceptance violations, 2 usage or runtime error";
+
+struct Args {
+    smoke: bool,
+    mode: String,
+    requests: usize,
+    concurrency: usize,
+    rate: f64,
+    out: Option<PathBuf>,
+    config: ServerConfig,
+}
+
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut args = Args {
+        smoke: false,
+        mode: "closed".into(),
+        requests: 100,
+        concurrency: 4,
+        rate: 200.0,
+        out: None,
+        config: ServerConfig::smoke(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match a.as_str() {
+            "--help" | "-h" => return Ok(None),
+            "--smoke" => args.smoke = true,
+            "--model" => args.config.model = value("--model")?,
+            "--mode" => args.mode = value("--mode")?,
+            "--requests" => args.requests = parse_num(&value("--requests")?, "--requests")?,
+            "--concurrency" => {
+                args.concurrency = parse_num(&value("--concurrency")?, "--concurrency")?
+            }
+            "--rate" => args.rate = parse_float(&value("--rate")?, "--rate")?,
+            "--workers" => args.config.workers = parse_num(&value("--workers")?, "--workers")?,
+            "--max-batch" => {
+                args.config.max_batch = parse_num(&value("--max-batch")?, "--max-batch")?
+            }
+            "--deadline-us" => {
+                let us: u64 = parse_num(&value("--deadline-us")?, "--deadline-us")?;
+                args.config.batch_deadline = std::time::Duration::from_micros(us);
+            }
+            "--queue-cap" => {
+                args.config.queue_capacity = parse_num(&value("--queue-cap")?, "--queue-cap")?
+            }
+            "--ratio" => args.config.se_ratio = parse_float(&value("--ratio")?, "--ratio")?,
+            "--seed" => args.config.seed = parse_num(&value("--seed")?, "--seed")?,
+            "--out" => args.out = Some(PathBuf::from(value("--out")?)),
+            s => return Err(format!("unknown argument {s}")),
+        }
+    }
+    if args.smoke {
+        args.config.model = "vgg16".into();
+        args.mode = "closed".into();
+        args.requests = 100;
+        args.out.get_or_insert(PathBuf::from("results/serve_smoke.json"));
+    }
+    if args.mode != "closed" && args.mode != "open" {
+        return Err(format!("--mode must be closed or open, got {}", args.mode));
+    }
+    Ok(Some(args))
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("{flag}: `{s}` is not a valid number"))
+}
+
+fn parse_float(s: &str, flag: &str) -> Result<f64, String> {
+    s.parse()
+        .map_err(|_| format!("{flag}: `{s}` is not a valid number"))
+}
+
+fn run(args: Args) -> Result<ExitCode, String> {
+    let config = args.config.clone();
+    let server = Server::start(config.clone()).map_err(|e| e.to_string())?;
+    println!(
+        "seal-serve: model={} workers={} max_batch={} deadline={}us queue={} ratio={}",
+        config.model,
+        config.workers,
+        config.max_batch,
+        config.batch_deadline.as_micros(),
+        config.queue_capacity,
+        config.se_ratio
+    );
+    let load = if args.mode == "closed" {
+        loadgen::run_closed(&server, args.requests, args.concurrency, config.seed)
+    } else {
+        loadgen::run_open(&server, args.requests, args.rate, config.seed)
+    }
+    .map_err(|e| e.to_string())?;
+    let stats = server.shutdown().map_err(|e| e.to_string())?;
+    let mut report = ServeReport {
+        config,
+        load,
+        stats,
+    };
+
+    let out = args
+        .out
+        .unwrap_or_else(|| PathBuf::from(format!("results/serve_{}.json", report.load.mode.name())));
+    report
+        .write(&out)
+        .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+
+    println!(
+        "seal-serve: {} mode, {}/{} completed ({} rejected), {:.1} req/s, p50={}us p99={}us",
+        report.load.mode.name(),
+        report.load.completed,
+        report.load.requested,
+        report.load.rejected,
+        report.load.observed_throughput_rps,
+        report.load.latency.p50(),
+        report.load.latency.p99()
+    );
+    for row in &report.stats.schemes {
+        println!(
+            "seal-serve:   {:<10} {:>14} enc bytes  {:>14} cycles  {:>10.1} rps  slowdown {:.3}x",
+            row.scheme.label(),
+            row.enc_bytes,
+            row.makespan_cycles,
+            row.throughput_rps,
+            row.slowdown_vs_baseline
+        );
+    }
+    println!("seal-serve: report written to {}", out.display());
+
+    let violations = report.smoke_violations();
+    if violations.is_empty() {
+        println!("seal-serve: acceptance checks clean");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for v in &violations {
+            eprintln!("seal-serve: VIOLATION: {v}");
+        }
+        Ok(ExitCode::from(1))
+    }
+}
+
+fn main() -> ExitCode {
+    match parse_args() {
+        Ok(Some(args)) => match run(args) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("seal-serve: {e}");
+                ExitCode::from(2)
+            }
+        },
+        Ok(None) => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("seal-serve: {e}\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

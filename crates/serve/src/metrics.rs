@@ -1,0 +1,213 @@
+//! Per-request latency histograms and queue/batch statistics.
+//!
+//! Everything here is plain data — the runtime records into these from
+//! behind its own locks, and the load generators aggregate them into the
+//! final [`ServeReport`](crate::ServeReport).
+
+/// A latency recorder with exact percentiles (nearest-rank over the raw
+/// sample set — serving runs are small enough that bucketing would only
+/// add error).
+#[derive(Debug, Clone, Default)]
+pub struct LatencyHistogram {
+    samples_us: Vec<u64>,
+    sorted: bool,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Records one latency observation, in microseconds.
+    pub fn record(&mut self, micros: u64) {
+        self.samples_us.push(micros);
+        self.sorted = false;
+    }
+
+    /// Merges another histogram's samples into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        self.samples_us.extend_from_slice(&other.samples_us);
+        self.sorted = false;
+    }
+
+    /// Number of recorded observations.
+    pub fn len(&self) -> usize {
+        self.samples_us.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples_us.is_empty()
+    }
+
+    fn sort(&mut self) {
+        if !self.sorted {
+            self.samples_us.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// Nearest-rank percentile in microseconds; 0 when empty. `p` is in
+    /// `[0, 100]`.
+    pub fn percentile(&mut self, p: f64) -> u64 {
+        if self.samples_us.is_empty() {
+            return 0;
+        }
+        self.sort();
+        let n = self.samples_us.len();
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        self.samples_us[rank.clamp(1, n) - 1]
+    }
+
+    /// Median latency (µs).
+    pub fn p50(&mut self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// 95th-percentile latency (µs).
+    pub fn p95(&mut self) -> u64 {
+        self.percentile(95.0)
+    }
+
+    /// 99th-percentile latency (µs).
+    pub fn p99(&mut self) -> u64 {
+        self.percentile(99.0)
+    }
+
+    /// Mean latency (µs); 0 when empty.
+    pub fn mean(&self) -> u64 {
+        if self.samples_us.is_empty() {
+            return 0;
+        }
+        self.samples_us.iter().sum::<u64>() / self.samples_us.len() as u64
+    }
+
+    /// Maximum latency (µs); 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.samples_us.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Running queue-depth statistics, sampled at every submission.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueDepthStats {
+    /// Number of depth samples taken.
+    pub samples: u64,
+    /// Sum of sampled depths (for the mean).
+    pub depth_sum: u64,
+    /// Deepest observed queue.
+    pub depth_max: usize,
+}
+
+impl QueueDepthStats {
+    /// Records the queue depth observed at one submission.
+    pub fn observe(&mut self, depth: usize) {
+        self.samples += 1;
+        self.depth_sum += depth as u64;
+        self.depth_max = self.depth_max.max(depth);
+    }
+
+    /// Mean observed depth; 0 when nothing was sampled.
+    pub fn mean(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.depth_sum as f64 / self.samples as f64
+        }
+    }
+}
+
+/// Batch-size statistics accumulated by the workers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Number of batches executed.
+    pub batches: u64,
+    /// Number of samples across all batches.
+    pub samples: u64,
+    /// Largest batch executed.
+    pub max_batch: usize,
+}
+
+impl BatchStats {
+    /// Records one executed batch of `size` samples.
+    pub fn observe(&mut self, size: usize) {
+        self.batches += 1;
+        self.samples += size as u64;
+        self.max_batch = self.max_batch.max(size);
+    }
+
+    /// Merges a worker's local stats into a global accumulator.
+    pub fn merge(&mut self, other: &BatchStats) {
+        self.batches += other.batches;
+        self.samples += other.samples;
+        self.max_batch = self.max_batch.max(other.max_batch);
+    }
+
+    /// Mean batch size; 0 when no batch ran.
+    pub fn mean(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.samples as f64 / self.batches as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let mut h = LatencyHistogram::new();
+        for v in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.p50(), 50);
+        assert_eq!(h.p95(), 100);
+        assert_eq!(h.p99(), 100);
+        assert_eq!(h.percentile(10.0), 10);
+        assert_eq!(h.mean(), 55);
+        assert_eq!(h.max(), 100);
+        assert!(h.p50() <= h.p95() && h.p95() <= h.p99());
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let mut h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = LatencyHistogram::new();
+        a.record(1);
+        let mut b = LatencyHistogram::new();
+        b.record(3);
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.max(), 3);
+    }
+
+    #[test]
+    fn queue_and_batch_stats_accumulate() {
+        let mut q = QueueDepthStats::default();
+        q.observe(0);
+        q.observe(4);
+        assert_eq!(q.depth_max, 4);
+        assert!((q.mean() - 2.0).abs() < f64::EPSILON);
+
+        let mut b = BatchStats::default();
+        b.observe(1);
+        b.observe(3);
+        let mut total = BatchStats::default();
+        total.merge(&b);
+        assert_eq!(total.samples, 4);
+        assert_eq!(total.max_batch, 3);
+        assert!((total.mean() - 2.0).abs() < f64::EPSILON);
+    }
+}

@@ -1,0 +1,182 @@
+//! The served model: the repo's dual view of each zoo network.
+//!
+//! A [`ServedModel`] pairs the *trainable reduced* `Sequential` (which the
+//! workers actually run, via the lock-free `forward_infer` path) with the
+//! *full-size* [`NetworkTopology`] whose exact byte counts drive the
+//! encryption cost model. This mirrors how the rest of the workspace
+//! separates functional behaviour from performance accounting.
+
+use seal_nn::models::{
+    mlp, mlp_topology, resnet, resnet18_topology, vgg16, vgg16_topology, MlpConfig, ResNetConfig,
+    VggConfig,
+};
+use seal_nn::{NetworkTopology, Sequential};
+use seal_tensor::rng::rngs::StdRng;
+use seal_tensor::rng::SeedableRng;
+use seal_tensor::{Shape, Tensor};
+
+use crate::ServeError;
+
+/// Names accepted by [`ServedModel::load`], in zoo order.
+pub const ZOO: [&str; 3] = ["mlp", "vgg16", "resnet18"];
+
+/// A model ready to serve: immutable weights shared across worker threads
+/// plus the topology used to price its weight streaming.
+#[derive(Debug)]
+pub struct ServedModel {
+    name: String,
+    model: Sequential,
+    topology: NetworkTopology,
+    input: Shape,
+}
+
+impl ServedModel {
+    /// Loads a zoo model by name with weights seeded from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownModel`] for names outside [`ZOO`] and
+    /// propagates model-construction failures.
+    pub fn load(name: &str, seed: u64) -> Result<Self, ServeError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (model, topology, input) = match name {
+            "mlp" => {
+                let cfg = MlpConfig::reduced();
+                let input = Shape::nchw(1, 3, 8, 8);
+                (
+                    mlp(&mut rng, &cfg)?,
+                    mlp_topology(&cfg, input.clone())?,
+                    input,
+                )
+            }
+            "vgg16" => {
+                let cfg = VggConfig::reduced();
+                let input = Shape::nchw(1, cfg.input_channels, cfg.input_hw, cfg.input_hw);
+                (vgg16(&mut rng, &cfg)?, vgg16_topology(), input)
+            }
+            "resnet18" => {
+                let cfg = ResNetConfig::reduced(18);
+                let input = Shape::nchw(1, cfg.input_channels, cfg.input_hw, cfg.input_hw);
+                (resnet(&mut rng, &cfg)?, resnet18_topology(), input)
+            }
+            other => {
+                return Err(ServeError::UnknownModel {
+                    name: other.to_string(),
+                })
+            }
+        };
+        Ok(ServedModel {
+            name: name.to_string(),
+            model,
+            topology,
+            input,
+        })
+    }
+
+    /// The zoo name this model was loaded under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Per-sample input shape (`[1, C, H, W]`).
+    pub fn input_shape(&self) -> &Shape {
+        &self.input
+    }
+
+    /// The full-size topology the cost model prices.
+    pub fn topology(&self) -> &NetworkTopology {
+        &self.topology
+    }
+
+    /// Classifies a batch, returning one class index per sample.
+    ///
+    /// Runs the cache-free `forward_infer` path, so it takes `&self` and
+    /// is safe to call from many worker threads concurrently.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape/layer errors from the forward pass.
+    pub fn classify(&self, batch: &Tensor) -> Result<Vec<usize>, ServeError> {
+        Ok(self.model.predict(batch)?)
+    }
+
+    /// Draws one deterministic random sample shaped for this model.
+    pub fn sample(&self, rng: &mut StdRng) -> Tensor {
+        seal_tensor::uniform(rng, self.input.clone(), -1.0, 1.0)
+    }
+
+    /// Concatenates per-sample `[1, …]` tensors into one `[n, …]` batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] on an empty list or a sample
+    /// whose shape differs from the model's input shape.
+    pub fn concat_batch(&self, samples: &[&Tensor]) -> Result<Tensor, ServeError> {
+        if samples.is_empty() {
+            return Err(ServeError::InvalidConfig {
+                reason: "cannot batch zero samples".into(),
+            });
+        }
+        let mut data = Vec::with_capacity(self.input.volume() * samples.len());
+        for s in samples {
+            if s.shape() != &self.input {
+                return Err(ServeError::InvalidConfig {
+                    reason: format!(
+                        "sample shape {} does not match model input {}",
+                        s.shape(),
+                        self.input
+                    ),
+                });
+            }
+            data.extend_from_slice(s.as_slice());
+        }
+        let mut dims = self.input.dims().to_vec();
+        dims[0] = samples.len();
+        let shape = Shape::new(dims);
+        Ok(Tensor::from_vec(data, shape)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoo_loads_and_classifies() {
+        for name in ZOO {
+            let m = ServedModel::load(name, 3).unwrap();
+            assert_eq!(m.name(), name);
+            let mut rng = StdRng::seed_from_u64(5);
+            let (a, b) = (m.sample(&mut rng), m.sample(&mut rng));
+            let batch = m.concat_batch(&[&a, &b]).unwrap();
+            let preds = m.classify(&batch).unwrap();
+            assert_eq!(preds.len(), 2);
+            assert!(preds.iter().all(|&p| p < 10));
+        }
+    }
+
+    #[test]
+    fn unknown_model_is_rejected() {
+        assert!(matches!(
+            ServedModel::load("gpt5", 0),
+            Err(ServeError::UnknownModel { .. })
+        ));
+    }
+
+    #[test]
+    fn concat_batch_validates_shapes() {
+        let m = ServedModel::load("mlp", 0).unwrap();
+        assert!(m.concat_batch(&[]).is_err());
+        let wrong = Tensor::zeros(Shape::nchw(1, 1, 8, 8));
+        assert!(m.concat_batch(&[&wrong]).is_err());
+    }
+
+    #[test]
+    fn same_seed_same_weights() {
+        let a = ServedModel::load("mlp", 11).unwrap();
+        let b = ServedModel::load("mlp", 11).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = a.sample(&mut rng);
+        assert_eq!(a.classify(&x).unwrap(), b.classify(&x).unwrap());
+    }
+}

@@ -1,0 +1,242 @@
+//! The bounded request queue with dynamic batching.
+//!
+//! One `Mutex<VecDeque>` + two condvars implement the whole data path:
+//!
+//! * producers (`try_push`) never block — admission control rejects when
+//!   the queue is at capacity, which is the backpressure signal;
+//! * consumers (`pop_batch`) block until at least one item is available,
+//!   then linger up to the batching deadline hoping to fill the batch to
+//!   `max_batch` before running it.
+//!
+//! Lock poisoning is recovered, never unwrapped: a panicking worker must
+//! not take the whole runtime down with it.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use crate::metrics::QueueDepthStats;
+
+/// Recovers the guard from a possibly-poisoned mutex: queue state is a
+/// plain `VecDeque` plus counters, valid after any panic elsewhere.
+fn locked<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[derive(Debug)]
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    depth: QueueDepthStats,
+}
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushRefused {
+    /// The queue is at capacity (admission control / backpressure).
+    Full,
+    /// The queue is closed for new work (server shutting down).
+    Closed,
+}
+
+/// Bounded MPMC queue used between [`Server::submit`](crate::Server::submit)
+/// and the worker threads.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    capacity: usize,
+    /// Signalled when an item arrives or the queue closes.
+    not_empty: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates an open queue holding at most `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+                depth: QueueDepthStats::default(),
+            }),
+            capacity,
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Non-blocking admission: enqueues `item` or refuses with the reason.
+    /// The depth observed at submission time feeds the queue statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item back alongside [`PushRefused::Full`] when at
+    /// capacity or [`PushRefused::Closed`] after [`close`](Self::close).
+    pub fn try_push(&self, item: T) -> Result<(), (T, PushRefused)> {
+        let mut s = locked(&self.state);
+        if s.closed {
+            return Err((item, PushRefused::Closed));
+        }
+        if s.items.len() >= self.capacity {
+            return Err((item, PushRefused::Full));
+        }
+        let depth = s.items.len();
+        s.depth.observe(depth);
+        s.items.push_back(item);
+        drop(s);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until work is available, then assembles a batch.
+    ///
+    /// Waits indefinitely for the *first* item (or queue closure), then up
+    /// to `deadline` more for the queue to offer `max_batch` items, and
+    /// returns between 1 and `max_batch` of them. Returns `None` only when
+    /// the queue is closed *and* drained — workers treat that as shutdown.
+    pub fn pop_batch(&self, max_batch: usize, deadline: Duration) -> Option<Vec<T>> {
+        let mut s = locked(&self.state);
+        loop {
+            while s.items.is_empty() {
+                if s.closed {
+                    return None;
+                }
+                s = self
+                    .not_empty
+                    .wait(s)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            // First item in hand; linger for the batching deadline while
+            // the batch is short of max_batch. `wait_timeout` releases the
+            // lock, so a sibling worker may steal the items meanwhile — if
+            // the queue is empty again afterwards, go back to waiting.
+            let until = Instant::now() + deadline;
+            while !s.items.is_empty() && s.items.len() < max_batch && !s.closed {
+                let now = Instant::now();
+                if now >= until {
+                    break;
+                }
+                let (guard, timeout) = self
+                    .not_empty
+                    .wait_timeout(s, until - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                s = guard;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+            let take = s.items.len().min(max_batch);
+            if take > 0 {
+                return Some(s.items.drain(..take).collect());
+            }
+        }
+    }
+
+    /// Closes the queue: future pushes are refused, consumers drain what
+    /// remains and then see `None`.
+    pub fn close(&self) {
+        locked(&self.state).closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Queue-depth statistics observed at submission time.
+    pub fn depth_stats(&self) -> QueueDepthStats {
+        locked(&self.state).depth
+    }
+
+    /// Items currently waiting.
+    pub fn len(&self) -> usize {
+        locked(&self.state).items.len()
+    }
+
+    /// `true` when nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_pop_roundtrip() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        let batch = q.pop_batch(8, Duration::from_millis(1)).unwrap();
+        assert_eq!(batch, vec![1, 2]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        let (item, why) = q.try_push(3).unwrap_err();
+        assert_eq!(item, 3);
+        assert_eq!(why, PushRefused::Full);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn close_refuses_new_work_but_drains_old() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.close();
+        assert_eq!(q.try_push(2).unwrap_err().1, PushRefused::Closed);
+        assert_eq!(q.pop_batch(4, Duration::ZERO).unwrap(), vec![1]);
+        assert!(q.pop_batch(4, Duration::ZERO).is_none());
+    }
+
+    #[test]
+    fn batch_respects_max_batch() {
+        let q = BoundedQueue::new(8);
+        for i in 0..6 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!(q.pop_batch(4, Duration::ZERO).unwrap().len(), 4);
+        assert_eq!(q.pop_batch(4, Duration::ZERO).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn blocked_consumer_wakes_on_push() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop_batch(1, Duration::ZERO))
+        };
+        // Give the consumer a moment to block, then feed it.
+        std::thread::sleep(Duration::from_millis(10));
+        q.try_push(42).unwrap();
+        assert_eq!(consumer.join().unwrap(), Some(vec![42]));
+    }
+
+    #[test]
+    fn blocked_consumer_wakes_on_close() {
+        let q = Arc::new(BoundedQueue::<u32>::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop_batch(1, Duration::from_secs(5)))
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn depth_stats_track_submission_time_depth() {
+        let q = BoundedQueue::new(8);
+        for i in 0..3 {
+            q.try_push(i).unwrap();
+        }
+        let d = q.depth_stats();
+        assert_eq!(d.samples, 3);
+        assert_eq!(d.depth_max, 2);
+    }
+}

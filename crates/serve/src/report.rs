@@ -1,0 +1,309 @@
+//! The JSON serving report and its smoke-test acceptance checks.
+//!
+//! Reports are rendered with the same hand-rolled JSON writer idiom the
+//! rest of the workspace uses (the toolchain is hermetic — no serde), and
+//! land under `results/serve_*.json` so the reproduction scripts can diff
+//! scheme columns across runs.
+
+use std::io::Write as _;
+use std::path::Path;
+
+use seal_core::Scheme;
+
+use crate::cost::SchemeSummary;
+use crate::loadgen::LoadReport;
+use crate::server::ServeStats;
+use crate::ServerConfig;
+
+/// Everything one serving run produced: the configuration, the client-side
+/// load-generator view and the server-side runtime + cost-model view.
+#[derive(Debug)]
+pub struct ServeReport {
+    /// Configuration the server ran with.
+    pub config: ServerConfig,
+    /// Client-side observations from the load generator.
+    pub load: LoadReport,
+    /// Server-side statistics collected at shutdown.
+    pub stats: ServeStats,
+}
+
+impl ServeReport {
+    /// Renders the full report as a JSON object string.
+    pub fn to_json(&mut self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"model\": \"{}\",\n",
+            json_escape(&self.config.model)
+        ));
+        out.push_str("  \"config\": {\n");
+        out.push_str(&format!("    \"workers\": {},\n", self.config.workers));
+        out.push_str(&format!("    \"max_batch\": {},\n", self.config.max_batch));
+        out.push_str(&format!(
+            "    \"batch_deadline_us\": {},\n",
+            self.config.batch_deadline.as_micros()
+        ));
+        out.push_str(&format!(
+            "    \"queue_capacity\": {},\n",
+            self.config.queue_capacity
+        ));
+        out.push_str(&format!("    \"se_ratio\": {},\n", self.config.se_ratio));
+        out.push_str(&format!("    \"clock_ghz\": {},\n", self.config.clock_ghz));
+        out.push_str(&format!(
+            "    \"counter_cache_kb\": {},\n",
+            self.config.counter_cache_kb
+        ));
+        out.push_str(&format!(
+            "    \"flops_per_cycle\": {},\n",
+            self.config.flops_per_cycle
+        ));
+        out.push_str(&format!("    \"seed\": {}\n", self.config.seed));
+        out.push_str("  },\n");
+
+        out.push_str("  \"load\": {\n");
+        out.push_str(&format!("    \"mode\": \"{}\",\n", self.load.mode.name()));
+        out.push_str(&format!("    \"requested\": {},\n", self.load.requested));
+        out.push_str(&format!("    \"completed\": {},\n", self.load.completed));
+        out.push_str(&format!("    \"rejected\": {},\n", self.load.rejected));
+        out.push_str(&format!(
+            "    \"wall_seconds\": {:.6},\n",
+            self.load.wall_seconds
+        ));
+        out.push_str(&format!(
+            "    \"observed_throughput_rps\": {:.3},\n",
+            self.load.observed_throughput_rps
+        ));
+        out.push_str("    \"latency_us\": ");
+        out.push_str(&latency_json(&mut self.load.latency, "    "));
+        out.push('\n');
+        out.push_str("  },\n");
+
+        out.push_str("  \"server\": {\n");
+        out.push_str("    \"latency_us\": ");
+        out.push_str(&latency_json(&mut self.stats.latency, "    "));
+        out.push_str(",\n");
+        out.push_str(&format!(
+            "    \"batches\": {{ \"count\": {}, \"samples\": {}, \"mean_size\": {:.3}, \"max_size\": {} }},\n",
+            self.stats.batches.batches,
+            self.stats.batches.samples,
+            self.stats.batches.mean(),
+            self.stats.batches.max_batch
+        ));
+        out.push_str(&format!(
+            "    \"queue_depth\": {{ \"samples\": {}, \"mean\": {:.3}, \"max\": {} }},\n",
+            self.stats.queue_depth.samples,
+            self.stats.queue_depth.mean(),
+            self.stats.queue_depth.depth_max
+        ));
+        out.push_str(&format!(
+            "    \"worker_errors\": {}\n",
+            self.stats.worker_errors.len()
+        ));
+        out.push_str("  },\n");
+
+        out.push_str("  \"schemes\": [\n");
+        for (i, s) in self.stats.schemes.iter().enumerate() {
+            out.push_str(&scheme_json(s, "    "));
+            out.push_str(if i + 1 < self.stats.schemes.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n");
+        out.push_str("}\n");
+        out
+    }
+
+    /// Writes the JSON report to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write(&mut self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json().as_bytes())
+    }
+
+    /// Checks the smoke-run acceptance properties and returns every
+    /// violation (empty = the run is acceptable):
+    ///
+    /// * some requests completed and client throughput is positive,
+    /// * latency percentiles are ordered (`p50 <= p99`),
+    /// * no worker errors,
+    /// * the SE scheme column ordering holds on the virtual lanes —
+    ///   Baseline throughput > SEAL-C throughput > Counter throughput.
+    pub fn smoke_violations(&mut self) -> Vec<String> {
+        let mut violations = Vec::new();
+        if self.load.completed == 0 {
+            violations.push("no requests completed".to_string());
+        }
+        if self.load.observed_throughput_rps <= 0.0 {
+            violations.push(format!(
+                "observed throughput {} must be positive",
+                self.load.observed_throughput_rps
+            ));
+        }
+        let (p50, p99) = (self.load.latency.p50(), self.load.latency.p99());
+        if p50 > p99 {
+            violations.push(format!("latency p50 {p50}us exceeds p99 {p99}us"));
+        }
+        if !self.stats.worker_errors.is_empty() {
+            violations.push(format!(
+                "{} worker errors: {}",
+                self.stats.worker_errors.len(),
+                self.stats.worker_errors.join("; ")
+            ));
+        }
+        match (
+            scheme_row(&self.stats.schemes, Scheme::Baseline),
+            scheme_row(&self.stats.schemes, Scheme::SealCounter),
+            scheme_row(&self.stats.schemes, Scheme::Counter),
+        ) {
+            (Some(base), Some(seal), Some(full)) => {
+                if !(base.throughput_rps > seal.throughput_rps
+                    && seal.throughput_rps > full.throughput_rps)
+                {
+                    violations.push(format!(
+                        "scheme throughput not strictly ordered: {} ({}) vs {} ({}) vs {} ({})",
+                        base.scheme.label(),
+                        base.throughput_rps,
+                        seal.scheme.label(),
+                        seal.throughput_rps,
+                        full.scheme.label(),
+                        full.throughput_rps
+                    ));
+                }
+            }
+            _ => violations.push("report is missing scheme rows".to_string()),
+        }
+        violations
+    }
+}
+
+fn scheme_row(rows: &[SchemeSummary], s: Scheme) -> Option<&SchemeSummary> {
+    rows.iter().find(|r| r.scheme == s)
+}
+
+/// Renders one latency histogram as an inline JSON object.
+fn latency_json(h: &mut crate::metrics::LatencyHistogram, _indent: &str) -> String {
+    format!(
+        "{{ \"count\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}, \"mean\": {}, \"max\": {} }}",
+        h.len(),
+        h.p50(),
+        h.p95(),
+        h.p99(),
+        h.mean(),
+        h.max()
+    )
+}
+
+/// Renders one scheme summary row.
+fn scheme_json(s: &SchemeSummary, indent: &str) -> String {
+    format!(
+        "{indent}{{ \"scheme\": \"{}\", \"batches\": {}, \"samples\": {}, \"enc_bytes\": {}, \
+         \"total_bytes\": {}, \"makespan_cycles\": {}, \"virtual_seconds\": {:.9}, \
+         \"throughput_rps\": {:.3}, \"counter_hit_rate\": {:.6}, \"slowdown_vs_baseline\": {:.6} }}",
+        json_escape(s.scheme.label()),
+        s.batches,
+        s.samples,
+        s.enc_bytes,
+        s.total_bytes,
+        s.makespan_cycles,
+        s.virtual_seconds,
+        s.throughput_rps,
+        s.counter_hit_rate,
+        s.slowdown_vs_baseline
+    )
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loadgen::{run_closed, LoadMode};
+    use crate::Server;
+
+    fn smoke_report() -> ServeReport {
+        let config = ServerConfig {
+            model: "mlp".into(),
+            ..ServerConfig::smoke()
+        };
+        let server = Server::start(config.clone()).unwrap();
+        let load = run_closed(&server, 12, 3, 5).unwrap();
+        let stats = server.shutdown().unwrap();
+        ServeReport {
+            config,
+            load,
+            stats,
+        }
+    }
+
+    #[test]
+    fn json_contains_every_section() {
+        let mut report = smoke_report();
+        let json = report.to_json();
+        for needle in [
+            "\"model\": \"mlp\"",
+            "\"config\"",
+            "\"load\"",
+            "\"server\"",
+            "\"schemes\"",
+            "\"Baseline\"",
+            "\"SEAL-C\"",
+            "\"Counter\"",
+            "\"mode\": \"closed\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+        assert!(matches!(report.load.mode, LoadMode::Closed { .. }));
+    }
+
+    #[test]
+    fn write_creates_parent_directories() {
+        let mut report = smoke_report();
+        let dir = std::env::temp_dir().join("seal_serve_report_test");
+        let path = dir.join("nested").join("serve.json");
+        report.write(&path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with('{'));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn escaping_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn violations_detect_broken_ordering() {
+        let mut report = smoke_report();
+        // A healthy mlp run still satisfies the latency/throughput checks;
+        // force a scheme inversion to prove the detector fires.
+        for row in &mut report.stats.schemes {
+            row.throughput_rps = 1.0;
+        }
+        let violations = report.smoke_violations();
+        assert!(violations.iter().any(|v| v.contains("not strictly ordered")));
+    }
+}

@@ -1,0 +1,355 @@
+//! The serving runtime: worker pool, request lifecycle, shutdown.
+//!
+//! ```text
+//!  submit() ──► BoundedQueue ──► worker: pop_batch ─► concat ─► forward_infer
+//!     │            (admission        │                              │
+//!     │             control)         └─► CostModel.cost_batch ◄─────┘
+//!     └◄── ResponseHandle ◄───────────── per-request mpsc ◄── predictions
+//! ```
+//!
+//! Workers share the model immutably (`Arc<ServedModel>`, inference via
+//! the `&self` `forward_infer` path) and serialise only on the queue, the
+//! cost model and the metrics sinks — all held for micro-scale critical
+//! sections.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use seal_tensor::{Shape, Tensor};
+
+use crate::cost::{CostModel, SchemeSummary};
+use crate::metrics::{BatchStats, LatencyHistogram, QueueDepthStats};
+use crate::queue::{BoundedQueue, PushRefused};
+use crate::{ServeError, ServedModel, ServerConfig};
+
+/// Poison-recovering lock: metrics and cost state stay valid after any
+/// worker panic, so the guard is always usable.
+fn locked<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// One queued inference request.
+#[derive(Debug)]
+struct Request {
+    id: u64,
+    input: Tensor,
+    enqueued: Instant,
+    tx: mpsc::Sender<Response>,
+}
+
+/// The answer to one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Id assigned at submission.
+    pub id: u64,
+    /// Predicted class index.
+    pub prediction: usize,
+    /// Size of the batch this request rode in.
+    pub batch_size: usize,
+    /// Time spent queued before a worker picked the request up.
+    pub queue_wait: Duration,
+    /// Total latency from submission to prediction.
+    pub latency: Duration,
+}
+
+/// Client-side handle to an in-flight request.
+#[derive(Debug)]
+pub struct ResponseHandle {
+    id: u64,
+    rx: mpsc::Receiver<Response>,
+}
+
+impl ResponseHandle {
+    /// The request id this handle waits on.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the prediction arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::WorkerLost`] if the serving worker dropped
+    /// the request (model error or worker panic).
+    pub fn wait(self) -> Result<Response, ServeError> {
+        self.rx
+            .recv()
+            .map_err(|_| ServeError::WorkerLost { request_id: self.id })
+    }
+}
+
+/// Everything the workers share.
+#[derive(Debug)]
+struct Shared {
+    queue: BoundedQueue<Request>,
+    model: ServedModel,
+    cost: Mutex<CostModel>,
+    latency: Mutex<LatencyHistogram>,
+    batches: Mutex<BatchStats>,
+    errors: Mutex<Vec<String>>,
+}
+
+/// Final runtime statistics returned by [`Server::shutdown`].
+#[derive(Debug)]
+pub struct ServeStats {
+    /// Server-side per-request latency (all completed requests).
+    pub latency: LatencyHistogram,
+    /// Batch-size statistics across all workers.
+    pub batches: BatchStats,
+    /// Queue depth observed at each submission.
+    pub queue_depth: QueueDepthStats,
+    /// Per-scheme virtual cost accounting for the realized batch stream.
+    pub schemes: Vec<SchemeSummary>,
+    /// Model/worker errors encountered while serving (empty on a clean
+    /// run); worker panics are recorded here too.
+    pub worker_errors: Vec<String>,
+}
+
+/// A running inference server.
+#[derive(Debug)]
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    next_id: AtomicU64,
+    config: ServerConfig,
+}
+
+impl Server {
+    /// Validates `config`, loads the model, builds the per-scheme cost
+    /// lanes and spawns the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, model-zoo and cost-model failures.
+    pub fn start(config: ServerConfig) -> Result<Self, ServeError> {
+        config.validate()?;
+        let model = ServedModel::load(&config.model, config.seed)?;
+        let cost = CostModel::new(model.topology(), &config)?;
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_capacity),
+            model,
+            cost: Mutex::new(cost),
+            latency: Mutex::new(LatencyHistogram::new()),
+            batches: Mutex::new(BatchStats::default()),
+            errors: Mutex::new(Vec::new()),
+        });
+        let workers = (0..config.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let max_batch = config.max_batch;
+                let deadline = config.batch_deadline;
+                std::thread::spawn(move || worker_loop(&shared, max_batch, deadline))
+            })
+            .collect();
+        Ok(Server {
+            shared,
+            workers,
+            next_id: AtomicU64::new(0),
+            config,
+        })
+    }
+
+    /// The configuration this server was started with.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Per-sample input shape requests must match.
+    pub fn input_shape(&self) -> &Shape {
+        self.shared.model.input_shape()
+    }
+
+    /// Draws a deterministic random request input for this model.
+    pub fn sample_input(&self, rng: &mut seal_tensor::rng::rngs::StdRng) -> Tensor {
+        self.shared.model.sample(rng)
+    }
+
+    /// Submits one sample for classification.
+    ///
+    /// Never blocks: if the bounded queue is at capacity the request is
+    /// refused with [`ServeError::QueueFull`] — that is the backpressure
+    /// contract callers build retry/drop policies on.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] for a wrongly-shaped input,
+    /// [`ServeError::QueueFull`] under backpressure and
+    /// [`ServeError::ShuttingDown`] after shutdown began.
+    pub fn submit(&self, input: Tensor) -> Result<ResponseHandle, ServeError> {
+        if input.shape() != self.shared.model.input_shape() {
+            return Err(ServeError::InvalidConfig {
+                reason: format!(
+                    "request shape {} does not match model input {}",
+                    input.shape(),
+                    self.shared.model.input_shape()
+                ),
+            });
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        let request = Request {
+            id,
+            input,
+            enqueued: Instant::now(),
+            tx,
+        };
+        self.shared.queue.try_push(request).map_err(|(_, why)| match why {
+            PushRefused::Full => ServeError::QueueFull {
+                capacity: self.shared.queue.capacity(),
+            },
+            PushRefused::Closed => ServeError::ShuttingDown,
+        })?;
+        Ok(ResponseHandle { id, rx })
+    }
+
+    /// Requests served so far plus those still queued or in flight.
+    pub fn submitted(&self) -> u64 {
+        self.next_id.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting work, drains the queue, joins every worker and
+    /// returns the collected statistics.
+    ///
+    /// # Errors
+    ///
+    /// This method itself does not fail; model errors and worker panics
+    /// encountered while serving are reported in
+    /// [`ServeStats::worker_errors`].
+    pub fn shutdown(self) -> Result<ServeStats, ServeError> {
+        self.shared.queue.close();
+        for w in self.workers {
+            if w.join().is_err() {
+                locked(&self.shared.errors).push("worker thread panicked".to_string());
+            }
+        }
+        let latency = locked(&self.shared.latency).clone();
+        let batches = *locked(&self.shared.batches);
+        let schemes = locked(&self.shared.cost).summaries();
+        let worker_errors = locked(&self.shared.errors).clone();
+        Ok(ServeStats {
+            latency,
+            batches,
+            queue_depth: self.shared.queue.depth_stats(),
+            schemes,
+            worker_errors,
+        })
+    }
+}
+
+/// A worker: assemble a batch, run it, price it, answer every rider.
+fn worker_loop(shared: &Shared, max_batch: usize, deadline: Duration) {
+    while let Some(batch) = shared.queue.pop_batch(max_batch, deadline) {
+        let picked_up = Instant::now();
+        let batch_size = batch.len();
+        let inputs: Vec<&Tensor> = batch.iter().map(|r| &r.input).collect();
+        let outcome = shared
+            .model
+            .concat_batch(&inputs)
+            .and_then(|t| shared.model.classify(&t));
+        drop(inputs);
+        match outcome {
+            Ok(predictions) => {
+                locked(&shared.cost).cost_batch(batch_size);
+                locked(&shared.batches).observe(batch_size);
+                let done = Instant::now();
+                for (request, prediction) in batch.into_iter().zip(predictions) {
+                    let latency = done.duration_since(request.enqueued);
+                    locked(&shared.latency).record(latency.as_micros() as u64);
+                    // A dropped handle is fine — the server-side stats
+                    // above already recorded the request.
+                    let _ = request.tx.send(Response {
+                        id: request.id,
+                        prediction,
+                        batch_size,
+                        queue_wait: picked_up.duration_since(request.enqueued),
+                        latency,
+                    });
+                }
+            }
+            Err(e) => {
+                // Dropping the requests' senders wakes every rider with
+                // `WorkerLost`; the batch dies, the worker lives on.
+                locked(&shared.errors).push(e.to_string());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seal_tensor::rng::rngs::StdRng;
+    use seal_tensor::rng::SeedableRng;
+
+    fn mlp_config() -> ServerConfig {
+        ServerConfig {
+            model: "mlp".into(),
+            workers: 2,
+            max_batch: 4,
+            batch_deadline: Duration::from_micros(200),
+            queue_capacity: 32,
+            ..ServerConfig::smoke()
+        }
+    }
+
+    #[test]
+    fn submit_answer_shutdown_roundtrip() {
+        let server = Server::start(mlp_config()).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let handles: Vec<ResponseHandle> = (0..10)
+            .map(|_| server.submit(server.sample_input(&mut rng)).unwrap())
+            .collect();
+        for h in handles {
+            let r = h.wait().unwrap();
+            assert!(r.prediction < 10);
+            assert!(r.queue_wait <= r.latency);
+            assert!(r.batch_size >= 1);
+        }
+        let stats = server.shutdown().unwrap();
+        assert_eq!(stats.latency.len(), 10);
+        assert_eq!(stats.batches.samples, 10);
+        assert!(stats.worker_errors.is_empty());
+    }
+
+    #[test]
+    fn wrong_shape_is_rejected_at_submission() {
+        let server = Server::start(mlp_config()).unwrap();
+        let bad = Tensor::zeros(Shape::nchw(1, 1, 2, 2));
+        assert!(matches!(
+            server.submit(bad),
+            Err(ServeError::InvalidConfig { .. })
+        ));
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_requests() {
+        let mut config = mlp_config();
+        config.workers = 1;
+        let server = Server::start(config).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let handles: Vec<ResponseHandle> = (0..8)
+            .map(|_| server.submit(server.sample_input(&mut rng)).unwrap())
+            .collect();
+        let stats = server.shutdown().unwrap();
+        assert_eq!(stats.batches.samples, 8, "shutdown must drain the queue");
+        for h in handles {
+            h.wait().unwrap();
+        }
+    }
+
+    #[test]
+    fn submissions_after_shutdown_are_refused() {
+        let server = Server::start(mlp_config()).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let probe = server.sample_input(&mut rng);
+        server.shared.queue.close();
+        assert!(matches!(
+            server.submit(probe),
+            Err(ServeError::ShuttingDown)
+        ));
+        server.shutdown().unwrap();
+    }
+}

@@ -19,6 +19,13 @@ cargo test -q --workspace
 echo "==> seal-analyze --workspace"
 cargo run --release -q -p seal-analyze -- --workspace
 
+# Serving smoke run: ~100 closed-loop requests against the reduced
+# VGG-16; the binary exits non-zero if latency percentiles are
+# disordered, throughput is zero, or the encryption-scheme throughput
+# ordering (Baseline > SEAL-C > Counter) breaks.
+echo "==> seal-serve --smoke"
+cargo run --release -q -p seal-serve -- --smoke
+
 # Clippy is optional tooling: run it when the component is installed,
 # skip silently in minimal toolchains.
 if cargo clippy --version >/dev/null 2>&1; then

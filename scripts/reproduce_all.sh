@@ -20,5 +20,15 @@ for bin in $BINS; do
     cargo run --release -p seal-bench --bin "$bin" -- $MODE 2>/dev/null | tee "results/$bin.txt"
 done
 
+# The serving view of the SE ratio: one open-loop run whose per-scheme
+# throughput columns land in results/serve_open.json (check.sh already
+# produced results/serve_smoke.json from the closed-loop preset).
+echo "==> seal-serve open-loop $MODE"
+if [ "$MODE" = "--full" ]; then
+    cargo run --release -q -p seal-serve -- --mode open --requests 500 --rate 400 --out results/serve_open.json
+else
+    cargo run --release -q -p seal-serve -- --mode open --requests 100 --rate 400 --out results/serve_open.json
+fi
+
 echo
 echo "All outputs written to results/. Compare against EXPERIMENTS.md."

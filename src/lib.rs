@@ -14,6 +14,7 @@
 //! | [`gpusim`] | cycle-level GPU memory-system simulator (GTX480 model) |
 //! | [`core`] | SEAL smart encryption: importance ranking, plans, traffic, `emalloc` |
 //! | [`attack`] | substitute models, Jacobian augmentation, I-FGSM, transferability |
+//! | [`serve`] | batched multi-threaded inference serving with encrypted-weight streaming |
 //!
 //! ## Quickstart
 //!
@@ -40,6 +41,7 @@ pub use seal_crypto as crypto;
 pub use seal_data as data;
 pub use seal_gpusim as gpusim;
 pub use seal_nn as nn;
+pub use seal_serve as serve;
 pub use seal_tensor as tensor;
 
 /// The SEAL contribution: criticality-aware smart encryption.
