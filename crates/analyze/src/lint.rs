@@ -32,6 +32,9 @@ pub enum Rule {
     /// `.lock().unwrap()`-style panic on a synchronisation primitive
     /// (`lock`/`join`/`read`/`write` followed by `unwrap`/`expect`).
     LockUnwrap,
+    /// `thread::spawn` / `thread::scope` outside the `seal-pool` runtime
+    /// crate — all thread creation must go through the audited pool.
+    ThreadSpawn,
 }
 
 impl Rule {
@@ -46,6 +49,7 @@ impl Rule {
             Rule::TruncatingCast => "truncating-cast",
             Rule::MissingDocs => "missing-docs",
             Rule::LockUnwrap => "lock-unwrap",
+            Rule::ThreadSpawn => "thread-spawn",
         }
     }
 
@@ -60,13 +64,14 @@ impl Rule {
             "truncating-cast" => Rule::TruncatingCast,
             "missing-docs" => Rule::MissingDocs,
             "lock-unwrap" => Rule::LockUnwrap,
+            "thread-spawn" => Rule::ThreadSpawn,
             _ => return None,
         })
     }
 }
 
 /// Every rule, in reporting order.
-pub const ALL_RULES: [Rule; 8] = [
+pub const ALL_RULES: [Rule; 9] = [
     Rule::Unwrap,
     Rule::Expect,
     Rule::Panic,
@@ -75,6 +80,7 @@ pub const ALL_RULES: [Rule; 8] = [
     Rule::TruncatingCast,
     Rule::MissingDocs,
     Rule::LockUnwrap,
+    Rule::ThreadSpawn,
 ];
 
 /// Zero-argument methods whose `Result` encodes a *peer failure* (poisoned
@@ -90,6 +96,13 @@ const NARROW_INTS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
 /// a correctness smell (dropped counter/address bits), so the cast rule
 /// applies only to them.
 const CRYPTO_HOT_PATHS: [&str; 3] = ["aes.rs", "ctr.rs", "engine.rs"];
+
+/// Returns `true` when `path` belongs to the `seal-pool` runtime crate —
+/// the single audited home for thread creation, and the one place the
+/// [`Rule::ThreadSpawn`] rule does not apply.
+pub fn is_pool_runtime(path: &str) -> bool {
+    path.replace('\\', "/").contains("crates/pool/")
+}
 
 /// Returns `true` when `path` is one of the crypto hot-path files the
 /// truncating-cast rule watches.
@@ -131,6 +144,9 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
     panic_rules(&code, &mut emit);
     if is_crypto_hot_path(path) {
         cast_rule(&code, &mut emit);
+    }
+    if !is_pool_runtime(path) {
+        thread_spawn_rule(&code, &mut emit);
     }
     missing_docs_rule(&toks, &suppressed, &mut emit);
 
@@ -332,6 +348,50 @@ fn panic_rules(code: &[&Tok], emit: &mut impl FnMut(Rule, u32, String)) {
                 "`unimplemented!` left in code".into(),
             ),
             _ => {}
+        }
+    }
+}
+
+/// `thread::spawn(` / `thread::scope(` outside `crates/pool/`: raw thread
+/// creation bypasses the pool's determinism contract (fixed chunk
+/// boundaries, panic-safe join, `SEAL_THREADS` override), so library code
+/// must use `seal_pool::{parallel_for, scoped_map, spawn_worker}` instead.
+fn thread_spawn_rule(code: &[&Tok], emit: &mut impl FnMut(Rule, u32, String)) {
+    for (i, t) in code.iter().enumerate() {
+        if !(t.kind == TokKind::Ident && t.text == "thread") {
+            continue;
+        }
+        // The lexer emits `::` as two `:` puncts: match `thread : : <fn>`.
+        let colons = code
+            .get(i + 1)
+            .zip(code.get(i + 2))
+            .is_some_and(|(a, b)| {
+                a.kind == TokKind::Punct
+                    && a.text == ":"
+                    && b.kind == TokKind::Punct
+                    && b.text == ":"
+            });
+        if !colons {
+            continue;
+        }
+        let Some(callee) = code.get(i + 3) else {
+            continue;
+        };
+        if callee.kind == TokKind::Ident && matches!(callee.text.as_str(), "spawn" | "scope") {
+            let replacement = if callee.text == "spawn" {
+                "`seal_pool::spawn_worker` (or `seal_pool::parallel_for`)"
+            } else {
+                "`seal_pool::scoped_map`"
+            };
+            emit(
+                Rule::ThreadSpawn,
+                callee.line,
+                format!(
+                    "`thread::{}` outside the seal-pool runtime — use {replacement} \
+                     so threading stays deterministic and audited",
+                    callee.text
+                ),
+            );
         }
     }
 }
@@ -581,6 +641,39 @@ mod tests {
         // A generic unwrap allow does not cover the concurrency rule.
         let src = "fn f(m: &std::sync::Mutex<u8>) -> u8 {\n  // seal-lint: allow(unwrap)\n  *m.lock().unwrap()\n}\n";
         assert_eq!(rules_found(src), vec![(Rule::LockUnwrap, 3)]);
+    }
+
+    #[test]
+    fn thread_spawn_and_scope_flagged_outside_pool() {
+        let src = "fn f() {\n  std::thread::spawn(|| {});\n  thread::scope(|s| {});\n}\n";
+        assert_eq!(
+            rules_found(src),
+            vec![(Rule::ThreadSpawn, 2), (Rule::ThreadSpawn, 3)]
+        );
+        let msg = &lint_source("lib.rs", src)[0].message;
+        assert!(msg.contains("spawn_worker"), "{msg}");
+    }
+
+    #[test]
+    fn thread_spawn_exempt_in_pool_runtime_and_tests() {
+        let src = "fn f() { std::thread::spawn(|| {}); }";
+        assert!(lint_source("crates/pool/src/lib.rs", src).is_empty());
+        let gated = "#[cfg(test)]\nmod tests {\n  fn g() { std::thread::spawn(|| {}); }\n}\n";
+        assert!(rules_found(gated).is_empty());
+    }
+
+    #[test]
+    fn thread_spawn_ignores_lookalikes() {
+        // Method calls (`scope.spawn`, `builder.spawn`) and other
+        // `thread::` items are not raw thread creation.
+        let src = "fn f(s: &Scope) { s.spawn(|| {}); std::thread::sleep(d); thread::yield_now(); }";
+        assert!(rules_found(src).is_empty());
+    }
+
+    #[test]
+    fn thread_spawn_suppressible_by_allow() {
+        let src = "fn f() {\n  // seal-lint: allow(thread-spawn)\n  std::thread::spawn(|| {});\n}\n";
+        assert!(rules_found(src).is_empty());
     }
 
     #[test]

@@ -64,12 +64,29 @@ fn concurrency_fixture_yields_only_the_lock_unwraps() {
 }
 
 #[test]
+fn thread_spawn_fixture_yields_only_the_raw_spawns() {
+    let findings = lint_paths(&[fixture("bad_thread_spawn.rs")]).unwrap();
+    let rules: Vec<(Rule, u32)> = findings.iter().map(|f| (f.rule, f.line)).collect();
+    assert_eq!(
+        rules,
+        vec![(Rule::ThreadSpawn, 11), (Rule::ThreadSpawn, 17)],
+        "full findings: {findings:#?}"
+    );
+    // Both the detached `thread::spawn` and the hand-rolled
+    // `thread::scope` are caught; the pool-delegating function stays
+    // clean and `Scope::spawn` method calls are not double-counted.
+    assert!(findings[0].message.contains("spawn_worker"));
+    assert!(findings[1].message.contains("scoped_map"));
+}
+
+#[test]
 fn linting_the_whole_fixture_dir_finds_all_files() {
     let findings = lint_paths(&[fixture("")]).unwrap();
     assert!(findings.iter().any(|f| f.path.ends_with("bad_panics.rs")));
     assert!(findings.iter().any(|f| f.path.ends_with("bad_concurrency.rs")));
+    assert!(findings.iter().any(|f| f.path.ends_with("bad_thread_spawn.rs")));
     assert!(findings.iter().any(|f| f.path.ends_with("aes.rs")));
-    assert_eq!(findings.len(), 12);
+    assert_eq!(findings.len(), 14);
 }
 
 #[test]

@@ -1,8 +1,16 @@
 //! Benchmarks of the numeric kernels behind the security experiments
-//! (conv2d forward/backward, matmul).
+//! (conv2d forward/backward, matmul), including the blocked-vs-naive and
+//! 1-vs-N-thread comparisons for the seal-pool parallel runtime.
+//!
+//! For the machine-readable GFLOP/s trajectory (speedup gates, JSON
+//! output) use `scripts/bench_kernels.sh`, which drives the
+//! `bench_kernels` binary; this bench prints human-oriented `ns/iter`.
 
 use seal_bench::timing::bench;
-use seal_tensor::ops::{conv2d, conv2d_backward, matmul, Conv2dGeometry};
+use seal_pool::{with_pool, Pool};
+use seal_tensor::ops::{
+    conv2d, conv2d_backward, conv2d_reference, matmul, matmul_naive, Conv2dGeometry,
+};
 use seal_tensor::rng::rngs::StdRng;
 use seal_tensor::rng::SeedableRng;
 use seal_tensor::{uniform, Shape, Tensor};
@@ -13,6 +21,9 @@ fn main() {
     let w = uniform(&mut rng, Shape::nchw(16, 16, 3, 3), -0.5, 0.5);
     let geom = Conv2dGeometry::same3x3();
     bench("conv2d_16ch_16x16", || conv2d(&x, &w, None, &geom).unwrap());
+    bench("conv2d_reference_16ch_16x16", || {
+        conv2d_reference(&x, &w, None, &geom).unwrap()
+    });
     let out = conv2d(&x, &w, None, &geom).unwrap();
     let go = Tensor::ones(out.shape().clone());
     bench("conv2d_backward_16ch_16x16", || {
@@ -21,4 +32,32 @@ fn main() {
     let a = uniform(&mut rng, Shape::matrix(128, 128), -1.0, 1.0);
     let bm = uniform(&mut rng, Shape::matrix(128, 128), -1.0, 1.0);
     bench("matmul_128", || matmul(&a, &bm).unwrap());
+
+    // Blocked vs naive, and 1 vs 4 pool threads, on a 256^3 product. On a
+    // single-core host the 4-thread row cannot beat 1 thread — the
+    // determinism suite is what proves the *outputs* are thread-count
+    // independent; these rows report what this machine actually does.
+    let a2 = uniform(&mut rng, Shape::matrix(256, 256), -1.0, 1.0);
+    let b2 = uniform(&mut rng, Shape::matrix(256, 256), -1.0, 1.0);
+    bench("matmul_256_naive_ijk", || matmul_naive(&a2, &b2).unwrap());
+    let p1 = Pool::new(1);
+    bench("matmul_256_blocked_1t", || {
+        with_pool(&p1, || matmul(&a2, &b2).unwrap())
+    });
+    let p4 = Pool::new(4);
+    bench("matmul_256_blocked_4t", || {
+        with_pool(&p4, || matmul(&a2, &b2).unwrap())
+    });
+
+    let xb = uniform(&mut rng, Shape::nchw(4, 16, 16, 16), -1.0, 1.0);
+    let wb = uniform(&mut rng, Shape::nchw(32, 16, 3, 3), -0.5, 0.5);
+    bench("conv2d_batch4_co32_direct", || {
+        conv2d_reference(&xb, &wb, None, &geom).unwrap()
+    });
+    bench("conv2d_batch4_co32_im2col_1t", || {
+        with_pool(&p1, || conv2d(&xb, &wb, None, &geom).unwrap())
+    });
+    bench("conv2d_batch4_co32_im2col_4t", || {
+        with_pool(&p4, || conv2d(&xb, &wb, None, &geom).unwrap())
+    });
 }

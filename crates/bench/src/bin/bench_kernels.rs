@@ -1,0 +1,189 @@
+//! Kernel perf trajectory: blocked-vs-naive and 1-vs-N-thread GFLOP/s
+//! for the tensor hot paths, written to `results/BENCH_kernels.json`.
+//!
+//! Run via `scripts/bench_kernels.sh` (or directly:
+//! `cargo run --release -p seal-bench --bin bench_kernels`).
+//!
+//! Thread-scaling numbers are *measured on this machine*: on a single-core
+//! host the 4-thread case cannot beat 1 thread and the report says so via
+//! `detected_cores` — the determinism suite (not this bench) is what
+//! proves thread-count independence of the results.
+
+use std::io::Write as _;
+
+use seal_bench::timing::measure_ns;
+use seal_pool::{with_pool, Pool};
+use seal_tensor::ops::{conv2d, conv2d_reference, matmul, matmul_naive, Conv2dGeometry};
+use seal_tensor::rng::rngs::StdRng;
+use seal_tensor::rng::SeedableRng;
+use seal_tensor::{uniform, Shape};
+
+struct Case {
+    name: &'static str,
+    flops: f64,
+    baseline_gflops: f64,
+    /// The pre-blocking production kernel (vectorized i-k-j row updates,
+    /// no packing/tiling) — kept in the trajectory so the blocked kernel
+    /// is also compared against a strong unblocked baseline, not just the
+    /// textbook loop.
+    unblocked_ikj_gflops: Option<f64>,
+    blocked_1t_gflops: f64,
+    blocked_4t_gflops: f64,
+}
+
+impl Case {
+    fn speedup_blocking(&self) -> f64 {
+        self.blocked_1t_gflops / self.baseline_gflops
+    }
+    fn speedup_threads(&self) -> f64 {
+        self.blocked_4t_gflops / self.blocked_1t_gflops
+    }
+}
+
+fn gflops(flops: f64, ns: f64) -> f64 {
+    flops / ns // FLOP per nanosecond == GFLOP/s
+}
+
+/// The previous production matmul: cache-friendly i-k-j row updates,
+/// unblocked and unpacked. Bitwise-identical accumulation order to both
+/// `matmul_naive` and the blocked kernel.
+fn matmul_ikj(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in arow.iter().enumerate() {
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+fn matmul_case() -> Case {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = uniform(&mut rng, Shape::matrix(256, 256), -1.0, 1.0);
+    let b = uniform(&mut rng, Shape::matrix(256, 256), -1.0, 1.0);
+    let flops = 2.0 * 256.0 * 256.0 * 256.0;
+
+    let naive_ns = measure_ns(|| matmul_naive(&a, &b).expect("shapes are valid"));
+    let ikj_ns = measure_ns(|| matmul_ikj(a.as_slice(), b.as_slice(), 256, 256, 256));
+    let p1 = Pool::new(1);
+    let one_ns = with_pool(&p1, || measure_ns(|| matmul(&a, &b).expect("shapes are valid")));
+    let p4 = Pool::new(4);
+    let four_ns = with_pool(&p4, || measure_ns(|| matmul(&a, &b).expect("shapes are valid")));
+
+    Case {
+        name: "matmul_256x256x256",
+        flops,
+        baseline_gflops: gflops(flops, naive_ns),
+        unblocked_ikj_gflops: Some(gflops(flops, ikj_ns)),
+        blocked_1t_gflops: gflops(flops, one_ns),
+        blocked_4t_gflops: gflops(flops, four_ns),
+    }
+}
+
+fn conv_case() -> Case {
+    let mut rng = StdRng::seed_from_u64(2);
+    let (n, c_in, hw, c_out, k) = (4usize, 16usize, 16usize, 32usize, 3usize);
+    let geom = Conv2dGeometry::same3x3();
+    let input = uniform(&mut rng, Shape::nchw(n, c_in, hw, hw), -1.0, 1.0);
+    let weights = uniform(&mut rng, Shape::nchw(c_out, c_in, k, k), -0.5, 0.5);
+    let flops = 2.0 * (n * c_out * hw * hw * c_in * k * k) as f64;
+
+    let direct_ns = measure_ns(|| conv2d_reference(&input, &weights, None, &geom).expect("valid"));
+    let p1 = Pool::new(1);
+    let one_ns = with_pool(&p1, || {
+        measure_ns(|| conv2d(&input, &weights, None, &geom).expect("valid"))
+    });
+    let p4 = Pool::new(4);
+    let four_ns = with_pool(&p4, || {
+        measure_ns(|| conv2d(&input, &weights, None, &geom).expect("valid"))
+    });
+
+    Case {
+        name: "conv2d_4x16x16x16_co32_k3",
+        flops,
+        baseline_gflops: gflops(flops, direct_ns),
+        unblocked_ikj_gflops: None,
+        blocked_1t_gflops: gflops(flops, one_ns),
+        blocked_4t_gflops: gflops(flops, four_ns),
+    }
+}
+
+fn case_json(c: &Case, indent: &str) -> String {
+    format!(
+        "{indent}\"{}\": {{\n\
+         {indent}  \"flops\": {},\n\
+         {indent}  \"baseline_gflops\": {:.4},\n{}\
+         {indent}  \"blocked_1t_gflops\": {:.4},\n\
+         {indent}  \"blocked_4t_gflops\": {:.4},\n\
+         {indent}  \"speedup_blocking\": {:.3},\n\
+         {indent}  \"speedup_threads_4\": {:.3}\n\
+         {indent}}}",
+        c.name,
+        c.flops,
+        c.baseline_gflops,
+        c.unblocked_ikj_gflops
+            .map_or(String::new(), |g| format!(
+                "{indent}  \"unblocked_ikj_gflops\": {g:.4},\n"
+            )),
+        c.blocked_1t_gflops,
+        c.blocked_4t_gflops,
+        c.speedup_blocking(),
+        c.speedup_threads()
+    )
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("kernel bench: detected {cores} core(s)");
+    println!(
+        "{:<28} {:>10} {:>12} {:>12} {:>10} {:>10}",
+        "case", "baseline", "blocked 1t", "blocked 4t", "x block", "x thread"
+    );
+
+    let cases = [matmul_case(), conv_case()];
+    for c in &cases {
+        println!(
+            "{:<28} {:>8.2}GF {:>10.2}GF {:>10.2}GF {:>9.2}x {:>9.2}x",
+            c.name,
+            c.baseline_gflops,
+            c.blocked_1t_gflops,
+            c.blocked_4t_gflops,
+            c.speedup_blocking(),
+            c.speedup_threads()
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"nn_kernels\",\n");
+    json.push_str(&format!("  \"detected_cores\": {cores},\n"));
+    json.push_str(
+        "  \"note\": \"baseline = naive/direct serial kernel; blocked = cache-blocked \
+         seal-pool kernel; thread scaling requires a multi-core host\",\n",
+    );
+    json.push_str("  \"cases\": {\n");
+    let rendered: Vec<String> = cases.iter().map(|c| case_json(c, "    ")).collect();
+    json.push_str(&rendered.join(",\n"));
+    json.push_str("\n  }\n}\n");
+
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results/BENCH_kernels.json".to_string());
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    match std::fs::File::create(&out_path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => {
+            eprintln!("failed to write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -13,9 +13,11 @@
 use std::fmt::Display;
 
 /// Maps `f` over `items` on one thread each (scoped; results in input
-/// order). The harnesses use this to run independent schemes/architectures
-/// concurrently — every simulation and training routine in the workspace
-/// is deterministic and `Send`, so parallel order cannot change results.
+/// order), delegating to [`seal_pool::scoped_map`] — the workspace's
+/// single audited home for scoped threads. The harnesses use this to run
+/// independent schemes/architectures concurrently — every simulation and
+/// training routine in the workspace is deterministic and `Send`, so
+/// parallel order cannot change results.
 ///
 /// # Panics
 ///
@@ -27,19 +29,7 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .into_iter()
-            .map(|item| scope.spawn(|| f(item)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| match h.join() {
-                Ok(r) => r,
-                Err(payload) => std::panic::resume_unwind(payload),
-            })
-            .collect()
-    })
+    seal_pool::scoped_map(items, f)
 }
 
 /// Run scale selected on the command line.

@@ -101,6 +101,17 @@ pub struct CounterCache {
     stats: CounterCacheStats,
 }
 
+// Ownership contract with the seal-pool parallel runtime: the cache is
+// per-lane owned state — each counter-mode cost lane in seal-serve holds
+// exactly one `CounterCache` behind its lane lock, and the LRU `tick`
+// order stays deterministic because only the lock holder mutates it.
+// `Send` (moving with the lane to whichever worker runs the batch) is
+// the property that composition relies on; assert it at compile time.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<CounterCache>();
+};
+
 impl CounterCache {
     /// Builds an empty cache with the given geometry.
     ///

@@ -117,6 +117,18 @@ pub struct EnginePipeline {
     busy_cycles: u64,
 }
 
+// Ownership contract with the seal-pool parallel runtime: an
+// `EnginePipeline` is plain owned state (no interior mutability, no
+// thread affinity), so each seal-serve cost lane owns its engine
+// exclusively and lanes never share one across threads — the pipeline
+// may *move* to whichever worker holds the lane's lock, which is
+// exactly `Send`. The assertion makes that load-bearing property a
+// compile error to lose (e.g. by caching an `Rc` inside).
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<EnginePipeline>();
+};
+
 impl EnginePipeline {
     /// Creates an idle engine clocked at `clock_ghz` (the cycle domain in
     /// which [`submit`](Self::submit) timestamps are expressed).

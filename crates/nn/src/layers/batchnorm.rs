@@ -101,29 +101,26 @@ impl Layer for BatchNorm2d {
         let mut mean = vec![0.0f32; c];
         let mut var = vec![0.0f32; c];
         if train {
-            for b in 0..n {
-                for (ch, m) in mean.iter_mut().enumerate() {
+            // One task per channel; each channel's sums run in the serial
+            // loop's `b`-then-spatial order, so statistics are bitwise
+            // identical for any thread count.
+            seal_pool::par_chunks_pair_mut(&mut mean, 1, &mut var, 1, |ch, m, v| {
+                for b in 0..n {
                     let base = (b * c + ch) * spatial;
-                    for v in &x[base..base + spatial] {
-                        *m += v;
+                    for xv in &x[base..base + spatial] {
+                        m[0] += xv;
                     }
                 }
-            }
-            for m in &mut mean {
-                *m /= count as f32;
-            }
-            for b in 0..n {
-                for ch in 0..c {
+                m[0] /= count as f32;
+                for b in 0..n {
                     let base = (b * c + ch) * spatial;
-                    for v in &x[base..base + spatial] {
-                        let d = v - mean[ch];
-                        var[ch] += d * d;
+                    for xv in &x[base..base + spatial] {
+                        let d = xv - m[0];
+                        v[0] += d * d;
                     }
                 }
-            }
-            for v in &mut var {
-                *v /= count as f32;
-            }
+                v[0] /= count as f32;
+            });
             for ch in 0..c {
                 self.running_mean[ch] =
                     (1.0 - self.momentum) * self.running_mean[ch] + self.momentum * mean[ch];
@@ -141,19 +138,23 @@ impl Layer for BatchNorm2d {
 
         let mut xhat = Tensor::zeros(input.shape().clone());
         let mut out = Tensor::zeros(input.shape().clone());
-        {
-            let xh = xhat.as_mut_slice();
-            let o = out.as_mut_slice();
-            for b in 0..n {
-                for ch in 0..c {
-                    let base = (b * c + ch) * spatial;
-                    for i in base..base + spatial {
-                        let v = (x[i] - mean[ch]) * inv_std[ch];
-                        xh[i] = v;
-                        o[i] = gamma[ch] * v + beta[ch];
+        if spatial > 0 {
+            // One task per (batch, channel) plane.
+            seal_pool::par_chunks_pair_mut(
+                xhat.as_mut_slice(),
+                spatial,
+                out.as_mut_slice(),
+                spatial,
+                |p, xh, o| {
+                    let ch = p % c;
+                    let base = p * spatial;
+                    for (i, (xh, o)) in xh.iter_mut().zip(o.iter_mut()).enumerate() {
+                        let v = (x[base + i] - mean[ch]) * inv_std[ch];
+                        *xh = v;
+                        *o = gamma[ch] * v + beta[ch];
                     }
-                }
-            }
+                },
+            );
         }
         self.cached = Some(BnCache {
             xhat,
@@ -165,7 +166,7 @@ impl Layer for BatchNorm2d {
     }
 
     fn forward_infer(&self, input: &Tensor) -> Result<Tensor, NnError> {
-        let (n, h, w) = self.check_input(input)?;
+        let (_, h, w) = self.check_input(input)?;
         let c = self.channels;
         let spatial = h * w;
         let x = input.as_slice();
@@ -177,17 +178,18 @@ impl Layer for BatchNorm2d {
         let gamma = self.gamma.value.as_slice();
         let beta = self.beta.value.as_slice();
         let mut out = Tensor::zeros(input.shape().clone());
-        let o = out.as_mut_slice();
-        for b in 0..n {
-            for ch in 0..c {
-                let base = (b * c + ch) * spatial;
-                for i in base..base + spatial {
+        if spatial > 0 {
+            let running_mean = &self.running_mean;
+            seal_pool::par_chunks_mut(out.as_mut_slice(), spatial, |p, o| {
+                let ch = p % c;
+                let base = p * spatial;
+                for (i, o) in o.iter_mut().enumerate() {
                     // Same association as `forward` so eval-mode outputs
                     // match bitwise.
-                    let v = (x[i] - self.running_mean[ch]) * inv_std[ch];
-                    o[i] = gamma[ch] * v + beta[ch];
+                    let v = (x[base + i] - running_mean[ch]) * inv_std[ch];
+                    *o = gamma[ch] * v + beta[ch];
                 }
-            }
+            });
         }
         Ok(out)
     }
@@ -208,18 +210,19 @@ impl Layer for BatchNorm2d {
         let xh = cache.xhat.as_slice();
         let gamma = self.gamma.value.as_slice();
 
-        // Per-channel sums of dy and dy·x̂.
+        // Per-channel sums of dy and dy·x̂ — one task per channel, each in
+        // the serial loop's `b`-then-spatial accumulation order.
         let mut sum_dy = vec![0.0f32; c];
         let mut sum_dy_xhat = vec![0.0f32; c];
-        for b in 0..n {
-            for ch in 0..c {
+        seal_pool::par_chunks_pair_mut(&mut sum_dy, 1, &mut sum_dy_xhat, 1, |ch, sd, sdx| {
+            for b in 0..n {
                 let base = (b * c + ch) * spatial;
                 for i in base..base + spatial {
-                    sum_dy[ch] += go[i];
-                    sum_dy_xhat[ch] += go[i] * xh[i];
+                    sd[0] += go[i];
+                    sdx[0] += go[i] * xh[i];
                 }
             }
-        }
+        });
         {
             let gg = self.gamma.grad.as_mut_slice();
             let gb = self.beta.grad.as_mut_slice();
@@ -230,20 +233,22 @@ impl Layer for BatchNorm2d {
         }
 
         let mut grad_input = Tensor::zeros(grad_output.shape().clone());
-        let gi = grad_input.as_mut_slice();
-        for b in 0..n {
-            for ch in 0..c {
-                let base = (b * c + ch) * spatial;
-                let scale = gamma[ch] * cache.inv_std[ch];
-                for i in base..base + spatial {
-                    gi[i] = if cache.batch_stats {
-                        scale * (go[i] - sum_dy[ch] / m - xh[i] * sum_dy_xhat[ch] / m)
+        if spatial > 0 {
+            let (inv_std, batch_stats) = (&cache.inv_std, cache.batch_stats);
+            let (sum_dy, sum_dy_xhat) = (&sum_dy, &sum_dy_xhat);
+            seal_pool::par_chunks_mut(grad_input.as_mut_slice(), spatial, |p, gi| {
+                let ch = p % c;
+                let base = p * spatial;
+                let scale = gamma[ch] * inv_std[ch];
+                for (i, gi) in gi.iter_mut().enumerate() {
+                    *gi = if batch_stats {
+                        scale * (go[base + i] - sum_dy[ch] / m - xh[base + i] * sum_dy_xhat[ch] / m)
                     } else {
                         // Running statistics are constants w.r.t. the input.
-                        scale * go[i]
+                        scale * go[base + i]
                     };
                 }
-            }
+            });
         }
         Ok(grad_input)
     }

@@ -30,11 +30,11 @@ impl Layer for ReLU {
 
     fn forward(&mut self, input: &Tensor, _train: bool) -> Result<Tensor, NnError> {
         self.cached_mask = Some(input.as_slice().iter().map(|v| *v > 0.0).collect());
-        Ok(input.map(|v| v.max(0.0)))
+        Ok(input.par_map(|v| v.max(0.0)))
     }
 
     fn forward_infer(&self, input: &Tensor) -> Result<Tensor, NnError> {
-        Ok(input.map(|v| v.max(0.0)))
+        Ok(input.par_map(|v| v.max(0.0)))
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Result<Tensor, NnError> {
@@ -49,12 +49,18 @@ impl Layer for ReLU {
                 reason: "relu backward shape differs from cached forward".into(),
             });
         }
-        let data = grad_output
-            .as_slice()
-            .iter()
-            .zip(mask)
-            .map(|(g, m)| if *m { *g } else { 0.0 })
-            .collect();
+        // Shared par_chunks path: fixed ELEMWISE_CHUNK boundaries keep the
+        // gated gradient bitwise identical for any thread count.
+        let go = grad_output.as_slice();
+        let mut data = vec![0.0f32; go.len()];
+        seal_pool::par_chunks_mut(&mut data, seal_tensor::ELEMWISE_CHUNK, |ci, chunk| {
+            let base = ci * seal_tensor::ELEMWISE_CHUNK;
+            let go = &go[base..base + chunk.len()];
+            let mask = &mask[base..base + chunk.len()];
+            for ((d, g), m) in chunk.iter_mut().zip(go).zip(mask) {
+                *d = if *m { *g } else { 0.0 };
+            }
+        });
         Ok(Tensor::from_vec(data, grad_output.shape().clone())?)
     }
 

@@ -38,6 +38,14 @@ pub struct ServerConfig {
     /// Seed for model weights (the zoo is randomly initialised but
     /// deterministic per seed).
     pub seed: u64,
+    /// Intra-batch kernel threads on the shared `seal-pool` runtime
+    /// (`0` = leave the pool on its `SEAL_THREADS`/auto default). This
+    /// composes *under* `workers`: workers share one global kernel pool,
+    /// and a worker whose batch arrives while another worker holds the
+    /// pool simply runs its kernels inline — outputs are bitwise
+    /// identical either way. Best-effort: the process-global pool is
+    /// configured once, first caller wins.
+    pub kernel_threads: usize,
 }
 
 impl ServerConfig {
@@ -58,6 +66,7 @@ impl ServerConfig {
             counter_cache_kb: 96,
             flops_per_cycle: 512.0,
             seed: 7,
+            kernel_threads: 0,
         }
     }
 

@@ -89,43 +89,37 @@ pub fn run_closed(
     let first_error: Mutex<Option<ServeError>> = Mutex::new(None);
     let completed = AtomicUsize::new(0);
 
-    std::thread::scope(|scope| {
-        for client in 0..concurrency {
-            let issued = &issued;
-            let latency = &latency;
-            let first_error = &first_error;
-            let completed = &completed;
-            scope.spawn(move || {
-                let mut rng = StdRng::seed_from_u64(seed ^ (client as u64).wrapping_mul(0x9E37));
-                loop {
-                    if issued.fetch_add(1, Ordering::Relaxed) >= requests {
+    // Clients run on seal-pool scoped workers (the workspace's single
+    // audited home for thread spawning) rather than ad-hoc scope threads.
+    seal_pool::scoped_map((0..concurrency).collect(), |client: usize| {
+        let mut rng = StdRng::seed_from_u64(seed ^ (client as u64).wrapping_mul(0x9E37));
+        loop {
+            if issued.fetch_add(1, Ordering::Relaxed) >= requests {
+                return;
+            }
+            let input = server.sample_input(&mut rng);
+            let handle = loop {
+                match server.submit(input.clone()) {
+                    Ok(h) => break h,
+                    Err(ServeError::QueueFull { .. }) => {
+                        std::thread::sleep(Duration::from_micros(50));
+                    }
+                    Err(e) => {
+                        record_error(&first_error, e);
                         return;
                     }
-                    let input = server.sample_input(&mut rng);
-                    let handle = loop {
-                        match server.submit(input.clone()) {
-                            Ok(h) => break h,
-                            Err(ServeError::QueueFull { .. }) => {
-                                std::thread::sleep(Duration::from_micros(50));
-                            }
-                            Err(e) => {
-                                record_error(first_error, e);
-                                return;
-                            }
-                        }
-                    };
-                    match handle.wait() {
-                        Ok(r) => {
-                            completed.fetch_add(1, Ordering::Relaxed);
-                            lock_hist(latency).record(r.latency.as_micros() as u64);
-                        }
-                        Err(e) => {
-                            record_error(first_error, e);
-                            return;
-                        }
-                    }
                 }
-            });
+            };
+            match handle.wait() {
+                Ok(r) => {
+                    completed.fetch_add(1, Ordering::Relaxed);
+                    lock_hist(&latency).record(r.latency.as_micros() as u64);
+                }
+                Err(e) => {
+                    record_error(&first_error, e);
+                    return;
+                }
+            }
         }
     });
 

@@ -125,6 +125,13 @@ impl Server {
     /// Propagates configuration, model-zoo and cost-model failures.
     pub fn start(config: ServerConfig) -> Result<Self, ServeError> {
         config.validate()?;
+        if config.kernel_threads > 0 {
+            // Best-effort: the kernel pool is process-global and
+            // first-configuration-wins; a later server (or an earlier
+            // SEAL_THREADS resolution) keeping its setting is fine
+            // because outputs are thread-count independent.
+            let _ = seal_pool::configure(config.kernel_threads);
+        }
         let model = ServedModel::load(&config.model, config.seed)?;
         let cost = CostModel::new(model.topology(), &config)?;
         let shared = Arc::new(Shared {
@@ -136,13 +143,18 @@ impl Server {
             errors: Mutex::new(Vec::new()),
         });
         let workers = (0..config.workers)
-            .map(|_| {
+            .map(|i| {
                 let shared = Arc::clone(&shared);
                 let max_batch = config.max_batch;
                 let deadline = config.batch_deadline;
-                std::thread::spawn(move || worker_loop(&shared, max_batch, deadline))
+                seal_pool::spawn_worker(format!("seal-serve-worker-{i}"), move || {
+                    worker_loop(&shared, max_batch, deadline);
+                })
+                .map_err(|e| ServeError::InvalidConfig {
+                    reason: format!("failed to spawn worker thread: {e}"),
+                })
             })
-            .collect();
+            .collect::<Result<Vec<_>, _>>()?;
         Ok(Server {
             shared,
             workers,

@@ -10,9 +10,12 @@
 //!
 //! The implementation is deliberately dependency-free — the deterministic
 //! generator behind weight initialisation lives in-tree in [`rng`] — and
-//! single-threaded: the security experiments of the paper run on small,
-//! width-reduced networks where clarity and determinism matter more than
-//! peak throughput.
+//! runs its hot kernels (cache-blocked matmul, im2col conv2d, pooling,
+//! elementwise maps) on the hermetic `seal-pool` work-sharing runtime.
+//! Determinism is a hard contract: task and chunk boundaries are derived
+//! from the problem shape only and every output element accumulates in a
+//! fixed sequential order, so results are bitwise identical for any
+//! `SEAL_THREADS` — including the single-thread fallback.
 //!
 //! ## Example
 //!
@@ -45,3 +48,8 @@ pub use error::TensorError;
 pub use init::{he_normal, uniform, xavier_uniform};
 pub use shape::Shape;
 pub use tensor::Tensor;
+
+/// Elements per task in parallel elementwise paths ([`Tensor::par_map`]
+/// and the `seal-nn` layer kernels). A shape-independent constant so chunk
+/// boundaries — and therefore outputs — never depend on the thread count.
+pub const ELEMWISE_CHUNK: usize = 8192;

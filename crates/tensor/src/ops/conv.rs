@@ -1,4 +1,27 @@
+//! 2-D convolution: im2col + blocked-GEMM forward, two-pass deterministic
+//! backward, plus the direct 7-loop reference kernel.
+//!
+//! Parallelism (on the `seal-pool` runtime) follows the determinism
+//! contract of the whole tensor crate: task boundaries are derived from
+//! the problem shape only — batch × output-channel tiles in the forward
+//! pass, per-batch regions for `grad_input`, per-output-channel regions
+//! for `grad_weights`/`grad_bias` — and every output element accumulates
+//! in the same sequential order as the serial loops, so results are
+//! bitwise identical for any `SEAL_THREADS`.
+
+use super::matmul::gemm;
 use crate::{Shape, Tensor, TensorError};
+use std::cell::RefCell;
+
+/// Output channels per forward-pass task (one task builds one batch
+/// image's im2col panel and produces up to this many output maps).
+const CO_TILE: usize = 32;
+
+thread_local! {
+    /// Per-thread im2col scratch, reused across calls (grown, never
+    /// shrunk) so steady-state convolutions allocate nothing.
+    static COLS: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Geometry of a 2-D convolution: kernel size, stride and zero padding
 /// (square in both dimensions, matching every CONV layer of VGG/ResNet).
@@ -109,7 +132,56 @@ fn check_conv_shapes(
     Ok((n, c_in, h, w, c_out, oh, ow, geom.kernel))
 }
 
-/// 2-D convolution forward pass.
+/// Fills `cols` (shape `[c_in·k·k] × [oh·ow]`, row-major) with the im2col
+/// expansion of batch image `b_idx`: row `q = (ci·k + ky)·k + kx`, column
+/// `oy·ow + ox`, zero where the receptive field falls in the padding. Row
+/// order `q` matches the `ci → ky → kx` accumulation order of the direct
+/// kernel, so the GEMM reduction visits products in the same sequence.
+#[allow(clippy::too_many_arguments)]
+fn fill_im2col(
+    cols: &mut [f32],
+    x: &[f32],
+    b_idx: usize,
+    c_in: usize,
+    h: usize,
+    w: usize,
+    oh: usize,
+    ow: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+) {
+    let s = oh * ow;
+    for ci in 0..c_in {
+        let x_base = (b_idx * c_in + ci) * h * w;
+        for ky in 0..k {
+            for kx in 0..k {
+                let q = (ci * k + ky) * k + kx;
+                let row = &mut cols[q * s..(q + 1) * s];
+                for oy in 0..oh {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    let dst = &mut row[oy * ow..(oy + 1) * ow];
+                    if iy < 0 || iy >= h as isize {
+                        dst.fill(0.0);
+                        continue;
+                    }
+                    let xrow = x_base + iy as usize * w;
+                    for (ox, d) in dst.iter_mut().enumerate() {
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        *d = if ix < 0 || ix >= w as isize {
+                            0.0
+                        } else {
+                            x[xrow + ix as usize]
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// 2-D convolution forward pass (im2col + cache-blocked GEMM, parallel
+/// over batch × output-channel tiles).
 ///
 /// * `input` — `NCHW` activations.
 /// * `weights` — `[c_out, c_in, k, k]` kernel matrix. The slice
@@ -117,10 +189,89 @@ fn check_conv_shapes(
 ///   is the unit the SE scheme encrypts or bypasses.
 /// * `bias` — optional `[c_out]` bias.
 ///
+/// Each task owns a disjoint `[b, co_tile]` slab of the output, builds the
+/// image's im2col panel in per-thread scratch reused across calls, and
+/// reduces products in ascending `(ci, ky, kx)` order starting from the
+/// bias — the same per-element order as [`conv2d_reference`], with
+/// explicit `0.0` products where the window overlaps the padding.
+///
 /// # Errors
 ///
 /// Shape/geometry mismatches produce the corresponding [`TensorError`].
 pub fn conv2d(
+    input: &Tensor,
+    weights: &Tensor,
+    bias: Option<&Tensor>,
+    geom: &Conv2dGeometry,
+) -> Result<Tensor, TensorError> {
+    let (n, c_in, h, w, c_out, oh, ow, k) = check_conv_shapes(input, weights, geom)?;
+    if let Some(b) = bias {
+        if b.len() != c_out {
+            return Err(TensorError::LengthMismatch {
+                expected: c_out,
+                actual: b.len(),
+            });
+        }
+    }
+    let mut out = Tensor::zeros(Shape::nchw(n, c_out, oh, ow));
+    let x = input.as_slice();
+    let wt = weights.as_slice();
+    let bias = bias.map(Tensor::as_slice);
+    let (stride, pad) = (geom.stride, geom.padding);
+    let s = oh * ow;
+    let kdim = c_in * k * k;
+    if s == 0 || c_out == 0 || n == 0 {
+        return Ok(out);
+    }
+
+    // Fixed task tiling: one task per (batch image, CO_TILE output
+    // channels). Boundaries depend only on the shape, never the thread
+    // count.
+    let tiles = c_out.div_ceil(CO_TILE);
+    let mut ranges = Vec::with_capacity(n * tiles);
+    for b_idx in 0..n {
+        for t in 0..tiles {
+            let co0 = t * CO_TILE;
+            let co1 = (co0 + CO_TILE).min(c_out);
+            ranges.push((b_idx * c_out + co0) * s..(b_idx * c_out + co1) * s);
+        }
+    }
+    seal_pool::par_ranges_mut(out.as_mut_slice(), &ranges, |task, out_slab| {
+        let b_idx = task / tiles;
+        let co0 = (task % tiles) * CO_TILE;
+        let co_count = out_slab.len() / s;
+        COLS.with(|cols| {
+            let mut cols = cols.borrow_mut();
+            cols.clear();
+            cols.resize(kdim * s, 0.0);
+            fill_im2col(&mut cols, x, b_idx, c_in, h, w, oh, ow, k, stride, pad);
+            if let Some(bv) = bias {
+                for (row, &b) in out_slab.chunks_exact_mut(s).zip(&bv[co0..co0 + co_count]) {
+                    row.fill(b);
+                }
+            }
+            gemm(
+                &wt[co0 * kdim..(co0 + co_count) * kdim],
+                &cols,
+                out_slab,
+                co_count,
+                kdim,
+                s,
+            );
+        });
+    });
+    Ok(out)
+}
+
+/// Direct 7-loop convolution — the readable reference the production
+/// kernel is tested against, and the benchmark baseline. Skips padding
+/// positions instead of multiplying by explicit zeros, so on non-finite
+/// weights it may differ from [`conv2d`] in NaN placement.
+///
+/// # Errors
+///
+/// Shape/geometry mismatches produce the corresponding [`TensorError`].
+pub fn conv2d_reference(
     input: &Tensor,
     weights: &Tensor,
     bias: Option<&Tensor>,
@@ -179,6 +330,14 @@ pub fn conv2d(
 /// Given the upstream gradient `grad_output` (shaped like the forward
 /// output), produces gradients w.r.t. input, weights and bias.
 ///
+/// Runs as two deterministic parallel passes: `grad_input` parallel over
+/// batch images (each image's gradient lives in a disjoint region and
+/// accumulates in the serial loop's `co → oy → ox → ci → ky → kx` order),
+/// then `grad_weights` + `grad_bias` parallel over output channels (each
+/// channel's weight rows and bias cell accumulate in the serial
+/// `b → oy → ox` order). Outputs are bitwise identical to the serial
+/// kernel for any thread count.
+///
 /// # Errors
 ///
 /// Shape/geometry mismatches produce the corresponding [`TensorError`].
@@ -205,12 +364,14 @@ pub fn conv2d_backward(
     let x = input.as_slice();
     let wt = weights.as_slice();
     let go = grad_output.as_slice();
-    let gi = grad_input.as_mut_slice();
-    let gw = grad_weights.as_mut_slice();
-    let gb = grad_bias.as_mut_slice();
     let (stride, pad) = (geom.stride, geom.padding);
+    let plane_in = c_in * h * w;
 
-    for b_idx in 0..n {
+    // Pass A — grad_input, one task per batch image.
+    seal_pool::par_chunks_mut(grad_input.as_mut_slice(), plane_in.max(1), |b_idx, gi| {
+        if gi.is_empty() {
+            return;
+        }
         for co in 0..c_out {
             for oy in 0..oh {
                 for ox in 0..ow {
@@ -218,31 +379,73 @@ pub fn conv2d_backward(
                     if g == 0.0 {
                         continue;
                     }
-                    gb[co] += g;
                     for ci in 0..c_in {
                         let w_base = ((co * c_in + ci) * k) * k;
-                        let x_base = (b_idx * c_in + ci) * h * w;
+                        let gi_base = ci * h * w;
                         for ky in 0..k {
                             let iy = (oy * stride + ky) as isize - pad as isize;
                             if iy < 0 || iy >= h as isize {
                                 continue;
                             }
-                            let xrow = x_base + iy as usize * w;
+                            let girow = gi_base + iy as usize * w;
                             let wrow = w_base + ky * k;
                             for kx in 0..k {
                                 let ix = (ox * stride + kx) as isize - pad as isize;
                                 if ix < 0 || ix >= w as isize {
                                     continue;
                                 }
-                                gw[wrow + kx] += g * x[xrow + ix as usize];
-                                gi[xrow + ix as usize] += g * wt[wrow + kx];
+                                gi[girow + ix as usize] += g * wt[wrow + kx];
                             }
                         }
                     }
                 }
             }
         }
-    }
+    });
+
+    // Pass B — grad_weights + grad_bias, one task per output channel.
+    let wrows = c_in * k * k;
+    seal_pool::par_chunks_pair_mut(
+        grad_weights.as_mut_slice(),
+        wrows.max(1),
+        grad_bias.as_mut_slice(),
+        1,
+        |co, gw, gb| {
+            if gw.is_empty() {
+                return;
+            }
+            for b_idx in 0..n {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = go[((b_idx * c_out + co) * oh + oy) * ow + ox];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        gb[0] += g;
+                        for ci in 0..c_in {
+                            let w_base = ci * k * k;
+                            let x_base = (b_idx * c_in + ci) * h * w;
+                            for ky in 0..k {
+                                let iy = (oy * stride + ky) as isize - pad as isize;
+                                if iy < 0 || iy >= h as isize {
+                                    continue;
+                                }
+                                let xrow = x_base + iy as usize * w;
+                                let wrow = w_base + ky * k;
+                                for kx in 0..k {
+                                    let ix = (ox * stride + kx) as isize - pad as isize;
+                                    if ix < 0 || ix >= w as isize {
+                                        continue;
+                                    }
+                                    gw[wrow + kx] += g * x[xrow + ix as usize];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        },
+    );
 
     Ok(Conv2dGradients {
         grad_input,
@@ -317,6 +520,40 @@ mod tests {
         let input = Tensor::zeros(Shape::nchw(1, 2, 3, 3));
         let w = Tensor::zeros(Shape::nchw(1, 3, 3, 3));
         assert!(conv2d(&input, &w, None, &Conv2dGeometry::same3x3()).is_err());
+    }
+
+    /// The im2col + GEMM kernel must agree with the direct 7-loop
+    /// reference bitwise on finite inputs, across strides/paddings/
+    /// channel counts (including a c_out > CO_TILE split).
+    #[test]
+    fn im2col_matches_direct_reference_bitwise() {
+        use crate::rng::rngs::StdRng;
+        use crate::rng::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(3);
+        let cases = [
+            (2, 3, 8, 8, 5, 3, 1, 1),
+            (1, 2, 7, 9, 4, 3, 2, 0),
+            (2, 1, 6, 6, 40, 1, 1, 0), // c_out > CO_TILE: multi-tile split
+            (1, 4, 5, 5, 3, 5, 1, 2),
+        ];
+        for &(n, c_in, h, w, c_out, k, stride, padding) in &cases {
+            let geom = Conv2dGeometry {
+                kernel: k,
+                stride,
+                padding,
+            };
+            let input = crate::uniform(&mut rng, Shape::nchw(n, c_in, h, w), -1.0, 1.0);
+            let weights = crate::uniform(&mut rng, Shape::nchw(c_out, c_in, k, k), -0.5, 0.5);
+            let bias = crate::uniform(&mut rng, Shape::vector(c_out), -0.1, 0.1);
+            let fast = conv2d(&input, &weights, Some(&bias), &geom).unwrap();
+            let reference = conv2d_reference(&input, &weights, Some(&bias), &geom).unwrap();
+            let same = fast
+                .as_slice()
+                .iter()
+                .zip(reference.as_slice())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "im2col != direct for case {n}x{c_in}x{h}x{w} k{k}");
+        }
     }
 
     /// Finite-difference check of the backward pass: perturb each weight and

@@ -1,28 +1,39 @@
-use crate::{Shape, Tensor, TensorError};
+//! Matrix product: packed, cache-blocked GEMM with deterministic
+//! row-block parallelism, plus the naive triple-loop reference.
+//!
+//! The blocked kernel tiles the problem BLIS-style — `MC`-row blocks ×
+//! `KC`-deep k-panels × `NR`-wide packed B strips, with an `MR`×`NR`
+//! register micro-kernel — and parallelises over `MC`-row output blocks on
+//! the `seal-pool` work-sharing runtime. Determinism contract: every
+//! output element accumulates its `k` products in strictly ascending `k`
+//! order within exactly one task (the accumulator is re-loaded from the
+//! output buffer at each k-panel boundary, which is exact for `f32`), so
+//! the result is bitwise identical to [`matmul_naive`] and independent of
+//! the thread count.
 
-/// Matrix product `lhs · rhs` of two rank-2 tensors.
-///
-/// Uses a cache-friendly i-k-j loop order. This is also the paper's
-/// motivating workload: "matrix multiplication computation that is the most
-/// common operation in DL algorithms" (Sec. II-B, Fig. 1).
-///
-/// # Errors
-///
-/// * [`TensorError::RankMismatch`] if either operand is not rank 2.
-/// * [`TensorError::ShapeMismatch`] if the inner dimensions disagree.
-///
-/// ```
-/// use seal_tensor::{ops::matmul, Shape, Tensor};
-///
-/// # fn main() -> Result<(), seal_tensor::TensorError> {
-/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], Shape::matrix(2, 2))?;
-/// let b = Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0], Shape::matrix(2, 2))?;
-/// assert_eq!(matmul(&a, &b)?.as_slice(), &[2.0, 1.0, 4.0, 3.0]);
-/// # Ok(())
-/// # }
-/// ```
-pub fn matmul(lhs: &Tensor, rhs: &Tensor) -> Result<Tensor, TensorError> {
-    for (t, _name) in [(lhs, "lhs"), (rhs, "rhs")] {
+use crate::{Shape, Tensor, TensorError};
+use std::cell::RefCell;
+
+/// Rows per parallel task (and per cache block of A).
+const MC: usize = 32;
+/// Depth of one packed k-panel of B.
+const KC: usize = 128;
+/// Micro-kernel rows.
+const MR: usize = 4;
+/// Micro-kernel columns (width of one packed B strip).
+const NR: usize = 8;
+/// Below this many FLOPs (`2·m·k·n`) the parallel split is not worth the
+/// pool round-trip and the kernel runs on the calling thread.
+const PAR_FLOP_THRESHOLD: usize = 1_000_000;
+
+thread_local! {
+    /// Per-thread packed-B scratch, reused across calls (grown, never
+    /// shrunk) so steady-state GEMMs allocate nothing.
+    static PACK: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+fn shape_checks(lhs: &Tensor, rhs: &Tensor) -> Result<(usize, usize, usize), TensorError> {
+    for t in [lhs, rhs] {
         if t.shape().rank() != 2 {
             return Err(TensorError::RankMismatch {
                 expected: 2,
@@ -40,23 +51,258 @@ pub fn matmul(lhs: &Tensor, rhs: &Tensor) -> Result<Tensor, TensorError> {
             op: "matmul",
         });
     }
+    Ok((m, k, n))
+}
+
+/// Matrix product `lhs · rhs` of two rank-2 tensors.
+///
+/// This is the paper's motivating workload: "matrix multiplication
+/// computation that is the most common operation in DL algorithms"
+/// (Sec. II-B, Fig. 1). The kernel is cache-blocked and runs on the
+/// `seal-pool` runtime with bitwise-deterministic output for any
+/// `SEAL_THREADS` (see the module docs for the contract).
+///
+/// # Errors
+///
+/// * [`TensorError::RankMismatch`] if either operand is not rank 2.
+/// * [`TensorError::ShapeMismatch`] if the inner dimensions disagree.
+///
+/// ```
+/// use seal_tensor::{ops::matmul, Shape, Tensor};
+///
+/// # fn main() -> Result<(), seal_tensor::TensorError> {
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], Shape::matrix(2, 2))?;
+/// let b = Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0], Shape::matrix(2, 2))?;
+/// assert_eq!(matmul(&a, &b)?.as_slice(), &[2.0, 1.0, 4.0, 3.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul(lhs: &Tensor, rhs: &Tensor) -> Result<Tensor, TensorError> {
+    let (m, k, n) = shape_checks(lhs, rhs)?;
+    let a = lhs.as_slice();
+    let b = rhs.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    gemm(a, b, &mut out, m, k, n);
+    Tensor::from_vec(out, Shape::matrix(m, n))
+}
+
+/// Naive textbook triple loop (i-j-k dot products; no blocking, no
+/// packing, no parallelism, no fast paths). The blocked kernel is tested
+/// to match it within 0 ULP — every output element sums its products in
+/// ascending `k` order in both kernels — and benchmarks use it as the
+/// cache-blocking speedup baseline.
+///
+/// No `a == 0.0` skip either: `0.0 × NaN` and `0.0 × ±inf` must
+/// contribute their NaN to the sum exactly as IEEE-754 dictates.
+///
+/// # Errors
+///
+/// Same shape errors as [`matmul`].
+pub fn matmul_naive(lhs: &Tensor, rhs: &Tensor) -> Result<Tensor, TensorError> {
+    let (m, k, n) = shape_checks(lhs, rhs)?;
     let a = lhs.as_slice();
     let b = rhs.as_slice();
     let mut out = vec![0.0f32; m * n];
     for i in 0..m {
         let arow = &a[i * k..(i + 1) * k];
-        let orow = &mut out[i * n..(i + 1) * n];
-        for (kk, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for (kk, &av) in arow.iter().enumerate() {
+                acc += av * b[kk * n + j];
             }
-            let brow = &b[kk * n..(kk + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
-            }
+            out[i * n + j] = acc;
         }
     }
     Tensor::from_vec(out, Shape::matrix(m, n))
+}
+
+/// `out[m×n] += a[m×k] · b[k×n]` with deterministic row-block
+/// parallelism. `out` may be pre-initialised (e.g. with a bias); each
+/// element's products are added in ascending `k` order on top of it.
+pub(crate) fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    let flops = 2usize.saturating_mul(m).saturating_mul(k).saturating_mul(n);
+    if flops < PAR_FLOP_THRESHOLD || m <= MC {
+        gemm_rows(a, b, out, m, k, n);
+        return;
+    }
+    // One task per MC-row block: boundaries depend only on `m`, never on
+    // the thread count, and each task owns a disjoint slice of `out`.
+    seal_pool::par_chunks_mut(out, MC * n, |blk, out_block| {
+        let row0 = blk * MC;
+        let rows = out_block.len() / n;
+        gemm_rows(&a[row0 * k..(row0 + rows) * k], b, out_block, rows, k, n);
+    });
+}
+
+/// Serial cache-blocked GEMM over a row range: k-panels of B are packed
+/// into NR-wide strips in thread-local scratch, then consumed by an
+/// MR×NR register micro-kernel. Accumulation order per output element is
+/// ascending `k`, carried through `out` across k-panels.
+fn gemm_rows(a: &[f32], b: &[f32], out: &mut [f32], rows: usize, k: usize, n: usize) {
+    let strips = n / NR; // full NR-wide column strips
+    PACK.with(|pack| {
+        let mut pack = pack.borrow_mut();
+        let mut k0 = 0;
+        while k0 < k {
+            let kc = KC.min(k - k0);
+            pack_b_panel(b, &mut pack, k0, kc, n, strips);
+            let mut i0 = 0;
+            while i0 < rows {
+                let mr = MR.min(rows - i0);
+                if mr == MR {
+                    for s in 0..strips {
+                        micro_kernel(a, &pack[s * kc * NR..(s + 1) * kc * NR], out, i0, k0, k, n, s);
+                    }
+                } else {
+                    for s in 0..strips {
+                        edge_rows(a, &pack[s * kc * NR..(s + 1) * kc * NR], out, i0, mr, k0, k, n, s);
+                    }
+                }
+                i0 += MR;
+            }
+            k0 += KC;
+        }
+    });
+    // Column tail (n % NR): scalar, unpacked, full-k ascending order.
+    for i in 0..rows {
+        for j in (strips * NR)..n {
+            let mut acc = out[i * n + j];
+            for (kk, &av) in a[i * k..(i + 1) * k].iter().enumerate() {
+                acc += av * b[kk * n + j];
+            }
+            out[i * n + j] = acc;
+        }
+    }
+}
+
+/// Packs `kc` rows of B (starting at `k0`) into `strips` NR-wide
+/// column-major-by-strip panels: `pack[s][kk][c] = b[(k0+kk)*n + s*NR+c]`.
+fn pack_b_panel(b: &[f32], pack: &mut Vec<f32>, k0: usize, kc: usize, n: usize, strips: usize) {
+    pack.clear();
+    pack.resize(strips * kc * NR, 0.0);
+    for s in 0..strips {
+        let dst = &mut pack[s * kc * NR..(s + 1) * kc * NR];
+        for (kk, drow) in dst.chunks_exact_mut(NR).enumerate() {
+            let src = &b[(k0 + kk) * n + s * NR..(k0 + kk) * n + s * NR + NR];
+            drow.copy_from_slice(src);
+        }
+    }
+}
+
+/// MR×NR register tile dispatcher: picks the widest vector ISA the CPU
+/// offers at runtime. Every variant runs the same scalar expression tree
+/// (multiply then add, never fused), so the choice is invisible in the
+/// output bits — it only changes how many lanes the autovectorizer uses.
+#[allow(clippy::too_many_arguments)]
+fn micro_kernel(
+    a: &[f32],
+    bp: &[f32],
+    out: &mut [f32],
+    i0: usize,
+    k0: usize,
+    k: usize,
+    n: usize,
+    s: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: the `avx2` feature was just verified at runtime.
+            unsafe { micro_kernel_avx2(a, bp, out, i0, k0, k, n, s) };
+            return;
+        }
+    }
+    micro_kernel_generic(a, bp, out, i0, k0, k, n, s);
+}
+
+/// [`micro_kernel_generic`] compiled with 256-bit vectors enabled. The
+/// body is identical — no FMA contraction is enabled, so `mul` + `add`
+/// round exactly like the baseline build and results stay bitwise equal.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn micro_kernel_avx2(
+    a: &[f32],
+    bp: &[f32],
+    out: &mut [f32],
+    i0: usize,
+    k0: usize,
+    k: usize,
+    n: usize,
+    s: usize,
+) {
+    micro_kernel_generic(a, bp, out, i0, k0, k, n, s);
+}
+
+/// MR×NR register tile: loads accumulators from `out`, streams `kc`
+/// packed B rows against MR rows of A, stores back. `bp` is one packed
+/// strip (`kc × NR`).
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn micro_kernel_generic(
+    a: &[f32],
+    bp: &[f32],
+    out: &mut [f32],
+    i0: usize,
+    k0: usize,
+    k: usize,
+    n: usize,
+    s: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (r, acc_r) in acc.iter_mut().enumerate() {
+        let o = (i0 + r) * n + s * NR;
+        acc_r.copy_from_slice(&out[o..o + NR]);
+    }
+    let a0 = &a[i0 * k + k0..];
+    let a1 = &a[(i0 + 1) * k + k0..];
+    let a2 = &a[(i0 + 2) * k + k0..];
+    let a3 = &a[(i0 + 3) * k + k0..];
+    for (kk, bv) in bp.chunks_exact(NR).enumerate() {
+        let avs = [a0[kk], a1[kk], a2[kk], a3[kk]];
+        for (acc_r, &av) in acc.iter_mut().zip(&avs) {
+            for (o, &bvv) in acc_r.iter_mut().zip(bv) {
+                *o += av * bvv;
+            }
+        }
+    }
+    for (r, acc_r) in acc.iter().enumerate() {
+        let o = (i0 + r) * n + s * NR;
+        out[o..o + NR].copy_from_slice(acc_r);
+    }
+}
+
+/// Remainder rows (`mr < MR`) against one packed strip — same per-element
+/// `k` order as the micro-kernel, one row at a time.
+#[allow(clippy::too_many_arguments)]
+fn edge_rows(
+    a: &[f32],
+    bp: &[f32],
+    out: &mut [f32],
+    i0: usize,
+    mr: usize,
+    k0: usize,
+    k: usize,
+    n: usize,
+    s: usize,
+) {
+    for r in 0..mr {
+        let i = i0 + r;
+        let o = i * n + s * NR;
+        let mut acc = [0.0f32; NR];
+        acc.copy_from_slice(&out[o..o + NR]);
+        let arow = &a[i * k + k0..];
+        for (kk, bv) in bp.chunks_exact(NR).enumerate() {
+            let av = arow[kk];
+            for (x, &bvv) in acc.iter_mut().zip(bv) {
+                *x += av * bvv;
+            }
+        }
+        out[o..o + NR].copy_from_slice(&acc);
+    }
 }
 
 #[cfg(test)]
@@ -117,5 +363,65 @@ mod tests {
                 assert!((fast.at2(i, j) - acc).abs() < 1e-4);
             }
         }
+    }
+
+    /// The determinism contract: blocked output is bitwise identical to
+    /// the naive triple loop (0 ULP) across awkward shapes that exercise
+    /// every edge path (row tails, column tails, multiple k-panels).
+    #[test]
+    fn blocked_matches_naive_bitwise() {
+        use crate::rng::rngs::StdRng;
+        use crate::rng::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(42);
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (4, 8, 8),
+            (33, 129, 17),
+            (37, 200, 41),
+            (64, 300, 72),
+        ] {
+            let a = crate::uniform(&mut rng, Shape::matrix(m, k), -2.0, 2.0);
+            let b = crate::uniform(&mut rng, Shape::matrix(k, n), -2.0, 2.0);
+            let fast = matmul(&a, &b).unwrap();
+            let naive = matmul_naive(&a, &b).unwrap();
+            let same = fast
+                .as_slice()
+                .iter()
+                .zip(naive.as_slice())
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(same, "blocked != naive (bitwise) for {m}x{k}x{n}");
+        }
+    }
+
+    /// Regression for the removed `av == 0.0` fast path: `0 × NaN` and
+    /// `0 × inf` must produce NaN, exactly as IEEE-754 (and the naive
+    /// loop) dictate.
+    #[test]
+    fn zero_times_nonfinite_propagates_nan() {
+        let a = Tensor::from_vec(vec![0.0, 0.0], Shape::matrix(1, 2)).unwrap();
+        let b = Tensor::from_vec(vec![f32::NAN, f32::INFINITY], Shape::matrix(2, 1)).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert!(c.as_slice()[0].is_nan(), "0·NaN + 0·inf must be NaN");
+        let naive = matmul_naive(&a, &b).unwrap();
+        assert!(naive.as_slice()[0].is_nan());
+    }
+
+    /// Large-enough product to take the parallel path; must still match
+    /// the naive reference bitwise.
+    #[test]
+    fn parallel_path_matches_naive_bitwise() {
+        use crate::rng::rngs::StdRng;
+        use crate::rng::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = crate::uniform(&mut rng, Shape::matrix(97, 83), -1.0, 1.0);
+        let b = crate::uniform(&mut rng, Shape::matrix(83, 65), -1.0, 1.0);
+        let fast = matmul(&a, &b).unwrap();
+        let naive = matmul_naive(&a, &b).unwrap();
+        assert!(fast
+            .as_slice()
+            .iter()
+            .zip(naive.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
     }
 }

@@ -11,6 +11,6 @@ mod conv;
 mod matmul;
 mod pool;
 
-pub use conv::{conv2d, conv2d_backward, Conv2dGeometry, Conv2dGradients};
-pub use matmul::matmul;
+pub use conv::{conv2d, conv2d_backward, conv2d_reference, Conv2dGeometry, Conv2dGradients};
+pub use matmul::{matmul, matmul_naive};
 pub use pool::{avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward, PoolGeometry};

@@ -73,32 +73,39 @@ pub fn max_pool2d(
     let x = input.as_slice();
     let mut out = Tensor::zeros(Shape::nchw(n, c, oh, ow));
     let mut argmax = vec![0usize; out.len()];
-    let o = out.as_mut_slice();
+    let plane_out = oh * ow;
 
-    for b in 0..n {
-        for ch in 0..c {
-            let base = (b * c + ch) * h * w;
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut best = f32::NEG_INFINITY;
-                    let mut best_idx = 0usize;
-                    for ky in 0..geom.window {
-                        let iy = oy * geom.stride + ky;
-                        for kx in 0..geom.window {
-                            let ix = ox * geom.stride + kx;
-                            let idx = base + iy * w + ix;
-                            if x[idx] > best {
-                                best = x[idx];
-                                best_idx = idx;
+    // One task per (batch, channel) plane; argmax stays in absolute flat
+    // input coordinates, as the backward pass expects.
+    if plane_out > 0 {
+        seal_pool::par_chunks_pair_mut(
+            out.as_mut_slice(),
+            plane_out,
+            &mut argmax,
+            plane_out,
+            |p, o, am| {
+                let base = p * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for ky in 0..geom.window {
+                            let iy = oy * geom.stride + ky;
+                            for kx in 0..geom.window {
+                                let ix = ox * geom.stride + kx;
+                                let idx = base + iy * w + ix;
+                                if x[idx] > best {
+                                    best = x[idx];
+                                    best_idx = idx;
+                                }
                             }
                         }
+                        o[oy * ow + ox] = best;
+                        am[oy * ow + ox] = best_idx;
                     }
-                    let oidx = ((b * c + ch) * oh + oy) * ow + ox;
-                    o[oidx] = best;
-                    argmax[oidx] = best_idx;
                 }
-            }
-        }
+            },
+        );
     }
     Ok((out, argmax))
 }
@@ -123,7 +130,32 @@ pub fn max_pool2d_backward(
     }
     let mut grad_input = Tensor::zeros(input_shape.clone());
     let gi = grad_input.as_mut_slice();
-    for (g, &idx) in grad_output.as_slice().iter().zip(argmax) {
+    let go = grad_output.as_slice();
+    // Per-plane parallel scatter when the shapes factor into (n·c) planes;
+    // each plane's argmax indices land inside that plane, so the regions
+    // are disjoint. Anything irregular falls back to the serial scatter.
+    let planes = if input_shape.rank() == 4 {
+        input_shape.dim(0) * input_shape.dim(1)
+    } else {
+        0
+    };
+    if planes > 0 && gi.len().is_multiple_of(planes) && go.len().is_multiple_of(planes) {
+        let plane_in = gi.len() / planes;
+        let plane_out = go.len() / planes;
+        if plane_in > 0 && plane_out > 0 {
+            seal_pool::par_chunks_mut(gi, plane_in, |p, gp| {
+                let base = p * plane_in;
+                for (g, &idx) in go[p * plane_out..(p + 1) * plane_out]
+                    .iter()
+                    .zip(&argmax[p * plane_out..(p + 1) * plane_out])
+                {
+                    gp[idx - base] += g;
+                }
+            });
+            return Ok(grad_input);
+        }
+    }
+    for (g, &idx) in go.iter().zip(argmax) {
         gi[idx] += g;
     }
     Ok(grad_input)
@@ -138,12 +170,12 @@ pub fn avg_pool2d(input: &Tensor, geom: &PoolGeometry) -> Result<Tensor, TensorE
     let (n, c, h, w, oh, ow) = check_pool(input, geom)?;
     let x = input.as_slice();
     let mut out = Tensor::zeros(Shape::nchw(n, c, oh, ow));
-    let o = out.as_mut_slice();
     let norm = 1.0 / (geom.window * geom.window) as f32;
+    let plane_out = oh * ow;
 
-    for b in 0..n {
-        for ch in 0..c {
-            let base = (b * c + ch) * h * w;
+    if plane_out > 0 {
+        seal_pool::par_chunks_mut(out.as_mut_slice(), plane_out, |p, o| {
+            let base = p * h * w;
             for oy in 0..oh {
                 for ox in 0..ow {
                     let mut acc = 0.0f32;
@@ -153,10 +185,10 @@ pub fn avg_pool2d(input: &Tensor, geom: &PoolGeometry) -> Result<Tensor, TensorE
                             acc += x[base + iy * w + ox * geom.stride + kx];
                         }
                     }
-                    o[((b * c + ch) * oh + oy) * ow + ox] = acc * norm;
+                    o[oy * ow + ox] = acc * norm;
                 }
             }
-        }
+        });
     }
     Ok(out)
 }
@@ -201,24 +233,24 @@ pub fn avg_pool2d_backward(
         });
     }
     let mut grad_input = Tensor::zeros(input_shape.clone());
-    let gi = grad_input.as_mut_slice();
     let go = grad_output.as_slice();
     let norm = 1.0 / (geom.window * geom.window) as f32;
-    for b in 0..n {
-        for ch in 0..c {
-            let base = (b * c + ch) * h * w;
+    let plane_in = h * w;
+    if plane_in > 0 && oh * ow > 0 {
+        seal_pool::par_chunks_mut(grad_input.as_mut_slice(), plane_in, |p, gi| {
+            let go_base = p * oh * ow;
             for oy in 0..oh {
                 for ox in 0..ow {
-                    let g = go[((b * c + ch) * oh + oy) * ow + ox] * norm;
+                    let g = go[go_base + oy * ow + ox] * norm;
                     for ky in 0..geom.window {
                         let iy = oy * geom.stride + ky;
                         for kx in 0..geom.window {
-                            gi[base + iy * w + ox * geom.stride + kx] += g;
+                            gi[iy * w + ox * geom.stride + kx] += g;
                         }
                     }
                 }
             }
-        }
+        });
     }
     Ok(grad_input)
 }

@@ -222,6 +222,28 @@ impl Tensor {
         }
     }
 
+    /// Applies `f` element-wise on the `seal-pool` runtime, returning a
+    /// new tensor. The shared `par_chunks` path for elementwise layers:
+    /// fixed-size chunks (independent of the thread count) keep the
+    /// output bitwise identical to [`Tensor::map`] for any pure `f`.
+    pub fn par_map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+        let mut data = vec![0.0f32; self.data.len()];
+        if !data.is_empty() {
+            let src = self.as_slice();
+            seal_pool::par_chunks_mut(&mut data, crate::ELEMWISE_CHUNK, |ci, chunk| {
+                let base = ci * crate::ELEMWISE_CHUNK;
+                let src = &src[base..base + chunk.len()];
+                for (d, &s) in chunk.iter_mut().zip(src) {
+                    *d = f(s);
+                }
+            });
+        }
+        Tensor {
+            data,
+            shape: self.shape.clone(),
+        }
+    }
+
     /// Sum of all elements.
     pub fn sum(&self) -> f32 {
         self.data.iter().sum()

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Kernel perf trajectory: runs the blocked-vs-naive / 1-vs-N-thread
+# GFLOP/s measurements and writes `results/BENCH_kernels.json`.
+#
+# Usage:
+#   scripts/bench_kernels.sh [output.json]
+#
+# The JSON records, per kernel case:
+#   * baseline_gflops      — naive i-j-k matmul / direct-loop conv2d
+#   * unblocked_ikj_gflops — the pre-blocking production matmul (matmul only)
+#   * blocked_1t_gflops    — cache-blocked seal-pool kernel, 1 thread
+#   * blocked_4t_gflops    — same kernel on a 4-thread pool
+#   * speedup_blocking / speedup_threads_4
+# plus `detected_cores`: thread scaling is measured honestly on this
+# machine, so a single-core host reports ~1.0x for speedup_threads_4.
+# Bitwise thread-count independence of the *results* is proven by the
+# determinism suite (crates/bench/tests/determinism.rs), not here.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-results/BENCH_kernels.json}"
+
+echo "==> cargo run --release -p seal-bench --bin bench_kernels"
+cargo run --release -q -p seal-bench --bin bench_kernels -- "$OUT"

@@ -19,6 +19,12 @@ cargo test -q --workspace
 echo "==> seal-analyze --workspace"
 cargo run --release -q -p seal-analyze -- --workspace
 
+# Determinism suite: the parallel kernels must produce bitwise-identical
+# results for any thread count (in-process pools and SEAL_THREADS
+# subprocesses) and 0 ULP vs the naive reference loops.
+echo "==> determinism suite (SEAL_THREADS in {1,2,7})"
+cargo test --release -q -p seal-bench --test determinism
+
 # Serving smoke run: ~100 closed-loop requests against the reduced
 # VGG-16; the binary exits non-zero if latency percentiles are
 # disordered, throughput is zero, or the encryption-scheme throughput

@@ -15,6 +15,7 @@
 //! | [`core`] | SEAL smart encryption: importance ranking, plans, traffic, `emalloc` |
 //! | [`attack`] | substitute models, Jacobian augmentation, I-FGSM, transferability |
 //! | [`serve`] | batched multi-threaded inference serving with encrypted-weight streaming |
+//! | [`pool`] | deterministic work-sharing thread pool behind every parallel kernel |
 //!
 //! ## Quickstart
 //!
@@ -41,6 +42,7 @@ pub use seal_crypto as crypto;
 pub use seal_data as data;
 pub use seal_gpusim as gpusim;
 pub use seal_nn as nn;
+pub use seal_pool as pool;
 pub use seal_serve as serve;
 pub use seal_tensor as tensor;
 
