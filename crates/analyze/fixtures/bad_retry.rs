@@ -1,0 +1,43 @@
+//! Fixture: retry loops the `retry-backoff` rule must flag.
+//!
+//! Sleeping a fixed delay (or not sleeping at all) between retries
+//! hammers the failing resource instead of backing off; the accepted
+//! idiom is an exponentially growing, capped delay (`seal_faults::Backoff`).
+//! Never compiled — line numbers matter, update
+//! `tests/analyze_integration.rs` when editing.
+
+use std::time::Duration;
+
+/// Retries a push forever with a fixed 50µs pause — the seeded
+/// constant-sleep violation.
+fn fixed_delay_retry(queue: &Queue) {
+    loop {
+        match queue.try_push(1) {
+            Ok(()) => break,
+            Err(_) => std::thread::sleep(Duration::from_micros(50)),
+        }
+    }
+}
+
+/// Spins on a fallible poll with no pause at all — the seeded
+/// busy-retry violation.
+fn busy_retry(source: &Source) -> u64 {
+    while source.live() {
+        if source.poll().is_err() {
+            continue;
+        }
+        return source.take();
+    }
+    0
+}
+
+/// The accepted idiom — an exponentially growing, capped delay — must
+/// stay clean.
+fn backoff_retry(queue: &Queue, backoff: &mut Backoff) {
+    loop {
+        match queue.try_push(1) {
+            Ok(()) => break,
+            Err(_) => std::thread::sleep(backoff.next_delay()),
+        }
+    }
+}

@@ -35,6 +35,10 @@ pub enum Rule {
     /// `thread::spawn` / `thread::scope` outside the `seal-pool` runtime
     /// crate — all thread creation must go through the audited pool.
     ThreadSpawn,
+    /// Retry loop without backoff: a `loop`/`while` body that matches on
+    /// `Err` and either sleeps a *constant* delay between attempts or
+    /// retries (`continue`) without sleeping at all.
+    RetryBackoff,
 }
 
 impl Rule {
@@ -50,6 +54,7 @@ impl Rule {
             Rule::MissingDocs => "missing-docs",
             Rule::LockUnwrap => "lock-unwrap",
             Rule::ThreadSpawn => "thread-spawn",
+            Rule::RetryBackoff => "retry-backoff",
         }
     }
 
@@ -65,13 +70,14 @@ impl Rule {
             "missing-docs" => Rule::MissingDocs,
             "lock-unwrap" => Rule::LockUnwrap,
             "thread-spawn" => Rule::ThreadSpawn,
+            "retry-backoff" => Rule::RetryBackoff,
             _ => return None,
         })
     }
 }
 
 /// Every rule, in reporting order.
-pub const ALL_RULES: [Rule; 9] = [
+pub const ALL_RULES: [Rule; 10] = [
     Rule::Unwrap,
     Rule::Expect,
     Rule::Panic,
@@ -81,6 +87,7 @@ pub const ALL_RULES: [Rule; 9] = [
     Rule::MissingDocs,
     Rule::LockUnwrap,
     Rule::ThreadSpawn,
+    Rule::RetryBackoff,
 ];
 
 /// Zero-argument methods whose `Result` encodes a *peer failure* (poisoned
@@ -148,6 +155,7 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
     if !is_pool_runtime(path) {
         thread_spawn_rule(&code, &mut emit);
     }
+    retry_backoff_rule(&code, &mut emit);
     missing_docs_rule(&toks, &suppressed, &mut emit);
 
     findings.sort_by_key(|f| f.line);
@@ -417,6 +425,173 @@ fn cast_rule(code: &[&Tok], emit: &mut impl FnMut(Rule, u32, String)) {
     }
 }
 
+/// Retry loops that hammer a failing resource. A `loop`/`while` body
+/// counts as a retry loop when it matches on `Err` (or calls `is_err`);
+/// it is flagged when it sleeps a *constant* delay between attempts, or
+/// retries via `continue` without sleeping at all. A variable delay
+/// (e.g. `backoff.next_delay()`) passes — that is the accepted idiom.
+/// `for` loops are finite iteration, not retry, and bounded respawn
+/// loops that fall through to re-enter (no `continue`) are tolerated —
+/// the supervisor pattern restarts a worker, it does not poll a resource.
+fn retry_backoff_rule(code: &[&Tok], emit: &mut impl FnMut(Rule, u32, String)) {
+    struct Fire {
+        open: usize,
+        close: usize,
+        line: u32,
+        message: &'static str,
+    }
+    let mut fires: Vec<Fire> = Vec::new();
+    for (i, t) in code.iter().enumerate() {
+        if !(t.kind == TokKind::Ident && (t.text == "loop" || t.text == "while")) {
+            continue;
+        }
+        let Some((open, close)) = loop_body(code, i) else {
+            continue;
+        };
+        let body = &code[open + 1..close];
+        let fallible = body
+            .iter()
+            .any(|b| b.kind == TokKind::Ident && (b.text == "Err" || b.text == "is_err"));
+        if !fallible {
+            continue;
+        }
+        let retries = body
+            .iter()
+            .any(|b| b.kind == TokKind::Ident && b.text == "continue");
+        let mut any_sleep = false;
+        let mut const_sleep: Option<u32> = None;
+        for (j, s) in body.iter().enumerate() {
+            let opens_call = body
+                .get(j + 1)
+                .is_some_and(|n| n.kind == TokKind::Punct && n.text == "(");
+            if !(s.kind == TokKind::Ident && s.text == "sleep" && opens_call) {
+                continue;
+            }
+            any_sleep = true;
+            if const_sleep.is_none() && sleep_arg_is_constant(body, j + 1) {
+                const_sleep = Some(s.line);
+            }
+        }
+        if let Some(line) = const_sleep {
+            fires.push(Fire {
+                open,
+                close,
+                line,
+                message: "retry loop sleeps a constant delay between attempts — \
+                          back off exponentially (`seal_faults::Backoff`) so retries \
+                          do not hammer the failing resource",
+            });
+        } else if !any_sleep && retries {
+            fires.push(Fire {
+                open,
+                close,
+                line: t.line,
+                message: "retry loop with no sleep between attempts — busy retry \
+                          hammers the failing resource; add exponential backoff \
+                          (`seal_faults::Backoff`)",
+            });
+        }
+    }
+    // A nested retry loop fires on its own; do not re-report its tokens
+    // through every enclosing loop. Keep only innermost fires, then
+    // dedupe lines (outer and inner may anchor on the same sleep).
+    let mut seen_lines = std::collections::BTreeSet::new();
+    for f in &fires {
+        let contains_other = fires.iter().any(|g| {
+            (g.open, g.close) != (f.open, f.close) && g.open >= f.open && g.close <= f.close
+        });
+        if !contains_other && seen_lines.insert(f.line) {
+            emit(Rule::RetryBackoff, f.line, f.message.into());
+        }
+    }
+}
+
+/// Locates the `{ … }` body of the `loop`/`while` keyword at `kw`:
+/// the first brace outside the condition's parens/brackets, matched to
+/// its closing brace. Returns code-token indices of both braces.
+fn loop_body(code: &[&Tok], kw: usize) -> Option<(usize, usize)> {
+    let mut nested = 0usize;
+    let mut open = None;
+    for (j, t) in code.iter().enumerate().skip(kw + 1) {
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "(" | "[" => nested += 1,
+            ")" | "]" => nested = nested.saturating_sub(1),
+            "{" if nested == 0 => {
+                open = Some(j);
+                break;
+            }
+            ";" if nested == 0 => return None,
+            _ => {}
+        }
+    }
+    let open = open?;
+    let mut depth = 0usize;
+    for (j, t) in code.iter().enumerate().skip(open) {
+        if t.kind != TokKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((open, j));
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Classifies the argument of a `sleep(…)` call (given the index of its
+/// opening paren) as a compile-time-constant delay. Constant means every
+/// identifier in the argument is a type/path segment (`std`, `core`,
+/// `time`, `thread`, `Duration`, a `from_*` constructor, an
+/// uppercase-initial type) or a `SCREAMING_CASE` constant — numeric
+/// literals are constant, any other lowercase identifier (a variable or
+/// method like `backoff.next_delay()`) makes the delay variable.
+fn sleep_arg_is_constant(body: &[&Tok], open: usize) -> bool {
+    let mut depth = 0usize;
+    let mut saw_any = false;
+    for t in body.iter().skip(open) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return saw_any;
+                    }
+                }
+                _ => {}
+            }
+            continue;
+        }
+        if depth == 0 {
+            continue;
+        }
+        saw_any = true;
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let s = t.text.as_str();
+        let path_segment = matches!(s, "std" | "core" | "time" | "thread" | "Duration")
+            || s.starts_with("from_")
+            || s.starts_with(|c: char| c.is_ascii_uppercase());
+        let screaming = s
+            .chars()
+            .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_');
+        if !(path_segment || screaming) {
+            return false;
+        }
+    }
+    false
+}
+
 /// `pub fn` (plain `pub`, not `pub(crate)`/`pub(super)`) without an
 /// immediately preceding doc comment. Attributes between the docs and the
 /// `fn` are allowed.
@@ -673,6 +848,60 @@ mod tests {
     #[test]
     fn thread_spawn_suppressible_by_allow() {
         let src = "fn f() {\n  // seal-lint: allow(thread-spawn)\n  std::thread::spawn(|| {});\n}\n";
+        assert!(rules_found(src).is_empty());
+    }
+
+    #[test]
+    fn constant_sleep_retry_loop_flagged() {
+        let src = "fn f() {\n  loop {\n    match try_send() {\n      Ok(_) => break,\n      Err(_) => std::thread::sleep(Duration::from_millis(10)),\n    }\n  }\n}\n";
+        assert_eq!(rules_found(src), vec![(Rule::RetryBackoff, 5)]);
+        let msg = &lint_source("lib.rs", src)[0].message;
+        assert!(msg.contains("Backoff"), "{msg}");
+    }
+
+    #[test]
+    fn busy_retry_loop_without_sleep_flagged() {
+        let src = "fn f() {\n  while running() {\n    if send().is_err() {\n      continue;\n    }\n    break;\n  }\n}\n";
+        assert_eq!(rules_found(src), vec![(Rule::RetryBackoff, 2)]);
+    }
+
+    #[test]
+    fn screaming_const_delay_is_still_constant() {
+        let src = "fn f() {\n  loop {\n    if poll().is_err() {\n      thread::sleep(RETRY_DELAY);\n      continue;\n    }\n    break;\n  }\n}\n";
+        assert_eq!(rules_found(src), vec![(Rule::RetryBackoff, 4)]);
+    }
+
+    #[test]
+    fn variable_backoff_sleep_is_clean() {
+        let src = "fn f() {\n  let mut b = Backoff::new(base, max);\n  loop {\n    match try_send() {\n      Ok(_) => break,\n      Err(_) => std::thread::sleep(b.next_delay()),\n    }\n  }\n}\n";
+        assert!(rules_found(src).is_empty());
+    }
+
+    #[test]
+    fn for_loops_and_non_fallible_loops_are_not_retry() {
+        // `for` is finite iteration; a loop with no Err handling is a
+        // worker/event loop, not a retry.
+        let src = "fn f() {\n  for x in xs {\n    if x.is_err() { continue; }\n  }\n  loop {\n    if done() { break; }\n    step();\n  }\n}\n";
+        assert!(rules_found(src).is_empty());
+    }
+
+    #[test]
+    fn bounded_respawn_loop_without_continue_is_clean() {
+        // The supervisor idiom: re-enter the body on panic until the
+        // budget runs out. No `continue`, no polling — tolerated.
+        let src = "fn f() {\n  loop {\n    match run() {\n      Ok(()) => break,\n      Err(p) => { record(p); if give_up() { break; } }\n    }\n  }\n}\n";
+        assert!(rules_found(src).is_empty());
+    }
+
+    #[test]
+    fn outer_loop_is_not_double_flagged_for_an_inner_violation() {
+        let src = "fn f() {\n  while live() {\n    if take().is_err() {\n      continue;\n    }\n    loop {\n      match send() {\n        Ok(_) => break,\n        Err(_) => std::thread::sleep(Duration::from_millis(5)),\n      }\n    }\n  }\n}\n";
+        assert_eq!(rules_found(src), vec![(Rule::RetryBackoff, 9)]);
+    }
+
+    #[test]
+    fn retry_backoff_suppressible_by_allow() {
+        let src = "fn f() {\n  loop {\n    match try_send() {\n      Ok(_) => break,\n      // seal-lint: allow(retry-backoff)\n      Err(_) => std::thread::sleep(Duration::from_millis(10)),\n    }\n  }\n}\n";
         assert!(rules_found(src).is_empty());
     }
 

@@ -80,13 +80,29 @@ fn thread_spawn_fixture_yields_only_the_raw_spawns() {
 }
 
 #[test]
+fn retry_fixture_yields_both_seeded_retry_loops() {
+    let findings = lint_paths(&[fixture("bad_retry.rs")]).unwrap();
+    let rules: Vec<(Rule, u32)> = findings.iter().map(|f| (f.rule, f.line)).collect();
+    assert_eq!(
+        rules,
+        vec![(Rule::RetryBackoff, 17), (Rule::RetryBackoff, 25)],
+        "full findings: {findings:#?}"
+    );
+    // Constant-sleep retry anchors on the sleep, busy retry on the loop;
+    // both point at the accepted replacement. The `Backoff`-driven
+    // variable delay in the same file stays clean.
+    assert!(findings.iter().all(|f| f.message.contains("Backoff")));
+}
+
+#[test]
 fn linting_the_whole_fixture_dir_finds_all_files() {
     let findings = lint_paths(&[fixture("")]).unwrap();
     assert!(findings.iter().any(|f| f.path.ends_with("bad_panics.rs")));
     assert!(findings.iter().any(|f| f.path.ends_with("bad_concurrency.rs")));
     assert!(findings.iter().any(|f| f.path.ends_with("bad_thread_spawn.rs")));
+    assert!(findings.iter().any(|f| f.path.ends_with("bad_retry.rs")));
     assert!(findings.iter().any(|f| f.path.ends_with("aes.rs")));
-    assert_eq!(findings.len(), 14);
+    assert_eq!(findings.len(), 16);
 }
 
 #[test]

@@ -60,6 +60,10 @@ pub struct CounterCacheStats {
     pub hits: u64,
     /// Accesses that required a counter fetch from DRAM.
     pub misses: u64,
+    /// Accesses that found their resident counter line flagged corrupt
+    /// (integrity check failed) and repaired it with a DRAM re-fetch —
+    /// these are also counted in `misses`, since they pay a fetch.
+    pub corruptions_detected: u64,
 }
 
 impl CounterCacheStats {
@@ -79,6 +83,11 @@ struct Way {
     tag: u64,
     last_use: u64,
     valid: bool,
+    /// Set by fault injection: the line's counter bits were flipped. The
+    /// next access detects this (modelling the counter block's own MAC /
+    /// ECC check) and repairs the line with a re-fetch instead of handing
+    /// out a bogus counter.
+    corrupt: bool,
 }
 
 /// A set-associative LRU counter cache.
@@ -141,7 +150,8 @@ impl CounterCache {
                     Way {
                         tag: 0,
                         last_use: 0,
-                        valid: false
+                        valid: false,
+                        corrupt: false
                     };
                     config.ways
                 ];
@@ -168,6 +178,16 @@ impl CounterCache {
         let set = &mut self.sets[set_idx];
 
         if let Some(way) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
+            if way.corrupt {
+                // The line's integrity check fails: repair it with a DRAM
+                // re-fetch. Priced as a miss, surfaced in the stats, and
+                // never handed out as a (bogus) hit.
+                way.corrupt = false;
+                way.last_use = self.tick;
+                self.stats.corruptions_detected += 1;
+                self.stats.misses += 1;
+                return false;
+            }
             way.last_use = self.tick;
             self.stats.hits += 1;
             return true;
@@ -185,8 +205,30 @@ impl CounterCache {
         };
         victim.tag = tag;
         victim.valid = true;
+        victim.corrupt = false;
         victim.last_use = self.tick;
         false
+    }
+
+    /// Flags the resident counter line covering `addr` as corrupted (a
+    /// fault-injection hook modelling flipped counter bits). Returns
+    /// `true` if the line was resident — a non-resident line cannot be
+    /// corrupted on-chip and the next access simply re-fetches it.
+    pub fn corrupt(&mut self, addr: u64) -> bool {
+        let line_id = addr / self.config.coverage_bytes as u64;
+        let num_sets = self.sets.len() as u64;
+        let set_idx = (line_id % num_sets) as usize;
+        let tag = line_id / num_sets;
+        match self.sets[set_idx]
+            .iter_mut()
+            .find(|w| w.valid && w.tag == tag)
+        {
+            Some(way) => {
+                way.corrupt = true;
+                true
+            }
+            None => false,
+        }
     }
 
     /// Accumulated hit/miss statistics.
@@ -199,6 +241,7 @@ impl CounterCache {
         for set in &mut self.sets {
             for way in set {
                 way.valid = false;
+                way.corrupt = false;
             }
         }
         self.tick = 0;
@@ -256,9 +299,35 @@ mod tests {
 
     #[test]
     fn hit_rate_math() {
-        let s = CounterCacheStats { hits: 3, misses: 1 };
+        let s = CounterCacheStats {
+            hits: 3,
+            misses: 1,
+            ..Default::default()
+        };
         assert!((s.hit_rate() - 0.75).abs() < 1e-12);
         assert_eq!(CounterCacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn corrupted_line_is_detected_and_repaired() {
+        let mut cc = CounterCache::new(CounterCacheConfig::with_kilobytes(24)).unwrap();
+        cc.access(0x2000); // cold miss, now resident
+        assert!(cc.corrupt(0x2000), "resident line can be corrupted");
+        // The corrupted line is never handed out as a hit: the access
+        // detects it, pays a re-fetch, and repairs the line.
+        assert!(!cc.access(0x2000));
+        assert_eq!(cc.stats().corruptions_detected, 1);
+        assert_eq!(cc.stats().misses, 2);
+        // Once repaired, the line behaves normally again.
+        assert!(cc.access(0x2000));
+        assert_eq!(cc.stats().hits, 1);
+        // A non-resident line cannot be corrupted on-chip.
+        assert!(!cc.corrupt(0x8_0000));
+        // Reset clears corruption flags with everything else.
+        cc.corrupt(0x2000);
+        cc.reset();
+        cc.access(0x2000);
+        assert_eq!(cc.stats().corruptions_detected, 0);
     }
 
     #[test]

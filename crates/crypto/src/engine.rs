@@ -115,6 +115,10 @@ pub struct EnginePipeline {
     next_free: u64,
     lines_processed: u64,
     busy_cycles: u64,
+    stalls: u64,
+    stall_cycles: u64,
+    recoveries: u64,
+    recovery_cycles: u64,
 }
 
 // Ownership contract with the seal-pool parallel runtime: an
@@ -154,6 +158,10 @@ impl EnginePipeline {
             next_free: 0,
             lines_processed: 0,
             busy_cycles: 0,
+            stalls: 0,
+            stall_cycles: 0,
+            recoveries: 0,
+            recovery_cycles: 0,
         })
     }
 
@@ -180,6 +188,56 @@ impl EnginePipeline {
         start + occupancy + self.spec.latency_cycles
     }
 
+    /// Injects an engine stall of `cycles` (a fault-model event: clock
+    /// gating, voltage droop, a wedged pipeline stage). The engine's
+    /// next-free cycle is pushed out, so subsequent submissions pay for
+    /// the stall in lane throughput.
+    pub fn inject_stall(&mut self, cycles: u64) {
+        if cycles == 0 {
+            return;
+        }
+        self.next_free = self.next_free.saturating_add(cycles);
+        self.stalls += 1;
+        self.stall_cycles += cycles;
+    }
+
+    /// Submits `bytes` at `now` plus `recovery_attempts` integrity
+    /// re-fetches of the same line, each preceded by an exponentially
+    /// growing penalty (`base`, `2·base`, ... capped at `max`) modelling
+    /// the DRAM round-trip + backoff of a MAC-failure recovery.
+    ///
+    /// Returns the cycle when the (finally verified) result is available.
+    /// With `recovery_attempts == 0` this is exactly [`submit`]
+    /// (Self::submit). Recovery traffic is tracked separately via
+    /// [`recoveries`](Self::recoveries) / [`recovery_cycles`]
+    /// (Self::recovery_cycles) so reports can price the integrity tax.
+    pub fn submit_with_recovery(
+        &mut self,
+        now: u64,
+        bytes: u64,
+        recovery_attempts: u32,
+        recovery_base_cycles: u64,
+        recovery_max_cycles: u64,
+    ) -> u64 {
+        let mut done = self.submit(now, bytes);
+        for attempt in 0..recovery_attempts {
+            let penalty = if recovery_base_cycles == 0 {
+                0
+            } else if attempt >= 63 {
+                recovery_max_cycles
+            } else {
+                recovery_base_cycles
+                    .saturating_mul(1u64 << attempt)
+                    .min(recovery_max_cycles)
+            };
+            let redo = self.submit(done.saturating_add(penalty), bytes);
+            self.recoveries += 1;
+            self.recovery_cycles += redo.saturating_sub(done);
+            done = redo;
+        }
+        done
+    }
+
     /// First cycle at which a new line could begin processing.
     pub fn next_free_cycle(&self) -> u64 {
         self.next_free
@@ -196,11 +254,35 @@ impl EnginePipeline {
         self.busy_cycles
     }
 
+    /// Number of injected stalls so far.
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+
+    /// Total cycles lost to injected stalls.
+    pub fn stall_cycles(&self) -> u64 {
+        self.stall_cycles
+    }
+
+    /// Number of integrity-recovery re-fetches performed so far.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    /// Total cycles spent on integrity recovery (backoff + re-encrypt).
+    pub fn recovery_cycles(&self) -> u64 {
+        self.recovery_cycles
+    }
+
     /// Resets the engine to idle, keeping the spec.
     pub fn reset(&mut self) {
         self.next_free = 0;
         self.lines_processed = 0;
         self.busy_cycles = 0;
+        self.stalls = 0;
+        self.stall_cycles = 0;
+        self.recoveries = 0;
+        self.recovery_cycles = 0;
     }
 }
 
@@ -263,6 +345,39 @@ mod tests {
         assert_eq!(eng.busy_cycles(), 23);
         // Subsequent real traffic is unaffected.
         assert_eq!(eng.submit(10_000, 128), 10_000 + 23 + 20);
+    }
+
+    #[test]
+    fn injected_stall_delays_subsequent_lines() {
+        let mut eng = EnginePipeline::new(EngineSpec::seal_default(), 1.401).unwrap();
+        eng.inject_stall(1_000);
+        assert_eq!(eng.submit(0, 128), 1_000 + 23 + 20);
+        assert_eq!(eng.stalls(), 1);
+        assert_eq!(eng.stall_cycles(), 1_000);
+        // Zero-cycle stall is a no-op.
+        eng.inject_stall(0);
+        assert_eq!(eng.stalls(), 1);
+    }
+
+    #[test]
+    fn recovery_prices_backoff_and_refetch() {
+        let mut eng = EnginePipeline::new(EngineSpec::seal_default(), 1.401).unwrap();
+        // Clean path is identical to submit().
+        assert_eq!(eng.submit_with_recovery(0, 128, 0, 100, 1_000), 43);
+        assert_eq!(eng.recoveries(), 0);
+        eng.reset();
+        // Two recoveries: base then doubled penalty, each plus a re-fetch.
+        let done = eng.submit_with_recovery(0, 128, 2, 100, 1_000);
+        // 43 clean; +100 backoff +43 re-encrypt; +200 +43.
+        assert_eq!(done, 43 + 143 + 243);
+        assert_eq!(eng.recoveries(), 2);
+        assert_eq!(eng.recovery_cycles(), 143 + 243);
+        assert_eq!(eng.lines_processed(), 3, "re-fetches occupy the engine");
+        eng.reset();
+        // Penalty saturates at the cap for large attempt counts.
+        let capped = eng.submit_with_recovery(0, 128, 70, 100, 1_000);
+        assert!(capped > 70 * 1_000);
+        assert_eq!(eng.recoveries(), 70);
     }
 
     #[test]

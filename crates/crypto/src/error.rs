@@ -17,6 +17,22 @@ pub enum CryptoError {
         /// Human-readable description of the violated constraint.
         reason: String,
     },
+    /// Integrity verification failed: a per-block MAC tag did not match
+    /// the ciphertext (bus tamper, counter desync or replay).
+    TagMismatch {
+        /// Line address whose verification failed.
+        addr: u64,
+        /// Index of the first block whose tag mismatched.
+        block: usize,
+    },
+    /// Bounded re-fetch recovery gave up: the line still failed MAC
+    /// verification after the configured number of retries.
+    RecoveryExhausted {
+        /// Line address that could not be recovered.
+        addr: u64,
+        /// Number of re-fetch attempts made before giving up.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for CryptoError {
@@ -26,6 +42,12 @@ impl fmt::Display for CryptoError {
                 write!(f, "buffer of {len} bytes is not a multiple of the {block}-byte block")
             }
             CryptoError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            CryptoError::TagMismatch { addr, block } => {
+                write!(f, "MAC tag mismatch at address {addr:#x}, block {block}: ciphertext or counter tampered")
+            }
+            CryptoError::RecoveryExhausted { addr, attempts } => {
+                write!(f, "integrity recovery exhausted for address {addr:#x} after {attempts} re-fetch attempts")
+            }
         }
     }
 }

@@ -39,6 +39,7 @@ mod direct;
 mod engine;
 mod error;
 mod key;
+mod mac;
 
 pub use aes::{Aes128, BLOCK_BYTES};
 pub use counter_cache::{CounterCache, CounterCacheConfig, CounterCacheStats};
@@ -47,3 +48,4 @@ pub use direct::DirectCipher;
 pub use engine::{EnginePipeline, EngineSpec, TABLE_I_ENGINES};
 pub use error::CryptoError;
 pub use key::Key128;
+pub use mac::{block_tag, first_bad_block, tag_buffer, BlockTag, TaggedCiphertext, TAG_BYTES};

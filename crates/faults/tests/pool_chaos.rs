@@ -1,0 +1,103 @@
+//! Chaos tests: supervised pool workers under a planned panic schedule.
+//! Panic counts, respawn counts and processed work must be identical for
+//! identical seeds, and a quarantined worker must stop without taking the
+//! process (or its siblings) down.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use seal_faults::{FaultConfig, FaultPlan, RequestFault};
+use seal_pool::{spawn_supervised, SupervisorReport};
+
+fn plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed, FaultConfig::chaos_smoke()).expect("chaos_smoke validates")
+}
+
+/// One supervised worker drains a shared counter of `jobs` items; the
+/// plan decides which items panic. Returns (report, processed).
+fn run_worker(seed: u64, jobs: u64) -> (SupervisorReport, u64) {
+    let p = plan(seed);
+    let cursor = Arc::new(AtomicU64::new(0));
+    let processed = Arc::new(AtomicU64::new(0));
+    let (c, d) = (Arc::clone(&cursor), Arc::clone(&processed));
+    let worker = spawn_supervised("chaos-worker", jobs, move || loop {
+        let i = c.fetch_add(1, Ordering::AcqRel);
+        if i >= jobs {
+            break;
+        }
+        if p.request_fault(i) == Some(RequestFault::WorkerPanic) {
+            panic!("planned panic at job {i}");
+        }
+        d.fetch_add(1, Ordering::AcqRel);
+    })
+    .expect("spawn");
+    (worker.join(), processed.load(Ordering::Acquire))
+}
+
+#[test]
+fn panic_schedule_is_deterministic_across_runs() {
+    let (r1, done1) = run_worker(42, 400);
+    let (r2, done2) = run_worker(42, 400);
+    assert_eq!(r1, r2, "same seed, same fault history");
+    assert_eq!(done1, done2);
+    // The schedule actually fired, every panic was respawned, and every
+    // non-poisoned job was still processed (fetch_add consumed each index
+    // exactly once, panicking or not).
+    assert!(r1.panics > 0, "chaos_smoke at 40\u{2030} over 400 jobs");
+    assert_eq!(r1.respawns, r1.panics);
+    assert!(!r1.quarantined);
+    assert_eq!(done1 + r1.panics, 400);
+    assert_eq!(
+        r1.panics,
+        plan(42).planned_request_faults(400).worker_panics,
+        "caught panics match the plan's static accounting"
+    );
+
+    let (r3, _) = run_worker(43, 400);
+    assert_ne!((r1.panics, r1.respawns), (r3.panics, r3.respawns));
+}
+
+#[test]
+fn quarantine_leaves_siblings_and_shared_state_intact() {
+    // Worker A panics on every job and has no respawn budget → quarantined
+    // after one panic. Worker B drains everything A left behind.
+    let jobs = 100u64;
+    let cursor = Arc::new(AtomicU64::new(0));
+    let done = Arc::new(Mutex::new(Vec::new()));
+
+    let (ca, da) = (Arc::clone(&cursor), Arc::clone(&done));
+    let a = spawn_supervised("doomed", 0, move || {
+        let i = ca.fetch_add(1, Ordering::AcqRel);
+        if i >= jobs {
+            return;
+        }
+        let _ = &da;
+        panic!("always");
+    })
+    .expect("spawn a");
+    let ra = a.join();
+    assert!(ra.quarantined);
+    assert_eq!(ra.panics, 1);
+    assert_eq!(ra.last_panic.as_deref(), Some("always"));
+
+    let (cb, db) = (Arc::clone(&cursor), Arc::clone(&done));
+    let b = spawn_supervised("healthy", 0, move || loop {
+        let i = cb.fetch_add(1, Ordering::AcqRel);
+        if i >= jobs {
+            break;
+        }
+        match db.lock() {
+            Ok(mut g) => g.push(i),
+            Err(poisoned) => poisoned.into_inner().push(i),
+        }
+    })
+    .expect("spawn b");
+    let rb = b.join();
+    assert_eq!(rb, SupervisorReport::default());
+    // A consumed exactly one index before quarantine; B got the rest.
+    let drained = match done.lock() {
+        Ok(g) => g.len() as u64,
+        Err(poisoned) => poisoned.into_inner().len() as u64,
+    };
+    assert_eq!(drained, jobs - 1);
+}

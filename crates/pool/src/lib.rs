@@ -59,6 +59,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod supervisor;
+
+pub use supervisor::{spawn_supervised, SupervisedWorker, SupervisorReport, SupervisorStats};
+
 use std::any::Any;
 use std::cell::Cell;
 use std::fmt;

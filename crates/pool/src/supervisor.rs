@@ -1,0 +1,230 @@
+//! Panic-quarantine and respawn supervision for long-lived workers.
+//!
+//! [`spawn_worker`](crate::spawn_worker) gives a runtime thread; this
+//! module gives it a *fault policy*. A supervised worker runs its body in
+//! a panic-catching loop: a panicking body is recorded and re-entered
+//! (logical respawn — same OS thread, fresh body invocation, so the
+//! join-handle and thread-name bookkeeping survive the fault), up to a
+//! respawn budget. A worker that exhausts the budget is *quarantined*:
+//! it stops servicing work and reports itself, instead of either crashing
+//! the process or flapping forever.
+//!
+//! The pool's bitwise-determinism contract is preserved because
+//! supervision never reorders or re-splits work: the body owns its work
+//! source (e.g. a shared queue) and a respawned body simply resumes
+//! pulling from it. Outputs a panicking invocation never produced are
+//! produced by nobody — detection and re-issue are the caller's protocol
+//! (in `seal-serve`, a typed rejection on the request's channel).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Shared live view of a supervised worker's fault history.
+#[derive(Debug, Default)]
+pub struct SupervisorStats {
+    panics: AtomicU64,
+    respawns: AtomicU64,
+    quarantined: AtomicBool,
+    last_panic: Mutex<Option<String>>,
+}
+
+impl SupervisorStats {
+    /// Panics caught so far.
+    pub fn panics(&self) -> u64 {
+        self.panics.load(Ordering::Acquire)
+    }
+
+    /// Respawns performed so far (always `<=` panics; the final panic of
+    /// a quarantined worker is not followed by a respawn).
+    pub fn respawns(&self) -> u64 {
+        self.respawns.load(Ordering::Acquire)
+    }
+
+    /// Whether the worker has exhausted its respawn budget and stopped.
+    pub fn quarantined(&self) -> bool {
+        self.quarantined.load(Ordering::Acquire)
+    }
+
+    /// The most recent panic message, when one could be extracted.
+    pub fn last_panic(&self) -> Option<String> {
+        match self.last_panic.lock() {
+            Ok(g) => g.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        }
+    }
+
+    fn record_panic(&self, payload: &(dyn std::any::Any + Send)) {
+        self.panics.fetch_add(1, Ordering::AcqRel);
+        let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+            Some((*s).to_string())
+        } else {
+            payload.downcast_ref::<String>().cloned()
+        };
+        if let Some(msg) = msg {
+            let mut slot = match self.last_panic.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            *slot = Some(msg);
+        }
+    }
+}
+
+/// Final accounting of one supervised worker, returned by
+/// [`SupervisedWorker::join`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SupervisorReport {
+    /// Panics caught over the worker's lifetime.
+    pub panics: u64,
+    /// Times the body was re-entered after a panic.
+    pub respawns: u64,
+    /// `true` if the worker stopped by exhausting its respawn budget
+    /// rather than by its body returning.
+    pub quarantined: bool,
+    /// Message of the last caught panic, when extractable.
+    pub last_panic: Option<String>,
+}
+
+/// Handle to a supervised worker thread.
+#[derive(Debug)]
+pub struct SupervisedWorker {
+    handle: JoinHandle<()>,
+    stats: Arc<SupervisorStats>,
+}
+
+impl SupervisedWorker {
+    /// Live fault counters (shared with the running worker).
+    pub fn stats(&self) -> Arc<SupervisorStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Waits for the worker to stop and returns its fault report.
+    ///
+    /// Never re-throws: panics were already absorbed by the supervision
+    /// loop, so `join` converts the worker's whole lifetime into data.
+    pub fn join(self) -> SupervisorReport {
+        // The supervised closure catches body panics itself; a join error
+        // here would mean the supervision loop itself panicked, which it
+        // cannot (it only touches atomics). Treat it as a final panic.
+        let joined_clean = self.handle.join().is_ok();
+        if !joined_clean {
+            self.stats.panics.fetch_add(1, Ordering::AcqRel);
+        }
+        SupervisorReport {
+            panics: self.stats.panics(),
+            respawns: self.stats.respawns(),
+            quarantined: self.stats.quarantined() || !joined_clean,
+            last_panic: self.stats.last_panic(),
+        }
+    }
+}
+
+/// Spawns a named worker whose body is supervised: a panic in `body` is
+/// caught and the body re-entered, up to `max_respawns` times; after
+/// that the worker is quarantined and the thread exits. The body runs
+/// until it returns normally (e.g. its work queue closes).
+///
+/// # Errors
+///
+/// Propagates the OS error if the thread cannot be created.
+pub fn spawn_supervised<F>(
+    name: impl Into<String>,
+    max_respawns: u64,
+    body: F,
+) -> std::io::Result<SupervisedWorker>
+where
+    F: Fn() + Send + 'static,
+{
+    let stats = Arc::new(SupervisorStats::default());
+    let thread_stats = Arc::clone(&stats);
+    let handle = crate::spawn_worker(name, move || loop {
+        match catch_unwind(AssertUnwindSafe(&body)) {
+            Ok(()) => break,
+            Err(payload) => {
+                thread_stats.record_panic(payload.as_ref());
+                if thread_stats.respawns() >= max_respawns {
+                    thread_stats.quarantined.store(true, Ordering::Release);
+                    break;
+                }
+                thread_stats.respawns.fetch_add(1, Ordering::AcqRel);
+            }
+        }
+    })?;
+    Ok(SupervisedWorker { handle, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn clean_body_runs_once_and_reports_clean() {
+        let runs = Arc::new(AtomicU64::new(0));
+        let r = Arc::clone(&runs);
+        let w = spawn_supervised("clean", 3, move || {
+            r.fetch_add(1, Ordering::AcqRel);
+        })
+        .unwrap();
+        let report = w.join();
+        assert_eq!(runs.load(Ordering::Acquire), 1);
+        assert_eq!(report, SupervisorReport::default());
+    }
+
+    #[test]
+    fn panicking_body_is_respawned_until_it_succeeds() {
+        let runs = Arc::new(AtomicU64::new(0));
+        let r = Arc::clone(&runs);
+        let w = spawn_supervised("flaky", 10, move || {
+            // Panic on the first two invocations, then succeed.
+            if r.fetch_add(1, Ordering::AcqRel) < 2 {
+                panic!("injected fault");
+            }
+        })
+        .unwrap();
+        let report = w.join();
+        assert_eq!(runs.load(Ordering::Acquire), 3);
+        assert_eq!(report.panics, 2);
+        assert_eq!(report.respawns, 2);
+        assert!(!report.quarantined);
+        assert_eq!(report.last_panic.as_deref(), Some("injected fault"));
+    }
+
+    #[test]
+    fn budget_exhaustion_quarantines() {
+        let runs = Arc::new(AtomicU64::new(0));
+        let r = Arc::clone(&runs);
+        let w = spawn_supervised("doomed", 2, move || {
+            r.fetch_add(1, Ordering::AcqRel);
+            panic!("always");
+        })
+        .unwrap();
+        let report = w.join();
+        // Initial run + 2 respawns, then quarantine.
+        assert_eq!(runs.load(Ordering::Acquire), 3);
+        assert_eq!(report.panics, 3);
+        assert_eq!(report.respawns, 2);
+        assert!(report.quarantined);
+    }
+
+    #[test]
+    fn zero_budget_quarantines_on_first_panic() {
+        let w = spawn_supervised("fragile", 0, || panic!("once")).unwrap();
+        let report = w.join();
+        assert_eq!(report.panics, 1);
+        assert_eq!(report.respawns, 0);
+        assert!(report.quarantined);
+    }
+
+    #[test]
+    fn live_stats_are_observable_before_join() {
+        let w = spawn_supervised("observed", 1, || {}).unwrap();
+        let stats = w.stats();
+        let _ = w.join();
+        assert_eq!(stats.panics(), 0);
+        assert!(!stats.quarantined());
+        assert_eq!(stats.last_panic(), None);
+    }
+}

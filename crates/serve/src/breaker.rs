@@ -1,0 +1,176 @@
+//! Event-counted circuit breaker for admission control.
+//!
+//! The last rung of the degradation ladder (retry → shed →
+//! **circuit-break**): when a streak of consecutive sheds shows the
+//! server cannot meet deadlines at the offered load, the breaker opens
+//! and admission is refused outright with a typed
+//! [`ServeError::CircuitOpen`](crate::ServeError::CircuitOpen) — cheaper
+//! for everyone than queueing work that will only be shed later.
+//!
+//! Transitions are driven by *event counts*, never wall-clock time:
+//! `trip_threshold` consecutive sheds open the breaker,
+//! `probe_interval` refused admissions half-open it, one successful
+//! probe closes it (a shed during the probe re-opens it). Counting
+//! events instead of elapsed time keeps breaker traversals reproducible
+//! under test and independent of scheduler jitter.
+
+/// The breaker's admission state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: every request is admitted.
+    Closed,
+    /// Tripped: admission refused (except the periodic half-open probe).
+    Open,
+    /// Probing: one request admitted; its outcome decides open vs closed.
+    HalfOpen,
+}
+
+/// Counters describing a breaker's history.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BreakerStats {
+    /// Times the breaker tripped open.
+    pub trips: u64,
+    /// Admissions refused while open.
+    pub rejections: u64,
+    /// Half-open probes admitted.
+    pub probes: u64,
+}
+
+/// A consecutive-shed circuit breaker.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    state: BreakerState,
+    shed_streak: u32,
+    trip_threshold: u32,
+    probe_interval: u32,
+    refused_since_open: u32,
+    stats: BreakerStats,
+}
+
+impl CircuitBreaker {
+    /// Creates a closed breaker. `trip_threshold` consecutive sheds open
+    /// it; every `probe_interval`-th refused admission becomes a
+    /// half-open probe. Both are clamped to at least 1.
+    pub fn new(trip_threshold: u32, probe_interval: u32) -> Self {
+        CircuitBreaker {
+            state: BreakerState::Closed,
+            shed_streak: 0,
+            trip_threshold: trip_threshold.max(1),
+            probe_interval: probe_interval.max(1),
+            refused_since_open: 0,
+            stats: BreakerStats::default(),
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> BreakerStats {
+        self.stats
+    }
+
+    /// Asks to admit one request. `Ok(())` admits; `Err(streak)` refuses,
+    /// reporting the shed streak that tripped the breaker.
+    pub fn admit(&mut self) -> Result<(), u32> {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => Ok(()),
+            BreakerState::Open => {
+                self.refused_since_open += 1;
+                if self.refused_since_open >= self.probe_interval {
+                    // Let the next request through as the half-open probe.
+                    self.state = BreakerState::HalfOpen;
+                    self.refused_since_open = 0;
+                    self.stats.probes += 1;
+                }
+                self.stats.rejections += 1;
+                Err(self.shed_streak)
+            }
+        }
+    }
+
+    /// Records a request served to completion.
+    pub fn on_success(&mut self) {
+        self.shed_streak = 0;
+        if self.state == BreakerState::HalfOpen {
+            self.state = BreakerState::Closed;
+        }
+    }
+
+    /// Records a shed (deadline-exceeded) request.
+    pub fn on_shed(&mut self) {
+        self.shed_streak = self.shed_streak.saturating_add(1);
+        match self.state {
+            BreakerState::Closed if self.shed_streak >= self.trip_threshold => {
+                self.state = BreakerState::Open;
+                self.refused_since_open = 0;
+                self.stats.trips += 1;
+            }
+            // A shed probe sends the breaker straight back to open.
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Open;
+                self.refused_since_open = 0;
+                self.stats.trips += 1;
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_after_threshold_consecutive_sheds() {
+        let mut b = CircuitBreaker::new(3, 2);
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.on_shed();
+        b.on_shed();
+        assert!(b.admit().is_ok(), "under threshold stays closed");
+        b.on_shed();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.stats().trips, 1);
+        assert_eq!(b.admit(), Err(3));
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let mut b = CircuitBreaker::new(2, 1);
+        b.on_shed();
+        b.on_success();
+        b.on_shed();
+        assert_eq!(b.state(), BreakerState::Closed, "streak was broken");
+    }
+
+    #[test]
+    fn probe_cycle_open_halfopen_closed() {
+        let mut b = CircuitBreaker::new(1, 3);
+        b.on_shed();
+        assert_eq!(b.state(), BreakerState::Open);
+        // Two refusals, then the third flips to half-open (still refused).
+        assert!(b.admit().is_err());
+        assert!(b.admit().is_err());
+        assert!(b.admit().is_err());
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // The probe request is admitted; success closes the breaker.
+        assert!(b.admit().is_ok());
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.stats().probes, 1);
+        assert_eq!(b.stats().rejections, 3);
+    }
+
+    #[test]
+    fn shed_probe_reopens() {
+        let mut b = CircuitBreaker::new(1, 1);
+        b.on_shed();
+        assert!(b.admit().is_err()); // flips to half-open
+        assert!(b.admit().is_ok()); // probe admitted
+        b.on_shed(); // probe was shed
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.stats().trips, 2);
+    }
+}

@@ -3,6 +3,8 @@
 
 use std::time::Duration;
 
+use seal_faults::FaultConfig;
+
 use crate::ServeError;
 
 /// Configuration of a [`Server`](crate::Server).
@@ -46,6 +48,30 @@ pub struct ServerConfig {
     /// identical either way. Best-effort: the process-global pool is
     /// configured once, first caller wins.
     pub kernel_threads: usize,
+    /// Per-request queueing deadline: a request that has waited longer
+    /// than this when a worker picks it up is *shed* with a typed
+    /// [`ServeError::DeadlineExceeded`] instead of served late.
+    /// `Duration::ZERO` disables organic deadline shedding (injected
+    /// deadline-bust requests are always born expired and still shed).
+    pub request_deadline: Duration,
+    /// Consecutive sheds that trip the circuit breaker from closed to
+    /// open (admission then refused with [`ServeError::CircuitOpen`]).
+    pub breaker_trip_threshold: u32,
+    /// Admissions refused while open before the breaker half-opens and
+    /// lets one probe request through (event-counted, not timed, so
+    /// breaker traversals are reproducible).
+    pub breaker_probe_interval: u32,
+    /// Respawn budget per supervised worker: how many panics a worker
+    /// absorbs before it is quarantined.
+    pub worker_respawn_budget: u64,
+    /// Fault-injection schedule; `None` serves the happy path.
+    pub faults: Option<FaultConfig>,
+    /// Seed of the fault plan (independent of the model/request seed so
+    /// chaos schedules can vary while the workload stays fixed).
+    pub fault_seed: u64,
+    /// Service-time inflation applied to a batch carrying an injected
+    /// slow request.
+    pub chaos_slow_delay: Duration,
 }
 
 impl ServerConfig {
@@ -67,6 +93,34 @@ impl ServerConfig {
             flops_per_cycle: 512.0,
             seed: 7,
             kernel_threads: 0,
+            request_deadline: Duration::ZERO,
+            breaker_trip_threshold: 64,
+            breaker_probe_interval: 8,
+            worker_respawn_budget: 8,
+            faults: None,
+            fault_seed: 0,
+            chaos_slow_delay: Duration::from_millis(2),
+        }
+    }
+
+    /// The chaos-smoke preset: the smoke runtime on the small `mlp` model
+    /// with every fault class of [`FaultConfig::chaos_smoke`] enabled.
+    ///
+    /// Organic deadline shedding stays off (`request_deadline == 0`) so
+    /// the only sheds are the plan's born-expired deadline-bust requests —
+    /// that is what makes the chaos run's fault/recovery counts a pure
+    /// function of the seed. The respawn budget is sized so planned panics
+    /// can never quarantine the whole pool.
+    pub fn chaos_smoke(fault_seed: u64) -> Self {
+        ServerConfig {
+            model: "mlp".into(),
+            max_batch: 4,
+            batch_deadline: Duration::from_micros(200),
+            faults: Some(FaultConfig::chaos_smoke()),
+            fault_seed,
+            worker_respawn_budget: 10_000,
+            breaker_trip_threshold: 10_000,
+            ..ServerConfig::smoke()
         }
     }
 
@@ -101,6 +155,15 @@ impl ServerConfig {
                 self.flops_per_cycle
             ));
         }
+        if self.breaker_trip_threshold == 0 {
+            return fail("breaker_trip_threshold must be >= 1".into());
+        }
+        if self.breaker_probe_interval == 0 {
+            return fail("breaker_probe_interval must be >= 1".into());
+        }
+        if let Some(faults) = &self.faults {
+            faults.validate()?;
+        }
         Ok(())
     }
 }
@@ -118,6 +181,15 @@ mod tests {
     #[test]
     fn smoke_preset_is_valid() {
         assert!(ServerConfig::smoke().validate().is_ok());
+    }
+
+    #[test]
+    fn chaos_preset_is_valid_and_armed() {
+        let c = ServerConfig::chaos_smoke(42);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.fault_seed, 42);
+        assert!(c.faults.expect("armed").any_enabled());
+        assert_eq!(c.request_deadline, Duration::ZERO, "no organic sheds");
     }
 
     #[test]
@@ -142,6 +214,24 @@ mod tests {
             (
                 Box::new(|c: &mut ServerConfig| c.flops_per_cycle = -1.0),
                 "flops_per_cycle",
+            ),
+            (
+                Box::new(|c: &mut ServerConfig| c.breaker_trip_threshold = 0),
+                "breaker_trip_threshold",
+            ),
+            (
+                Box::new(|c: &mut ServerConfig| c.breaker_probe_interval = 0),
+                "breaker_probe_interval",
+            ),
+            (
+                Box::new(|c: &mut ServerConfig| {
+                    c.faults = Some(seal_faults::FaultConfig {
+                        panic_per_mille: 800,
+                        slow_per_mille: 800,
+                        ..seal_faults::FaultConfig::chaos_smoke()
+                    })
+                }),
+                "fault",
             ),
         ] {
             let mut bad = ok.clone();

@@ -23,9 +23,13 @@
 //! * the batch's compute cycles (`B · FLOPs / flops_per_cycle`), identical
 //!   across lanes.
 
-use seal_crypto::{CounterCache, CounterCacheConfig, EnginePipeline, EngineSpec};
+use seal_crypto::{
+    Aes128, CounterCache, CounterCacheConfig, CryptoError, CtrCipher, EnginePipeline, EngineSpec,
+    Key128,
+};
 use seal_core::traffic::network_traffic;
 use seal_core::{EncryptionPlan, Scheme, SePolicy};
+use seal_faults::{FaultConfig, FaultPlan};
 use seal_nn::NetworkTopology;
 
 use crate::{ServeError, ServerConfig};
@@ -42,6 +46,108 @@ const COUNTER_MISS_CYCLES: u64 = 200;
 /// weight region so the two never alias in the counter cache.
 const FMAP_REGION_BASE: u64 = 1 << 40;
 
+/// Virtual base address of the miss-storm region, above even the
+/// feature-map region so injected storms are always cold.
+const STORM_REGION_BASE: u64 = 1 << 50;
+
+/// Virtual cycles of the first integrity-recovery re-fetch; each further
+/// attempt doubles (exponential backoff in the cycle domain).
+const RECOVERY_BASE_CYCLES: u64 = 400;
+
+/// Cap on a single recovery attempt's backoff penalty.
+const RECOVERY_MAX_CYCLES: u64 = 10_000;
+
+/// `FaultPlan::draw` domains for the tamper events (address and bit).
+const TAMPER_ADDR_DOMAIN: u64 = 0x7461_6464;
+const TAMPER_BIT_DOMAIN: u64 = 0x7462_6974;
+
+/// Injected-fault and recovery accounting across the whole run.
+///
+/// Every count is a pure function of the fault seed and the number of
+/// costed samples: tampers are *real* — each event encrypts a block with
+/// the chaos cipher, flips a planned ciphertext bit and must be caught by
+/// [`decrypt_verified`](seal_crypto::CtrCipher::decrypt_verified). A tamper
+/// that decrypts without a tag mismatch is a **silent corruption**, the one
+/// outcome the chaos suite treats as fatal.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Tamper events injected (ciphertext bit flips).
+    pub tampers_injected: u64,
+    /// Tampers caught by per-block MAC verification.
+    pub tampers_detected: u64,
+    /// Tampers that decrypted without a tag mismatch (must stay 0).
+    pub silent_corruptions: u64,
+    /// Engine-stall events injected.
+    pub stalls_injected: u64,
+    /// Counter-cache miss storms injected.
+    pub storms_injected: u64,
+    /// Integrity-recovery re-fetches priced through the engine pipelines
+    /// (summed over the counter-mode lanes).
+    pub recoveries: u64,
+    /// Virtual cycles those recoveries cost (summed over counter lanes).
+    pub recovery_cycles: u64,
+    /// Virtual cycles lost to injected engine stalls (summed over counter
+    /// lanes).
+    pub stall_cycles: u64,
+}
+
+/// The chaos schedule threaded through the cost model: a seeded plan, a
+/// real cipher for tamper round-trips, and the running fault accounting.
+#[derive(Debug)]
+struct ChaosState {
+    plan: FaultPlan,
+    config: FaultConfig,
+    cipher: CtrCipher,
+    payload: Vec<u8>,
+    stats: FaultStats,
+}
+
+/// The fault events one costed batch crosses, identical for every lane
+/// (all lanes see the same sample stream).
+#[derive(Debug, Clone, Copy, Default)]
+struct BatchFaults {
+    tampers: u64,
+    stalls: u64,
+    storms: u64,
+}
+
+impl ChaosState {
+    /// Computes the events crossed by samples `(before, after]` and runs
+    /// the real tamper round-trips (once per event, not per lane).
+    fn cross_batch(&mut self, before: u64, after: u64) -> BatchFaults {
+        let c = &self.config;
+        let ev = BatchFaults {
+            tampers: FaultPlan::crossings(c.tamper_every_samples, before, after),
+            stalls: FaultPlan::crossings(c.stall_every_samples, before, after),
+            storms: FaultPlan::crossings(c.storm_every_samples, before, after),
+        };
+        let first = before.checked_div(c.tamper_every_samples).unwrap_or(0);
+        for k in 0..ev.tampers {
+            self.run_tamper(first + k);
+        }
+        self.stats.stalls_injected += ev.stalls;
+        self.stats.storms_injected += ev.storms;
+        ev
+    }
+
+    /// One tamper event: encrypt a block, flip a planned ciphertext bit,
+    /// and demand that verified decryption rejects it.
+    fn run_tamper(&mut self, event: u64) {
+        let addr = (self.plan.draw(TAMPER_ADDR_DOMAIN, event) % 4096) * 64;
+        let mut tc = self.cipher.encrypt_tagged(addr, &self.payload);
+        self.stats.tampers_injected += 1;
+        if tc
+            .flip_ciphertext_bit(self.plan.draw(TAMPER_BIT_DOMAIN, event))
+            .is_some()
+        {
+            match self.cipher.decrypt_verified(addr, &tc) {
+                Err(CryptoError::TagMismatch { .. }) => self.stats.tampers_detected += 1,
+                _ => self.stats.silent_corruptions += 1,
+            }
+        }
+    }
+}
+
 /// One scheme's independent virtual pipeline.
 #[derive(Debug)]
 struct SchemeLane {
@@ -56,6 +162,8 @@ struct SchemeLane {
     free_at: u64,
     /// Cursor allocating fresh feature-map pages per batch.
     fmap_cursor: u64,
+    /// Cursor allocating always-cold pages for injected miss storms.
+    storm_cursor: u64,
     enc_bytes: u64,
     total_bytes: u64,
     batches: u64,
@@ -98,6 +206,8 @@ pub struct CostModel {
     fmap_total: u64,
     /// Plain + encrypted weight bytes per batch.
     weight_total: u64,
+    /// Armed when the server config carries a fault schedule.
+    chaos: Option<ChaosState>,
 }
 
 /// The three lanes every server prices, in reporting order.
@@ -136,12 +246,26 @@ impl CostModel {
                 fmap_enc,
                 free_at: 0,
                 fmap_cursor: FMAP_REGION_BASE,
+                storm_cursor: STORM_REGION_BASE,
                 enc_bytes: 0,
                 total_bytes: 0,
                 batches: 0,
                 samples: 0,
             });
         }
+        let chaos = match &config.faults {
+            Some(fc) if fc.any_enabled() => Some(ChaosState {
+                plan: FaultPlan::new(config.fault_seed, *fc)?,
+                config: *fc,
+                cipher: CtrCipher::new(
+                    Aes128::new(&Key128::from_seed(config.fault_seed)),
+                    config.fault_seed ^ 0x5345_414C,
+                ),
+                payload: vec![0xA5; 64],
+                stats: FaultStats::default(),
+            }),
+            _ => None,
+        };
         Ok(CostModel {
             lanes,
             clock_ghz: config.clock_ghz,
@@ -149,22 +273,69 @@ impl CostModel {
             flops_per_cycle: config.flops_per_cycle,
             fmap_total,
             weight_total,
+            chaos,
         })
     }
 
     /// Prices one batch of `batch` samples on every lane, advancing each
     /// lane's virtual clock.
+    ///
+    /// Under an armed chaos schedule the batch also crosses the plan's
+    /// sample-periodic fault events: each tamper runs a *real*
+    /// encrypt/flip/verify round-trip and its recovery re-fetch is priced
+    /// through the counter lanes' engines with exponential backoff, so
+    /// recovery cost shows up in lane throughput exactly like organic
+    /// traffic would.
     pub fn cost_batch(&mut self, batch: usize) {
         let b = batch as u64;
         let compute =
             (self.flops_per_sample as f64 * b as f64 / self.flops_per_cycle).ceil() as u64;
+        // Fault events crossed by this batch, identical for every lane
+        // (all lanes advance the same sample counter in lockstep).
+        let before = self.lanes.first().map_or(0, |l| l.samples);
+        let events = self
+            .chaos
+            .as_mut()
+            .map(|c| c.cross_batch(before, before + b))
+            .unwrap_or_default();
+        let per_stall = self.chaos_stall_cycles();
+        let storm_pages = self.chaos_storm_pages();
+        let mut recovery = (0u64, 0u64); // (count, cycles) over counter lanes
+        let mut stall_cycles = 0u64;
         for lane in &mut self.lanes {
             let enc = lane.weight_enc + b * lane.fmap_enc;
             let arrival = lane.free_at;
-            // The 0-byte path keeps the Baseline lane's engine untouched.
-            let mut done = lane.engine.submit(arrival, enc);
-            if matches!(lane.scheme, Scheme::Counter | Scheme::SealCounter) && enc > 0 {
-                let misses = lane.walk_counters(b);
+            let counter_lane =
+                matches!(lane.scheme, Scheme::Counter | Scheme::SealCounter) && enc > 0;
+            if counter_lane && events.stalls > 0 {
+                for _ in 0..events.stalls {
+                    lane.engine.inject_stall(per_stall);
+                }
+                stall_cycles += events.stalls * per_stall;
+            }
+            // The 0-byte path keeps the Baseline lane's engine untouched;
+            // each detected tamper costs one bounded re-fetch retry priced
+            // with exponential backoff through the same pipeline.
+            let mut done = if counter_lane && events.tampers > 0 {
+                let cycles_before = lane.engine.recovery_cycles();
+                let done = lane.engine.submit_with_recovery(
+                    arrival,
+                    enc,
+                    events.tampers as u32,
+                    RECOVERY_BASE_CYCLES,
+                    RECOVERY_MAX_CYCLES,
+                );
+                recovery.0 += events.tampers;
+                recovery.1 += lane.engine.recovery_cycles() - cycles_before;
+                done
+            } else {
+                lane.engine.submit(arrival, enc)
+            };
+            if counter_lane {
+                let mut misses = lane.walk_counters(b);
+                // A miss storm floods the counter cache with always-cold
+                // pages: every one is a priced miss and an eviction.
+                misses += lane.walk_storm(events.storms * storm_pages);
                 done += misses * COUNTER_MISS_CYCLES;
             }
             lane.free_at = done + compute;
@@ -173,6 +344,25 @@ impl CostModel {
             lane.batches += 1;
             lane.samples += b;
         }
+        if let Some(c) = self.chaos.as_mut() {
+            c.stats.recoveries += recovery.0;
+            c.stats.recovery_cycles += recovery.1;
+            c.stats.stall_cycles += stall_cycles;
+        }
+    }
+
+    /// Injected/recovered fault accounting; `None` when no schedule is
+    /// armed.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.chaos.as_ref().map(|c| c.stats)
+    }
+
+    fn chaos_stall_cycles(&self) -> u64 {
+        self.chaos.as_ref().map_or(0, |c| c.config.stall_cycles)
+    }
+
+    fn chaos_storm_pages(&self) -> u64 {
+        self.chaos.as_ref().map_or(0, |c| c.config.storm_pages)
     }
 
     /// Per-scheme summaries in [`COSTED_SCHEMES`] order.
@@ -230,6 +420,20 @@ impl SchemeLane {
                 misses += 1;
             }
             self.fmap_cursor += COUNTER_PAGE_BYTES;
+        }
+        misses
+    }
+
+    /// An injected miss storm: `pages` never-before-seen counter pages
+    /// sweep through the cache, each a guaranteed miss that also evicts a
+    /// resident line. Returns the miss count (== `pages`).
+    fn walk_storm(&mut self, pages: u64) -> u64 {
+        let mut misses = 0u64;
+        for _ in 0..pages {
+            if !self.cache.access(self.storm_cursor) {
+                misses += 1;
+            }
+            self.storm_cursor += COUNTER_PAGE_BYTES;
         }
         misses
     }
@@ -333,4 +537,74 @@ mod tests {
         assert!((base.slowdown_vs_baseline - 1.0).abs() < f64::EPSILON);
         assert!(full.slowdown_vs_baseline > 1.0);
     }
+
+    fn chaos_model(seed: u64) -> CostModel {
+        let cfg = ServerConfig::chaos_smoke(seed);
+        CostModel::new(&vgg16_topology(), &cfg).unwrap()
+    }
+
+    #[test]
+    fn chaos_faults_are_deterministic_and_never_silent() {
+        let mut a = chaos_model(11);
+        let mut b = chaos_model(11);
+        for batch in [4usize, 1, 3, 4, 2, 4, 4, 1, 4, 4, 4, 2] {
+            a.cost_batch(batch);
+        }
+        // Different batch composition, same 37 samples: sample-periodic
+        // fault crossings must not care how the stream was batched.
+        for batch in [1usize, 1, 2, 4, 4, 4, 4, 4, 4, 4, 4, 1] {
+            b.cost_batch(batch);
+        }
+        let (sa, sb) = (a.fault_stats().unwrap(), b.fault_stats().unwrap());
+        // Recovery *cycles* depend on how tampers group into batches (the
+        // backoff attempt counter restarts per batch), so only the event
+        // counts are part of the determinism contract — the same set the
+        // chaos smoke compares across runs.
+        let counts = |s: FaultStats| FaultStats {
+            recovery_cycles: 0,
+            ..s
+        };
+        assert_eq!(
+            counts(sa),
+            counts(sb),
+            "fault event accounting is batch-composition invariant"
+        );
+        assert!(sa.tampers_injected > 0, "37 samples at period 5 must tamper");
+        assert_eq!(sa.tampers_detected, sa.tampers_injected);
+        assert_eq!(sa.silent_corruptions, 0, "every tamper caught by its MAC");
+        assert!(sa.stalls_injected > 0 && sa.storms_injected > 0);
+        assert_eq!(sa.recoveries, 2 * sa.tampers_injected, "both counter lanes");
+        assert!(sa.recovery_cycles > 0 && sa.stall_cycles > 0);
+    }
+
+    #[test]
+    fn fault_recovery_cost_is_visible_in_lane_makespan() {
+        let mut clean = model();
+        let mut chaotic = chaos_model(11);
+        for _ in 0..10 {
+            clean.cost_batch(4);
+            chaotic.cost_batch(4);
+        }
+        let c = by_scheme(&clean.summaries(), Scheme::Counter);
+        let f = by_scheme(&chaotic.summaries(), Scheme::Counter);
+        assert!(
+            f.makespan_cycles > c.makespan_cycles,
+            "stalls/recoveries/storms must slow the counter lane: {} vs {}",
+            f.makespan_cycles,
+            c.makespan_cycles
+        );
+        // Chaos pricing never touches the unencrypted baseline lane.
+        let cb = by_scheme(&clean.summaries(), Scheme::Baseline);
+        let fb = by_scheme(&chaotic.summaries(), Scheme::Baseline);
+        assert_eq!(cb.makespan_cycles, fb.makespan_cycles);
+    }
+
+    #[test]
+    fn quiescent_faults_leave_the_cost_model_unarmed() {
+        let mut cfg = ServerConfig::smoke();
+        cfg.faults = Some(seal_faults::FaultConfig::quiescent());
+        let m = CostModel::new(&vgg16_topology(), &cfg).unwrap();
+        assert!(m.fault_stats().is_none());
+    }
 }
+

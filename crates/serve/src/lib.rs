@@ -16,13 +16,26 @@
 //!
 //! | module | role |
 //! |---|---|
-//! | [`queue`] | bounded MPMC queue: non-blocking admission, deadline batching |
-//! | [`server`] | worker pool, request lifecycle, shutdown-with-drain |
+//! | [`queue`] | bounded MPMC queue: non-blocking admission, deadline batching, poison barriers |
+//! | [`server`] | supervised worker pool, request lifecycle, shed/drain/respawn |
+//! | [`breaker`] | event-counted circuit breaker gating admission |
 //! | [`model`] | the zoo: reduced `Sequential` + full-size costing topology |
-//! | [`cost`] | per-scheme virtual pipelines pricing each realized batch |
+//! | [`cost`] | per-scheme virtual pipelines pricing each realized batch (and its fault recoveries) |
 //! | [`metrics`] | latency percentiles, queue-depth and batch statistics |
-//! | [`loadgen`] | closed-loop and open-loop (fixed-rate) load generators |
+//! | [`loadgen`] | closed-loop, open-loop and chaos load generators |
 //! | [`report`] | `results/serve_*.json` writer + smoke acceptance checks |
+//!
+//! ## Fault model
+//!
+//! With a [`seal_faults::FaultConfig`] armed in the [`ServerConfig`], the
+//! server runs under a seed-deterministic chaos schedule: ciphertext
+//! tampers (caught by per-block MACs, recovered with priced re-fetch
+//! retries), engine stalls, counter miss storms, worker panics (caught by
+//! the `seal-pool` supervisor and respawned), oversized/slow/deadline-bust
+//! requests (rejected, delayed, shed). Degradation is a ladder — retry on
+//! [`ServeError::QueueFull`], shed with [`ServeError::DeadlineExceeded`],
+//! circuit-break with [`ServeError::CircuitOpen`] — and every rung is a
+//! typed error, never a hang or a silently corrupted answer.
 //!
 //! ## Quick start
 //!
@@ -37,6 +50,7 @@
 //! assert_eq!(stats.batches.samples, 8);
 //! ```
 
+pub mod breaker;
 pub mod config;
 pub mod cost;
 pub mod error;
@@ -47,12 +61,13 @@ pub mod queue;
 pub mod report;
 pub mod server;
 
+pub use breaker::{BreakerState, BreakerStats, CircuitBreaker};
 pub use config::ServerConfig;
-pub use cost::{CostModel, SchemeSummary, COSTED_SCHEMES};
+pub use cost::{CostModel, FaultStats, SchemeSummary, COSTED_SCHEMES};
 pub use error::ServeError;
-pub use loadgen::{LoadMode, LoadReport};
+pub use loadgen::{ChaosReport, LoadMode, LoadReport};
 pub use metrics::{BatchStats, LatencyHistogram, QueueDepthStats};
 pub use model::{ServedModel, ZOO};
 pub use queue::{BoundedQueue, PushRefused};
-pub use report::ServeReport;
+pub use report::{ChaosRun, ChaosSmoke, ServeReport};
 pub use server::{Response, ResponseHandle, ServeStats, Server};

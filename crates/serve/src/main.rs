@@ -17,13 +17,18 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use seal_serve::{loadgen, ServeReport, Server, ServerConfig};
+use seal_serve::{loadgen, ChaosRun, ChaosSmoke, ServeReport, Server, ServerConfig};
 
 const USAGE: &str = "usage: seal-serve [options]
 
   --smoke             CI preset: vgg16, 100 closed-loop requests, write
                       results/serve_smoke.json, fail on acceptance
                       violations (overrides model/mode/requests defaults)
+  --chaos             chaos smoke: run the seeded fault schedule twice,
+                      assert liveness (no hangs), integrity (no silent
+                      corruptions) and determinism (identical fault and
+                      recovery counts), write results/chaos_smoke.json
+  --fault-seed N      fault-plan seed for --chaos               (default 42)
   --model NAME        zoo model: mlp | vgg16 | resnet18   (default vgg16)
   --mode MODE         closed | open                       (default closed)
   --requests N        requests to issue                   (default 100)
@@ -41,6 +46,8 @@ exit codes: 0 ok, 1 acceptance violations, 2 usage or runtime error";
 
 struct Args {
     smoke: bool,
+    chaos: bool,
+    fault_seed: u64,
     mode: String,
     requests: usize,
     concurrency: usize,
@@ -52,6 +59,8 @@ struct Args {
 fn parse_args() -> Result<Option<Args>, String> {
     let mut args = Args {
         smoke: false,
+        chaos: false,
+        fault_seed: 42,
         mode: "closed".into(),
         requests: 100,
         concurrency: 4,
@@ -68,6 +77,10 @@ fn parse_args() -> Result<Option<Args>, String> {
         match a.as_str() {
             "--help" | "-h" => return Ok(None),
             "--smoke" => args.smoke = true,
+            "--chaos" => args.chaos = true,
+            "--fault-seed" => {
+                args.fault_seed = parse_num(&value("--fault-seed")?, "--fault-seed")?
+            }
             "--model" => args.config.model = value("--model")?,
             "--mode" => args.mode = value("--mode")?,
             "--requests" => args.requests = parse_num(&value("--requests")?, "--requests")?,
@@ -92,11 +105,17 @@ fn parse_args() -> Result<Option<Args>, String> {
             s => return Err(format!("unknown argument {s}")),
         }
     }
+    if args.smoke && args.chaos {
+        return Err("--smoke and --chaos are mutually exclusive".into());
+    }
     if args.smoke {
         args.config.model = "vgg16".into();
         args.mode = "closed".into();
         args.requests = 100;
         args.out.get_or_insert(PathBuf::from("results/serve_smoke.json"));
+    }
+    if args.chaos {
+        args.out.get_or_insert(PathBuf::from("results/chaos_smoke.json"));
     }
     if args.mode != "closed" && args.mode != "open" {
         return Err(format!("--mode must be closed or open, got {}", args.mode));
@@ -114,7 +133,80 @@ fn parse_float(s: &str, flag: &str) -> Result<f64, String> {
         .map_err(|_| format!("{flag}: `{s}` is not a valid number"))
 }
 
+/// The chaos smoke: run the seeded fault schedule twice in-process and
+/// check liveness, integrity and determinism.
+fn run_chaos(args: Args) -> Result<ExitCode, String> {
+    let seed = args.fault_seed;
+    println!(
+        "seal-serve: chaos smoke, fault seed {seed}, {} requests x 2 runs",
+        args.requests
+    );
+    // Planned worker panics are part of the schedule; keep their default
+    // backtrace spew out of the smoke log. Anything else still prints.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|s| s.starts_with("injected panic"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+    let mut runs = Vec::with_capacity(2);
+    for attempt in 1..=2 {
+        let server =
+            Server::start(ServerConfig::chaos_smoke(seed)).map_err(|e| e.to_string())?;
+        let load = loadgen::run_chaos(&server, args.requests, args.concurrency)
+            .map_err(|e| e.to_string())?;
+        let stats = server.shutdown().map_err(|e| e.to_string())?;
+        println!(
+            "seal-serve: run {attempt}: {} completed, {} shed, {} panicked, {} oversized, {} timeouts",
+            load.completed, load.shed, load.panicked, load.oversized_rejected, load.timeouts
+        );
+        if let Some(f) = &stats.faults {
+            println!(
+                "seal-serve: run {attempt}: {} tampers injected, {} detected, {} silent, {} stalls, {} storms, {} recoveries",
+                f.tampers_injected,
+                f.tampers_detected,
+                f.silent_corruptions,
+                f.stalls_injected,
+                f.storms_injected,
+                f.recoveries
+            );
+        }
+        runs.push(ChaosRun { load, stats });
+    }
+    let runs: [ChaosRun; 2] = match runs.try_into() {
+        Ok(r) => r,
+        Err(_) => return Err("chaos smoke did not produce two runs".into()),
+    };
+    let smoke = ChaosSmoke { seed, runs };
+
+    let out = args
+        .out
+        .unwrap_or_else(|| PathBuf::from("results/chaos_smoke.json"));
+    smoke
+        .write(&out)
+        .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    println!("seal-serve: chaos report written to {}", out.display());
+
+    let violations = smoke.violations();
+    if violations.is_empty() {
+        println!("seal-serve: chaos checks clean (deterministic, live, no silent corruption)");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for v in &violations {
+            eprintln!("seal-serve: VIOLATION: {v}");
+        }
+        Ok(ExitCode::from(1))
+    }
+}
+
 fn run(args: Args) -> Result<ExitCode, String> {
+    if args.chaos {
+        return run_chaos(args);
+    }
     let config = args.config.clone();
     let server = Server::start(config.clone()).map_err(|e| e.to_string())?;
     println!(

@@ -98,6 +98,23 @@ impl<T> BoundedQueue<T> {
     /// returns between 1 and `max_batch` of them. Returns `None` only when
     /// the queue is closed *and* drained — workers treat that as shutdown.
     pub fn pop_batch(&self, max_batch: usize, deadline: Duration) -> Option<Vec<T>> {
+        self.pop_batch_with(max_batch, deadline, |_| false)
+    }
+
+    /// [`pop_batch`](Self::pop_batch) with a *barrier* predicate: an item
+    /// for which `barrier` returns `true` is always returned as a
+    /// singleton batch and never shares a batch with other items.
+    ///
+    /// The chaos harness uses this to isolate poisoned (panic-injected)
+    /// requests: a singleton batch guarantees the planned panic takes down
+    /// exactly its own request and produces exactly one supervisor
+    /// respawn, keeping fault accounting deterministic.
+    pub fn pop_batch_with(
+        &self,
+        max_batch: usize,
+        deadline: Duration,
+        barrier: impl Fn(&T) -> bool,
+    ) -> Option<Vec<T>> {
         let mut s = locked(&self.state);
         loop {
             while s.items.is_empty() {
@@ -108,6 +125,10 @@ impl<T> BoundedQueue<T> {
                     .not_empty
                     .wait(s)
                     .unwrap_or_else(|e| e.into_inner());
+            }
+            // A barrier item at the head leaves immediately, alone.
+            if s.items.front().map(&barrier) == Some(true) {
+                return s.items.pop_front().map(|item| vec![item]);
             }
             // First item in hand; linger for the batching deadline while
             // the batch is short of max_batch. `wait_timeout` releases the
@@ -128,11 +149,32 @@ impl<T> BoundedQueue<T> {
                     break;
                 }
             }
-            let take = s.items.len().min(max_batch);
+            // Take up to max_batch items, stopping short of the first
+            // barrier item (which the next pop returns as a singleton).
+            let mut take = 0;
+            for item in s.items.iter() {
+                if take >= max_batch || (take > 0 && barrier(item)) {
+                    break;
+                }
+                take += 1;
+                if barrier(item) {
+                    break; // barrier at the head rides alone
+                }
+            }
             if take > 0 {
                 return Some(s.items.drain(..take).collect());
             }
         }
+    }
+
+    /// Takes every queued item out of the (closed or open) queue at once.
+    ///
+    /// Shutdown uses this after the workers exit to turn still-queued
+    /// requests into typed
+    /// [`DrainedAtShutdown`](crate::ServeError::DrainedAtShutdown)
+    /// rejections instead of silently dropping them.
+    pub fn drain_remaining(&self) -> Vec<T> {
+        locked(&self.state).items.drain(..).collect()
     }
 
     /// Closes the queue: future pushes are refused, consumers drain what
@@ -227,6 +269,41 @@ mod tests {
         std::thread::sleep(Duration::from_millis(10));
         q.close();
         assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn barrier_items_ride_alone() {
+        let q = BoundedQueue::new(8);
+        // 1, 2, POISON(3), 4, POISON(5), 6 — odd multiples of 3 are barriers.
+        for i in [1, 2, 3, 4, 5, 6] {
+            q.try_push(i).unwrap();
+        }
+        let barrier = |x: &i32| *x == 3 || *x == 5;
+        assert_eq!(q.pop_batch_with(8, Duration::ZERO, barrier).unwrap(), vec![1, 2]);
+        assert_eq!(q.pop_batch_with(8, Duration::ZERO, barrier).unwrap(), vec![3]);
+        assert_eq!(q.pop_batch_with(8, Duration::ZERO, barrier).unwrap(), vec![4]);
+        assert_eq!(q.pop_batch_with(8, Duration::ZERO, barrier).unwrap(), vec![5]);
+        assert_eq!(q.pop_batch_with(8, Duration::ZERO, barrier).unwrap(), vec![6]);
+    }
+
+    #[test]
+    fn barrier_at_head_is_a_singleton() {
+        let q = BoundedQueue::new(4);
+        q.try_push(9).unwrap();
+        q.try_push(1).unwrap();
+        let batch = q.pop_batch_with(4, Duration::ZERO, |x| *x == 9).unwrap();
+        assert_eq!(batch, vec![9]);
+    }
+
+    #[test]
+    fn drain_remaining_empties_a_closed_queue() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(q.drain_remaining(), vec![1, 2]);
+        assert!(q.is_empty());
+        assert!(q.drain_remaining().is_empty());
     }
 
     #[test]

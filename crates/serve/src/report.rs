@@ -11,7 +11,7 @@ use std::path::Path;
 use seal_core::Scheme;
 
 use crate::cost::SchemeSummary;
-use crate::loadgen::LoadReport;
+use crate::loadgen::{ChaosReport, LoadReport};
 use crate::server::ServeStats;
 use crate::ServerConfig;
 
@@ -96,10 +96,45 @@ impl ServeReport {
             self.stats.queue_depth.depth_max
         ));
         out.push_str(&format!(
-            "    \"worker_errors\": {}\n",
+            "    \"worker_errors\": {},\n",
             self.stats.worker_errors.len()
         ));
+        out.push_str(&format!("    \"shed\": {},\n", self.stats.shed));
+        out.push_str(&format!("    \"panicked\": {},\n", self.stats.panicked));
+        out.push_str(&format!("    \"drained\": {},\n", self.stats.drained));
+        out.push_str(&format!(
+            "    \"supervision\": {{ \"panics\": {}, \"respawns\": {}, \"quarantined\": {} }},\n",
+            self.stats.supervision.panics,
+            self.stats.supervision.respawns,
+            self.stats.supervision.quarantined
+        ));
+        out.push_str(&format!(
+            "    \"breaker\": {{ \"trips\": {}, \"rejections\": {}, \"probes\": {} }}\n",
+            self.stats.breaker.trips, self.stats.breaker.rejections, self.stats.breaker.probes
+        ));
         out.push_str("  },\n");
+
+        if let Some(f) = &self.stats.faults {
+            out.push_str("  \"faults\": {\n");
+            out.push_str(&format!(
+                "    \"tampers_injected\": {},\n",
+                f.tampers_injected
+            ));
+            out.push_str(&format!(
+                "    \"tampers_detected\": {},\n",
+                f.tampers_detected
+            ));
+            out.push_str(&format!(
+                "    \"silent_corruptions\": {},\n",
+                f.silent_corruptions
+            ));
+            out.push_str(&format!("    \"stalls_injected\": {},\n", f.stalls_injected));
+            out.push_str(&format!("    \"storms_injected\": {},\n", f.storms_injected));
+            out.push_str(&format!("    \"recoveries\": {},\n", f.recoveries));
+            out.push_str(&format!("    \"recovery_cycles\": {},\n", f.recovery_cycles));
+            out.push_str(&format!("    \"stall_cycles\": {}\n", f.stall_cycles));
+            out.push_str("  },\n");
+        }
 
         out.push_str("  \"schemes\": [\n");
         for (i, s) in self.stats.schemes.iter().enumerate() {
@@ -152,11 +187,31 @@ impl ServeReport {
             violations.push(format!("latency p50 {p50}us exceeds p99 {p99}us"));
         }
         if !self.stats.worker_errors.is_empty() {
+            let joined = self
+                .stats
+                .worker_errors
+                .iter()
+                .map(|e| e.to_string())
+                .collect::<Vec<_>>()
+                .join("; ");
             violations.push(format!(
-                "{} worker errors: {}",
-                self.stats.worker_errors.len(),
-                self.stats.worker_errors.join("; ")
+                "{} worker errors: {joined}",
+                self.stats.worker_errors.len()
             ));
+        }
+        if let Some(f) = &self.stats.faults {
+            if f.silent_corruptions > 0 {
+                violations.push(format!(
+                    "{} injected tampers decrypted silently (MAC must catch every one)",
+                    f.silent_corruptions
+                ));
+            }
+            if f.tampers_detected != f.tampers_injected {
+                violations.push(format!(
+                    "tamper accounting broken: {} injected, {} detected",
+                    f.tampers_injected, f.tampers_detected
+                ));
+            }
         }
         match (
             scheme_row(&self.stats.schemes, Scheme::Baseline),
@@ -186,6 +241,173 @@ impl ServeReport {
 
 fn scheme_row(rows: &[SchemeSummary], s: Scheme) -> Option<&SchemeSummary> {
     rows.iter().find(|r| r.scheme == s)
+}
+
+/// One chaos run: the client-side outcome classification plus the
+/// server-side shutdown statistics.
+#[derive(Debug)]
+pub struct ChaosRun {
+    /// What the chaos load generator observed.
+    pub load: ChaosReport,
+    /// What the server reported at shutdown.
+    pub stats: ServeStats,
+}
+
+impl ChaosRun {
+    /// The seed-deterministic counters of this run, by stable name.
+    /// Timing-dependent observations (wall seconds, virtual makespans,
+    /// per-batch recovery-cycle grouping) are deliberately excluded — the
+    /// chaos determinism check compares exactly these pairs.
+    pub fn deterministic_counts(&self) -> Vec<(&'static str, u64)> {
+        let f = self.stats.faults.unwrap_or_default();
+        vec![
+            ("requested", self.load.requested as u64),
+            ("completed", self.load.completed as u64),
+            ("shed", self.load.shed as u64),
+            ("panicked", self.load.panicked as u64),
+            ("oversized_rejected", self.load.oversized_rejected as u64),
+            ("breaker_rejected", self.load.breaker_rejected as u64),
+            ("injected_worker_panics", self.load.injected.worker_panics),
+            ("injected_oversized", self.load.injected.oversized),
+            ("injected_slow", self.load.injected.slow),
+            ("injected_deadline_busts", self.load.injected.deadline_busts),
+            ("tampers_injected", f.tampers_injected),
+            ("tampers_detected", f.tampers_detected),
+            ("silent_corruptions", f.silent_corruptions),
+            ("stalls_injected", f.stalls_injected),
+            ("storms_injected", f.storms_injected),
+            ("recoveries", f.recoveries),
+            ("supervisor_panics", self.stats.supervision.panics),
+            ("supervisor_respawns", self.stats.supervision.respawns),
+        ]
+    }
+
+    /// The liveness/integrity violations of this single run.
+    fn violations(&self, label: &str) -> Vec<String> {
+        let mut v = Vec::new();
+        if !self.load.fully_accounted() {
+            v.push(format!("{label}: outcomes do not account for every request: {:?}", self.load));
+        }
+        if self.load.timeouts > 0 {
+            v.push(format!("{label}: {} requests hung past the bounded wait", self.load.timeouts));
+        }
+        if self.load.lost > 0 {
+            v.push(format!("{label}: {} requests vanished without a typed answer", self.load.lost));
+        }
+        if self.load.shed != self.load.injected.deadline_busts as usize {
+            v.push(format!(
+                "{label}: shed {} != injected deadline busts {}",
+                self.load.shed, self.load.injected.deadline_busts
+            ));
+        }
+        if self.load.panicked != self.load.injected.worker_panics as usize {
+            v.push(format!(
+                "{label}: panicked {} != injected worker panics {}",
+                self.load.panicked, self.load.injected.worker_panics
+            ));
+        }
+        if self.load.oversized_rejected != self.load.injected.oversized as usize {
+            v.push(format!(
+                "{label}: oversized rejections {} != injected {}",
+                self.load.oversized_rejected, self.load.injected.oversized
+            ));
+        }
+        if self.stats.supervision.quarantined {
+            v.push(format!("{label}: a worker was quarantined mid-smoke"));
+        }
+        match &self.stats.faults {
+            None => v.push(format!("{label}: chaos run produced no fault stats")),
+            Some(f) => {
+                if f.silent_corruptions > 0 {
+                    v.push(format!(
+                        "{label}: {} injected tampers decrypted SILENTLY",
+                        f.silent_corruptions
+                    ));
+                }
+                if f.tampers_detected != f.tampers_injected {
+                    v.push(format!(
+                        "{label}: {} tampers injected but only {} detected",
+                        f.tampers_injected, f.tampers_detected
+                    ));
+                }
+            }
+        }
+        v
+    }
+}
+
+/// The chaos smoke artifact: two same-seed runs and their determinism
+/// verdict, written to `results/chaos_smoke.json`.
+#[derive(Debug)]
+pub struct ChaosSmoke {
+    /// The fault-plan seed both runs used.
+    pub seed: u64,
+    /// The two runs, in execution order.
+    pub runs: [ChaosRun; 2],
+}
+
+impl ChaosSmoke {
+    /// `true` when both runs produced identical deterministic counters.
+    pub fn deterministic(&self) -> bool {
+        self.runs[0].deterministic_counts() == self.runs[1].deterministic_counts()
+    }
+
+    /// Every acceptance violation across both runs plus the cross-run
+    /// determinism check (empty = the chaos smoke passes).
+    pub fn violations(&self) -> Vec<String> {
+        let mut v = self.runs[0].violations("run 1");
+        v.extend(self.runs[1].violations("run 2"));
+        if !self.deterministic() {
+            let (a, b) = (
+                self.runs[0].deterministic_counts(),
+                self.runs[1].deterministic_counts(),
+            );
+            for ((name, x), (_, y)) in a.iter().zip(&b) {
+                if x != y {
+                    v.push(format!("seed {}: {name} differs across runs: {x} vs {y}", self.seed));
+                }
+            }
+        }
+        v
+    }
+
+    /// Renders the chaos smoke artifact as JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"fault_seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"deterministic\": {},\n", self.deterministic()));
+        let violations = self.violations();
+        out.push_str(&format!("  \"violations\": {},\n", violations.len()));
+        out.push_str("  \"runs\": [\n");
+        for (i, run) in self.runs.iter().enumerate() {
+            out.push_str("    {\n");
+            let counts = run.deterministic_counts();
+            for (name, value) in &counts {
+                out.push_str(&format!("      \"{name}\": {value},\n"));
+            }
+            out.push_str(&format!(
+                "      \"wall_seconds\": {:.6}\n",
+                run.load.wall_seconds
+            ));
+            out.push_str(if i == 0 { "    },\n" } else { "    }\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the JSON artifact to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json().as_bytes())
+    }
 }
 
 /// Renders one latency histogram as an inline JSON object.
@@ -268,6 +490,8 @@ mod tests {
             "\"load\"",
             "\"server\"",
             "\"schemes\"",
+            "\"supervision\"",
+            "\"breaker\"",
             "\"Baseline\"",
             "\"SEAL-C\"",
             "\"Counter\"",

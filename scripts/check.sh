@@ -32,6 +32,17 @@ cargo test --release -q -p seal-bench --test determinism
 echo "==> seal-serve --smoke"
 cargo run --release -q -p seal-serve -- --smoke
 
+# Chaos suite: the seeded fault-injection tests (MAC-detected tampers,
+# counter-cache corruption, worker panics) plus the end-to-end chaos
+# smoke — two identically-seeded runs must stay live (every request
+# completes or is shed with a typed error), detect every tamper, and
+# report identical fault/recovery counts into results/chaos_smoke.json.
+echo "==> seal-faults chaos tests"
+cargo test --release -q -p seal-faults
+cargo test --release -q -p seal-serve --test chaos_smoke
+echo "==> seal-serve --chaos"
+cargo run --release -q -p seal-serve -- --chaos
+
 # Clippy is optional tooling: run it when the component is installed,
 # skip silently in minimal toolchains.
 if cargo clippy --version >/dev/null 2>&1; then

@@ -22,7 +22,8 @@ done
 
 # The serving view of the SE ratio: one open-loop run whose per-scheme
 # throughput columns land in results/serve_open.json (check.sh already
-# produced results/serve_smoke.json from the closed-loop preset).
+# produced results/serve_smoke.json from the closed-loop preset, and
+# results/chaos_smoke.json from the seeded fault-injection smoke).
 echo "==> seal-serve open-loop $MODE"
 if [ "$MODE" = "--full" ]; then
     cargo run --release -q -p seal-serve -- --mode open --requests 500 --rate 400 --out results/serve_open.json

@@ -16,6 +16,7 @@
 //! | [`attack`] | substitute models, Jacobian augmentation, I-FGSM, transferability |
 //! | [`serve`] | batched multi-threaded inference serving with encrypted-weight streaming |
 //! | [`pool`] | deterministic work-sharing thread pool behind every parallel kernel |
+//! | [`faults`] | seed-deterministic fault injection (tampers, stalls, panics) + `Backoff` |
 //!
 //! ## Quickstart
 //!
@@ -39,6 +40,7 @@
 
 pub use seal_attack as attack;
 pub use seal_crypto as crypto;
+pub use seal_faults as faults;
 pub use seal_data as data;
 pub use seal_gpusim as gpusim;
 pub use seal_nn as nn;
