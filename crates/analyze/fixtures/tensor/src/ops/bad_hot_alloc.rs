@@ -1,0 +1,38 @@
+//! Fixture: heap allocation on the inference hot path the
+//! `hot-path-alloc` rule must flag. The kernels and the compiled-plan
+//! executor promise a zero-allocation steady state; per-call `Vec`s,
+//! `vec!` temporaries, defensive `.to_vec()` copies and `.collect()`
+//! materialisations all break it.
+
+/// Per-call scratch vector — reallocated on every invocation.
+fn percall_scratch(k: usize) -> Vec<f32> {
+    let mut pack = Vec::new();
+    pack.resize(k, 0.0);
+    pack
+}
+
+/// `vec!` temporary plus a `.collect()` materialisation in the loop body.
+fn percall_temporaries(rows: &[f32], n: usize) -> Vec<f32> {
+    let zeros = vec![0.0f32; n];
+    rows.iter()
+        .zip(&zeros)
+        .map(|(a, b)| a + b)
+        .collect()
+}
+
+/// Defensive copy of an input the kernel only reads.
+fn defensive_copy(weights: &[f32]) -> Vec<f32> {
+    weights.to_vec()
+}
+
+/// Sanctioned one-time pack allocation, documented at the call site.
+fn compile_time_pack(k: usize) -> Vec<f32> {
+    vec![0.0f32; k] // seal-lint: allow(hot-path-alloc)
+}
+
+/// The accepted idiom — a caller-provided buffer — must stay clean.
+fn into_caller_buffer(out: &mut [f32], x: &[f32]) {
+    for (o, v) in out.iter_mut().zip(x) {
+        *o = v.max(0.0);
+    }
+}

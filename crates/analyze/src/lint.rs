@@ -39,6 +39,12 @@ pub enum Rule {
     /// `Err` and either sleeps a *constant* delay between attempts or
     /// retries (`continue`) without sleeping at all.
     RetryBackoff,
+    /// Heap allocation (`Vec::new`, `vec!`, `.to_vec()`, `.collect()`) in
+    /// an inference hot-path file — the blocked tensor kernels and the
+    /// compiled-plan executor, whose steady-state contract is zero
+    /// allocation (caller-provided buffers, grow-only thread-local
+    /// scratch, the plan's activation arena).
+    HotPathAlloc,
 }
 
 impl Rule {
@@ -55,6 +61,7 @@ impl Rule {
             Rule::LockUnwrap => "lock-unwrap",
             Rule::ThreadSpawn => "thread-spawn",
             Rule::RetryBackoff => "retry-backoff",
+            Rule::HotPathAlloc => "hot-path-alloc",
         }
     }
 
@@ -71,13 +78,14 @@ impl Rule {
             "lock-unwrap" => Rule::LockUnwrap,
             "thread-spawn" => Rule::ThreadSpawn,
             "retry-backoff" => Rule::RetryBackoff,
+            "hot-path-alloc" => Rule::HotPathAlloc,
             _ => return None,
         })
     }
 }
 
 /// Every rule, in reporting order.
-pub const ALL_RULES: [Rule; 10] = [
+pub const ALL_RULES: [Rule; 11] = [
     Rule::Unwrap,
     Rule::Expect,
     Rule::Panic,
@@ -88,6 +96,7 @@ pub const ALL_RULES: [Rule; 10] = [
     Rule::LockUnwrap,
     Rule::ThreadSpawn,
     Rule::RetryBackoff,
+    Rule::HotPathAlloc,
 ];
 
 /// Zero-argument methods whose `Result` encodes a *peer failure* (poisoned
@@ -109,6 +118,18 @@ const CRYPTO_HOT_PATHS: [&str; 3] = ["aes.rs", "ctr.rs", "engine.rs"];
 /// [`Rule::ThreadSpawn`] rule does not apply.
 pub fn is_pool_runtime(path: &str) -> bool {
     path.replace('\\', "/").contains("crates/pool/")
+}
+
+/// Returns `true` when `path` belongs to the inference hot path the
+/// [`Rule::HotPathAlloc`] rule watches: the blocked tensor kernels under
+/// `tensor/src/ops/` and the compiled-plan executor `nn/src/plan.rs`.
+/// Sanctioned allocations there (one-time compile/pack steps, grow-only
+/// scratch) carry explicit `allow(hot-path-alloc)` directives, which
+/// doubles as documentation of *why* each one is off the steady-state
+/// path.
+pub fn is_inference_hot_path(path: &str) -> bool {
+    let normalized = path.replace('\\', "/");
+    normalized.contains("/tensor/src/ops/") || normalized.ends_with("/nn/src/plan.rs")
 }
 
 /// Returns `true` when `path` is one of the crypto hot-path files the
@@ -151,6 +172,9 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
     panic_rules(&code, &mut emit);
     if is_crypto_hot_path(path) {
         cast_rule(&code, &mut emit);
+    }
+    if is_inference_hot_path(path) {
+        hot_path_alloc_rule(&code, &mut emit);
     }
     if !is_pool_runtime(path) {
         thread_spawn_rule(&code, &mut emit);
@@ -400,6 +424,57 @@ fn thread_spawn_rule(code: &[&Tok], emit: &mut impl FnMut(Rule, u32, String)) {
                     callee.text
                 ),
             );
+        }
+    }
+}
+
+/// Heap allocation in inference hot-path files: `Vec::new(…)`, `vec![…]`,
+/// `.to_vec()` and `.collect(…)`. The kernels and the plan executor keep
+/// a zero-allocation steady state (caller-provided output buffers,
+/// grow-only thread-local pack scratch, the plan's activation arena);
+/// each sanctioned exception — one-time compile/pack allocations, the
+/// lazily-grown scratch declarations themselves — carries an explicit
+/// `allow(hot-path-alloc)` directive at the call site.
+fn hot_path_alloc_rule(code: &[&Tok], emit: &mut impl FnMut(Rule, u32, String)) {
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let prev_dot = i > 0 && code[i - 1].kind == TokKind::Punct && code[i - 1].text == ".";
+        let next_is = |s: &str| {
+            code.get(i + 1)
+                .is_some_and(|n| n.kind == TokKind::Punct && n.text == s)
+        };
+        // The lexer emits `::` as two `:` puncts: match `Vec : : new`.
+        let vec_new = || {
+            code.get(i + 1)
+                .zip(code.get(i + 2))
+                .zip(code.get(i + 3))
+                .is_some_and(|((a, b), c)| {
+                    a.kind == TokKind::Punct
+                        && a.text == ":"
+                        && b.kind == TokKind::Punct
+                        && b.text == ":"
+                        && c.kind == TokKind::Ident
+                        && c.text == "new"
+                })
+        };
+        let flag = |what: &str| {
+            format!(
+                "{what} allocates in an inference hot path — write into a \
+                 caller-provided buffer, the plan arena, or grow-only \
+                 thread-local scratch (allow(hot-path-alloc) for sanctioned \
+                 compile-time allocations)"
+            )
+        };
+        match t.text.as_str() {
+            "vec" if next_is("!") => emit(Rule::HotPathAlloc, t.line, flag("`vec!`")),
+            "Vec" if vec_new() => emit(Rule::HotPathAlloc, t.line, flag("`Vec::new`")),
+            "to_vec" if prev_dot && next_is("(") => {
+                emit(Rule::HotPathAlloc, t.line, flag("`.to_vec()`"))
+            }
+            "collect" if prev_dot => emit(Rule::HotPathAlloc, t.line, flag("`.collect()`")),
+            _ => {}
         }
     }
 }

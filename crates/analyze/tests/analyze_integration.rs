@@ -95,6 +95,41 @@ fn retry_fixture_yields_both_seeded_retry_loops() {
 }
 
 #[test]
+fn hot_alloc_fixture_yields_only_the_unsanctioned_allocations() {
+    let findings = lint_paths(&[fixture("tensor/src/ops/bad_hot_alloc.rs")]).unwrap();
+    let rules: Vec<(Rule, u32)> = findings.iter().map(|f| (f.rule, f.line)).collect();
+    assert_eq!(
+        rules,
+        vec![
+            (Rule::HotPathAlloc, 9),
+            (Rule::HotPathAlloc, 16),
+            (Rule::HotPathAlloc, 20),
+            (Rule::HotPathAlloc, 25),
+        ],
+        "full findings: {findings:#?}"
+    );
+    // The allow(hot-path-alloc)-annotated compile-time pack and the
+    // caller-buffer idiom stay clean; every message points at the
+    // accepted replacements.
+    assert!(findings
+        .iter()
+        .all(|f| f.message.contains("caller-provided buffer")));
+}
+
+#[test]
+fn hot_alloc_rule_is_scoped_to_the_inference_hot_path() {
+    // The same source outside `tensor/src/ops/` (or `nn/src/plan.rs`)
+    // must not fire: allocation is only a defect where the zero-alloc
+    // steady-state contract applies.
+    let src = std::fs::read_to_string(fixture("tensor/src/ops/bad_hot_alloc.rs")).unwrap();
+    let findings = seal_analyze::lint_source("crates/serve/src/server.rs", &src);
+    assert!(
+        !findings.iter().any(|f| f.rule == Rule::HotPathAlloc),
+        "hot-path-alloc fired outside its path scope: {findings:#?}"
+    );
+}
+
+#[test]
 fn linting_the_whole_fixture_dir_finds_all_files() {
     let findings = lint_paths(&[fixture("")]).unwrap();
     assert!(findings.iter().any(|f| f.path.ends_with("bad_panics.rs")));
@@ -102,7 +137,8 @@ fn linting_the_whole_fixture_dir_finds_all_files() {
     assert!(findings.iter().any(|f| f.path.ends_with("bad_thread_spawn.rs")));
     assert!(findings.iter().any(|f| f.path.ends_with("bad_retry.rs")));
     assert!(findings.iter().any(|f| f.path.ends_with("aes.rs")));
-    assert_eq!(findings.len(), 16);
+    assert!(findings.iter().any(|f| f.path.ends_with("bad_hot_alloc.rs")));
+    assert_eq!(findings.len(), 20);
 }
 
 #[test]

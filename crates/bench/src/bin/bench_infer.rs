@@ -1,0 +1,196 @@
+//! End-to-end inference perf trajectory on the reduced VGG-16: naive
+//! reference loops vs the blocked `forward_infer` path vs compiled plans
+//! (plain and folded+fused), single image and batch 32, written to
+//! `results/BENCH_infer.json`.
+//!
+//! Run via `scripts/bench_infer.sh` (or directly:
+//! `cargo run --release -p seal-bench --bin bench_infer`).
+//!
+//! Numbers are measured on this machine. The target trajectory is
+//! `planned_x_blocked >= 1.3` on the batch-32 case: the plan removes the
+//! per-call weight packing, im2col allocation and inter-layer tensor
+//! churn that dominate the blocked path at serving batch sizes. The
+//! determinism suite (`crates/nn/tests/plan_bitwise.rs`) is what proves
+//! the plain plan is bitwise-identical to `forward_infer`; this bench
+//! only times the paths.
+
+use std::io::Write as _;
+
+use seal_bench::timing::measure_ns;
+use seal_nn::models::{vgg16, VggConfig};
+use seal_nn::{forward_reference, CompiledModel, PlanOptions, Sequential};
+use seal_pool::{with_pool, Pool};
+use seal_tensor::rng::rngs::StdRng;
+use seal_tensor::rng::SeedableRng;
+use seal_tensor::{uniform, Shape};
+
+struct Case {
+    name: &'static str,
+    batch: usize,
+    naive_ns: f64,
+    blocked_ns: f64,
+    planned_ns: f64,
+    planned_fused_ns: f64,
+}
+
+impl Case {
+    fn images_per_s(&self, ns: f64) -> f64 {
+        self.batch as f64 / (ns / 1e9)
+    }
+    fn blocked_x_naive(&self) -> f64 {
+        self.naive_ns / self.blocked_ns
+    }
+    fn planned_x_blocked(&self) -> f64 {
+        self.blocked_ns / self.planned_ns
+    }
+    fn fused_x_blocked(&self) -> f64 {
+        self.blocked_ns / self.planned_fused_ns
+    }
+}
+
+fn run_case(
+    name: &'static str,
+    model: &Sequential,
+    cfg: &VggConfig,
+    batch: usize,
+    threads: usize,
+    seed: u64,
+) -> Case {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let x = uniform(
+        &mut rng,
+        Shape::nchw(batch, cfg.input_channels, cfg.input_hw, cfg.input_hw),
+        -1.0,
+        1.0,
+    );
+    let input = Shape::nchw(1, cfg.input_channels, cfg.input_hw, cfg.input_hw);
+    let mut planned = CompiledModel::compile(model, &input, batch, PlanOptions::default())
+        .expect("reduced VGG-16 is plannable");
+    let mut fused = CompiledModel::compile(model, &input, batch, PlanOptions::fused())
+        .expect("reduced VGG-16 is plannable");
+
+    // The naive reference is serial by construction; everything else runs
+    // under the same pool so the comparison isolates the execution
+    // strategy, not the thread count.
+    let naive_ns = measure_ns(|| forward_reference(model, &x).expect("shapes are valid"));
+    let pool = Pool::new(threads);
+    let blocked_ns = with_pool(&pool, || {
+        measure_ns(|| model.forward_infer(&x).expect("shapes are valid"))
+    });
+    let planned_ns = with_pool(&pool, || {
+        measure_ns(|| consume(planned.execute_into(&x).expect("batch fits the plan")))
+    });
+    let planned_fused_ns = with_pool(&pool, || {
+        measure_ns(|| consume(fused.execute_into(&x).expect("batch fits the plan")))
+    });
+
+    Case {
+        name,
+        batch,
+        naive_ns,
+        blocked_ns,
+        planned_ns,
+        planned_fused_ns,
+    }
+}
+
+/// Keeps the borrow of the arena from being optimised away without
+/// copying the logits anywhere.
+fn consume(logits: &[f32]) -> f32 {
+    std::hint::black_box(logits[0])
+}
+
+fn case_json(c: &Case, indent: &str) -> String {
+    format!(
+        "{indent}\"{}\": {{\n\
+         {indent}  \"batch\": {},\n\
+         {indent}  \"naive_ns\": {:.0},\n\
+         {indent}  \"blocked_ns\": {:.0},\n\
+         {indent}  \"planned_ns\": {:.0},\n\
+         {indent}  \"planned_fused_ns\": {:.0},\n\
+         {indent}  \"blocked_images_per_s\": {:.1},\n\
+         {indent}  \"planned_images_per_s\": {:.1},\n\
+         {indent}  \"planned_fused_images_per_s\": {:.1},\n\
+         {indent}  \"blocked_x_naive\": {:.3},\n\
+         {indent}  \"planned_x_blocked\": {:.3},\n\
+         {indent}  \"planned_fused_x_blocked\": {:.3}\n\
+         {indent}}}",
+        c.name,
+        c.batch,
+        c.naive_ns,
+        c.blocked_ns,
+        c.planned_ns,
+        c.planned_fused_ns,
+        c.images_per_s(c.blocked_ns),
+        c.images_per_s(c.planned_ns),
+        c.images_per_s(c.planned_fused_ns),
+        c.blocked_x_naive(),
+        c.planned_x_blocked(),
+        c.fused_x_blocked()
+    )
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads = cores.min(4);
+    println!("inference bench: reduced VGG-16, {threads} pool thread(s) on {cores} core(s)");
+
+    let mut rng = StdRng::seed_from_u64(77);
+    let cfg = VggConfig::reduced();
+    let model = vgg16(&mut rng, &cfg).expect("reduced config is valid");
+
+    let cases = [
+        run_case("vgg16_single", &model, &cfg, 1, threads, 78),
+        run_case("vgg16_batch32", &model, &cfg, 32, threads, 79),
+    ];
+
+    println!(
+        "{:<16} {:>12} {:>12} {:>12} {:>12} {:>10} {:>10}",
+        "case", "naive", "blocked", "planned", "pl+fused", "x plan", "x fused"
+    );
+    for c in &cases {
+        println!(
+            "{:<16} {:>10.2}ms {:>10.2}ms {:>10.2}ms {:>10.2}ms {:>9.2}x {:>9.2}x",
+            c.name,
+            c.naive_ns / 1e6,
+            c.blocked_ns / 1e6,
+            c.planned_ns / 1e6,
+            c.planned_fused_ns / 1e6,
+            c.planned_x_blocked(),
+            c.fused_x_blocked()
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"infer_plans\",\n");
+    json.push_str("  \"model\": \"vgg16_reduced\",\n");
+    json.push_str(&format!("  \"detected_cores\": {cores},\n"));
+    json.push_str(&format!("  \"pool_threads\": {threads},\n"));
+    json.push_str(
+        "  \"note\": \"naive = serial reference loops; blocked = cache-blocked \
+         forward_infer; planned = compiled plan (pre-packed weights + activation \
+         arena, bitwise-identical to blocked); planned_fused = plan with Conv-BN \
+         folding and fused ReLU (tolerance-verified)\",\n",
+    );
+    json.push_str("  \"cases\": {\n");
+    let rendered: Vec<String> = cases.iter().map(|c| case_json(c, "    ")).collect();
+    json.push_str(&rendered.join(",\n"));
+    json.push_str("\n  }\n}\n");
+
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "results/BENCH_infer.json".to_string());
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    match std::fs::File::create(&out_path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => {
+            eprintln!("failed to write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -14,7 +14,8 @@ use seal_nn::layers::{Conv2d, Flatten, Linear, ReLU};
 use seal_nn::{fit, FitConfig, Sequential, Sgd};
 use seal_pool::{with_pool, Pool};
 use seal_tensor::ops::{
-    conv2d, conv2d_backward, conv2d_reference, matmul, matmul_naive, Conv2dGeometry,
+    conv2d, conv2d_backward, conv2d_reference, matmul, matmul_naive, matmul_naive_fma,
+    reset_kernel_mode, set_kernel_mode, Conv2dGeometry, KernelMode,
 };
 use seal_tensor::rng::rngs::StdRng;
 use seal_tensor::rng::SeedableRng;
@@ -168,4 +169,37 @@ fn kernel_probe_stdout_is_identical_under_seal_threads_env() {
         "probe output missing expected sections:\n{}",
         outputs[0]
     );
+}
+
+#[test]
+fn every_available_kernel_mode_is_zero_ulp_vs_its_own_reference() {
+    // `SEAL_KERNEL` dispatch: Scalar and Avx2 preserve the serial
+    // mul-then-add rounding and must match `matmul_naive` exactly; Fma
+    // fuses the rounding and has its own reference. Each installed mode
+    // must be bitwise thread-count independent, like the default path.
+    for mode in [KernelMode::Scalar, KernelMode::Avx2, KernelMode::Fma] {
+        if set_kernel_mode(mode) != mode {
+            reset_kernel_mode();
+            continue; // not available on this host — degrade path covered elsewhere
+        }
+        for (m, k, n) in [(33, 129, 17), (64, 300, 72)] {
+            let mut rng = StdRng::seed_from_u64((m * 1000 + k * 10 + n) as u64);
+            let a = uniform(&mut rng, Shape::matrix(m, k), -1.0, 1.0);
+            let b = uniform(&mut rng, Shape::matrix(k, n), -1.0, 1.0);
+            let reference = match mode {
+                KernelMode::Fma => bits(&matmul_naive_fma(&a, &b).unwrap()),
+                _ => bits(&matmul_naive(&a, &b).unwrap()),
+            };
+            for threads in THREAD_COUNTS {
+                let pool = Pool::new(threads);
+                let out = with_pool(&pool, || matmul(&a, &b).unwrap());
+                assert_eq!(
+                    bits(&out),
+                    reference,
+                    "{mode:?} matmul {m}x{k}x{n} diverged from its reference at {threads} threads"
+                );
+            }
+        }
+        reset_kernel_mode();
+    }
 }

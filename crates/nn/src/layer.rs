@@ -190,6 +190,16 @@ pub trait Layer: std::fmt::Debug + Send + Sync {
         Vec::new()
     }
 
+    /// Concrete-type introspection hook for the compiled-inference plan
+    /// compiler: layers the planner understands override this to return
+    /// `Some(self)` so it can downcast to the concrete type and read
+    /// weights/geometry. The default `None` marks a layer as
+    /// unplannable — `CompiledModel::compile` then fails with
+    /// [`NnError::InvalidConfig`] instead of producing a wrong plan.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+
     /// Restores state previously produced by
     /// [`export_state`](Self::export_state).
     ///

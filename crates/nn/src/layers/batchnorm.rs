@@ -63,6 +63,31 @@ impl BatchNorm2d {
         self.channels
     }
 
+    /// The per-channel scale parameter γ.
+    pub fn gamma(&self) -> &Param {
+        &self.gamma
+    }
+
+    /// The per-channel shift parameter β.
+    pub fn beta(&self) -> &Param {
+        &self.beta
+    }
+
+    /// Running per-channel mean used at inference time.
+    pub fn running_mean(&self) -> &[f32] {
+        &self.running_mean
+    }
+
+    /// Running per-channel variance used at inference time.
+    pub fn running_var(&self) -> &[f32] {
+        &self.running_var
+    }
+
+    /// The numerical-stability epsilon added to the variance.
+    pub fn eps(&self) -> f32 {
+        self.eps
+    }
+
     fn check_input(&self, input: &Tensor) -> Result<(usize, usize, usize), NnError> {
         if input.shape().rank() != 4 || input.shape().dim(1) != self.channels {
             return Err(NnError::InvalidConfig {
@@ -83,6 +108,10 @@ impl BatchNorm2d {
 }
 
 impl Layer for BatchNorm2d {
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
     fn name(&self) -> &str {
         &self.name
     }

@@ -73,6 +73,11 @@ impl Conv2d {
         &mut self.weights
     }
 
+    /// The per-output-channel bias parameter.
+    pub fn bias(&self) -> &Param {
+        &self.bias
+    }
+
     /// ℓ1-norm of kernel row `i` — the sum of absolute weights of every
     /// kernel that reads input channel `i`, the paper's importance measure.
     ///
@@ -104,6 +109,10 @@ impl Conv2d {
 }
 
 impl Layer for Conv2d {
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
     fn name(&self) -> &str {
         &self.name
     }

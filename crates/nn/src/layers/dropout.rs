@@ -46,6 +46,10 @@ impl Dropout {
 }
 
 impl Layer for Dropout {
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
     fn name(&self) -> &str {
         &self.name
     }

@@ -20,6 +20,10 @@ impl Flatten {
 }
 
 impl Layer for Flatten {
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
     fn name(&self) -> &str {
         &self.name
     }

@@ -68,6 +68,11 @@ impl Linear {
         &mut self.weights
     }
 
+    /// The per-output-feature bias parameter.
+    pub fn bias(&self) -> &Param {
+        &self.bias
+    }
+
     /// ℓ1-norm of input-column `i` (the FC analogue of a kernel row).
     ///
     /// # Panics
@@ -82,6 +87,10 @@ impl Linear {
 }
 
 impl Layer for Linear {
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
     fn name(&self) -> &str {
         &self.name
     }

@@ -49,6 +49,10 @@ impl MaxPool2d {
 }
 
 impl Layer for MaxPool2d {
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
     fn name(&self) -> &str {
         &self.name
     }
@@ -109,6 +113,10 @@ impl AvgPool2d {
 }
 
 impl Layer for AvgPool2d {
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
     fn name(&self) -> &str {
         &self.name
     }

@@ -20,6 +20,10 @@ impl ReLU {
 }
 
 impl Layer for ReLU {
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
     fn name(&self) -> &str {
         &self.name
     }

@@ -77,6 +77,10 @@ impl ResidualBlock {
 }
 
 impl Layer for ResidualBlock {
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
     fn name(&self) -> &str {
         &self.name
     }

@@ -48,6 +48,7 @@ mod train;
 
 pub mod layers;
 pub mod models;
+pub mod plan;
 pub mod shape_check;
 pub mod topo;
 
@@ -56,6 +57,7 @@ pub use layer::{KernelMatrix, Layer, LayerKind, Param};
 pub use loss::SoftmaxCrossEntropy;
 pub use model::Sequential;
 pub use optim::{Adam, Optimizer, Sgd};
+pub use plan::{forward_reference, CompiledModel, PlanOptions};
 pub use serialize::{load_weights, save_weights};
 pub use shape_check::{check_model, ShapeMismatch, ShapeReport, ShapeStep};
 pub use topo::{LayerRole, LayerTopo, NetworkTopology};

@@ -1,0 +1,931 @@
+//! Compiled inference plans: ahead-of-time weight pre-packing, activation
+//! arenas and opt-in op fusion for the serving hot path.
+//!
+//! [`CompiledModel::compile`] walks a trained [`Sequential`] once (validated
+//! through the existing `shape_check` inference), snapshots every layer into
+//! a flat list of [`Step`]s with all shapes resolved, pre-packs every Linear
+//! weight into the exact panel layout the blocked GEMM micro-kernel
+//! consumes ([`PackedB`]), and sizes a four-slot ping-pong **arena** for the
+//! worst-case activation volume × `max_batch`. Steady-state
+//! [`execute_into`](CompiledModel::execute_into) then runs the whole
+//! network with **zero heap allocation**: activations ping-pong between two
+//! arena slots (two more hold residual stash/shortcut), convolutions build
+//! their im2col expansion *directly in packed panel layout* in per-thread
+//! scratch grown once, and Linear layers consume their compile-time pack.
+//!
+//! Determinism contract: with fusion off (`PlanOptions::default()`) the
+//! plan replays exactly the float operations of
+//! [`Sequential::forward_infer`] — same accumulation orders, same bias
+//! association, same per-channel batch-norm expression — so logits are
+//! **bitwise identical** to the unplanned path for any thread count and
+//! any single [`KernelMode`]. Conv→BatchNorm weight folding and fused
+//! ReLU write-backs are opt-in ([`PlanOptions`]) and verified to a tight
+//! tolerance instead: folding rescales weights ahead of time
+//! (`w' = w·γ/√(σ²+ε)`), which changes rounding.
+
+use crate::layers::{
+    AvgPool2d, BatchNorm2d, Conv2d, Dropout, Flatten, Linear, MaxPool2d, ReLU, ResidualBlock,
+};
+use crate::shape_check::check_model;
+use crate::{Layer, NnError, Sequential};
+use seal_tensor::ops::{
+    avg_pool2d_into, conv2d_infer_packed, conv2d_reference, gemm_prepacked, kernel_mode,
+    max_pool2d_into, Conv2dGeometry, ConvPlanDims, Im2colGather, KernelMode, PackedB,
+    PoolGeometry,
+};
+use seal_tensor::{Shape, Tensor, ELEMWISE_CHUNK};
+
+/// Opt-in plan transformations. The default (everything off) keeps the
+/// plan bitwise identical to `forward_infer`; enabling either knob trades
+/// bitwise equality for fewer passes over the activations (verified to a
+/// tight tolerance by the plan tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanOptions {
+    /// Fold each Conv→BatchNorm pair into the convolution at compile
+    /// time (`w' = w·γ/√(σ²+ε)`, `b' = (b−μ)·γ/√(σ²+ε) + β`), removing
+    /// the batch-norm pass entirely.
+    pub fold_batchnorm: bool,
+    /// Fuse an elementwise ReLU into the producing step's write-back
+    /// (convolution/GEMM tasks clamp their freshly-written slab; linear
+    /// and batch-norm clamp in the same pass that applies bias/affine).
+    pub fuse_relu: bool,
+}
+
+impl PlanOptions {
+    /// Both fusions on — the fastest (tolerance-verified) configuration.
+    pub fn fused() -> Self {
+        PlanOptions {
+            fold_batchnorm: true,
+            fuse_relu: true,
+        }
+    }
+}
+
+/// One compiled layer with every shape resolved and constants snapshotted.
+#[derive(Debug)]
+enum Step {
+    /// Convolution (optionally with batch-norm folded in / ReLU fused).
+    Conv {
+        dims: ConvPlanDims,
+        gather: Im2colGather,
+        weights: Vec<f32>,
+        bias: Vec<f32>,
+        relu: bool,
+    },
+    /// Fully connected layer over a pre-packed `Wᵀ`.
+    Linear {
+        packed: PackedB,
+        bias: Vec<f32>,
+        in_f: usize,
+        out_f: usize,
+        relu: bool,
+    },
+    /// Inference batch-norm with the per-channel `1/√(σ²+ε)` precomputed
+    /// exactly as `forward_infer` computes it.
+    BatchNorm {
+        gamma: Vec<f32>,
+        beta: Vec<f32>,
+        mean: Vec<f32>,
+        inv_std: Vec<f32>,
+        channels: usize,
+        spatial: usize,
+        relu: bool,
+    },
+    /// Standalone elementwise ReLU (in place).
+    Relu { vol: usize },
+    /// Max pooling.
+    MaxPool {
+        geom: PoolGeometry,
+        c: usize,
+        h: usize,
+        w: usize,
+        oh: usize,
+        ow: usize,
+    },
+    /// Average pooling.
+    AvgPool {
+        geom: PoolGeometry,
+        c: usize,
+        h: usize,
+        w: usize,
+        oh: usize,
+        ow: usize,
+    },
+    /// Data no-op (flatten's row-major reshape, inference dropout).
+    Identity,
+    /// Residual block: main/shortcut branches plus the inherent
+    /// add-then-ReLU combine.
+    Residual {
+        main: Vec<Step>,
+        shortcut: Vec<Step>,
+        in_vol: usize,
+        out_vol: usize,
+    },
+}
+
+impl Step {
+    /// Per-sample output volume, if this step changes buffers.
+    fn swaps(&self) -> bool {
+        matches!(
+            self,
+            Step::Conv { .. } | Step::Linear { .. } | Step::MaxPool { .. } | Step::AvgPool { .. }
+        )
+    }
+}
+
+/// Per-sample feature shape while walking the layer list.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Feat {
+    Spatial { c: usize, h: usize, w: usize },
+    Flat(usize),
+}
+
+impl Feat {
+    fn vol(self) -> usize {
+        match self {
+            Feat::Spatial { c, h, w } => c * h * w,
+            Feat::Flat(f) => f,
+        }
+    }
+}
+
+/// Four fixed slots of `slot` floats each: A/B ping-pong the main
+/// activation flow, C stashes a residual input, D hosts the shortcut
+/// branch's ping-pong partner.
+#[derive(Debug)]
+struct Arena {
+    buf: Vec<f32>,
+    slot: usize,
+}
+
+impl Arena {
+    fn split(&mut self) -> (&mut [f32], &mut [f32], &mut [f32], &mut [f32]) {
+        let (ab, cd) = self.buf.split_at_mut(2 * self.slot);
+        let (a, b) = ab.split_at_mut(self.slot);
+        let (c, d) = cd.split_at_mut(self.slot);
+        (a, b, c, d)
+    }
+}
+
+/// An ahead-of-time compiled inference plan for one model and one input
+/// shape: pre-packed weights, a fixed activation arena, and a flat step
+/// list the executor replays without touching the `Layer` machinery (or
+/// the allocator) again.
+#[derive(Debug)]
+pub struct CompiledModel {
+    name: String,
+    steps: Vec<Step>,
+    input: Shape,
+    max_batch: usize,
+    num_classes: usize,
+    options: PlanOptions,
+    arena: Arena,
+}
+
+impl CompiledModel {
+    /// Compile `model` for per-sample `input` (batch dimension must be 1)
+    /// and batches of up to `max_batch` samples.
+    ///
+    /// # Errors
+    ///
+    /// [`NnError::InvalidConfig`] when the model fails shape inference,
+    /// contains a layer the planner does not understand (the
+    /// [`Layer::as_any`] hook), or the arguments are degenerate.
+    pub fn compile(
+        model: &Sequential,
+        input: &Shape,
+        max_batch: usize,
+        options: PlanOptions,
+    ) -> Result<CompiledModel, NnError> {
+        if max_batch == 0 {
+            return Err(NnError::InvalidConfig {
+                reason: "plan max_batch must be at least 1".into(),
+            });
+        }
+        if input.rank() != 4 || input.dim(0) != 1 {
+            return Err(NnError::InvalidConfig {
+                reason: format!("plan expects a [1, C, H, W] input shape, got {input}"),
+            });
+        }
+        // The existing shape-inference pass validates the whole model
+        // against this input before we snapshot anything.
+        check_model(model, input).map_err(|m| NnError::InvalidConfig {
+            reason: format!("plan shape check failed: {m}"),
+        })?;
+        let mut feat = Feat::Spatial {
+            c: input.dim(1),
+            h: input.dim(2),
+            w: input.dim(3),
+        };
+        let mut max_vol = feat.vol();
+        let mut steps = compile_layers(model.layers(), &mut feat, true, &mut max_vol)?;
+        fold_and_fuse(&mut steps, options);
+        let num_classes = match feat {
+            Feat::Flat(f) => f,
+            Feat::Spatial { .. } => {
+                return Err(NnError::InvalidConfig {
+                    reason: "plan expects the model to end in logits [batch, classes]".into(),
+                })
+            }
+        };
+        let slot = max_vol * max_batch;
+        Ok(CompiledModel {
+            name: model.name().to_string(),
+            steps,
+            input: input.clone(),
+            max_batch,
+            num_classes,
+            options,
+            arena: Arena {
+                buf: vec![0.0f32; 4 * slot], // seal-lint: allow(hot-path-alloc)
+                slot,
+            },
+        })
+    }
+
+    /// Model name this plan was compiled from.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Per-sample input shape (`[1, C, H, W]`).
+    pub fn input(&self) -> &Shape {
+        &self.input
+    }
+
+    /// Largest batch one execution accepts.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// Width of one logits row.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The options this plan was compiled with.
+    pub fn options(&self) -> PlanOptions {
+        self.options
+    }
+
+    /// Bytes held by the activation arena.
+    pub fn arena_byte_size(&self) -> usize {
+        self.arena.buf.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Run a batch of up to `max_batch` samples through the plan and
+    /// return the logits slab (`n × num_classes`, row-major) borrowed
+    /// from the arena. This is the zero-allocation steady-state surface:
+    /// after a warm-up call has grown the per-thread packing scratch, no
+    /// heap allocation happens on this path.
+    ///
+    /// # Errors
+    ///
+    /// [`NnError::InvalidConfig`] if the batch shape disagrees with the
+    /// compiled input shape or exceeds `max_batch`; tensor errors cannot
+    /// occur on shapes the compiler admitted.
+    pub fn execute_into(&mut self, batch: &Tensor) -> Result<&[f32], NnError> {
+        let n = self.check_batch(batch)?;
+        let mode = kernel_mode();
+        let classes = self.num_classes;
+        let (a, b, c, d) = self.arena.split();
+        let (mut cur, mut nxt, mut st, mut sh) = (a, b, c, d);
+        let mut cur_idx = 0usize; // 0 = slot A, 1 = slot B
+        cur[..batch.len()].copy_from_slice(batch.as_slice());
+        for step in &self.steps {
+            match step {
+                Step::Residual {
+                    main,
+                    shortcut,
+                    in_vol,
+                    out_vol,
+                } => {
+                    st[..n * in_vol].copy_from_slice(&cur[..n * in_vol]);
+                    for s in main {
+                        run_plain(s, n, mode, &mut cur, &mut nxt, &mut cur_idx)?;
+                    }
+                    let mut side_idx = 0usize;
+                    for s in shortcut {
+                        run_plain(s, n, mode, &mut st, &mut sh, &mut side_idx)?;
+                    }
+                    // Combine: `max(0, f + s)` — the same values as
+                    // `forward_infer`'s add-then-ReLU, fused in one pass.
+                    let f = &mut cur[..n * out_vol];
+                    let s = &st[..n * out_vol];
+                    seal_pool::par_chunks_mut(f, ELEMWISE_CHUNK, |ci, chunk| {
+                        let base = ci * ELEMWISE_CHUNK;
+                        for (j, v) in chunk.iter_mut().enumerate() {
+                            *v = (*v + s[base + j]).max(0.0);
+                        }
+                    });
+                }
+                _ => run_plain(step, n, mode, &mut cur, &mut nxt, &mut cur_idx)?,
+            }
+        }
+        let off = cur_idx * self.arena.slot;
+        Ok(&self.arena.buf[off..off + n * classes])
+    }
+
+    /// Run a batch and return the per-sample argmax class — the planned
+    /// analogue of `Sequential::predict` (the returned `Vec` is the one
+    /// allocation, outside the zero-alloc contract of
+    /// [`execute_into`](Self::execute_into)).
+    ///
+    /// # Errors
+    ///
+    /// Same errors as [`execute_into`](Self::execute_into).
+    pub fn classify(&mut self, batch: &Tensor) -> Result<Vec<usize>, NnError> {
+        let classes = self.num_classes;
+        let logits = self.execute_into(batch)?;
+        let n = logits.len() / classes.max(1);
+        Ok((0..n)
+            .map(|b| {
+                let row = &logits[b * classes..(b + 1) * classes];
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            // The documented one-Vec result allocation of `classify`.
+            // seal-lint: allow(hot-path-alloc)
+            .collect())
+    }
+
+    fn check_batch(&self, batch: &Tensor) -> Result<usize, NnError> {
+        let shape = batch.shape();
+        let ok = shape.rank() == self.input.rank()
+            && (1..self.input.rank()).all(|i| shape.dim(i) == self.input.dim(i));
+        let n = if shape.rank() > 0 { shape.dim(0) } else { 0 };
+        if !ok || n == 0 || n > self.max_batch {
+            return Err(NnError::InvalidConfig {
+                reason: format!(
+                    "plan compiled for up to {} samples of {}, got {shape}",
+                    self.max_batch, self.input
+                ),
+            });
+        }
+        Ok(n)
+    }
+}
+
+/// Execute one non-residual step. Buffer-swapping steps write
+/// `*cur → *nxt` then swap the refs (and the slot index, so the caller
+/// can locate the final buffer); the rest run in place on `*cur`.
+fn run_plain<'a>(
+    step: &Step,
+    n: usize,
+    mode: KernelMode,
+    cur: &mut &'a mut [f32],
+    nxt: &mut &'a mut [f32],
+    cur_idx: &mut usize,
+) -> Result<(), NnError> {
+    match step {
+        Step::Conv {
+            dims,
+            gather,
+            weights,
+            bias,
+            relu,
+        } => {
+            let in_vol = dims.c_in * dims.h * dims.w;
+            let out_vol = dims.c_out * dims.oh * dims.ow;
+            conv2d_infer_packed(
+                &cur[..n * in_vol],
+                n,
+                dims,
+                gather,
+                weights,
+                bias,
+                &mut nxt[..n * out_vol],
+                *relu,
+                mode,
+            )?;
+        }
+        Step::Linear {
+            packed,
+            bias,
+            in_f,
+            out_f,
+            relu,
+        } => {
+            let o = &mut nxt[..n * out_f];
+            o.fill(0.0);
+            gemm_prepacked(&cur[..n * in_f], packed, o, n, mode, false);
+            // Bias is broadcast *after* the product, exactly like
+            // `Linear::forward_infer`; the fused ReLU rides the same pass.
+            for r in 0..n {
+                for cc in 0..*out_f {
+                    let v = o[r * out_f + cc] + bias[cc];
+                    o[r * out_f + cc] = if *relu { v.max(0.0) } else { v };
+                }
+            }
+        }
+        Step::BatchNorm {
+            gamma,
+            beta,
+            mean,
+            inv_std,
+            channels,
+            spatial,
+            relu,
+        } => {
+            let c = *channels;
+            let slab = &mut cur[..n * c * spatial];
+            seal_pool::par_chunks_mut(slab, *spatial, |p, o| {
+                let ch = p % c;
+                for o in o.iter_mut() {
+                    // Same association as `BatchNorm2d::forward_infer`.
+                    let v = (*o - mean[ch]) * inv_std[ch];
+                    let y = gamma[ch] * v + beta[ch];
+                    *o = if *relu { y.max(0.0) } else { y };
+                }
+            });
+            return Ok(());
+        }
+        Step::Relu { vol } => {
+            seal_pool::par_chunks_mut(&mut cur[..n * vol], ELEMWISE_CHUNK, |_, chunk| {
+                for v in chunk.iter_mut() {
+                    *v = v.max(0.0);
+                }
+            });
+            return Ok(());
+        }
+        Step::MaxPool {
+            geom,
+            c,
+            h,
+            w,
+            oh,
+            ow,
+        } => {
+            max_pool2d_into(
+                &cur[..n * c * h * w],
+                &mut nxt[..n * c * oh * ow],
+                n,
+                *c,
+                *h,
+                *w,
+                geom,
+            )?;
+        }
+        Step::AvgPool {
+            geom,
+            c,
+            h,
+            w,
+            oh,
+            ow,
+        } => {
+            avg_pool2d_into(
+                &cur[..n * c * h * w],
+                &mut nxt[..n * c * oh * ow],
+                n,
+                *c,
+                *h,
+                *w,
+                geom,
+            )?;
+        }
+        Step::Identity => return Ok(()),
+        Step::Residual { .. } => {
+            return Err(NnError::InvalidConfig {
+                reason: "nested residual blocks are not plannable".into(),
+            })
+        }
+    }
+    debug_assert!(step.swaps());
+    std::mem::swap(cur, nxt);
+    *cur_idx ^= 1;
+    Ok(())
+}
+
+fn unplannable(layer: &dyn Layer) -> NnError {
+    NnError::InvalidConfig {
+        reason: format!(
+            "layer {} ({:?}) is not plannable — no as_any introspection",
+            layer.name(),
+            layer.kind()
+        ),
+    }
+}
+
+fn geom_out(geom: &Conv2dGeometry, h: usize, w: usize) -> Result<(usize, usize), NnError> {
+    match (geom.output_size(h), geom.output_size(w)) {
+        (Some(oh), Some(ow)) => Ok((oh, ow)),
+        _ => Err(NnError::InvalidConfig {
+            reason: format!("conv kernel {} does not fit {h}x{w}", geom.kernel),
+        }),
+    }
+}
+
+fn compile_layers(
+    layers: &[Box<dyn Layer>],
+    feat: &mut Feat,
+    allow_residual: bool,
+    max_vol: &mut usize,
+) -> Result<Vec<Step>, NnError> {
+    let mut steps = Vec::with_capacity(layers.len());
+    for layer in layers {
+        let any = layer.as_any().ok_or_else(|| unplannable(layer.as_ref()))?;
+        let step = if let Some(conv) = any.downcast_ref::<Conv2d>() {
+            let Feat::Spatial { c, h, w } = *feat else {
+                return Err(unexpected_shape(layer.as_ref(), feat));
+            };
+            let geom = *conv.geometry();
+            let (oh, ow) = geom_out(&geom, h, w)?;
+            let c_out = conv.out_channels();
+            if conv.in_channels() != c {
+                return Err(unexpected_shape(layer.as_ref(), feat));
+            }
+            *feat = Feat::Spatial {
+                c: c_out,
+                h: oh,
+                w: ow,
+            };
+            let dims = ConvPlanDims {
+                c_in: c,
+                h,
+                w,
+                c_out,
+                oh,
+                ow,
+                geom,
+            };
+            Step::Conv {
+                // Gather tables and weight/bias snapshots are the
+                // compile step itself — never re-run per batch.
+                gather: Im2colGather::compile(&dims),
+                dims,
+                weights: conv.weights().value.as_slice().to_vec(), // seal-lint: allow(hot-path-alloc)
+                bias: conv.bias().value.as_slice().to_vec(), // seal-lint: allow(hot-path-alloc)
+                relu: false,
+            }
+        } else if let Some(bn) = any.downcast_ref::<BatchNorm2d>() {
+            let Feat::Spatial { c, h, w } = *feat else {
+                return Err(unexpected_shape(layer.as_ref(), feat));
+            };
+            if bn.channels() != c {
+                return Err(unexpected_shape(layer.as_ref(), feat));
+            }
+            let eps = bn.eps();
+            Step::BatchNorm {
+                gamma: bn.gamma().value.as_slice().to_vec(), // seal-lint: allow(hot-path-alloc)
+                beta: bn.beta().value.as_slice().to_vec(), // seal-lint: allow(hot-path-alloc)
+                mean: bn.running_mean().to_vec(), // seal-lint: allow(hot-path-alloc)
+                // The exact expression `forward_infer` evaluates,
+                // snapshotted once at compile time.
+                inv_std: bn
+                    .running_var()
+                    .iter()
+                    .map(|v| 1.0 / (v + eps).sqrt())
+                    .collect(), // seal-lint: allow(hot-path-alloc)
+                channels: c,
+                spatial: h * w,
+                relu: false,
+            }
+        } else if any.downcast_ref::<ReLU>().is_some() {
+            Step::Relu { vol: feat.vol() }
+        } else if let Some(pool) = any.downcast_ref::<MaxPool2d>() {
+            let (geom, c, h, w, oh, ow) = pool_dims(layer.as_ref(), *pool.geometry(), feat)?;
+            Step::MaxPool {
+                geom,
+                c,
+                h,
+                w,
+                oh,
+                ow,
+            }
+        } else if let Some(pool) = any.downcast_ref::<AvgPool2d>() {
+            let (geom, c, h, w, oh, ow) = pool_dims(layer.as_ref(), *pool.geometry(), feat)?;
+            Step::AvgPool {
+                geom,
+                c,
+                h,
+                w,
+                oh,
+                ow,
+            }
+        } else if any.downcast_ref::<Flatten>().is_some() {
+            *feat = Feat::Flat(feat.vol());
+            Step::Identity
+        } else if any.downcast_ref::<Dropout>().is_some() {
+            Step::Identity // inference dropout is the identity
+        } else if let Some(linear) = any.downcast_ref::<Linear>() {
+            let Feat::Flat(in_f) = *feat else {
+                return Err(unexpected_shape(layer.as_ref(), feat));
+            };
+            if linear.in_features() != in_f {
+                return Err(unexpected_shape(layer.as_ref(), feat));
+            }
+            let out_f = linear.out_features();
+            // Pre-pack Wᵀ — the constant B operand `forward_infer`
+            // re-transposes and re-packs on every single call.
+            let wt = linear.weights().value.transpose()?;
+            *feat = Feat::Flat(out_f);
+            Step::Linear {
+                packed: PackedB::pack(&wt)?,
+                bias: linear.bias().value.as_slice().to_vec(), // seal-lint: allow(hot-path-alloc)
+                in_f,
+                out_f,
+                relu: false,
+            }
+        } else if let Some(res) = any.downcast_ref::<ResidualBlock>() {
+            if !allow_residual {
+                return Err(NnError::InvalidConfig {
+                    reason: format!("nested residual block {} is not plannable", layer.name()),
+                });
+            }
+            let in_feat = *feat;
+            let in_vol = in_feat.vol();
+            let mut main_feat = in_feat;
+            let main = compile_layers(res.main_branch(), &mut main_feat, false, max_vol)?;
+            let mut short_feat = in_feat;
+            let shortcut = compile_layers(res.shortcut_branch(), &mut short_feat, false, max_vol)?;
+            if main_feat != short_feat {
+                return Err(NnError::InvalidConfig {
+                    reason: format!(
+                        "residual block {} branches disagree on output shape",
+                        layer.name()
+                    ),
+                });
+            }
+            *feat = main_feat;
+            Step::Residual {
+                main,
+                shortcut,
+                in_vol,
+                out_vol: main_feat.vol(),
+            }
+        } else {
+            return Err(unplannable(layer.as_ref()));
+        };
+        *max_vol = (*max_vol).max(feat.vol());
+        steps.push(step);
+    }
+    Ok(steps)
+}
+
+fn unexpected_shape(layer: &dyn Layer, feat: &Feat) -> NnError {
+    NnError::InvalidConfig {
+        reason: format!(
+            "layer {} cannot consume the planned feature shape {feat:?}",
+            layer.name()
+        ),
+    }
+}
+
+fn pool_dims(
+    layer: &dyn Layer,
+    geom: PoolGeometry,
+    feat: &mut Feat,
+) -> Result<(PoolGeometry, usize, usize, usize, usize, usize), NnError> {
+    let Feat::Spatial { c, h, w } = *feat else {
+        return Err(unexpected_shape(layer, feat));
+    };
+    let (oh, ow) = match (geom.output_size(h), geom.output_size(w)) {
+        (Some(oh), Some(ow)) => (oh, ow),
+        _ => {
+            return Err(NnError::InvalidConfig {
+                reason: format!("pool window {} does not fit {h}x{w}", geom.window),
+            })
+        }
+    };
+    *feat = Feat::Spatial { c, h: oh, w: ow };
+    Ok((geom, c, h, w, oh, ow))
+}
+
+/// The compile-time transformation passes: Conv→BatchNorm weight folding,
+/// then ReLU fusion into the producing step. Applied to the top-level
+/// step list and, recursively, to every residual branch.
+fn fold_and_fuse(steps: &mut Vec<Step>, options: PlanOptions) {
+    if options.fold_batchnorm {
+        let mut i = 0;
+        while i + 1 < steps.len() {
+            let fold = matches!(
+                (&steps[i], &steps[i + 1]),
+                (Step::Conv { dims, .. }, Step::BatchNorm { channels, .. })
+                    if dims.c_out == *channels
+            );
+            if fold {
+                let bn = steps.remove(i + 1);
+                if let (
+                    Step::Conv {
+                        dims,
+                        weights,
+                        bias,
+                        ..
+                    },
+                    Step::BatchNorm {
+                        gamma,
+                        beta,
+                        mean,
+                        inv_std,
+                        ..
+                    },
+                ) = (&mut steps[i], bn)
+                {
+                    let kdim = dims.c_in * dims.geom.kernel * dims.geom.kernel;
+                    for co in 0..dims.c_out {
+                        let scale = gamma[co] * inv_std[co];
+                        for wv in &mut weights[co * kdim..(co + 1) * kdim] {
+                            *wv *= scale;
+                        }
+                        bias[co] = (bias[co] - mean[co]) * scale + beta[co];
+                    }
+                }
+                continue; // a ReLU may now directly follow the conv
+            }
+            i += 1;
+        }
+    }
+    if options.fuse_relu {
+        let mut i = 0;
+        while i + 1 < steps.len() {
+            if matches!(steps[i + 1], Step::Relu { .. }) {
+                let fused = match &mut steps[i] {
+                    Step::Conv { relu, .. }
+                    | Step::Linear { relu, .. }
+                    | Step::BatchNorm { relu, .. } => {
+                        *relu = true;
+                        true
+                    }
+                    _ => false,
+                };
+                if fused {
+                    steps.remove(i + 1);
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+    for step in steps.iter_mut() {
+        if let Step::Residual { main, shortcut, .. } = step {
+            fold_and_fuse(main, options);
+            fold_and_fuse(shortcut, options);
+        }
+    }
+}
+
+/// Reference forward pass: every convolution runs through the direct
+/// 7-loop [`conv2d_reference`] kernel (recursing into residual branches),
+/// everything else through `forward_infer`. This is the "naive" baseline
+/// of the inference benchmarks and an implementation-independent check
+/// for the folded/fused plans.
+///
+/// # Errors
+///
+/// Propagates layer/tensor errors from the underlying kernels.
+pub fn forward_reference(model: &Sequential, input: &Tensor) -> Result<Tensor, NnError> {
+    run_reference(model.layers(), input.clone())
+}
+
+fn run_reference(layers: &[Box<dyn Layer>], input: Tensor) -> Result<Tensor, NnError> {
+    let mut cur = input;
+    for layer in layers {
+        cur = reference_layer(layer.as_ref(), &cur)?;
+    }
+    Ok(cur)
+}
+
+fn reference_layer(layer: &dyn Layer, x: &Tensor) -> Result<Tensor, NnError> {
+    if let Some(any) = layer.as_any() {
+        if let Some(conv) = any.downcast_ref::<Conv2d>() {
+            return Ok(conv2d_reference(
+                x,
+                &conv.weights().value,
+                Some(&conv.bias().value),
+                conv.geometry(),
+            )?);
+        }
+        if let Some(res) = any.downcast_ref::<ResidualBlock>() {
+            let f = run_reference(res.main_branch(), x.clone())?;
+            let s = if res.shortcut_branch().is_empty() {
+                x.clone()
+            } else {
+                run_reference(res.shortcut_branch(), x.clone())?
+            };
+            return Ok(f.add(&s)?.map(|v| v.max(0.0)));
+        }
+    }
+    layer.forward_infer(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{vgg16, VggConfig};
+    use seal_tensor::rng::rngs::StdRng;
+    use seal_tensor::rng::SeedableRng;
+    use seal_tensor::uniform;
+
+    fn bitwise_eq(a: &[f32], b: &[f32]) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+    }
+
+    #[test]
+    fn plan_matches_forward_infer_bitwise_on_reduced_vgg() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let cfg = VggConfig::reduced();
+        let model = vgg16(&mut rng, &cfg).unwrap();
+        let input = Shape::nchw(1, cfg.input_channels, cfg.input_hw, cfg.input_hw);
+        let mut plan =
+            CompiledModel::compile(&model, &input, 4, PlanOptions::default()).unwrap();
+        for n in [1usize, 3, 4] {
+            let x = uniform(
+                &mut rng,
+                Shape::nchw(n, cfg.input_channels, cfg.input_hw, cfg.input_hw),
+                -1.0,
+                1.0,
+            );
+            let reference = model.forward_infer(&x).unwrap();
+            let logits = plan.execute_into(&x).unwrap();
+            assert!(
+                bitwise_eq(logits, reference.as_slice()),
+                "planned logits != forward_infer for batch {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn folded_fused_plan_is_close_and_faster_shaped() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let cfg = VggConfig::reduced();
+        let model = vgg16(&mut rng, &cfg).unwrap();
+        let input = Shape::nchw(1, cfg.input_channels, cfg.input_hw, cfg.input_hw);
+        let mut plan = CompiledModel::compile(&model, &input, 2, PlanOptions::fused()).unwrap();
+        let x = uniform(
+            &mut rng,
+            Shape::nchw(2, cfg.input_channels, cfg.input_hw, cfg.input_hw),
+            -1.0,
+            1.0,
+        );
+        let reference = model.forward_infer(&x).unwrap();
+        let logits = plan.execute_into(&x).unwrap();
+        for (p, r) in logits.iter().zip(reference.as_slice()) {
+            assert!(
+                (p - r).abs() <= 1e-4 * r.abs().max(1.0),
+                "folded/fused logit {p} too far from {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_batch_and_wrong_shape_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let cfg = VggConfig::reduced();
+        let model = vgg16(&mut rng, &cfg).unwrap();
+        let input = Shape::nchw(1, cfg.input_channels, cfg.input_hw, cfg.input_hw);
+        let mut plan =
+            CompiledModel::compile(&model, &input, 2, PlanOptions::default()).unwrap();
+        let too_big = Tensor::zeros(Shape::nchw(
+            3,
+            cfg.input_channels,
+            cfg.input_hw,
+            cfg.input_hw,
+        ));
+        assert!(plan.execute_into(&too_big).is_err());
+        let wrong = Tensor::zeros(Shape::nchw(1, cfg.input_channels + 1, 4, 4));
+        assert!(plan.execute_into(&wrong).is_err());
+        assert!(
+            CompiledModel::compile(&model, &input, 0, PlanOptions::default()).is_err(),
+            "max_batch 0 must be rejected"
+        );
+    }
+
+    #[test]
+    fn classify_matches_predict() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let cfg = VggConfig::reduced();
+        let model = vgg16(&mut rng, &cfg).unwrap();
+        let input = Shape::nchw(1, cfg.input_channels, cfg.input_hw, cfg.input_hw);
+        let mut plan =
+            CompiledModel::compile(&model, &input, 2, PlanOptions::default()).unwrap();
+        let x = uniform(
+            &mut rng,
+            Shape::nchw(2, cfg.input_channels, cfg.input_hw, cfg.input_hw),
+            -1.0,
+            1.0,
+        );
+        assert_eq!(plan.classify(&x).unwrap(), model.predict(&x).unwrap());
+    }
+
+    #[test]
+    fn reference_forward_agrees_with_infer_to_tolerance() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let cfg = VggConfig::reduced();
+        let model = vgg16(&mut rng, &cfg).unwrap();
+        let x = uniform(
+            &mut rng,
+            Shape::nchw(1, cfg.input_channels, cfg.input_hw, cfg.input_hw),
+            -1.0,
+            1.0,
+        );
+        let a = forward_reference(&model, &x).unwrap();
+        let b = model.forward_infer(&x).unwrap();
+        for (p, r) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((p - r).abs() <= 1e-4 * r.abs().max(1.0));
+        }
+    }
+}

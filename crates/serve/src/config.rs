@@ -72,6 +72,13 @@ pub struct ServerConfig {
     /// Service-time inflation applied to a batch carrying an injected
     /// slow request.
     pub chaos_slow_delay: Duration,
+    /// Run inference through a per-worker compiled plan (weights
+    /// pre-packed, activation arena, no steady-state allocation) instead
+    /// of the layer-by-layer `forward_infer` path. Plans are compiled
+    /// without fusion, so predictions are bitwise identical either way;
+    /// a worker whose plan fails to compile falls back to the unplanned
+    /// path and records the error.
+    pub use_plan: bool,
 }
 
 impl ServerConfig {
@@ -100,6 +107,7 @@ impl ServerConfig {
             faults: None,
             fault_seed: 0,
             chaos_slow_delay: Duration::from_millis(2),
+            use_plan: true,
         }
     }
 

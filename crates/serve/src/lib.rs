@@ -69,5 +69,5 @@ pub use loadgen::{ChaosReport, LoadMode, LoadReport};
 pub use metrics::{BatchStats, LatencyHistogram, QueueDepthStats};
 pub use model::{ServedModel, ZOO};
 pub use queue::{BoundedQueue, PushRefused};
-pub use report::{ChaosRun, ChaosSmoke, ServeReport};
+pub use report::{ChaosRun, ChaosSmoke, PlanComparison, ServeReport};
 pub use server::{Response, ResponseHandle, ServeStats, Server};

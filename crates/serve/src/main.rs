@@ -17,7 +17,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use seal_serve::{loadgen, ChaosRun, ChaosSmoke, ServeReport, Server, ServerConfig};
+use seal_serve::{loadgen, ChaosRun, ChaosSmoke, PlanComparison, ServeReport, Server, ServerConfig};
 
 const USAGE: &str = "usage: seal-serve [options]
 
@@ -208,6 +208,26 @@ fn run(args: Args) -> Result<ExitCode, String> {
         return run_chaos(args);
     }
     let config = args.config.clone();
+    // Smoke runs measure a control pass first: the same workload served
+    // without compiled plans, so the report can state what the planned
+    // hot path bought end to end.
+    let unplanned_rps = if args.smoke && config.use_plan {
+        let control = ServerConfig {
+            use_plan: false,
+            ..config.clone()
+        };
+        let server = Server::start(control).map_err(|e| e.to_string())?;
+        let load = loadgen::run_closed(&server, args.requests, args.concurrency, config.seed)
+            .map_err(|e| e.to_string())?;
+        server.shutdown().map_err(|e| e.to_string())?;
+        println!(
+            "seal-serve: control (unplanned) pass: {:.1} req/s",
+            load.observed_throughput_rps
+        );
+        Some(load.observed_throughput_rps)
+    } else {
+        None
+    };
     let server = Server::start(config.clone()).map_err(|e| e.to_string())?;
     println!(
         "seal-serve: model={} workers={} max_batch={} deadline={}us queue={} ratio={}",
@@ -229,7 +249,21 @@ fn run(args: Args) -> Result<ExitCode, String> {
         config,
         load,
         stats,
+        plan_comparison: None,
     };
+    if let Some(unplanned_rps) = unplanned_rps {
+        let comparison = PlanComparison {
+            unplanned_rps,
+            planned_rps: report.load.observed_throughput_rps,
+        };
+        println!(
+            "seal-serve: planned {:.1} req/s vs unplanned {:.1} req/s ({:.2}x)",
+            comparison.planned_rps,
+            comparison.unplanned_rps,
+            comparison.speedup()
+        );
+        report.plan_comparison = Some(comparison);
+    }
 
     let out = args
         .out

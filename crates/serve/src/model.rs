@@ -10,7 +10,7 @@ use seal_nn::models::{
     mlp, mlp_topology, resnet, resnet18_topology, vgg16, vgg16_topology, MlpConfig, ResNetConfig,
     VggConfig,
 };
-use seal_nn::{NetworkTopology, Sequential};
+use seal_nn::{CompiledModel, NetworkTopology, PlanOptions, Sequential};
 use seal_tensor::rng::rngs::StdRng;
 use seal_tensor::rng::SeedableRng;
 use seal_tensor::{Shape, Tensor};
@@ -86,6 +86,31 @@ impl ServedModel {
     /// The full-size topology the cost model prices.
     pub fn topology(&self) -> &NetworkTopology {
         &self.topology
+    }
+
+    /// The underlying trainable model the workers run.
+    pub fn model(&self) -> &Sequential {
+        &self.model
+    }
+
+    /// Compiles an inference plan for this model: weights pre-packed,
+    /// activation arena sized for batches up to `max_batch`. Compiled
+    /// with [`PlanOptions::default`] (no fusion), so planned predictions
+    /// are **bitwise identical** to [`classify`](Self::classify) — the
+    /// speedup comes from pre-packing, the allocation-free arena, and
+    /// skipping the per-call weight transpose.
+    ///
+    /// # Errors
+    ///
+    /// Propagates plan-compilation failures (an unplannable layer); the
+    /// server falls back to the unplanned path in that case.
+    pub fn compile_plan(&self, max_batch: usize) -> Result<CompiledModel, ServeError> {
+        Ok(CompiledModel::compile(
+            &self.model,
+            &self.input,
+            max_batch,
+            PlanOptions::default(),
+        )?)
     }
 
     /// Classifies a batch, returning one class index per sample.

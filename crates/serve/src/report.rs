@@ -15,6 +15,28 @@ use crate::loadgen::{ChaosReport, LoadReport};
 use crate::server::ServeStats;
 use crate::ServerConfig;
 
+/// Throughput of the same workload served with and without compiled
+/// inference plans, measured by the smoke run (the planned pass is the
+/// primary report; the unplanned pass is the control).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanComparison {
+    /// Client-observed throughput with `use_plan = false`.
+    pub unplanned_rps: f64,
+    /// Client-observed throughput with `use_plan = true`.
+    pub planned_rps: f64,
+}
+
+impl PlanComparison {
+    /// Planned over unplanned throughput (`> 1` means plans won).
+    pub fn speedup(&self) -> f64 {
+        if self.unplanned_rps > 0.0 {
+            self.planned_rps / self.unplanned_rps
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Everything one serving run produced: the configuration, the client-side
 /// load-generator view and the server-side runtime + cost-model view.
 #[derive(Debug)]
@@ -25,6 +47,8 @@ pub struct ServeReport {
     pub load: LoadReport,
     /// Server-side statistics collected at shutdown.
     pub stats: ServeStats,
+    /// Planned-vs-unplanned control measurement (smoke runs only).
+    pub plan_comparison: Option<PlanComparison>,
 }
 
 impl ServeReport {
@@ -57,8 +81,23 @@ impl ServeReport {
             "    \"flops_per_cycle\": {},\n",
             self.config.flops_per_cycle
         ));
-        out.push_str(&format!("    \"seed\": {}\n", self.config.seed));
+        out.push_str(&format!("    \"seed\": {},\n", self.config.seed));
+        out.push_str(&format!("    \"use_plan\": {}\n", self.config.use_plan));
         out.push_str("  },\n");
+
+        if let Some(p) = &self.plan_comparison {
+            out.push_str("  \"plan\": {\n");
+            out.push_str(&format!(
+                "    \"unplanned_throughput_rps\": {:.3},\n",
+                p.unplanned_rps
+            ));
+            out.push_str(&format!(
+                "    \"planned_throughput_rps\": {:.3},\n",
+                p.planned_rps
+            ));
+            out.push_str(&format!("    \"speedup\": {:.3}\n", p.speedup()));
+            out.push_str("  },\n");
+        }
 
         out.push_str("  \"load\": {\n");
         out.push_str(&format!("    \"mode\": \"{}\",\n", self.load.mode.name()));
@@ -234,6 +273,17 @@ impl ServeReport {
                 }
             }
             _ => violations.push("report is missing scheme rows".to_string()),
+        }
+        if let Some(p) = &self.plan_comparison {
+            // Plans must never make serving slower. A small tolerance
+            // absorbs scheduler noise on loaded CI machines; the real
+            // speedup is pinned (with margin) by `bench_infer`.
+            if p.planned_rps < 0.9 * p.unplanned_rps {
+                violations.push(format!(
+                    "planned path slower than unplanned: {:.1} rps vs {:.1} rps",
+                    p.planned_rps, p.unplanned_rps
+                ));
+            }
         }
         violations
     }
@@ -477,6 +527,7 @@ mod tests {
             config,
             load,
             stats,
+            plan_comparison: None,
         }
     }
 

@@ -211,10 +211,11 @@ impl Server {
                 let shared = Arc::clone(&shared);
                 let max_batch = config.max_batch;
                 let deadline = config.batch_deadline;
+                let use_plan = config.use_plan;
                 spawn_supervised(
                     format!("seal-serve-worker-{i}"),
                     config.worker_respawn_budget,
-                    move || worker_loop(&shared, max_batch, deadline),
+                    move || worker_loop(&shared, max_batch, deadline, use_plan),
                 )
                 .map_err(|e| ServeError::WorkerSpawn {
                     worker: i,
@@ -367,7 +368,24 @@ impl Server {
 
 /// A worker: assemble a batch, shed the expired, honour planned faults,
 /// run the rest, price them, answer every rider.
-fn worker_loop(shared: &Shared, max_batch: usize, deadline: Duration) {
+///
+/// With `use_plan` the worker compiles one inference plan at startup
+/// (weights pre-packed, arena pre-sized; rebuilt after a supervised
+/// respawn) and serves every batch through it — bitwise identical
+/// predictions, no steady-state allocation. A plan that fails to compile
+/// is recorded once and the worker falls back to `forward_infer`.
+fn worker_loop(shared: &Shared, max_batch: usize, deadline: Duration, use_plan: bool) {
+    let mut plan = if use_plan {
+        match shared.model.compile_plan(max_batch) {
+            Ok(plan) => Some(plan),
+            Err(e) => {
+                locked(&shared.errors).push(e);
+                None
+            }
+        }
+    } else {
+        None
+    };
     let poisoned = |r: &Request| r.fault == Some(RequestFault::WorkerPanic);
     while let Some(batch) = shared.queue.pop_batch_with(max_batch, deadline, poisoned) {
         let picked_up = Instant::now();
@@ -411,10 +429,10 @@ fn worker_loop(shared: &Shared, max_batch: usize, deadline: Duration) {
         }
         let batch_size = live.len();
         let inputs: Vec<&Tensor> = live.iter().map(|r| &r.input).collect();
-        let outcome = shared
-            .model
-            .concat_batch(&inputs)
-            .and_then(|t| shared.model.classify(&t));
+        let outcome = shared.model.concat_batch(&inputs).and_then(|t| match plan.as_mut() {
+            Some(p) => Ok(p.classify(&t)?),
+            None => shared.model.classify(&t),
+        });
         drop(inputs);
         match outcome {
             Ok(predictions) => {
@@ -482,6 +500,42 @@ mod tests {
         assert_eq!((stats.shed, stats.panicked, stats.drained), (0, 0, 0));
         assert_eq!(stats.supervision, SupervisorReport::default());
         assert!(stats.faults.is_none(), "no chaos schedule was armed");
+    }
+
+    #[test]
+    fn planned_and_unplanned_predictions_are_identical() {
+        // Serving plans are compiled without fusion, so the planned path
+        // must be bitwise identical to `forward_infer` — same predictions
+        // for the same weights and inputs, on every zoo model.
+        for model in crate::ZOO {
+            let mut answers = Vec::new();
+            for use_plan in [false, true] {
+                let config = ServerConfig {
+                    model: model.into(),
+                    use_plan,
+                    ..mlp_config()
+                };
+                let server = Server::start(config).unwrap();
+                let mut rng = StdRng::seed_from_u64(99);
+                let preds: Vec<usize> = (0..6)
+                    .map(|_| server.submit(server.sample_input(&mut rng)).unwrap())
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| h.wait().unwrap().prediction)
+                    .collect();
+                let stats = server.shutdown().unwrap();
+                assert!(
+                    stats.worker_errors.is_empty(),
+                    "{model}: plan compile/serve errors: {:?}",
+                    stats.worker_errors
+                );
+                answers.push(preds);
+            }
+            assert_eq!(
+                answers[0], answers[1],
+                "{model}: planned predictions diverge from unplanned"
+            );
+        }
     }
 
     #[test]

@@ -37,6 +37,7 @@ fn closed_loop_vgg16_satisfies_the_acceptance_checks() {
         config,
         load,
         stats,
+        plan_comparison: None,
     };
     let violations = report.smoke_violations();
     assert!(violations.is_empty(), "{violations:?}");
@@ -68,6 +69,7 @@ fn open_loop_emits_a_complete_json_report() {
         config,
         load,
         stats,
+        plan_comparison: None,
     };
     let json = report.to_json();
     for needle in ["\"mode\": \"open\"", "\"schemes\"", "\"SEAL-C\""] {

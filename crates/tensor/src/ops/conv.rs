@@ -9,7 +9,7 @@
 //! in the same sequential order as the serial loops, so results are
 //! bitwise identical for any `SEAL_THREADS`.
 
-use super::matmul::gemm;
+use super::matmul::{gemm, gemm_consume, gemm_shared_pack, kernel_mode, KernelMode, TailB, KC, NR};
 use crate::{Shape, Tensor, TensorError};
 use std::cell::RefCell;
 
@@ -20,7 +20,14 @@ const CO_TILE: usize = 32;
 thread_local! {
     /// Per-thread im2col scratch, reused across calls (grown, never
     /// shrunk) so steady-state convolutions allocate nothing.
+    // seal-lint: allow(hot-path-alloc) — empty at birth, grow-only after
     static COLS: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread packed-im2col panel scratch for the planned path.
+    // seal-lint: allow(hot-path-alloc) — empty at birth, grow-only after
+    static PACKED_COLS: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread packed-im2col column-tail scratch for the planned path.
+    // seal-lint: allow(hot-path-alloc) — empty at birth, grow-only after
+    static PACKED_TAIL: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Geometry of a 2-D convolution: kernel size, stride and zero padding
@@ -236,6 +243,8 @@ pub fn conv2d(
             ranges.push((b_idx * c_out + co0) * s..(b_idx * c_out + co1) * s);
         }
     }
+    // Resolved once on the caller so every task uses the same kernel.
+    let mode = kernel_mode();
     seal_pool::par_ranges_mut(out.as_mut_slice(), &ranges, |task, out_slab| {
         let b_idx = task / tiles;
         let co0 = (task % tiles) * CO_TILE;
@@ -257,10 +266,283 @@ pub fn conv2d(
                 co_count,
                 kdim,
                 s,
+                mode,
             );
         });
     });
     Ok(out)
+}
+
+/// Static shape bundle for a planned (compiled) convolution: everything
+/// [`conv2d_infer_packed`] needs that never changes between batches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConvPlanDims {
+    /// Input channels.
+    pub c_in: usize,
+    /// Input height.
+    pub h: usize,
+    /// Input width.
+    pub w: usize,
+    /// Output channels.
+    pub c_out: usize,
+    /// Output height (must equal `geom.output_size(h)`).
+    pub oh: usize,
+    /// Output width (must equal `geom.output_size(w)`).
+    pub ow: usize,
+    /// Kernel/stride/padding geometry.
+    pub geom: Conv2dGeometry,
+}
+
+/// Compile-time im2col gather tables for a planned convolution: for each
+/// cell of the packed-panel (and column-tail) im2col representation, the
+/// source offset inside one image's `c_in·h·w` block, or `-1` where the
+/// receptive field falls in the zero padding.
+///
+/// The tables depend only on the shape, so compiled-plan callers build
+/// them **once at plan-compile time** and the steady-state fill
+/// degenerates to a branch-light gather — no per-element index
+/// arithmetic on the hot path at all.
+///
+/// Layout matches `pack_b_full` applied to the im2col matrix
+/// (`[c_in·k·k] × [oh·ow]`): panel `p` at offset `p·KC·strips·NR`,
+/// strip-major inside; the `s % NR` rightmost output positions go to
+/// `tail` column-major (`tail[tj·kdim + q]`).
+#[derive(Debug, Clone)]
+pub struct Im2colGather {
+    /// Source offsets for the packed panel region (`strips·kdim·NR`).
+    panels: Vec<i32>,
+    /// Source offsets for the column-major tail (`tn·kdim`).
+    tail: Vec<i32>,
+}
+
+impl Im2colGather {
+    /// Builds the gather tables for `dims`. This allocates and runs the
+    /// full index arithmetic — call it at plan-compile time, never per
+    /// batch.
+    pub fn compile(dims: &ConvPlanDims) -> Im2colGather {
+        let ConvPlanDims {
+            c_in,
+            h,
+            w,
+            oh,
+            ow,
+            geom,
+            ..
+        } = *dims;
+        let (k, stride, pad) = (geom.kernel, geom.stride, geom.padding);
+        let s = oh * ow;
+        let kdim = c_in * k * k;
+        let strips = s / NR;
+        let tn = s - strips * NR;
+        let src = |q: usize, p: usize| -> i32 {
+            let kx = q % k;
+            let ky = (q / k) % k;
+            let ci = q / (k * k);
+            let (oy, ox) = (p / ow, p % ow);
+            let iy = (oy * stride + ky) as isize - pad as isize;
+            let ix = (ox * stride + kx) as isize - pad as isize;
+            if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                (ci * h * w + iy as usize * w + ix as usize) as i32
+            } else {
+                -1
+            }
+        };
+        // One-time compile-step allocations, mirrored on the packed layout.
+        let mut panels = vec![0i32; strips * kdim * NR]; // seal-lint: allow(hot-path-alloc)
+        let mut tail = vec![0i32; tn * kdim]; // seal-lint: allow(hot-path-alloc)
+        let mut k0 = 0;
+        while k0 < kdim {
+            let kc = KC.min(kdim - k0);
+            let base = k0 * strips * NR;
+            for sidx in 0..strips {
+                let dst = &mut panels[base + sidx * kc * NR..base + (sidx + 1) * kc * NR];
+                for kk in 0..kc {
+                    for c in 0..NR {
+                        dst[kk * NR + c] = src(k0 + kk, sidx * NR + c);
+                    }
+                }
+            }
+            k0 += KC;
+        }
+        for tj in 0..tn {
+            for (q, t) in tail[tj * kdim..(tj + 1) * kdim].iter_mut().enumerate() {
+                *t = src(q, strips * NR + tj);
+            }
+        }
+        Im2colGather { panels, tail }
+    }
+
+    /// Total number of gather cells (diagnostic/size accounting).
+    pub fn len(&self) -> usize {
+        self.panels.len() + self.tail.len()
+    }
+
+    /// Whether the tables are empty (degenerate zero-volume shapes).
+    pub fn is_empty(&self) -> bool {
+        self.panels.is_empty() && self.tail.is_empty()
+    }
+}
+
+/// Fills the packed-panel + column-tail im2col representation of one
+/// image directly from its `c_in·h·w` block via the precompiled gather
+/// tables. The destination buffers are grown once and never cleared
+/// (every live element is overwritten), so steady-state execution
+/// performs no allocation — and no index arithmetic: each cell is a
+/// bounds-folded load (`-1` padding offsets wrap past the image length
+/// and yield the explicit `0.0` the GEMM reduction expects).
+fn fill_im2col_packed(
+    panels: &mut Vec<f32>,
+    tail: &mut Vec<f32>,
+    img: &[f32],
+    gather: &Im2colGather,
+) {
+    if panels.len() < gather.panels.len() {
+        panels.resize(gather.panels.len(), 0.0);
+    }
+    if tail.len() < gather.tail.len() {
+        tail.resize(gather.tail.len(), 0.0);
+    }
+    for (d, &g) in panels.iter_mut().zip(&gather.panels) {
+        *d = img.get(g as u32 as usize).copied().unwrap_or(0.0);
+    }
+    for (d, &g) in tail.iter_mut().zip(&gather.tail) {
+        *d = img.get(g as u32 as usize).copied().unwrap_or(0.0);
+    }
+}
+
+/// Planned convolution forward pass into a caller-owned output buffer —
+/// the compiled-plan hot path. Builds each image's im2col expansion
+/// *directly in packed panel layout* (per-thread scratch, grown once)
+/// through the precompiled [`Im2colGather`] tables, so both the per-call
+/// `pack_b_panel` step of the generic GEMM *and* the per-element im2col
+/// index arithmetic disappear, and writes `n · c_out · oh · ow`
+/// activations into `out` without any heap allocation.
+///
+/// Parallelism: a single image parallelises over `MC`-row blocks of the
+/// shared packed panel; a batch runs one task per image, each with its
+/// own thread-local packed scratch. Either way every output element
+/// accumulates bias-first then ascending `(ci, ky, kx)` products inside
+/// one task — the exact order of [`conv2d`] — so the result is bitwise
+/// identical to the unplanned kernel (and therefore to `forward_infer`)
+/// for any thread count in the same [`KernelMode`].
+///
+/// With `relu` set, each producing task clamps its freshly-written slab
+/// to `max(0, ·)` before returning (fused write-back; opt-in).
+///
+/// # Errors
+///
+/// [`TensorError::LengthMismatch`] / [`TensorError::InvalidGeometry`] if
+/// the buffers or `gather` tables disagree with `dims` (the plan
+/// compiler guarantees they never do).
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_infer_packed(
+    x: &[f32],
+    n: usize,
+    dims: &ConvPlanDims,
+    gather: &Im2colGather,
+    wt: &[f32],
+    bias: &[f32],
+    out: &mut [f32],
+    relu: bool,
+    mode: KernelMode,
+) -> Result<(), TensorError> {
+    let ConvPlanDims {
+        c_in,
+        h,
+        w,
+        c_out,
+        oh,
+        ow,
+        geom,
+    } = *dims;
+    if geom.output_size(h) != Some(oh) || geom.output_size(w) != Some(ow) {
+        return Err(TensorError::InvalidGeometry {
+            reason: format!(
+                "planned conv dims {oh}x{ow} disagree with geometry on {h}x{w} input"
+            ),
+        });
+    }
+    let s = oh * ow;
+    let kdim = c_in * geom.kernel * geom.kernel;
+    let strips = s / NR;
+    let tn = s - strips * NR;
+    for (expected, actual) in [
+        (n * c_in * h * w, x.len()),
+        (c_out * kdim, wt.len()),
+        (c_out, bias.len()),
+        (n * c_out * s, out.len()),
+        (strips * kdim * NR, gather.panels.len()),
+        (tn * kdim, gather.tail.len()),
+    ] {
+        if expected != actual {
+            return Err(TensorError::LengthMismatch { expected, actual });
+        }
+    }
+    if n == 0 || s == 0 || c_out == 0 {
+        return Ok(());
+    }
+    let plane = c_in * h * w;
+    if n == 1 {
+        // Single image: pack once on the caller, parallelise the consume
+        // over MC-row (output-channel) blocks of the shared pack.
+        PACKED_COLS.with(|pc| {
+            PACKED_TAIL.with(|pt| {
+                let mut panels = pc.borrow_mut();
+                let mut tail = pt.borrow_mut();
+                fill_im2col_packed(&mut panels, &mut tail, x, gather);
+                for (row, &b) in out.chunks_exact_mut(s).zip(bias) {
+                    row.fill(b);
+                }
+                gemm_shared_pack(
+                    wt,
+                    &panels,
+                    &TailB::Cols(&tail[..tn * kdim]),
+                    out,
+                    c_out,
+                    kdim,
+                    s,
+                    mode,
+                    relu,
+                );
+            });
+        });
+        return Ok(());
+    }
+    // Batch: one task per image, each building its own packed panel in
+    // per-thread scratch — boundaries depend only on the shape.
+    seal_pool::par_chunks_mut(out, c_out * s, |img, slab| {
+        PACKED_COLS.with(|pc| {
+            PACKED_TAIL.with(|pt| {
+                let mut panels = pc.borrow_mut();
+                let mut tail = pt.borrow_mut();
+                fill_im2col_packed(
+                    &mut panels,
+                    &mut tail,
+                    &x[img * plane..(img + 1) * plane],
+                    gather,
+                );
+                for (row, &b) in slab.chunks_exact_mut(s).zip(bias) {
+                    row.fill(b);
+                }
+                gemm_consume(
+                    wt,
+                    &panels,
+                    &TailB::Cols(&tail[..tn * kdim]),
+                    slab,
+                    c_out,
+                    kdim,
+                    s,
+                    mode,
+                );
+                if relu {
+                    for v in slab.iter_mut() {
+                        *v = v.max(0.0);
+                    }
+                }
+            });
+        });
+    });
+    Ok(())
 }
 
 /// Direct 7-loop convolution — the readable reference the production
@@ -614,6 +896,106 @@ mod tests {
         let grads =
             conv2d_backward(&input, &w, &Tensor::ones(out.shape().clone()), &geom).unwrap();
         assert_eq!(grads.grad_bias.as_slice(), &[9.0]);
+    }
+
+    /// The planned packed-im2col path must agree bitwise with the
+    /// generic kernel (fusion off) across single-image, batched, tailed
+    /// (`s % NR != 0`) and multi-k-panel cases.
+    #[test]
+    fn planned_packed_matches_conv2d_bitwise() {
+        use crate::rng::rngs::StdRng;
+        use crate::rng::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(9);
+        let cases = [
+            (1, 3, 8, 8, 5, 3, 1, 1),   // single image
+            (3, 2, 7, 9, 4, 3, 2, 0),   // batch, odd spatial tail
+            (2, 1, 6, 6, 40, 1, 1, 0),  // c_out > MC row split
+            (1, 16, 6, 6, 8, 3, 1, 1),  // kdim > KC: multiple k-panels
+        ];
+        for &(n, c_in, h, w, c_out, k, stride, padding) in &cases {
+            let geom = Conv2dGeometry {
+                kernel: k,
+                stride,
+                padding,
+            };
+            let input = crate::uniform(&mut rng, Shape::nchw(n, c_in, h, w), -1.0, 1.0);
+            let weights = crate::uniform(&mut rng, Shape::nchw(c_out, c_in, k, k), -0.5, 0.5);
+            let bias = crate::uniform(&mut rng, Shape::vector(c_out), -0.1, 0.1);
+            let reference = conv2d(&input, &weights, Some(&bias), &geom).unwrap();
+            let (oh, ow) = (
+                geom.output_size(h).unwrap(),
+                geom.output_size(w).unwrap(),
+            );
+            let dims = ConvPlanDims {
+                c_in,
+                h,
+                w,
+                c_out,
+                oh,
+                ow,
+                geom,
+            };
+            let gather = Im2colGather::compile(&dims);
+            let mut out = vec![0.0f32; n * c_out * oh * ow];
+            conv2d_infer_packed(
+                input.as_slice(),
+                n,
+                &dims,
+                &gather,
+                weights.as_slice(),
+                bias.as_slice(),
+                &mut out,
+                false,
+                kernel_mode(),
+            )
+            .unwrap();
+            let same = out
+                .iter()
+                .zip(reference.as_slice())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "planned != conv2d for case {n}x{c_in}x{h}x{w} k{k}");
+
+            // Fused ReLU clamps exactly.
+            let mut fused = vec![0.0f32; out.len()];
+            conv2d_infer_packed(
+                input.as_slice(),
+                n,
+                &dims,
+                &gather,
+                weights.as_slice(),
+                bias.as_slice(),
+                &mut fused,
+                true,
+                kernel_mode(),
+            )
+            .unwrap();
+            assert!(fused
+                .iter()
+                .zip(&out)
+                .all(|(f, v)| f.to_bits() == v.max(0.0).to_bits()));
+        }
+    }
+
+    #[test]
+    fn planned_packed_rejects_bad_lengths() {
+        let dims = ConvPlanDims {
+            c_in: 1,
+            h: 3,
+            w: 3,
+            c_out: 1,
+            oh: 3,
+            ow: 3,
+            geom: Conv2dGeometry::same3x3(),
+        };
+        let x = vec![0.0f32; 9];
+        let wt = vec![0.0f32; 9];
+        let bias = vec![0.0f32; 1];
+        let gather = Im2colGather::compile(&dims);
+        let mut out = vec![0.0f32; 4]; // wrong
+        assert!(matches!(
+            conv2d_infer_packed(&x, 1, &dims, &gather, &wt, &bias, &mut out, false, kernel_mode()),
+            Err(TensorError::LengthMismatch { .. })
+        ));
     }
 
     #[test]

@@ -1,35 +1,145 @@
 //! Matrix product: packed, cache-blocked GEMM with deterministic
-//! row-block parallelism, plus the naive triple-loop reference.
+//! row-block parallelism, plus the naive triple-loop references.
 //!
 //! The blocked kernel tiles the problem BLIS-style — `MC`-row blocks ×
 //! `KC`-deep k-panels × `NR`-wide packed B strips, with an `MR`×`NR`
 //! register micro-kernel — and parallelises over `MC`-row output blocks on
-//! the `seal-pool` work-sharing runtime. Determinism contract: every
-//! output element accumulates its `k` products in strictly ascending `k`
-//! order within exactly one task (the accumulator is re-loaded from the
-//! output buffer at each k-panel boundary, which is exact for `f32`), so
-//! the result is bitwise identical to [`matmul_naive`] and independent of
-//! the thread count.
+//! the `seal-pool` work-sharing runtime. B is packed exactly once per
+//! GEMM call into per-thread scratch (grown, never cleared) and every
+//! parallel row-block task consumes that one shared pack.
+//!
+//! Determinism contract: every output element accumulates its `k`
+//! products in strictly ascending `k` order within exactly one task (the
+//! accumulator is re-loaded from the output buffer at each k-panel
+//! boundary, which is exact for `f32`), so the result is bitwise
+//! identical for any thread count. The micro-kernel implementation is
+//! selected per calling thread by [`KernelMode`] (`SEAL_KERNEL`
+//! environment variable, default auto): `scalar` and `avx2` evaluate the
+//! same multiply-then-add expression tree and are bitwise identical to
+//! [`matmul_naive`]; `fma` contracts each step into a fused
+//! multiply-add and is bitwise identical to its own reference,
+//! [`matmul_naive_fma`], again for any thread count.
 
 use crate::{Shape, Tensor, TensorError};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 
 /// Rows per parallel task (and per cache block of A).
-const MC: usize = 32;
+pub(crate) const MC: usize = 32;
 /// Depth of one packed k-panel of B.
-const KC: usize = 128;
+pub(crate) const KC: usize = 128;
 /// Micro-kernel rows.
 const MR: usize = 4;
 /// Micro-kernel columns (width of one packed B strip).
-const NR: usize = 8;
+pub(crate) const NR: usize = 8;
 /// Below this many FLOPs (`2·m·k·n`) the parallel split is not worth the
 /// pool round-trip and the kernel runs on the calling thread.
-const PAR_FLOP_THRESHOLD: usize = 1_000_000;
+pub(crate) const PAR_FLOP_THRESHOLD: usize = 1_000_000;
+
+/// Which micro-kernel implementation a GEMM uses.
+///
+/// Selected once per calling thread from the `SEAL_KERNEL` environment
+/// variable (`scalar` | `avx2` | `fma`); unset or unavailable choices
+/// degrade to the widest available non-fused kernel. `Scalar` and `Avx2`
+/// evaluate identical multiply-then-add expression trees, so switching
+/// between them never changes output bits. `Fma` fuses each
+/// multiply-add step (one rounding instead of two) and therefore has its
+/// own bitwise reference, [`matmul_naive_fma`]. Within any one mode the
+/// result is bitwise identical for any thread count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelMode {
+    /// Portable multiply-then-add kernel, no ISA assumptions.
+    Scalar,
+    /// The scalar expression tree compiled with 256-bit vectors enabled
+    /// (bitwise identical to `Scalar`).
+    Avx2,
+    /// Fused multiply-add kernel (`f32::mul_add` / `vfmadd`): faster and
+    /// more accurate, but rounds differently from `Scalar`/`Avx2`.
+    Fma,
+}
+
+impl KernelMode {
+    /// True when the current CPU can run this kernel.
+    pub fn is_available(self) -> bool {
+        match self {
+            KernelMode::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            KernelMode::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+            #[cfg(target_arch = "x86_64")]
+            KernelMode::Fma => {
+                std::arch::is_x86_feature_detected!("avx2")
+                    && std::arch::is_x86_feature_detected!("fma")
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            KernelMode::Avx2 | KernelMode::Fma => false,
+        }
+    }
+
+    /// The `SEAL_KERNEL` spelling of this mode.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelMode::Scalar => "scalar",
+            KernelMode::Avx2 => "avx2",
+            KernelMode::Fma => "fma",
+        }
+    }
+
+    /// Degrade an (possibly unavailable) request to the nearest kernel
+    /// the CPU actually offers: `fma → avx2 → scalar`.
+    fn degrade(self) -> KernelMode {
+        match self {
+            m if m.is_available() => m,
+            KernelMode::Fma if KernelMode::Avx2.is_available() => KernelMode::Avx2,
+            _ => KernelMode::Scalar,
+        }
+    }
+
+    fn from_env() -> KernelMode {
+        let requested = match std::env::var("SEAL_KERNEL").ok().as_deref() {
+            Some("scalar") => KernelMode::Scalar,
+            Some("fma") => KernelMode::Fma,
+            // `avx2`, unset, or an unknown value: the historical default.
+            _ => KernelMode::Avx2,
+        };
+        requested.degrade()
+    }
+}
 
 thread_local! {
     /// Per-thread packed-B scratch, reused across calls (grown, never
-    /// shrunk) so steady-state GEMMs allocate nothing.
+    /// shrunk or cleared) so steady-state GEMMs allocate nothing.
+    // seal-lint: allow(hot-path-alloc) — empty at birth, grow-only after
     static PACK: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    /// Per-thread kernel-mode override / lazily-resolved env default.
+    static MODE: Cell<Option<KernelMode>> = const { Cell::new(None) };
+}
+
+/// The kernel mode the calling thread would use, resolving `SEAL_KERNEL`
+/// on first use. Kernel entry points ([`matmul`], `conv2d`, the plan
+/// executors) resolve this once on the caller and thread it through to
+/// every pool task, so a per-thread override governs the whole call.
+pub fn kernel_mode() -> KernelMode {
+    MODE.with(|m| match m.get() {
+        Some(mode) => mode,
+        None => {
+            let mode = KernelMode::from_env();
+            m.set(Some(mode));
+            mode
+        }
+    })
+}
+
+/// Override the calling thread's kernel mode (tests / benches). An
+/// unavailable request degrades (`fma → avx2 → scalar`); the mode
+/// actually installed is returned.
+pub fn set_kernel_mode(mode: KernelMode) -> KernelMode {
+    let mode = mode.degrade();
+    MODE.with(|m| m.set(Some(mode)));
+    mode
+}
+
+/// Drop any thread-local override; the next GEMM re-reads `SEAL_KERNEL`.
+pub fn reset_kernel_mode() {
+    MODE.with(|m| m.set(None));
 }
 
 fn shape_checks(lhs: &Tensor, rhs: &Tensor) -> Result<(usize, usize, usize), TensorError> {
@@ -81,16 +191,17 @@ pub fn matmul(lhs: &Tensor, rhs: &Tensor) -> Result<Tensor, TensorError> {
     let (m, k, n) = shape_checks(lhs, rhs)?;
     let a = lhs.as_slice();
     let b = rhs.as_slice();
-    let mut out = vec![0.0f32; m * n];
-    gemm(a, b, &mut out, m, k, n);
+    let mut out = vec![0.0f32; m * n]; // seal-lint: allow(hot-path-alloc)
+    gemm(a, b, &mut out, m, k, n, kernel_mode());
     Tensor::from_vec(out, Shape::matrix(m, n))
 }
 
 /// Naive textbook triple loop (i-j-k dot products; no blocking, no
-/// packing, no parallelism, no fast paths). The blocked kernel is tested
-/// to match it within 0 ULP — every output element sums its products in
-/// ascending `k` order in both kernels — and benchmarks use it as the
-/// cache-blocking speedup baseline.
+/// packing, no parallelism, no fast paths). The blocked kernel in
+/// `scalar`/`avx2` mode is tested to match it within 0 ULP — every
+/// output element sums its products in ascending `k` order in both
+/// kernels — and benchmarks use it as the cache-blocking speedup
+/// baseline.
 ///
 /// No `a == 0.0` skip either: `0.0 × NaN` and `0.0 × ±inf` must
 /// contribute their NaN to the sum exactly as IEEE-754 dictates.
@@ -102,7 +213,7 @@ pub fn matmul_naive(lhs: &Tensor, rhs: &Tensor) -> Result<Tensor, TensorError> {
     let (m, k, n) = shape_checks(lhs, rhs)?;
     let a = lhs.as_slice();
     let b = rhs.as_slice();
-    let mut out = vec![0.0f32; m * n];
+    let mut out = vec![0.0f32; m * n]; // seal-lint: allow(hot-path-alloc)
     for i in 0..m {
         let arow = &a[i * k..(i + 1) * k];
         for j in 0..n {
@@ -116,57 +227,192 @@ pub fn matmul_naive(lhs: &Tensor, rhs: &Tensor) -> Result<Tensor, TensorError> {
     Tensor::from_vec(out, Shape::matrix(m, n))
 }
 
+/// The fused-multiply-add analogue of [`matmul_naive`]: the same
+/// ascending-`k` triple loop with every step contracted through
+/// `f32::mul_add` (one rounding per step). This is the 0-ULP reference
+/// for the blocked kernel in [`KernelMode::Fma`].
+///
+/// # Errors
+///
+/// Same shape errors as [`matmul`].
+pub fn matmul_naive_fma(lhs: &Tensor, rhs: &Tensor) -> Result<Tensor, TensorError> {
+    let (m, k, n) = shape_checks(lhs, rhs)?;
+    let a = lhs.as_slice();
+    let b = rhs.as_slice();
+    let mut out = vec![0.0f32; m * n]; // seal-lint: allow(hot-path-alloc)
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for (kk, &av) in arow.iter().enumerate() {
+                acc = av.mul_add(b[kk * n + j], acc);
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec(out, Shape::matrix(m, n))
+}
+
+/// How the consume core reads the `n % NR` column tail that is not
+/// covered by packed strips.
+pub(crate) enum TailB<'a> {
+    /// The full row-major `k×n` B matrix is at hand: read the tail
+    /// straight out of it (`b[kk*n + j]`).
+    Raw(&'a [f32]),
+    /// Only a pre-extracted tail is at hand: `n % NR` columns stored
+    /// column-major (`cols[tj*k + kk]`), as built by pack-time code.
+    Cols(&'a [f32]),
+}
+
 /// `out[m×n] += a[m×k] · b[k×n]` with deterministic row-block
 /// parallelism. `out` may be pre-initialised (e.g. with a bias); each
 /// element's products are added in ascending `k` order on top of it.
-pub(crate) fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+///
+/// Packs all of B once into per-thread scratch, then consumes the shared
+/// pack from every row-block task.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    mode: KernelMode,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    let strips = n / NR;
+    PACK.with(|pack| {
+        let mut pack = pack.borrow_mut();
+        pack_b_full(b, &mut pack, k, n, strips);
+        gemm_shared_pack(a, &pack, &TailB::Raw(b), out, m, k, n, mode, false);
+    });
+}
+
+/// Row-block parallel driver over an already-packed B: one task per
+/// `MC`-row block (boundaries depend only on `m`, never on the thread
+/// count), every task consuming the same shared pack. When
+/// `epilogue_relu` is set, each task clamps its freshly-written block to
+/// `max(0, ·)` before returning (the plan's fused-ReLU write-back).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_shared_pack(
+    a: &[f32],
+    pack: &[f32],
+    tail: &TailB<'_>,
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    mode: KernelMode,
+    epilogue_relu: bool,
+) {
     if m == 0 || n == 0 {
         return;
     }
     let flops = 2usize.saturating_mul(m).saturating_mul(k).saturating_mul(n);
     if flops < PAR_FLOP_THRESHOLD || m <= MC {
-        gemm_rows(a, b, out, m, k, n);
+        gemm_consume(a, pack, tail, out, m, k, n, mode);
+        if epilogue_relu {
+            for v in out.iter_mut() {
+                *v = v.max(0.0);
+            }
+        }
         return;
     }
-    // One task per MC-row block: boundaries depend only on `m`, never on
-    // the thread count, and each task owns a disjoint slice of `out`.
     seal_pool::par_chunks_mut(out, MC * n, |blk, out_block| {
         let row0 = blk * MC;
         let rows = out_block.len() / n;
-        gemm_rows(&a[row0 * k..(row0 + rows) * k], b, out_block, rows, k, n);
+        gemm_consume(
+            &a[row0 * k..(row0 + rows) * k],
+            pack,
+            tail,
+            out_block,
+            rows,
+            k,
+            n,
+            mode,
+        );
+        if epilogue_relu {
+            for v in out_block.iter_mut() {
+                *v = v.max(0.0);
+            }
+        }
     });
 }
 
-/// Serial cache-blocked GEMM over a row range: k-panels of B are packed
-/// into NR-wide strips in thread-local scratch, then consumed by an
-/// MR×NR register micro-kernel. Accumulation order per output element is
-/// ascending `k`, carried through `out` across k-panels.
-fn gemm_rows(a: &[f32], b: &[f32], out: &mut [f32], rows: usize, k: usize, n: usize) {
+/// Serial cache-blocked consume over a row range: walks the k-panels of
+/// an already-packed B (strip-major panels laid out back to back, panel
+/// `p` at offset `p·KC·strips·NR`), feeding each strip to the MR×NR
+/// micro-kernel, then finishes the `n % NR` column tail. Accumulation
+/// order per output element is ascending `k`, carried through `out`
+/// across k-panels.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_consume(
+    a: &[f32],
+    pack: &[f32],
+    tail: &TailB<'_>,
+    out: &mut [f32],
+    rows: usize,
+    k: usize,
+    n: usize,
+    mode: KernelMode,
+) {
     let strips = n / NR; // full NR-wide column strips
-    PACK.with(|pack| {
-        let mut pack = pack.borrow_mut();
+    if strips > 0 {
         let mut k0 = 0;
         while k0 < k {
             let kc = KC.min(k - k0);
-            pack_b_panel(b, &mut pack, k0, kc, n, strips);
+            let base = k0 * strips * NR;
             let mut i0 = 0;
             while i0 < rows {
                 let mr = MR.min(rows - i0);
                 if mr == MR {
                     for s in 0..strips {
-                        micro_kernel(a, &pack[s * kc * NR..(s + 1) * kc * NR], out, i0, k0, k, n, s);
+                        let bp = &pack[base + s * kc * NR..base + (s + 1) * kc * NR];
+                        micro_kernel(mode, a, bp, out, i0, k0, k, n, s);
                     }
                 } else {
                     for s in 0..strips {
-                        edge_rows(a, &pack[s * kc * NR..(s + 1) * kc * NR], out, i0, mr, k0, k, n, s);
+                        let bp = &pack[base + s * kc * NR..base + (s + 1) * kc * NR];
+                        edge_rows(mode, a, bp, out, i0, mr, k0, k, n, s);
                     }
                 }
                 i0 += MR;
             }
             k0 += KC;
         }
-    });
-    // Column tail (n % NR): scalar, unpacked, full-k ascending order.
+    }
+    // Column tail (n % NR): scalar, full-k ascending order.
+    if strips * NR < n {
+        match (tail, mode) {
+            (TailB::Raw(b), KernelMode::Fma) => {
+                // SAFETY: `Fma` is only ever installed when the CPU
+                // reports avx2+fma (see `KernelMode::degrade`).
+                #[cfg(target_arch = "x86_64")]
+                unsafe {
+                    tail_raw_fma(a, b, out, rows, k, n, strips)
+                };
+                #[cfg(not(target_arch = "x86_64"))]
+                tail_raw_fma_body(a, b, out, rows, k, n, strips);
+            }
+            (TailB::Raw(b), _) => tail_raw(a, b, out, rows, k, n, strips),
+            (TailB::Cols(cols), KernelMode::Fma) => {
+                // SAFETY: as above — `Fma` implies avx2+fma.
+                #[cfg(target_arch = "x86_64")]
+                unsafe {
+                    tail_cols_fma(a, cols, out, rows, k, n, strips)
+                };
+                #[cfg(not(target_arch = "x86_64"))]
+                tail_cols_fma_body(a, cols, out, rows, k, n, strips);
+            }
+            (TailB::Cols(cols), _) => tail_cols(a, cols, out, rows, k, n, strips),
+        }
+    }
+}
+
+fn tail_raw(a: &[f32], b: &[f32], out: &mut [f32], rows: usize, k: usize, n: usize, strips: usize) {
     for i in 0..rows {
         for j in (strips * NR)..n {
             let mut acc = out[i * n + j];
@@ -178,26 +424,133 @@ fn gemm_rows(a: &[f32], b: &[f32], out: &mut [f32], rows: usize, k: usize, n: us
     }
 }
 
-/// Packs `kc` rows of B (starting at `k0`) into `strips` NR-wide
-/// column-major-by-strip panels: `pack[s][kk][c] = b[(k0+kk)*n + s*NR+c]`.
-fn pack_b_panel(b: &[f32], pack: &mut Vec<f32>, k0: usize, kc: usize, n: usize, strips: usize) {
-    pack.clear();
-    pack.resize(strips * kc * NR, 0.0);
-    for s in 0..strips {
-        let dst = &mut pack[s * kc * NR..(s + 1) * kc * NR];
-        for (kk, drow) in dst.chunks_exact_mut(NR).enumerate() {
-            let src = &b[(k0 + kk) * n + s * NR..(k0 + kk) * n + s * NR + NR];
-            drow.copy_from_slice(src);
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn tail_raw_fma(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    rows: usize,
+    k: usize,
+    n: usize,
+    strips: usize,
+) {
+    tail_raw_fma_body(a, b, out, rows, k, n, strips);
+}
+
+#[inline(always)]
+fn tail_raw_fma_body(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    rows: usize,
+    k: usize,
+    n: usize,
+    strips: usize,
+) {
+    for i in 0..rows {
+        for j in (strips * NR)..n {
+            let mut acc = out[i * n + j];
+            for (kk, &av) in a[i * k..(i + 1) * k].iter().enumerate() {
+                acc = av.mul_add(b[kk * n + j], acc);
+            }
+            out[i * n + j] = acc;
         }
     }
 }
 
-/// MR×NR register tile dispatcher: picks the widest vector ISA the CPU
-/// offers at runtime. Every variant runs the same scalar expression tree
-/// (multiply then add, never fused), so the choice is invisible in the
-/// output bits — it only changes how many lanes the autovectorizer uses.
+fn tail_cols(
+    a: &[f32],
+    cols: &[f32],
+    out: &mut [f32],
+    rows: usize,
+    k: usize,
+    n: usize,
+    strips: usize,
+) {
+    for i in 0..rows {
+        let arow = &a[i * k..(i + 1) * k];
+        for (tj, col) in cols.chunks_exact(k).enumerate() {
+            let j = strips * NR + tj;
+            let mut acc = out[i * n + j];
+            for (av, bv) in arow.iter().zip(col) {
+                acc += av * bv;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn tail_cols_fma(
+    a: &[f32],
+    cols: &[f32],
+    out: &mut [f32],
+    rows: usize,
+    k: usize,
+    n: usize,
+    strips: usize,
+) {
+    tail_cols_fma_body(a, cols, out, rows, k, n, strips);
+}
+
+#[inline(always)]
+fn tail_cols_fma_body(
+    a: &[f32],
+    cols: &[f32],
+    out: &mut [f32],
+    rows: usize,
+    k: usize,
+    n: usize,
+    strips: usize,
+) {
+    for i in 0..rows {
+        let arow = &a[i * k..(i + 1) * k];
+        for (tj, col) in cols.chunks_exact(k).enumerate() {
+            let j = strips * NR + tj;
+            let mut acc = out[i * n + j];
+            for (av, bv) in arow.iter().zip(col) {
+                acc = av.mul_add(*bv, acc);
+            }
+            out[i * n + j] = acc;
+        }
+    }
+}
+
+/// Packs all `k` rows of B into back-to-back k-panels of `strips`
+/// NR-wide strip-major panels: panel `p` (rows `p·KC ..`) lives at offset
+/// `p·KC·strips·NR`, and within it
+/// `pack[s][kk][c] = b[(p·KC+kk)·n + s·NR+c]`. The destination is grown
+/// once and never cleared — every live element is overwritten — so
+/// steady-state packing performs no allocation and no redundant zeroing.
+pub(crate) fn pack_b_full(b: &[f32], pack: &mut Vec<f32>, k: usize, n: usize, strips: usize) {
+    let need = strips * k * NR;
+    if pack.len() < need {
+        pack.resize(need, 0.0);
+    }
+    let mut k0 = 0;
+    while k0 < k {
+        let kc = KC.min(k - k0);
+        let base = k0 * strips * NR;
+        for s in 0..strips {
+            let dst = &mut pack[base + s * kc * NR..base + (s + 1) * kc * NR];
+            for (kk, drow) in dst.chunks_exact_mut(NR).enumerate() {
+                let src = &b[(k0 + kk) * n + s * NR..(k0 + kk) * n + s * NR + NR];
+                drow.copy_from_slice(src);
+            }
+        }
+        k0 += KC;
+    }
+}
+
+/// MR×NR register tile dispatcher for the thread's selected kernel.
+/// `Scalar` and `Avx2` run the same multiply-then-add expression tree
+/// (the choice only changes how many lanes the autovectorizer uses);
+/// `Fma` contracts each step with `mul_add`.
 #[allow(clippy::too_many_arguments)]
 fn micro_kernel(
+    mode: KernelMode,
     a: &[f32],
     bp: &[f32],
     out: &mut [f32],
@@ -208,14 +561,18 @@ fn micro_kernel(
     s: usize,
 ) {
     #[cfg(target_arch = "x86_64")]
-    {
-        if std::arch::is_x86_feature_detected!("avx2") {
-            // SAFETY: the `avx2` feature was just verified at runtime.
-            unsafe { micro_kernel_avx2(a, bp, out, i0, k0, k, n, s) };
-            return;
-        }
+    match mode {
+        KernelMode::Scalar => micro_kernel_generic(a, bp, out, i0, k0, k, n, s),
+        // SAFETY: `Avx2`/`Fma` are only installed when detected
+        // (`KernelMode::degrade`).
+        KernelMode::Avx2 => unsafe { micro_kernel_avx2(a, bp, out, i0, k0, k, n, s) },
+        KernelMode::Fma => unsafe { micro_kernel_fma(a, bp, out, i0, k0, k, n, s) },
     }
-    micro_kernel_generic(a, bp, out, i0, k0, k, n, s);
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = mode;
+        micro_kernel_generic(a, bp, out, i0, k0, k, n, s);
+    }
 }
 
 /// [`micro_kernel_generic`] compiled with 256-bit vectors enabled. The
@@ -235,6 +592,24 @@ unsafe fn micro_kernel_avx2(
     s: usize,
 ) {
     micro_kernel_generic(a, bp, out, i0, k0, k, n, s);
+}
+
+/// [`micro_kernel_fma_body`] compiled with 256-bit vectors and FMA
+/// enabled, so each `mul_add` lowers to one `vfmadd` instruction.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn micro_kernel_fma(
+    a: &[f32],
+    bp: &[f32],
+    out: &mut [f32],
+    i0: usize,
+    k0: usize,
+    k: usize,
+    n: usize,
+    s: usize,
+) {
+    micro_kernel_fma_body(a, bp, out, i0, k0, k, n, s);
 }
 
 /// MR×NR register tile: loads accumulators from `out`, streams `kc`
@@ -275,10 +650,104 @@ fn micro_kernel_generic(
     }
 }
 
+/// The fused-multiply-add register tile: identical structure to
+/// [`micro_kernel_generic`] with each update contracted via `mul_add`.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn micro_kernel_fma_body(
+    a: &[f32],
+    bp: &[f32],
+    out: &mut [f32],
+    i0: usize,
+    k0: usize,
+    k: usize,
+    n: usize,
+    s: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (r, acc_r) in acc.iter_mut().enumerate() {
+        let o = (i0 + r) * n + s * NR;
+        acc_r.copy_from_slice(&out[o..o + NR]);
+    }
+    let a0 = &a[i0 * k + k0..];
+    let a1 = &a[(i0 + 1) * k + k0..];
+    let a2 = &a[(i0 + 2) * k + k0..];
+    let a3 = &a[(i0 + 3) * k + k0..];
+    for (kk, bv) in bp.chunks_exact(NR).enumerate() {
+        let avs = [a0[kk], a1[kk], a2[kk], a3[kk]];
+        for (acc_r, &av) in acc.iter_mut().zip(&avs) {
+            for (o, &bvv) in acc_r.iter_mut().zip(bv) {
+                *o = av.mul_add(bvv, *o);
+            }
+        }
+    }
+    for (r, acc_r) in acc.iter().enumerate() {
+        let o = (i0 + r) * n + s * NR;
+        out[o..o + NR].copy_from_slice(acc_r);
+    }
+}
+
 /// Remainder rows (`mr < MR`) against one packed strip — same per-element
 /// `k` order as the micro-kernel, one row at a time.
 #[allow(clippy::too_many_arguments)]
 fn edge_rows(
+    mode: KernelMode,
+    a: &[f32],
+    bp: &[f32],
+    out: &mut [f32],
+    i0: usize,
+    mr: usize,
+    k0: usize,
+    k: usize,
+    n: usize,
+    s: usize,
+) {
+    if mode == KernelMode::Fma {
+        // SAFETY: `Fma` implies the CPU reported avx2+fma.
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            edge_rows_fma(a, bp, out, i0, mr, k0, k, n, s)
+        };
+        #[cfg(not(target_arch = "x86_64"))]
+        edge_rows_fma_body(a, bp, out, i0, mr, k0, k, n, s);
+        return;
+    }
+    for r in 0..mr {
+        let i = i0 + r;
+        let o = i * n + s * NR;
+        let mut acc = [0.0f32; NR];
+        acc.copy_from_slice(&out[o..o + NR]);
+        let arow = &a[i * k + k0..];
+        for (kk, bv) in bp.chunks_exact(NR).enumerate() {
+            let av = arow[kk];
+            for (x, &bvv) in acc.iter_mut().zip(bv) {
+                *x += av * bvv;
+            }
+        }
+        out[o..o + NR].copy_from_slice(&acc);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn edge_rows_fma(
+    a: &[f32],
+    bp: &[f32],
+    out: &mut [f32],
+    i0: usize,
+    mr: usize,
+    k0: usize,
+    k: usize,
+    n: usize,
+    s: usize,
+) {
+    edge_rows_fma_body(a, bp, out, i0, mr, k0, k, n, s);
+}
+
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn edge_rows_fma_body(
     a: &[f32],
     bp: &[f32],
     out: &mut [f32],
@@ -298,7 +767,7 @@ fn edge_rows(
         for (kk, bv) in bp.chunks_exact(NR).enumerate() {
             let av = arow[kk];
             for (x, &bvv) in acc.iter_mut().zip(bv) {
-                *x += av * bvv;
+                *x = av.mul_add(bvv, *x);
             }
         }
         out[o..o + NR].copy_from_slice(&acc);
@@ -365,33 +834,69 @@ mod tests {
         }
     }
 
+    /// Awkward shapes exercising every edge path (row tails, column
+    /// tails, multiple k-panels).
+    const SHAPES: [(usize, usize, usize); 6] = [
+        (1, 1, 1),
+        (3, 5, 7),
+        (4, 8, 8),
+        (33, 129, 17),
+        (37, 200, 41),
+        (64, 300, 72),
+    ];
+
     /// The determinism contract: blocked output is bitwise identical to
-    /// the naive triple loop (0 ULP) across awkward shapes that exercise
-    /// every edge path (row tails, column tails, multiple k-panels).
+    /// the naive triple loop (0 ULP) across awkward shapes, in both
+    /// non-fused kernel modes.
     #[test]
     fn blocked_matches_naive_bitwise() {
         use crate::rng::rngs::StdRng;
         use crate::rng::SeedableRng;
         let mut rng = StdRng::seed_from_u64(42);
-        for &(m, k, n) in &[
-            (1, 1, 1),
-            (3, 5, 7),
-            (4, 8, 8),
-            (33, 129, 17),
-            (37, 200, 41),
-            (64, 300, 72),
-        ] {
+        for &(m, k, n) in &SHAPES {
+            let a = crate::uniform(&mut rng, Shape::matrix(m, k), -2.0, 2.0);
+            let b = crate::uniform(&mut rng, Shape::matrix(k, n), -2.0, 2.0);
+            let naive = matmul_naive(&a, &b).unwrap();
+            for mode in [KernelMode::Scalar, KernelMode::Avx2] {
+                if set_kernel_mode(mode) != mode {
+                    continue; // CPU can't run this mode
+                }
+                let fast = matmul(&a, &b).unwrap();
+                let same = fast
+                    .as_slice()
+                    .iter()
+                    .zip(naive.as_slice())
+                    .all(|(x, y)| x.to_bits() == y.to_bits());
+                assert!(same, "{} != naive (bitwise) for {m}x{k}x{n}", mode.name());
+            }
+            reset_kernel_mode();
+        }
+    }
+
+    /// The FMA kernel has its own reference: bitwise identical to the
+    /// `mul_add` triple loop across the same awkward shapes.
+    #[test]
+    fn fma_matches_fused_naive_bitwise() {
+        use crate::rng::rngs::StdRng;
+        use crate::rng::SeedableRng;
+        if set_kernel_mode(KernelMode::Fma) != KernelMode::Fma {
+            reset_kernel_mode();
+            return; // no FMA on this CPU
+        }
+        let mut rng = StdRng::seed_from_u64(43);
+        for &(m, k, n) in &SHAPES {
             let a = crate::uniform(&mut rng, Shape::matrix(m, k), -2.0, 2.0);
             let b = crate::uniform(&mut rng, Shape::matrix(k, n), -2.0, 2.0);
             let fast = matmul(&a, &b).unwrap();
-            let naive = matmul_naive(&a, &b).unwrap();
+            let naive = matmul_naive_fma(&a, &b).unwrap();
             let same = fast
                 .as_slice()
                 .iter()
                 .zip(naive.as_slice())
                 .all(|(x, y)| x.to_bits() == y.to_bits());
-            assert!(same, "blocked != naive (bitwise) for {m}x{k}x{n}");
+            assert!(same, "fma != naive_fma (bitwise) for {m}x{k}x{n}");
         }
+        reset_kernel_mode();
     }
 
     /// Regression for the removed `av == 0.0` fast path: `0 × NaN` and
@@ -407,8 +912,8 @@ mod tests {
         assert!(naive.as_slice()[0].is_nan());
     }
 
-    /// Large-enough product to take the parallel path; must still match
-    /// the naive reference bitwise.
+    /// Large-enough product to take the parallel path (shared pack,
+    /// row-block tasks); must still match the naive reference bitwise.
     #[test]
     fn parallel_path_matches_naive_bitwise() {
         use crate::rng::rngs::StdRng;
@@ -423,5 +928,15 @@ mod tests {
             .iter()
             .zip(naive.as_slice())
             .all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+
+    #[test]
+    fn env_dispatch_degrades_unavailable_requests() {
+        // Whatever the CPU, `scalar` is always honoured and the degrade
+        // chain never installs an unavailable kernel.
+        assert_eq!(set_kernel_mode(KernelMode::Scalar), KernelMode::Scalar);
+        let fma = set_kernel_mode(KernelMode::Fma);
+        assert!(fma.is_available());
+        reset_kernel_mode();
     }
 }

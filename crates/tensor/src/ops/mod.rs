@@ -10,7 +10,18 @@
 mod conv;
 mod matmul;
 mod pool;
+mod prepack;
 
-pub use conv::{conv2d, conv2d_backward, conv2d_reference, Conv2dGeometry, Conv2dGradients};
-pub use matmul::{matmul, matmul_naive};
-pub use pool::{avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward, PoolGeometry};
+pub use conv::{
+    conv2d, conv2d_backward, conv2d_infer_packed, conv2d_reference, Conv2dGeometry,
+    Conv2dGradients, ConvPlanDims, Im2colGather,
+};
+pub use matmul::{
+    kernel_mode, matmul, matmul_naive, matmul_naive_fma, reset_kernel_mode, set_kernel_mode,
+    KernelMode,
+};
+pub use pool::{
+    avg_pool2d, avg_pool2d_backward, avg_pool2d_into, max_pool2d, max_pool2d_backward,
+    max_pool2d_into, PoolGeometry,
+};
+pub use prepack::{gemm_prepacked, matmul_prepacked, PackedB};

@@ -72,7 +72,9 @@ pub fn max_pool2d(
     let (n, c, h, w, oh, ow) = check_pool(input, geom)?;
     let x = input.as_slice();
     let mut out = Tensor::zeros(Shape::nchw(n, c, oh, ow));
-    let mut argmax = vec![0usize; out.len()];
+    // Training-path kernel: the backward pass needs the argmax, so this
+    // allocating variant is not the planned hot path (`max_pool2d_into` is).
+    let mut argmax = vec![0usize; out.len()]; // seal-lint: allow(hot-path-alloc)
     let plane_out = oh * ow;
 
     // One task per (batch, channel) plane; argmax stays in absolute flat
@@ -159,6 +161,115 @@ pub fn max_pool2d_backward(
         gi[idx] += g;
     }
     Ok(grad_input)
+}
+
+/// Allocation-free max pooling into a caller-owned buffer — the
+/// compiled-plan variant of [`max_pool2d`]: identical window scan (so
+/// values are bitwise identical), no argmax recording, no allocation.
+/// `x` is `n·c·h·w` NCHW activations, `out` receives `n·c·oh·ow`.
+///
+/// # Errors
+///
+/// [`TensorError::LengthMismatch`] if either buffer disagrees with the
+/// dimensions; [`TensorError::InvalidGeometry`] if the window does not fit.
+#[allow(clippy::too_many_arguments)]
+pub fn max_pool2d_into(
+    x: &[f32],
+    out: &mut [f32],
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    geom: &PoolGeometry,
+) -> Result<(), TensorError> {
+    let (oh, ow) = check_pool_into(x, out, n, c, h, w, geom)?;
+    let plane_out = oh * ow;
+    if plane_out == 0 {
+        return Ok(());
+    }
+    seal_pool::par_chunks_mut(out, plane_out, |p, o| {
+        let base = p * h * w;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                for ky in 0..geom.window {
+                    let iy = oy * geom.stride + ky;
+                    for kx in 0..geom.window {
+                        let ix = ox * geom.stride + kx;
+                        let v = x[base + iy * w + ix];
+                        if v > best {
+                            best = v;
+                        }
+                    }
+                }
+                o[oy * ow + ox] = best;
+            }
+        }
+    });
+    Ok(())
+}
+
+/// Allocation-free average pooling into a caller-owned buffer — the
+/// compiled-plan variant of [`avg_pool2d`], bitwise identical values.
+///
+/// # Errors
+///
+/// Same errors as [`max_pool2d_into`].
+#[allow(clippy::too_many_arguments)]
+pub fn avg_pool2d_into(
+    x: &[f32],
+    out: &mut [f32],
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    geom: &PoolGeometry,
+) -> Result<(), TensorError> {
+    let (oh, ow) = check_pool_into(x, out, n, c, h, w, geom)?;
+    let plane_out = oh * ow;
+    if plane_out == 0 {
+        return Ok(());
+    }
+    let norm = 1.0 / (geom.window * geom.window) as f32;
+    seal_pool::par_chunks_mut(out, plane_out, |p, o| {
+        let base = p * h * w;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0f32;
+                for ky in 0..geom.window {
+                    let iy = oy * geom.stride + ky;
+                    for kx in 0..geom.window {
+                        acc += x[base + iy * w + ox * geom.stride + kx];
+                    }
+                }
+                o[oy * ow + ox] = acc * norm;
+            }
+        }
+    });
+    Ok(())
+}
+
+fn check_pool_into(
+    x: &[f32],
+    out: &[f32],
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    geom: &PoolGeometry,
+) -> Result<(usize, usize), TensorError> {
+    let oh = geom.output_size(h).ok_or_else(|| TensorError::InvalidGeometry {
+        reason: format!("pool window {} does not fit height {h}", geom.window),
+    })?;
+    let ow = geom.output_size(w).ok_or_else(|| TensorError::InvalidGeometry {
+        reason: format!("pool window {} does not fit width {w}", geom.window),
+    })?;
+    for (expected, actual) in [(n * c * h * w, x.len()), (n * c * oh * ow, out.len())] {
+        if expected != actual {
+            return Err(TensorError::LengthMismatch { expected, actual });
+        }
+    }
+    Ok((oh, ow))
 }
 
 /// Average pooling forward pass.
@@ -320,6 +431,40 @@ mod tests {
         let out = avg_pool2d(&input_4x4(), &g).unwrap();
         assert_eq!(out.shape().dims(), &[1, 1, 1, 1]);
         assert!((out.as_slice()[0] - 7.5).abs() < 1e-6);
+    }
+
+    /// The `_into` variants must produce bitwise-identical values to the
+    /// allocating kernels (they share the scan order by construction).
+    #[test]
+    fn into_variants_match_allocating_kernels_bitwise() {
+        use crate::rng::rngs::StdRng;
+        use crate::rng::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(5);
+        let (n, c, h, w) = (2, 3, 7, 5);
+        let input = crate::uniform(&mut rng, Shape::nchw(n, c, h, w), -1.0, 1.0);
+        let geom = PoolGeometry {
+            window: 3,
+            stride: 2,
+        };
+        let (mx, _) = max_pool2d(&input, &geom).unwrap();
+        let av = avg_pool2d(&input, &geom).unwrap();
+        let mut mx2 = vec![0.0f32; mx.len()];
+        let mut av2 = vec![0.0f32; av.len()];
+        max_pool2d_into(input.as_slice(), &mut mx2, n, c, h, w, &geom).unwrap();
+        avg_pool2d_into(input.as_slice(), &mut av2, n, c, h, w, &geom).unwrap();
+        assert!(mx
+            .as_slice()
+            .iter()
+            .zip(&mx2)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+        assert!(av
+            .as_slice()
+            .iter()
+            .zip(&av2)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+        // Length mismatches are rejected.
+        let mut short = vec![0.0f32; 3];
+        assert!(max_pool2d_into(input.as_slice(), &mut short, n, c, h, w, &geom).is_err());
     }
 
     #[test]

@@ -1,0 +1,227 @@
+//! Ahead-of-time B-operand packing for the blocked GEMM.
+//!
+//! [`PackedB`] captures a constant right-hand operand (a Linear layer's
+//! transposed weight matrix, say) in exactly the strip-major k-panel
+//! layout the micro-kernel consumes, plus the `n % NR` column tail in
+//! column-major order. [`matmul_prepacked`] then runs the same consume
+//! core as [`matmul`](super::matmul) while skipping the per-call pack
+//! step entirely — the payoff the compiled-inference-plan layer is built
+//! on. Because both paths funnel through one consume routine, prepacked
+//! results are bitwise identical to the on-the-fly-packed kernel for any
+//! thread count and kernel mode.
+
+use super::matmul::{gemm_shared_pack, kernel_mode, pack_b_full, KernelMode, TailB, NR};
+use crate::{Shape, Tensor, TensorError};
+
+/// A `k×n` right-hand GEMM operand packed once, ahead of time, into the
+/// blocked kernel's panel layout.
+#[derive(Clone, Debug)]
+pub struct PackedB {
+    k: usize,
+    n: usize,
+    /// Strip-major k-panels, panel `p` at offset `p·KC·strips·NR`.
+    panels: Vec<f32>,
+    /// The `n % NR` rightmost columns, column-major (`tail[tj*k + kk]`).
+    tail: Vec<f32>,
+}
+
+impl PackedB {
+    /// Pack a rank-2 tensor (the `rhs` of a future [`matmul_prepacked`]).
+    ///
+    /// # Errors
+    ///
+    /// [`TensorError::RankMismatch`] if `b` is not rank 2.
+    pub fn pack(b: &Tensor) -> Result<PackedB, TensorError> {
+        if b.shape().rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: b.shape().rank(),
+                op: "pack_b",
+            });
+        }
+        Ok(Self::from_slice(
+            b.as_slice(),
+            b.shape().dim(0),
+            b.shape().dim(1),
+        ))
+    }
+
+    /// Pack a row-major `k×n` slice. Panics if `b.len() != k*n`.
+    pub fn from_slice(b: &[f32], k: usize, n: usize) -> PackedB {
+        assert_eq!(b.len(), k * n, "PackedB::from_slice: length mismatch");
+        let strips = n / NR;
+        let mut panels = Vec::new(); // seal-lint: allow(hot-path-alloc)
+        pack_b_full(b, &mut panels, k, n, strips);
+        let tn = n - strips * NR;
+        // One-time compile/pack step, not the per-call execute path.
+        let mut tail = vec![0.0f32; tn * k]; // seal-lint: allow(hot-path-alloc)
+        for tj in 0..tn {
+            let j = strips * NR + tj;
+            for kk in 0..k {
+                tail[tj * k + kk] = b[kk * n + j];
+            }
+        }
+        PackedB { k, n, panels, tail }
+    }
+
+    /// Inner (contraction) dimension of the packed operand.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Output-column dimension of the packed operand.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Bytes held by the packed panels + tail.
+    pub fn byte_size(&self) -> usize {
+        (self.panels.len() + self.tail.len()) * std::mem::size_of::<f32>()
+    }
+}
+
+/// Matrix product `lhs · rhs` where `rhs` was packed ahead of time.
+///
+/// Bitwise identical to [`matmul`](super::matmul) of the same operands
+/// (any thread count, any [`KernelMode`]) — only the per-call
+/// pack step is skipped.
+///
+/// # Errors
+///
+/// * [`TensorError::RankMismatch`] if `lhs` is not rank 2.
+/// * [`TensorError::ShapeMismatch`] if `lhs.dim(1) != rhs.k()`.
+pub fn matmul_prepacked(lhs: &Tensor, rhs: &PackedB) -> Result<Tensor, TensorError> {
+    if lhs.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: lhs.shape().rank(),
+            op: "matmul_prepacked",
+        });
+    }
+    let (m, k) = (lhs.shape().dim(0), lhs.shape().dim(1));
+    if k != rhs.k {
+        return Err(TensorError::ShapeMismatch {
+            lhs: lhs.shape().clone(),
+            rhs: Shape::matrix(rhs.k, rhs.n),
+            op: "matmul_prepacked",
+        });
+    }
+    let mut out = vec![0.0f32; m * rhs.n]; // seal-lint: allow(hot-path-alloc)
+    gemm_prepacked(lhs.as_slice(), rhs, &mut out, m, kernel_mode(), false);
+    Tensor::from_vec(out, Shape::matrix(m, rhs.n))
+}
+
+/// `out[m×n] += a[m×k] · packed` into a caller-owned buffer — the
+/// allocation-free plan entry point. `out` may be pre-initialised (bias);
+/// products land on top in ascending `k` order. With `epilogue_relu`
+/// each producing task clamps its block to `max(0, ·)` on write-back.
+///
+/// # Panics
+///
+/// If `a.len() < m·k` or `out.len() != m·n`.
+pub fn gemm_prepacked(
+    a: &[f32],
+    b: &PackedB,
+    out: &mut [f32],
+    m: usize,
+    mode: KernelMode,
+    epilogue_relu: bool,
+) {
+    assert!(a.len() >= m * b.k, "gemm_prepacked: lhs too short");
+    assert_eq!(out.len(), m * b.n, "gemm_prepacked: out length mismatch");
+    gemm_shared_pack(
+        a,
+        &b.panels,
+        &TailB::Cols(&b.tail),
+        out,
+        m,
+        b.k,
+        b.n,
+        mode,
+        epilogue_relu,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::matmul::{matmul, matmul_naive_fma, reset_kernel_mode, set_kernel_mode};
+    use super::*;
+    use crate::rng::rngs::StdRng;
+    use crate::rng::SeedableRng;
+
+    const SHAPES: [(usize, usize, usize); 6] = [
+        (1, 1, 1),
+        (3, 5, 7),
+        (4, 8, 8),
+        (33, 129, 17),
+        (37, 200, 41),
+        (97, 83, 65),
+    ];
+
+    #[test]
+    fn prepacked_matches_matmul_bitwise_in_every_mode() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for &(m, k, n) in &SHAPES {
+            let a = crate::uniform(&mut rng, Shape::matrix(m, k), -2.0, 2.0);
+            let b = crate::uniform(&mut rng, Shape::matrix(k, n), -2.0, 2.0);
+            let pb = PackedB::pack(&b).unwrap();
+            for mode in [KernelMode::Scalar, KernelMode::Avx2, KernelMode::Fma] {
+                if set_kernel_mode(mode) != mode {
+                    continue;
+                }
+                let plain = matmul(&a, &b).unwrap();
+                let packed = matmul_prepacked(&a, &pb).unwrap();
+                let same = plain
+                    .as_slice()
+                    .iter()
+                    .zip(packed.as_slice())
+                    .all(|(x, y)| x.to_bits() == y.to_bits());
+                assert!(
+                    same,
+                    "prepacked != matmul ({}) for {m}x{k}x{n}",
+                    mode.name()
+                );
+            }
+            reset_kernel_mode();
+        }
+    }
+
+    #[test]
+    fn prepacked_fma_matches_fused_naive() {
+        if set_kernel_mode(super::KernelMode::Fma) != super::KernelMode::Fma {
+            reset_kernel_mode();
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(19);
+        let a = crate::uniform(&mut rng, Shape::matrix(37, 200, ), -1.0, 1.0);
+        let b = crate::uniform(&mut rng, Shape::matrix(200, 41), -1.0, 1.0);
+        let pb = PackedB::pack(&b).unwrap();
+        let packed = matmul_prepacked(&a, &pb).unwrap();
+        let naive = matmul_naive_fma(&a, &b).unwrap();
+        assert!(packed
+            .as_slice()
+            .iter()
+            .zip(naive.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
+        reset_kernel_mode();
+    }
+
+    #[test]
+    fn pack_rejects_bad_rank() {
+        let v = Tensor::zeros(Shape::vector(4));
+        assert!(matches!(
+            PackedB::pack(&v),
+            Err(TensorError::RankMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn prepacked_rejects_inner_mismatch() {
+        let a = Tensor::zeros(Shape::matrix(2, 3));
+        let b = PackedB::pack(&Tensor::zeros(Shape::matrix(4, 5))).unwrap();
+        assert!(matches!(
+            matmul_prepacked(&a, &b),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+    }
+}

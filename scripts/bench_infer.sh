@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# End-to-end inference perf trajectory: times the reduced VGG-16 through
+# the naive reference loops, the blocked `forward_infer` path, and the
+# compiled plans (plain + folded/fused) at batch 1 and batch 32, and
+# writes `results/BENCH_infer.json`.
+#
+# Usage:
+#   scripts/bench_infer.sh [output.json]
+#
+# The JSON records, per case:
+#   * naive_ns / blocked_ns / planned_ns / planned_fused_ns
+#   * *_images_per_s throughput for each executable path
+#   * blocked_x_naive, planned_x_blocked, planned_fused_x_blocked
+# The target trajectory is planned_x_blocked >= 1.3 on vgg16_batch32.
+# Bitwise equality of the plain plan with `forward_infer` is proven by
+# crates/nn/tests/plan_bitwise.rs, not here; this script only times.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-results/BENCH_infer.json}"
+
+echo "==> cargo run --release -p seal-bench --bin bench_infer"
+cargo run --release -q -p seal-bench --bin bench_infer -- "$OUT"

@@ -25,6 +25,13 @@ cargo run --release -q -p seal-analyze -- --workspace
 echo "==> determinism suite (SEAL_THREADS in {1,2,7})"
 cargo test --release -q -p seal-bench --test determinism
 
+# Inference-plan perf trajectory: naive vs blocked vs compiled-plan
+# timings on the reduced VGG-16 into results/BENCH_infer.json. The
+# target is planned >= 1.3x blocked at batch 32; timings are recorded,
+# not gated, so a loaded CI host cannot flake the build.
+echo "==> bench_infer (results/BENCH_infer.json)"
+scripts/bench_infer.sh
+
 # Serving smoke run: ~100 closed-loop requests against the reduced
 # VGG-16; the binary exits non-zero if latency percentiles are
 # disordered, throughput is zero, or the encryption-scheme throughput

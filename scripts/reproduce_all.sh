@@ -20,6 +20,12 @@ for bin in $BINS; do
     cargo run --release -p seal-bench --bin "$bin" -- $MODE 2>/dev/null | tee "results/$bin.txt"
 done
 
+# Inference-plan trajectory (naive / blocked / planned / planned+fused
+# timings; check.sh already wrote results/BENCH_infer.json, regenerated
+# here so a --full reproduction reflects this machine's final numbers).
+echo "==> bench_infer $MODE"
+scripts/bench_infer.sh
+
 # The serving view of the SE ratio: one open-loop run whose per-scheme
 # throughput columns land in results/serve_open.json (check.sh already
 # produced results/serve_smoke.json from the closed-loop preset, and

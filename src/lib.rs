@@ -15,6 +15,7 @@
 //! | [`core`] | SEAL smart encryption: importance ranking, plans, traffic, `emalloc` |
 //! | [`attack`] | substitute models, Jacobian augmentation, I-FGSM, transferability |
 //! | [`serve`] | batched multi-threaded inference serving with encrypted-weight streaming |
+//! | [`plan`] | compiled inference plans: weight pre-packing, activation arenas, op fusion |
 //! | [`pool`] | deterministic work-sharing thread pool behind every parallel kernel |
 //! | [`faults`] | seed-deterministic fault injection (tampers, stalls, panics) + `Backoff` |
 //!
@@ -47,6 +48,13 @@ pub use seal_nn as nn;
 pub use seal_pool as pool;
 pub use seal_serve as serve;
 pub use seal_tensor as tensor;
+
+/// Compiled inference plans for the serving hot path: weight
+/// pre-packing, ping-pong activation arenas and opt-in op fusion
+/// (bitwise-identical to `forward_infer` with fusion off).
+pub mod plan {
+    pub use seal_nn::plan::*;
+}
 
 /// The SEAL contribution: criticality-aware smart encryption.
 pub mod core {
