@@ -1,0 +1,30 @@
+//! Seeded unsafe-audit violations: a naked `unsafe` block and one whose
+//! `SAFETY:` comment cites a bound that exists nowhere in scope.
+
+/// Naked unsafe — no SAFETY comment at all. Must be reported.
+fn sum_unchecked(v: &[f32], n: usize) -> f32 {
+    let mut acc = 0.0;
+    for i in 0..n {
+        acc += unsafe { *v.get_unchecked(i) };
+    }
+    acc
+}
+
+/// SAFETY comment names `frobnicate_bound`, which is not a binding in
+/// this fn or an item in this file — stale evidence, must be reported.
+fn stale_comment(v: &[f32]) -> f32 {
+    // SAFETY: `frobnicate_bound` guards the access.
+    unsafe { *v.get_unchecked(0) }
+}
+
+/// Properly documented: the comment cites `i` and `bound`, both visible
+/// in the enclosing scope. The audit stays silent.
+fn documented(v: &[f32], n: usize) -> f32 {
+    let mut acc = 0.0;
+    let bound = n.min(v.len());
+    for i in 0..bound {
+        // SAFETY: `i` < `bound` <= `v.len()` by the loop condition.
+        acc += unsafe { *v.get_unchecked(i) };
+    }
+    acc
+}

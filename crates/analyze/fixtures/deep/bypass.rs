@@ -1,0 +1,57 @@
+//! Seeded encryption-boundary violation: weight panels reach the memory
+//! bus without passing through `CtrCipher` or the cost-lane pricer.
+//!
+//! The deep taint pass must report `leak_weights` with the full
+//! source→…→sink chain. Token lint stays silent on this file — the seeds
+//! here are call-graph defects, not syntax.
+
+struct Linear {
+    w: Vec<f32>,
+}
+
+impl Linear {
+    fn weights(&self) -> &[f32] {
+        &self.w
+    }
+}
+
+struct EnginePipeline {
+    bytes: u64,
+}
+
+impl EnginePipeline {
+    fn submit(&mut self, bytes: u64) -> u64 {
+        self.bytes += bytes;
+        self.bytes
+    }
+}
+
+struct CtrCipher;
+
+impl CtrCipher {
+    fn encrypt(&mut self, _block: &mut [u8]) {}
+}
+
+/// Reads weight panels — taints every caller.
+fn stage_weights(l: &Linear) -> u64 {
+    l.weights().len() as u64 * 4
+}
+
+/// The seeded bypass: plaintext weight bytes go straight to `submit`.
+fn leak_weights(l: &Linear, e: &mut EnginePipeline) -> u64 {
+    let n = stage_weights(l);
+    e.submit(n)
+}
+
+/// Clean counterpart: the ciphertext is produced in a separate fn and the
+/// submitter itself never touches weight data, so no finding fires.
+fn encrypt_panels(l: &Linear, c: &mut CtrCipher) -> u64 {
+    let n = stage_weights(l);
+    c.encrypt(&mut []);
+    n
+}
+
+/// Untainted submitter — takes a pre-encrypted byte count only.
+fn ship(e: &mut EnginePipeline, ciphertext_bytes: u64) -> u64 {
+    e.submit(ciphertext_bytes)
+}

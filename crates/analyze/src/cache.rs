@@ -1,0 +1,399 @@
+//! Per-file incremental analysis cache.
+//!
+//! Keyed on an FNV-1a content hash: a file whose bytes are unchanged
+//! contributes byte-identical IR and lint findings, so warm runs skip
+//! lexing and parsing entirely. Entries live one-per-file under the
+//! cache directory (default `target/seal-analyze-cache/`), serialized in
+//! a versioned line-based text format — the workspace is hermetic, so
+//! the format is hand-rolled rather than pulled from a registry. Any
+//! parse error or version/hash mismatch is treated as a miss; the cache
+//! can always be deleted safely.
+
+use crate::ir::{
+    CallIr, CallKind, FileIr, FnIr, IndexSite, PanicKind, PanicSite, UnsafeIr, UnsafeKind, UsePath,
+};
+use crate::lint::Rule;
+use crate::report::Finding;
+use std::path::PathBuf;
+
+/// Format version — bump on any schema change to invalidate old entries.
+const VERSION: &str = "v1";
+
+/// 64-bit FNV-1a.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Everything the driver derives from one source file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedFile {
+    /// Parsed IR.
+    pub ir: FileIr,
+    /// Token-lint findings.
+    pub lint: Vec<Finding>,
+}
+
+/// A directory-backed cache. `None` disables persistence (every lookup
+/// misses); stats are still counted so benches can compare modes.
+#[derive(Debug)]
+pub struct Cache {
+    dir: Option<PathBuf>,
+}
+
+impl Cache {
+    /// Opens (creating if needed) the cache at `dir`; `None` disables it.
+    pub fn open(dir: Option<PathBuf>) -> Cache {
+        if let Some(d) = &dir {
+            if std::fs::create_dir_all(d).is_err() {
+                return Cache { dir: None };
+            }
+        }
+        Cache { dir }
+    }
+
+    fn entry_path(&self, key: &str) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| d.join(format!("{:016x}.sealir", fnv1a(key.as_bytes()))))
+    }
+
+    /// Returns the cached analysis for `key` when its stored content hash
+    /// matches `hash`.
+    pub fn load(&self, key: &str, hash: u64) -> Option<CachedFile> {
+        let p = self.entry_path(key)?;
+        let text = std::fs::read_to_string(p).ok()?;
+        deserialize(&text, hash)
+    }
+
+    /// Persists the analysis of `key` at content `hash`. Errors are
+    /// swallowed — a cache that cannot write is just always cold.
+    pub fn store(&self, key: &str, hash: u64, cf: &CachedFile) {
+        if let Some(p) = self.entry_path(key) {
+            let _ = std::fs::write(p, serialize(hash, cf));
+        }
+    }
+}
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\t', "\\t").replace('\n', "\\n")
+}
+
+fn unesc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut it = s.chars();
+    while let Some(c) = it.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match it.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some(o) => out.push(o),
+            None => {}
+        }
+    }
+    out
+}
+
+fn flag(b: bool) -> &'static str {
+    if b {
+        "1"
+    } else {
+        "0"
+    }
+}
+
+/// Serializes one cached file (stable, line-based).
+pub fn serialize(hash: u64, cf: &CachedFile) -> String {
+    let mut out = format!("sealir {VERSION} {hash:016x}\n");
+    let ir = &cf.ir;
+    out.push_str(&format!("path\t{}\n", esc(&ir.path)));
+    out.push_str(&format!("crate\t{}\n", esc(&ir.crate_name)));
+    out.push_str(&format!("mod\t{}\n", ir.module_path.join("::")));
+    out.push_str(&format!("fidents\t{}\n", ir.idents.join(" ")));
+    for u in &ir.imports {
+        out.push_str(&format!("import\t{}\t{}\n", esc(&u.alias), u.segments.join("::")));
+    }
+    for u in &ir.item_unsafes {
+        push_unsafe(&mut out, "iunsafe", u);
+    }
+    for f in &ir.fns {
+        out.push_str(&format!(
+            "fn\t{}\t{}\t{}\t{}\t{}{}{}\n",
+            esc(&f.name),
+            esc(&f.qual),
+            f.type_name.as_deref().map(esc).unwrap_or_else(|| "-".into()),
+            f.line,
+            flag(f.is_test),
+            flag(f.allow_panic_freedom),
+            flag(f.allow_taint),
+        ));
+        for c in &f.calls {
+            out.push_str(&format!(
+                "call\t{}\t{}\t{}\n",
+                c.line,
+                c.kind.name(),
+                c.segments.join("::")
+            ));
+        }
+        for p in &f.panics {
+            out.push_str(&format!(
+                "panic\t{}\t{}\t{}\n",
+                p.line,
+                p.kind.name(),
+                flag(p.allowed)
+            ));
+        }
+        for s in &f.indexes {
+            out.push_str(&format!("index\t{}\t{}\n", s.line, flag(s.allowed)));
+        }
+        for u in &f.unsafes {
+            push_unsafe(&mut out, "unsafe", u);
+        }
+        out.push_str(&format!("idents\t{}\n", f.idents.join(" ")));
+    }
+    for l in &cf.lint {
+        out.push_str(&format!(
+            "lint\t{}\t{}\t{}\t{}\n",
+            esc(&l.path),
+            l.line,
+            l.rule.name(),
+            esc(&l.message)
+        ));
+    }
+    out
+}
+
+fn push_unsafe(out: &mut String, tag: &str, u: &UnsafeIr) {
+    let kind = match u.kind {
+        UnsafeKind::Block => "block",
+        UnsafeKind::Impl => "impl",
+    };
+    out.push_str(&format!(
+        "{tag}\t{}\t{kind}\t{}\t{}\t{}\n",
+        u.line,
+        flag(u.allowed),
+        u.names.join(" "),
+        u.safety.as_deref().map(esc).unwrap_or_else(|| "-".into()),
+    ));
+}
+
+/// Parses a serialized entry; `None` on any mismatch or malformation.
+pub fn deserialize(text: &str, expect_hash: u64) -> Option<CachedFile> {
+    let mut lines = text.lines();
+    let head = lines.next()?;
+    let mut hp = head.split(' ');
+    if hp.next()? != "sealir" || hp.next()? != VERSION {
+        return None;
+    }
+    if u64::from_str_radix(hp.next()?, 16).ok()? != expect_hash {
+        return None;
+    }
+    let mut ir = FileIr {
+        path: String::new(),
+        crate_name: String::new(),
+        module_path: Vec::new(),
+        imports: Vec::new(),
+        fns: Vec::new(),
+        item_unsafes: Vec::new(),
+        idents: Vec::new(),
+    };
+    let mut lint = Vec::new();
+    for line in lines {
+        let mut p = line.split('\t');
+        let tag = p.next()?;
+        match tag {
+            "path" => ir.path = unesc(p.next()?),
+            "crate" => ir.crate_name = unesc(p.next()?),
+            "mod" => {
+                let m = p.next()?;
+                ir.module_path = if m.is_empty() {
+                    Vec::new()
+                } else {
+                    m.split("::").map(str::to_string).collect()
+                };
+            }
+            "fidents" => {
+                ir.idents = split_words(p.next()?);
+            }
+            "import" => {
+                let alias = unesc(p.next()?);
+                let segs = p.next()?;
+                ir.imports.push(UsePath {
+                    segments: if segs.is_empty() {
+                        Vec::new()
+                    } else {
+                        segs.split("::").map(str::to_string).collect()
+                    },
+                    alias,
+                });
+            }
+            "iunsafe" => ir.item_unsafes.push(parse_unsafe(&mut p)?),
+            "fn" => {
+                let name = unesc(p.next()?);
+                let qual = unesc(p.next()?);
+                let ty = p.next()?;
+                let line: u32 = p.next()?.parse().ok()?;
+                let flags = p.next()?;
+                let mut fc = flags.chars();
+                ir.fns.push(FnIr {
+                    name,
+                    qual,
+                    type_name: (ty != "-").then(|| unesc(ty)),
+                    line,
+                    is_test: fc.next()? == '1',
+                    allow_panic_freedom: fc.next()? == '1',
+                    allow_taint: fc.next()? == '1',
+                    calls: Vec::new(),
+                    panics: Vec::new(),
+                    indexes: Vec::new(),
+                    unsafes: Vec::new(),
+                    idents: Vec::new(),
+                });
+            }
+            "call" => {
+                let f = ir.fns.last_mut()?;
+                let line: u32 = p.next()?.parse().ok()?;
+                let kind = CallKind::from_name(p.next()?)?;
+                let segs = p.next()?;
+                f.calls.push(CallIr {
+                    line,
+                    kind,
+                    segments: segs.split("::").map(str::to_string).collect(),
+                });
+            }
+            "panic" => {
+                let f = ir.fns.last_mut()?;
+                let line: u32 = p.next()?.parse().ok()?;
+                let kind = PanicKind::from_name(p.next()?)?;
+                let allowed = p.next()? == "1";
+                f.panics.push(PanicSite { line, kind, allowed });
+            }
+            "index" => {
+                let f = ir.fns.last_mut()?;
+                let line: u32 = p.next()?.parse().ok()?;
+                let allowed = p.next()? == "1";
+                f.indexes.push(IndexSite { line, allowed });
+            }
+            "unsafe" => {
+                let u = parse_unsafe(&mut p)?;
+                ir.fns.last_mut()?.unsafes.push(u);
+            }
+            "idents" => {
+                ir.fns.last_mut()?.idents = split_words(p.next()?);
+            }
+            "lint" => {
+                let path = unesc(p.next()?);
+                let line: u32 = p.next()?.parse().ok()?;
+                let rule = Rule::from_name(p.next()?)?;
+                let message = unesc(p.next()?);
+                lint.push(Finding {
+                    path,
+                    line,
+                    rule,
+                    message,
+                });
+            }
+            _ => return None,
+        }
+    }
+    Some(CachedFile { ir, lint })
+}
+
+fn split_words(s: &str) -> Vec<String> {
+    if s.is_empty() {
+        Vec::new()
+    } else {
+        s.split(' ').map(str::to_string).collect()
+    }
+}
+
+fn parse_unsafe<'a>(p: &mut impl Iterator<Item = &'a str>) -> Option<UnsafeIr> {
+    let line: u32 = p.next()?.parse().ok()?;
+    let kind = match p.next()? {
+        "block" => UnsafeKind::Block,
+        "impl" => UnsafeKind::Impl,
+        _ => return None,
+    };
+    let allowed = p.next()? == "1";
+    let names = split_words(p.next()?);
+    let safety = p.next()?;
+    Some(UnsafeIr {
+        line,
+        kind,
+        safety: (safety != "-").then(|| unesc(safety)),
+        names,
+        allowed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::lint_source;
+    use crate::parser::parse_file;
+
+    const SRC: &str = "use seal_pool::parallel_for;\n\
+/// Doc.\npub fn f(v: &[u32], n: usize) {\n  let x = v[n - 1];\n  parallel_for(4, |_i| {});\n  helper().unwrap();\n}\n\
+fn helper() -> Result<(), ()> { Ok(()) }\n\
+// SAFETY: `n` is bounded by the caller.\nunsafe impl Send for W {}\n";
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        let ir = parse_file("demo/src/lib.rs", SRC);
+        let lint = lint_source("demo/src/lib.rs", SRC);
+        let cf = CachedFile { ir, lint };
+        let hash = fnv1a(SRC.as_bytes());
+        let text = serialize(hash, &cf);
+        let back = deserialize(&text, hash).expect("roundtrip");
+        assert_eq!(back, cf);
+    }
+
+    #[test]
+    fn hash_mismatch_is_a_miss() {
+        let ir = parse_file("demo/src/lib.rs", SRC);
+        let cf = CachedFile { ir, lint: vec![] };
+        let text = serialize(1, &cf);
+        assert!(deserialize(&text, 2).is_none());
+        assert!(deserialize(&text, 1).is_some());
+    }
+
+    #[test]
+    fn version_drift_is_a_miss() {
+        let text = "sealir v0 0000000000000001\npath\tx\n";
+        assert!(deserialize(text, 1).is_none());
+    }
+
+    #[test]
+    fn directory_cache_stores_and_invalidates() {
+        let dir = std::env::temp_dir().join(format!("seal-analyze-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = Cache::open(Some(dir.clone()));
+        let ir = parse_file("demo/src/lib.rs", SRC);
+        let cf = CachedFile { ir, lint: vec![] };
+        let h1 = fnv1a(SRC.as_bytes());
+        assert!(cache.load("demo/src/lib.rs", h1).is_none(), "cold");
+        cache.store("demo/src/lib.rs", h1, &cf);
+        assert_eq!(cache.load("demo/src/lib.rs", h1), Some(cf.clone()), "warm hit");
+        // Edited file → different hash → miss (re-analysis required).
+        let edited = format!("{SRC}\npub fn extra() {{}}\n");
+        let h2 = fnv1a(edited.as_bytes());
+        assert_ne!(h1, h2);
+        assert!(cache.load("demo/src/lib.rs", h2).is_none(), "stale entry must miss");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Pinned values guard against accidental algorithm drift, which
+        // would silently invalidate every cache entry.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

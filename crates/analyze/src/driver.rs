@@ -1,0 +1,376 @@
+//! Workspace deep-analysis driver: parallel, incrementally cached
+//! per-file parsing feeding the call-graph passes.
+//!
+//! Per-file work (lex → lint → parse) is embarrassingly parallel and is
+//! fanned out over [`seal_pool::parallel_for`]; results land in
+//! per-index slots so the output order is deterministic regardless of
+//! scheduling. Each file is keyed by an FNV-1a content hash in the
+//! [`crate::cache`], so warm runs re-parse only edited files. The graph
+//! passes (taint, panic-freedom, unsafe-audit) then run on the combined
+//! IR — they are cross-file by nature and cheap next to parsing.
+
+use crate::cache::{fnv1a, Cache, CachedFile};
+use crate::callgraph::{panic_freedom, unsafe_audit, CallGraph, DEFAULT_PANIC_ROOTS};
+use crate::ir::DeepFinding;
+use crate::lint::lint_source;
+use crate::parser::parse_file;
+use crate::report::Finding;
+use crate::taint::{taint_pass, TaintSpec};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Configuration for a deep-analysis run.
+#[derive(Debug)]
+pub struct DeepOptions {
+    /// Cache directory; `None` disables incremental caching.
+    pub cache_dir: Option<PathBuf>,
+    /// Fan per-file analysis out over the seal-pool (serial when false —
+    /// kept for the bench baseline).
+    pub parallel: bool,
+    /// Source/sink/sanitizer table for the encryption-boundary pass.
+    pub taint: TaintSpec,
+    /// Root patterns for the panic-freedom pass.
+    pub panic_roots: Vec<String>,
+}
+
+impl Default for DeepOptions {
+    fn default() -> DeepOptions {
+        DeepOptions {
+            cache_dir: None,
+            parallel: true,
+            taint: TaintSpec::default(),
+            panic_roots: DEFAULT_PANIC_ROOTS.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+}
+
+impl DeepOptions {
+    /// The conventional cache location for a workspace rooted at `root`.
+    pub fn default_cache_dir(root: &Path) -> PathBuf {
+        root.join("target").join("seal-analyze-cache")
+    }
+}
+
+/// Wall time of one analysis phase.
+#[derive(Debug, Clone)]
+pub struct PassTiming {
+    /// Phase name (`parse`, `callgraph`, or a pass rule name).
+    pub name: &'static str,
+    /// Elapsed milliseconds.
+    pub millis: f64,
+}
+
+/// Everything one deep-analysis run produces.
+#[derive(Debug)]
+pub struct Analysis {
+    /// Token-lint findings (pass 1), in file order.
+    pub lint: Vec<Finding>,
+    /// Deep-pass findings, sorted by (rule, path, line).
+    pub deep: Vec<DeepFinding>,
+    /// Number of files analyzed.
+    pub files: usize,
+    /// Files served from the incremental cache.
+    pub cache_hits: usize,
+    /// Files that had to be re-parsed.
+    pub cache_misses: usize,
+    /// Per-phase wall time, in execution order.
+    pub timings: Vec<PassTiming>,
+}
+
+/// Runs the full deep analysis over the workspace rooted at `root`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from walking or reading sources.
+pub fn analyze_workspace(root: &Path, opts: &DeepOptions) -> std::io::Result<Analysis> {
+    let files = crate::workspace_sources(root)?;
+    analyze_files(root, &files, opts)
+}
+
+/// Runs the deep analysis over an explicit file list. Paths are reported
+/// relative to `root` so findings and baselines are machine-independent.
+///
+/// # Errors
+///
+/// Propagates I/O errors reading sources.
+pub fn analyze_files(
+    root: &Path,
+    files: &[PathBuf],
+    opts: &DeepOptions,
+) -> std::io::Result<Analysis> {
+    let cache = Cache::open(opts.cache_dir.clone());
+    let rels: Vec<String> = files
+        .iter()
+        .map(|p| {
+            p.strip_prefix(root)
+                .unwrap_or(p)
+                .to_string_lossy()
+                .replace('\\', "/")
+        })
+        .collect();
+
+    type Slot = std::io::Result<(CachedFile, bool)>;
+    let t0 = Instant::now();
+    let slots: Vec<Mutex<Option<Slot>>> = (0..files.len()).map(|_| Mutex::new(None)).collect();
+    let analyze_one = |i: usize| {
+        let result = std::fs::read_to_string(&files[i]).map(|source| {
+            let hash = fnv1a(source.as_bytes());
+            match cache.load(&rels[i], hash) {
+                Some(cf) => (cf, true),
+                None => {
+                    let cf = CachedFile {
+                        ir: parse_file(&rels[i], &source),
+                        lint: lint_source(&rels[i], &source),
+                    };
+                    cache.store(&rels[i], hash, &cf);
+                    (cf, false)
+                }
+            }
+        });
+        if let Ok(mut slot) = slots[i].lock() {
+            *slot = Some(result);
+        }
+    };
+    if opts.parallel {
+        seal_pool::parallel_for(files.len(), analyze_one);
+    } else {
+        for i in 0..files.len() {
+            analyze_one(i);
+        }
+    }
+
+    let mut irs = Vec::with_capacity(files.len());
+    let mut lint = Vec::new();
+    let (mut hits, mut misses) = (0usize, 0usize);
+    for slot in slots {
+        let taken = slot.into_inner().unwrap_or_default();
+        let (cf, hit) = match taken {
+            Some(r) => r?,
+            // A slot can only stay empty if the pool dropped the task,
+            // which parallel_for does not do; treat it as an I/O error
+            // rather than silently under-reporting.
+            None => {
+                return Err(std::io::Error::other("analysis task produced no result"));
+            }
+        };
+        if hit {
+            hits += 1;
+        } else {
+            misses += 1;
+        }
+        irs.push(cf.ir);
+        lint.extend(cf.lint);
+    }
+    let mut timings = vec![timing("parse", t0)];
+
+    let t = Instant::now();
+    let graph = CallGraph::build(&irs);
+    timings.push(timing("callgraph", t));
+
+    let t = Instant::now();
+    let mut deep = taint_pass(&irs, &graph, &opts.taint);
+    timings.push(timing("encryption-boundary", t));
+
+    let t = Instant::now();
+    deep.extend(panic_freedom(&irs, &graph, &opts.panic_roots));
+    timings.push(timing("panic-freedom", t));
+
+    let t = Instant::now();
+    deep.extend(unsafe_audit(&irs));
+    timings.push(timing("unsafe-audit", t));
+
+    deep.sort_by(|a, b| {
+        (a.rule.name(), &a.path, a.line).cmp(&(b.rule.name(), &b.path, b.line))
+    });
+    Ok(Analysis {
+        lint,
+        deep,
+        files: files.len(),
+        cache_hits: hits,
+        cache_misses: misses,
+        timings,
+    })
+}
+
+fn timing(name: &'static str, since: Instant) -> PassTiming {
+    PassTiming {
+        name,
+        millis: since.elapsed().as_secs_f64() * 1000.0,
+    }
+}
+
+/// Loads a findings baseline: one [`DeepFinding::baseline_key`] per line,
+/// `#` comments and blank lines ignored. A missing file is an empty
+/// baseline.
+///
+/// # Errors
+///
+/// Propagates I/O errors other than the file not existing.
+pub fn load_baseline(path: &Path) -> std::io::Result<BTreeSet<String>> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(BTreeSet::new()),
+        Err(e) => return Err(e),
+    };
+    Ok(text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect())
+}
+
+/// Renders findings as baseline content (sorted, deduplicated).
+pub fn render_baseline(deep: &[DeepFinding]) -> String {
+    let keys: BTreeSet<String> = deep.iter().map(DeepFinding::baseline_key).collect();
+    let mut out = String::from(
+        "# seal-analyze baseline: known deep findings, one `rule|path|fn` key per line.\n\
+         # Regenerate with `seal-analyze --workspace --write-baseline`.\n",
+    );
+    for k in keys {
+        out.push_str(&k);
+        out.push('\n');
+    }
+    out
+}
+
+/// Splits findings into (new, baselined-count) against a baseline.
+pub fn split_new(
+    deep: Vec<DeepFinding>,
+    baseline: &BTreeSet<String>,
+) -> (Vec<DeepFinding>, usize) {
+    let total = deep.len();
+    let fresh: Vec<DeepFinding> =
+        deep.into_iter().filter(|f| !baseline.contains(&f.baseline_key())).collect();
+    let known = total - fresh.len();
+    (fresh, known)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture_root() -> PathBuf {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures/deep")
+    }
+
+    fn run(dir: &Path, cache: Option<PathBuf>) -> Analysis {
+        let files = {
+            let mut v = Vec::new();
+            collect(dir, &mut v);
+            v.sort();
+            v
+        };
+        let opts = DeepOptions {
+            cache_dir: cache,
+            ..DeepOptions::default()
+        };
+        analyze_files(dir, &files, &opts).expect("analysis runs")
+    }
+
+    fn collect(dir: &Path, out: &mut Vec<PathBuf>) {
+        for e in std::fs::read_dir(dir).expect("fixture dir") {
+            let p = e.expect("entry").path();
+            if p.is_dir() {
+                collect(&p, out);
+            } else if p.extension().is_some_and(|x| x == "rs") {
+                out.push(p);
+            }
+        }
+    }
+
+    #[test]
+    fn deep_fixtures_trip_all_three_passes() {
+        let a = run(&fixture_root(), None);
+        let rules: BTreeSet<&str> = a.deep.iter().map(|f| f.rule.name()).collect();
+        assert!(
+            rules.contains("encryption-boundary")
+                && rules.contains("panic-freedom")
+                && rules.contains("unsafe-audit"),
+            "expected all three passes to fire on the seeded fixtures: {:?}",
+            a.deep
+        );
+        assert_eq!(a.cache_hits, 0);
+        assert_eq!(a.files, a.cache_misses);
+        assert_eq!(a.timings.len(), 5, "{:?}", a.timings);
+    }
+
+    #[test]
+    fn warm_cache_hits_every_file_and_agrees() {
+        let dir = std::env::temp_dir().join(format!("seal-driver-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cold = run(&fixture_root(), Some(dir.clone()));
+        let warm = run(&fixture_root(), Some(dir.clone()));
+        assert_eq!(cold.cache_hits, 0);
+        assert_eq!(warm.cache_misses, 0, "second run must be fully warm");
+        assert_eq!(warm.cache_hits, warm.files);
+        assert_eq!(cold.deep, warm.deep, "cache must not change results");
+        assert_eq!(cold.lint, warm.lint);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn baseline_roundtrip_and_fail_on_new_semantics() {
+        let a = run(&fixture_root(), None);
+        assert!(!a.deep.is_empty());
+        let text = render_baseline(&a.deep);
+        let dir = std::env::temp_dir().join(format!("seal-baseline-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("analyze_baseline.txt");
+        std::fs::write(&path, text).expect("write baseline");
+        let baseline = load_baseline(&path).expect("load baseline");
+        let (fresh, known) = split_new(a.deep.clone(), &baseline);
+        assert!(fresh.is_empty(), "all findings baselined: {fresh:?}");
+        assert_eq!(known, a.deep.len());
+        // An empty baseline reports everything as new.
+        let (fresh, known) = split_new(a.deep.clone(), &BTreeSet::new());
+        assert_eq!(fresh.len(), a.deep.len());
+        assert_eq!(known, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_baseline_is_empty() {
+        let b = load_baseline(Path::new("/nonexistent/analyze_baseline.txt")).expect("ok");
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let files = {
+            let mut v = Vec::new();
+            collect(&fixture_root(), &mut v);
+            v.sort();
+            v
+        };
+        let root = fixture_root();
+        let par = analyze_files(&root, &files, &DeepOptions::default()).expect("parallel");
+        let ser = analyze_files(
+            &root,
+            &files,
+            &DeepOptions {
+                parallel: false,
+                ..DeepOptions::default()
+            },
+        )
+        .expect("serial");
+        assert_eq!(par.deep, ser.deep);
+        assert_eq!(par.lint, ser.lint);
+    }
+
+    #[test]
+    fn real_workspace_is_clean_of_unsuppressed_deep_findings() {
+        let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .expect("workspace root");
+        let a = analyze_workspace(&root, &DeepOptions::default()).expect("analysis");
+        assert!(
+            a.deep.is_empty(),
+            "deep passes must be clean on the tree (fix or justify):\n{}",
+            crate::report::render_deep_human(&a.deep)
+        );
+    }
+}

@@ -318,12 +318,28 @@ impl Lexer {
             if c.is_alphanumeric() || c == '_' {
                 text.push(c);
                 self.bump();
-            } else if c == '.' && self.peek(1) != Some('.') {
-                // One decimal point, but never eat a `..` range.
+            } else if c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                // One decimal point, and only when a digit follows: `1.5`
+                // is a float, but `1.max(2)` is a method call on a literal
+                // and `0..n` is a range.
                 if text.contains('.') {
                     break;
                 }
                 text.push('.');
+                self.bump();
+            } else if matches!(c, '+' | '-')
+                && !text.starts_with("0x")
+                && !text.starts_with("0b")
+                && !text.starts_with("0o")
+                && text
+                    .chars()
+                    .last()
+                    .is_some_and(|e| matches!(e, 'e' | 'E'))
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+            {
+                // Signed exponent: `1e-5` / `2.5E+3` is one float literal,
+                // not a subtraction.
+                text.push(c);
                 self.bump();
             } else {
                 break;
@@ -408,6 +424,79 @@ mod tests {
         assert_eq!(toks[0], (TokKind::Num, "0".into()));
         assert_eq!(toks[1], (TokKind::Punct, ".".into()));
         assert_eq!(toks[2], (TokKind::Punct, ".".into()));
+    }
+
+    #[test]
+    fn method_call_on_numeric_literal_is_not_a_float() {
+        // Regression: `1.max(2)` used to lex as one Num token `1.max`,
+        // hiding the call from the parser's call-site scanner.
+        let toks = kinds("let x = 1.max(2);");
+        assert_eq!(toks[3], (TokKind::Num, "1".into()));
+        assert_eq!(toks[4], (TokKind::Punct, ".".into()));
+        assert_eq!(toks[5], (TokKind::Ident, "max".into()));
+        // Plain floats still lex as one token.
+        let toks = kinds("1.5 + 2.25");
+        assert_eq!(toks[0], (TokKind::Num, "1.5".into()));
+        assert_eq!(toks[2], (TokKind::Num, "2.25".into()));
+    }
+
+    #[test]
+    fn signed_exponents_are_one_token() {
+        // Regression: `1e-5` used to split at the sign and misparse as a
+        // subtraction.
+        let toks = kinds("let eps = 1e-5; let b = 2.5E+3; let c = 1.0e-7f64;");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "1e-5"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "2.5E+3"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "1.0e-7f64"));
+        // Hex literals never absorb a following sign.
+        let toks = kinds("0xE-1");
+        assert_eq!(toks[0], (TokKind::Num, "0xE".into()));
+        assert_eq!(toks[1], (TokKind::Punct, "-".into()));
+        assert_eq!(toks[2], (TokKind::Num, "1".into()));
+        // A real subtraction after a decimal literal is untouched.
+        let toks = kinds("x - 3");
+        assert_eq!(toks[1], (TokKind::Punct, "-".into()));
+    }
+
+    #[test]
+    fn multi_hash_raw_strings_with_embedded_terminators() {
+        // `"#` inside an `r##"…"##` body must not terminate the literal.
+        let src = "r##\"has \"# inside\"## next";
+        let toks = kinds(src);
+        assert_eq!(toks[0].0, TokKind::Str);
+        assert!(toks[0].1.contains("inside"));
+        assert_eq!(toks[1], (TokKind::Ident, "next".into()));
+        // Zero-hash raw strings terminate at the first quote.
+        let toks = kinds("r\"a\\\" tail");
+        assert_eq!(toks[0], (TokKind::Str, "r\"a\\\"".into()));
+    }
+
+    #[test]
+    fn deeply_nested_block_comments_track_lines() {
+        let toks = lex("/* a\n /* b\n /* c */\n */\n*/ after");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].kind, TokKind::Comment);
+        assert_eq!(toks[1].text, "after");
+        assert_eq!(toks[1].line, 5);
+    }
+
+    #[test]
+    fn lifetime_char_disambiguation_in_match_arms() {
+        let toks = kinds("match c { 'a'..='z' => 1, '_' => 2, _ => 3 }");
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Char)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(chars, vec!["'a'", "'z'", "'_'"]);
+        let toks = kinds("'outer: loop { let q = 'q'; break 'outer; }");
+        let lifes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(lifes, vec!["'outer", "'outer"]);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Char && t == "'q'"));
     }
 
     #[test]

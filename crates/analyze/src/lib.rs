@@ -26,12 +26,20 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cache;
+pub mod callgraph;
+pub mod driver;
+pub mod ir;
 pub mod lexer;
 pub mod lint;
+pub mod parser;
 pub mod report;
 pub mod semantic;
+pub mod taint;
 
-pub use lint::{lint_source, Rule, ALL_RULES};
+pub use driver::{analyze_workspace, Analysis, DeepOptions};
+pub use ir::DeepFinding;
+pub use lint::{lint_source, Rule, ALL_RULES, DEEP_RULES};
 pub use report::{render_human, render_json, Finding};
 pub use semantic::run_semantic_checks;
 

@@ -45,6 +45,17 @@ pub enum Rule {
     /// allocation (caller-provided buffers, grow-only thread-local
     /// scratch, the plan's activation arena).
     HotPathAlloc,
+    /// Deep pass: weight-derived data reaching a memory-traffic sink
+    /// (`EnginePipeline::submit*`, gpusim trace emission) without passing
+    /// through `CtrCipher`/lane pricing. Reported with the full call chain.
+    EncryptionBoundary,
+    /// Deep pass: `panic!`/`unwrap`/`expect`/index-arithmetic reachable
+    /// from a serve/plan root (`worker_loop`, `execute_into`) in non-test
+    /// code without a justified `allow` directive.
+    PanicFreedom,
+    /// Deep pass: `unsafe` block or `unsafe impl` without a `// SAFETY:`
+    /// comment whose stated bound names appear in the enclosing scope.
+    UnsafeAudit,
 }
 
 impl Rule {
@@ -62,6 +73,9 @@ impl Rule {
             Rule::ThreadSpawn => "thread-spawn",
             Rule::RetryBackoff => "retry-backoff",
             Rule::HotPathAlloc => "hot-path-alloc",
+            Rule::EncryptionBoundary => "encryption-boundary",
+            Rule::PanicFreedom => "panic-freedom",
+            Rule::UnsafeAudit => "unsafe-audit",
         }
     }
 
@@ -79,6 +93,9 @@ impl Rule {
             "thread-spawn" => Rule::ThreadSpawn,
             "retry-backoff" => Rule::RetryBackoff,
             "hot-path-alloc" => Rule::HotPathAlloc,
+            "encryption-boundary" => Rule::EncryptionBoundary,
+            "panic-freedom" => Rule::PanicFreedom,
+            "unsafe-audit" => Rule::UnsafeAudit,
             _ => return None,
         })
     }
@@ -97,6 +114,16 @@ pub const ALL_RULES: [Rule; 11] = [
     Rule::ThreadSpawn,
     Rule::RetryBackoff,
     Rule::HotPathAlloc,
+];
+
+/// The call-graph passes, in reporting order. These run on the parsed IR
+/// (`crate::callgraph`, `crate::taint`), not in the token-lint driver, but
+/// share the `Rule` namespace so `allow(...)` directives and baselines use
+/// one vocabulary.
+pub const DEEP_RULES: [Rule; 3] = [
+    Rule::EncryptionBoundary,
+    Rule::PanicFreedom,
+    Rule::UnsafeAudit,
 ];
 
 /// Zero-argument methods whose `Result` encodes a *peer failure* (poisoned
@@ -188,7 +215,7 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
 
 /// Lines covered by `#[cfg(test)]`-gated items, including the attribute
 /// lines themselves.
-fn test_region_lines(toks: &[Tok]) -> std::collections::BTreeSet<u32> {
+pub(crate) fn test_region_lines(toks: &[Tok]) -> std::collections::BTreeSet<u32> {
     let code: Vec<(usize, &Tok)> = toks
         .iter()
         .enumerate()
@@ -278,7 +305,7 @@ fn cfg_test_attr_end(code: &[(usize, &Tok)], i: usize) -> Option<usize> {
 /// Parses `seal-lint: allow(rule, rule…)` directives out of comments. The
 /// returned map covers the comment's own line **and** the line below it
 /// (so a directive can sit on its own line above the finding).
-fn allow_directives(toks: &[Tok]) -> std::collections::BTreeMap<u32, Vec<Rule>> {
+pub(crate) fn allow_directives(toks: &[Tok]) -> std::collections::BTreeMap<u32, Vec<Rule>> {
     let mut map: std::collections::BTreeMap<u32, Vec<Rule>> = std::collections::BTreeMap::new();
     for t in toks {
         if t.kind != TokKind::Comment {
@@ -982,7 +1009,7 @@ mod tests {
 
     #[test]
     fn rule_names_roundtrip() {
-        for r in ALL_RULES {
+        for r in ALL_RULES.into_iter().chain(DEEP_RULES) {
             assert_eq!(Rule::from_name(r.name()), Some(r));
         }
         assert_eq!(Rule::from_name("nonsense"), None);

@@ -1,37 +1,77 @@
 //! The `seal-analyze` CLI.
 //!
 //! ```text
-//! seal-analyze [--workspace] [--json] [paths…]
+//! seal-analyze [--workspace] [--json] [flags…] [paths…]
 //! ```
 //!
 //! With `--workspace` (or no arguments) the tool locates the workspace
-//! root, lints every library source (Pass 1), and runs the semantic model
-//! zoo / plan / heap checks (Pass 2). With explicit paths it lints only
-//! those files or directories. Exit codes: `0` clean, `1` findings, `2`
-//! usage or I/O error.
+//! root and runs all three layers: the token lint (Pass 1), the semantic
+//! model-zoo / plan / heap checks (Pass 2), and the deep call-graph
+//! passes (Pass 3: encryption-boundary taint, panic-freedom reachability,
+//! unsafe-audit) with incremental caching and `seal-pool` parallelism.
+//! With explicit paths it lints only those files — add `--deep` to run
+//! the deep passes over them too (fixture workflows). Exit codes: `0`
+//! clean, `1` findings, `2` usage or I/O error.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Instant;
 
-use seal_analyze::report::json_escape;
+use seal_analyze::driver::{
+    analyze_files, analyze_workspace, load_baseline, render_baseline, split_new, Analysis,
+    DeepOptions,
+};
+use seal_analyze::report::{json_escape, render_deep_human, render_report_json};
 use seal_analyze::{
     find_workspace_root, lint_paths, lint_workspace, render_human, render_json,
     run_semantic_checks, Finding,
 };
 
-const USAGE: &str = "usage: seal-analyze [--workspace] [--json] [paths...]
+const USAGE: &str = "usage: seal-analyze [--workspace] [--json] [flags...] [paths...]
 
-  --workspace   lint all workspace library sources and run the semantic
-                model-zoo / encryption-plan / heap-layout checks (default
-                when no paths are given)
-  --json        machine-readable output
-  paths...      lint only the given files/directories (Pass 1 only)
+  --workspace        analyze all workspace library sources: token lint,
+                     semantic checks, and the deep call-graph passes
+                     (encryption-boundary, panic-freedom, unsafe-audit);
+                     default when no paths are given
+  --json             machine-readable output
+  paths...           lint only the given files/directories
+  --deep             also run the deep passes in paths mode
+
+  --no-deep          skip the deep passes in workspace mode
+  --no-cache         disable the incremental per-file cache
+  --cache-dir DIR    cache location (default target/seal-analyze-cache)
+  --serial           analyze files on one thread (bench baseline)
+  --baseline FILE    deep-findings baseline (default analyze_baseline.txt
+                     at the workspace root; missing file = empty)
+  --fail-on=MODE     `all` (default): any deep finding fails;
+                     `new`: only findings absent from the baseline fail
+  --write-baseline   rewrite the baseline from current findings and exit
+  --report FILE      write the full JSON report (lint + deep + cache)
+  --timing           record per-pass wall time (stderr + report)
+  --bench            benchmark serial/parallel x cold/warm and print JSON
 
 exit codes: 0 clean, 1 findings, 2 usage or I/O error";
+
+#[derive(PartialEq)]
+enum FailOn {
+    All,
+    New,
+}
 
 struct Args {
     workspace: bool,
     json: bool,
+    deep: bool,
+    no_deep: bool,
+    no_cache: bool,
+    cache_dir: Option<PathBuf>,
+    serial: bool,
+    baseline: Option<PathBuf>,
+    fail_on: FailOn,
+    write_baseline: bool,
+    report: Option<PathBuf>,
+    timing: bool,
+    bench: bool,
     paths: Vec<PathBuf>,
 }
 
@@ -39,12 +79,43 @@ fn parse_args() -> Result<Option<Args>, String> {
     let mut args = Args {
         workspace: false,
         json: false,
+        deep: false,
+        no_deep: false,
+        no_cache: false,
+        cache_dir: None,
+        serial: false,
+        baseline: None,
+        fail_on: FailOn::All,
+        write_baseline: false,
+        report: None,
+        timing: false,
+        bench: false,
         paths: Vec::new(),
     };
-    for a in std::env::args().skip(1) {
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
         match a.as_str() {
             "--workspace" => args.workspace = true,
             "--json" => args.json = true,
+            "--deep" => args.deep = true,
+            "--no-deep" => args.no_deep = true,
+            "--no-cache" => args.no_cache = true,
+            "--serial" => args.serial = true,
+            "--write-baseline" => args.write_baseline = true,
+            "--timing" => args.timing = true,
+            "--bench" => args.bench = true,
+            "--cache-dir" => {
+                args.cache_dir =
+                    Some(PathBuf::from(it.next().ok_or("--cache-dir needs a directory")?));
+            }
+            "--baseline" => {
+                args.baseline = Some(PathBuf::from(it.next().ok_or("--baseline needs a file")?));
+            }
+            "--report" => {
+                args.report = Some(PathBuf::from(it.next().ok_or("--report needs a file")?));
+            }
+            "--fail-on=all" => args.fail_on = FailOn::All,
+            "--fail-on=new" => args.fail_on = FailOn::New,
             "--help" | "-h" => return Ok(None),
             s if s.starts_with('-') => return Err(format!("unknown flag {s}")),
             s => args.paths.push(PathBuf::from(s)),
@@ -56,6 +127,26 @@ fn parse_args() -> Result<Option<Args>, String> {
         return Err("--workspace and explicit paths are mutually exclusive".into());
     }
     Ok(Some(args))
+}
+
+fn fail(e: impl std::fmt::Display) -> ExitCode {
+    eprintln!("seal-analyze: {e}");
+    ExitCode::from(2)
+}
+
+fn deep_options(args: &Args, root: Option<&Path>) -> DeepOptions {
+    let cache_dir = if args.no_cache {
+        None
+    } else if args.cache_dir.is_some() {
+        args.cache_dir.clone()
+    } else {
+        root.map(DeepOptions::default_cache_dir)
+    };
+    DeepOptions {
+        cache_dir,
+        parallel: !args.serial,
+        ..DeepOptions::default()
+    }
 }
 
 fn main() -> ExitCode {
@@ -71,44 +162,141 @@ fn main() -> ExitCode {
         }
     };
 
-    let (findings, semantic): (Vec<Finding>, Vec<String>) = if args.workspace {
+    let root = if args.workspace || args.bench {
         let cwd = match std::env::current_dir() {
             Ok(d) => d,
-            Err(e) => {
-                eprintln!("seal-analyze: cannot determine working directory: {e}");
-                return ExitCode::from(2);
-            }
+            Err(e) => return fail(format!("cannot determine working directory: {e}")),
         };
-        let Some(root) = find_workspace_root(&cwd) else {
-            eprintln!("seal-analyze: no workspace root found above {}", cwd.display());
-            return ExitCode::from(2);
-        };
-        match lint_workspace(&root) {
-            Ok(f) => (f, run_semantic_checks()),
-            Err(e) => {
-                eprintln!("seal-analyze: {e}");
-                return ExitCode::from(2);
+        match find_workspace_root(&cwd) {
+            Some(r) => Some(r),
+            None => {
+                return fail(format!("no workspace root found above {}", cwd.display()));
             }
+        }
+    } else {
+        None
+    };
+
+    if args.bench {
+        let Some(root) = root else {
+            return fail("--bench requires a workspace root");
+        };
+        return match run_bench(&root) {
+            Ok(json) => {
+                print!("{json}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(e),
+        };
+    }
+
+    // Gather findings from the layers this invocation runs.
+    let (lint, semantic, analysis): (Vec<Finding>, Vec<String>, Option<Analysis>) = if args
+        .workspace
+    {
+        let Some(root) = root.as_deref() else {
+            return fail("workspace mode could not resolve a root");
+        };
+        if args.no_deep {
+            match lint_workspace(root) {
+                Ok(f) => (f, run_semantic_checks(), None),
+                Err(e) => return fail(e),
+            }
+        } else {
+            match analyze_workspace(root, &deep_options(&args, Some(root))) {
+                Ok(a) => (a.lint.clone(), run_semantic_checks(), Some(a)),
+                Err(e) => return fail(e),
+            }
+        }
+    } else if args.deep {
+        let mut files = Vec::new();
+        for p in &args.paths {
+            if p.is_dir() {
+                if let Err(e) = collect_rs(p, &mut files) {
+                    return fail(e);
+                }
+            } else {
+                files.push(p.clone());
+            }
+        }
+        files.sort();
+        let base = std::env::current_dir().unwrap_or_default();
+        match analyze_files(&base, &files, &deep_options(&args, None)) {
+            Ok(a) => (a.lint.clone(), Vec::new(), Some(a)),
+            Err(e) => return fail(e),
         }
     } else {
         match lint_paths(&args.paths) {
-            Ok(f) => (f, Vec::new()),
-            Err(e) => {
-                eprintln!("seal-analyze: {e}");
-                return ExitCode::from(2);
-            }
+            Ok(f) => (f, Vec::new(), None),
+            Err(e) => return fail(e),
         }
     };
 
+    // Baseline handling (deep findings only).
+    let baseline_path = args
+        .baseline
+        .clone()
+        .or_else(|| root.as_ref().map(|r| r.join("analyze_baseline.txt")));
+    if args.write_baseline {
+        let Some(a) = &analysis else {
+            return fail("--write-baseline requires the deep passes to run");
+        };
+        let Some(p) = &baseline_path else {
+            return fail("--write-baseline requires --baseline or workspace mode");
+        };
+        if let Err(e) = std::fs::write(p, render_baseline(&a.deep)) {
+            return fail(e);
+        }
+        eprintln!(
+            "seal-analyze: wrote {} baseline key(s) to {}",
+            a.deep.len(),
+            p.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    let (deep_fail, deep_known) = match (&analysis, &args.fail_on) {
+        (Some(a), FailOn::New) => {
+            let baseline = match baseline_path.as_deref().map(load_baseline).transpose() {
+                Ok(b) => b.unwrap_or_default(),
+                Err(e) => return fail(e),
+            };
+            split_new(a.deep.clone(), &baseline)
+        }
+        (Some(a), FailOn::All) => (a.deep.clone(), 0),
+        (None, _) => (Vec::new(), 0),
+    };
+
+    if let (Some(a), Some(path)) = (&analysis, &args.report) {
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(path, render_report_json(a, args.timing)) {
+            return fail(e);
+        }
+    }
+    if args.timing {
+        if let Some(a) = &analysis {
+            for t in &a.timings {
+                eprintln!("seal-analyze: timing {} {:.3} ms", t.name, t.millis);
+            }
+        }
+    }
+
     if args.json {
-        let sem: Vec<String> = semantic.iter().map(|d| format!("\"{}\"", json_escape(d))).collect();
+        let sem: Vec<String> =
+            semantic.iter().map(|d| format!("\"{}\"", json_escape(d))).collect();
+        let deep_json = analysis
+            .as_ref()
+            .map(|a| format!(",\"deep_report\":{}", render_report_json(a, args.timing).trim_end()))
+            .unwrap_or_default();
         println!(
-            "{{\"findings\":{},\"semantic\":[{}]}}",
-            render_json(&findings).trim_end(),
-            sem.join(",")
+            "{{\"findings\":{},\"semantic\":[{}]{}}}",
+            render_json(&lint).trim_end(),
+            sem.join(","),
+            deep_json
         );
     } else {
-        print!("{}", render_human(&findings));
+        print!("{}", render_human(&lint));
         for d in &semantic {
             println!("semantic: {d}");
         }
@@ -118,11 +306,89 @@ fn main() -> ExitCode {
                 if semantic.is_empty() { "clean" } else { "FAILED" }
             );
         }
+        if let Some(a) = &analysis {
+            print!("{}", render_deep_human(&deep_fail));
+            if deep_known > 0 {
+                println!("seal-analyze: {deep_known} baselined deep finding(s) ignored");
+            }
+            eprintln!(
+                "seal-analyze: {} file(s), cache {} hit(s) / {} miss(es)",
+                a.files, a.cache_hits, a.cache_misses
+            );
+        }
     }
 
-    if findings.is_empty() && semantic.is_empty() {
+    if lint.is_empty() && semantic.is_empty() && deep_fail.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)
     }
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for e in std::fs::read_dir(dir)? {
+        let p = e?.path();
+        if p.is_dir() {
+            collect_rs(&p, out)?;
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// `--bench`: one serial cold run (no cache), one parallel cold run
+/// (fresh cache), one parallel warm run (same cache), reported as
+/// files/sec and cache hit rate. The cache lives in a scratch directory
+/// so benching never touches the real incremental state.
+fn run_bench(root: &Path) -> Result<String, String> {
+    let scratch = root.join("target").join("seal-analyze-cache-bench");
+    let _ = std::fs::remove_dir_all(&scratch);
+    let run = |parallel: bool, cache: bool| -> Result<(Analysis, f64), String> {
+        let opts = DeepOptions {
+            cache_dir: cache.then(|| scratch.clone()),
+            parallel,
+            ..DeepOptions::default()
+        };
+        let t = Instant::now();
+        let a = analyze_workspace(root, &opts).map_err(|e| e.to_string())?;
+        Ok((a, t.elapsed().as_secs_f64() * 1000.0))
+    };
+    let (serial, serial_ms) = run(false, false)?;
+    let (cold, cold_ms) = run(true, true)?;
+    let (warm, warm_ms) = run(true, true)?;
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    let fps = |files: usize, ms: f64| files as f64 / (ms / 1000.0).max(1e-9);
+    let rate = |a: &Analysis| a.cache_hits as f64 / (a.files as f64).max(1.0);
+    let mut out = String::from("{");
+    out.push_str(&format!(
+        "\"files\":{},\"threads\":{},",
+        serial.files,
+        seal_pool::current_threads()
+    ));
+    out.push_str(&format!(
+        "\"serial_cold\":{{\"millis\":{:.3},\"files_per_sec\":{:.1},\"cache_hit_rate\":{:.3}}},",
+        serial_ms,
+        fps(serial.files, serial_ms),
+        rate(&serial)
+    ));
+    out.push_str(&format!(
+        "\"parallel_cold\":{{\"millis\":{:.3},\"files_per_sec\":{:.1},\"cache_hit_rate\":{:.3}}},",
+        cold_ms,
+        fps(cold.files, cold_ms),
+        rate(&cold)
+    ));
+    out.push_str(&format!(
+        "\"parallel_warm\":{{\"millis\":{:.3},\"files_per_sec\":{:.1},\"cache_hit_rate\":{:.3}}},",
+        warm_ms,
+        fps(warm.files, warm_ms),
+        rate(&warm)
+    ));
+    out.push_str(&format!(
+        "\"parallel_speedup\":{:.2},\"warm_speedup\":{:.2}}}\n",
+        serial_ms / cold_ms.max(1e-9),
+        serial_ms / warm_ms.max(1e-9)
+    ));
+    Ok(out)
 }

@@ -6,7 +6,7 @@
 use crate::lint::Rule;
 
 /// One lint finding.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
     /// Path of the offending file, as given to the linter.
     pub path: String,
@@ -68,6 +68,91 @@ pub fn render_json(findings: &[Finding]) -> String {
         ));
     }
     out.push_str("]\n");
+    out
+}
+
+/// Renders deep-pass findings for terminals: one header line per finding
+/// plus its indented call chain (`qual (file:line)` hops).
+pub fn render_deep_human(findings: &[crate::ir::DeepFinding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}: {}\n",
+            f.path,
+            f.line,
+            f.rule.name(),
+            f.fun,
+            f.message
+        ));
+        for (i, hop) in f.chain.iter().enumerate() {
+            let arrow = if i == 0 { "   " } else { "-> " };
+            out.push_str(&format!("    {arrow}{} ({}:{})\n", hop.qual, hop.path, hop.line));
+        }
+    }
+    if findings.is_empty() {
+        out.push_str("seal-analyze: deep passes clean\n");
+    } else {
+        out.push_str(&format!(
+            "seal-analyze: {} deep finding{}\n",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" }
+        ));
+    }
+    out
+}
+
+/// Renders the full machine-readable report (`results/analyze_report.json`
+/// in the reproduction pipeline): lint and deep findings with stable
+/// field order, cache statistics, and — when `timings` is given — the
+/// per-pass wall time recorded by `--timing`.
+pub fn render_report_json(
+    analysis: &crate::driver::Analysis,
+    timings: bool,
+) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!(
+        "\"files\":{},\"cache\":{{\"hits\":{},\"misses\":{}}},",
+        analysis.files, analysis.cache_hits, analysis.cache_misses
+    ));
+    if timings {
+        out.push_str("\"timings_ms\":{");
+        for (i, t) in analysis.timings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{:.3}", t.name, t.millis));
+        }
+        out.push_str("},");
+    }
+    out.push_str("\"lint\":");
+    out.push_str(render_json(&analysis.lint).trim_end());
+    out.push_str(",\"deep\":[");
+    for (i, f) in analysis.deep.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"fn\":\"{}\",\"message\":\"{}\",\"chain\":[",
+            f.rule.name(),
+            json_escape(&f.path),
+            f.line,
+            json_escape(&f.fun),
+            json_escape(&f.message)
+        ));
+        for (j, hop) in f.chain.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"fn\":\"{}\",\"path\":\"{}\",\"line\":{}}}",
+                json_escape(&hop.qual),
+                json_escape(&hop.path),
+                hop.line
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}\n");
     out
 }
 

@@ -241,3 +241,181 @@ fn cli_rejects_unknown_flags_with_usage_error() {
     assert_eq!(code, 2);
     assert!(stderr.contains("usage"), "{stderr}");
 }
+
+// ---------------------------------------------------------------------------
+// Deep passes: taint / panic-freedom / unsafe-audit over the seeded
+// fixtures, the JSON report, the baseline workflow, and cache
+// invalidation.
+// ---------------------------------------------------------------------------
+
+fn deep_fixture_files() -> (PathBuf, Vec<PathBuf>) {
+    let dir = fixture("deep");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("deep fixture dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+        .collect();
+    files.sort();
+    (dir, files)
+}
+
+#[test]
+fn taint_pass_fails_on_the_seeded_weight_to_bus_bypass_with_full_chain() {
+    use seal_analyze::driver::{analyze_files, DeepOptions};
+    let (dir, files) = deep_fixture_files();
+    let a = analyze_files(&dir, &files, &DeepOptions::default()).expect("analysis");
+    let taint: Vec<_> =
+        a.deep.iter().filter(|f| f.rule == Rule::EncryptionBoundary).collect();
+    assert_eq!(taint.len(), 1, "exactly the seeded bypass: {:?}", a.deep);
+    let f = taint[0];
+    assert_eq!(f.fun, "crate::bypass::leak_weights");
+    assert!(f.message.contains("without CtrCipher"), "{}", f.message);
+    let chain: Vec<&str> = f.chain.iter().map(|h| h.qual.as_str()).collect();
+    assert_eq!(
+        chain,
+        vec![
+            "crate::bypass::Linear::weights",
+            "crate::bypass::stage_weights",
+            "crate::bypass::leak_weights",
+            "crate::bypass::EnginePipeline::submit",
+        ],
+        "the full source->...->sink chain must be reported"
+    );
+    // The sanitized counterpart in the same file stays clean.
+    assert!(!taint.iter().any(|f| f.fun.contains("ship")));
+}
+
+#[test]
+fn panic_and_unsafe_fixtures_yield_exactly_the_seeded_findings() {
+    use seal_analyze::driver::{analyze_files, DeepOptions};
+    let (dir, files) = deep_fixture_files();
+    let a = analyze_files(&dir, &files, &DeepOptions::default()).expect("analysis");
+    let panics: Vec<&str> = a
+        .deep
+        .iter()
+        .filter(|f| f.rule == Rule::PanicFreedom)
+        .map(|f| f.fun.as_str())
+        .collect();
+    // `step` is reachable from `worker_loop`; `checked_step` is justified
+    // and `offline_tool` is unreachable from any root.
+    assert_eq!(panics, vec!["crate::bad_reachable_panics::step"], "{:?}", a.deep);
+    let unsafes: Vec<&str> = a
+        .deep
+        .iter()
+        .filter(|f| f.rule == Rule::UnsafeAudit)
+        .map(|f| f.fun.as_str())
+        .collect();
+    assert_eq!(
+        unsafes,
+        vec!["crate::bad_unsafe::sum_unchecked", "crate::bad_unsafe::stale_comment"],
+        "naked and stale-named unsafe are reported; the documented one is not"
+    );
+}
+
+#[test]
+fn cli_deep_mode_prints_the_chain_and_exits_nonzero() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let (code, stdout, _) = run_cli(&["--deep", "crates/analyze/fixtures/deep"], &root);
+    assert_eq!(code, 1, "{stdout}");
+    assert!(stdout.contains("[encryption-boundary]"), "{stdout}");
+    assert!(stdout.contains("crate::bypass::Linear::weights"), "{stdout}");
+    assert!(stdout.contains("-> crate::bypass::EnginePipeline::submit"), "{stdout}");
+    assert!(stdout.contains("[panic-freedom]"), "{stdout}");
+    assert!(stdout.contains("[unsafe-audit]"), "{stdout}");
+}
+
+#[test]
+fn cli_report_json_has_the_stable_golden_shape() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let dir =
+        std::env::temp_dir().join(format!("seal-analyze-report-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let report = dir.join("analyze_report.json");
+    let (code, _, _) = run_cli(
+        &[
+            "--deep",
+            "crates/analyze/fixtures/deep",
+            "--timing",
+            "--report",
+            report.to_str().expect("utf8 path"),
+        ],
+        &root,
+    );
+    assert_eq!(code, 1);
+    let text = std::fs::read_to_string(&report).expect("report written");
+    // Golden shape: stable keys in a stable order, chain hops inline.
+    assert!(text.starts_with("{\"files\":3,\"cache\":{"), "{text}");
+    assert!(text.contains("\"timings_ms\":{\"parse\":"), "{text}");
+    assert!(text.contains("\"rule\":\"encryption-boundary\""), "{text}");
+    assert!(text.contains("\"rule\":\"panic-freedom\""), "{text}");
+    assert!(text.contains("\"rule\":\"unsafe-audit\""), "{text}");
+    assert!(
+        text.contains("\"chain\":[{\"fn\":\"crate::bypass::Linear::weights\""),
+        "{text}"
+    );
+    for pass in ["callgraph", "encryption-boundary", "panic-freedom", "unsafe-audit"] {
+        assert!(text.contains(&format!("\"{pass}\":")), "missing {pass} timing: {text}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cli_baseline_workflow_suppresses_known_findings_under_fail_on_new() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let dir =
+        std::env::temp_dir().join(format!("seal-analyze-baseline-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let baseline = dir.join("baseline.txt");
+    let bl = baseline.to_str().expect("utf8 path");
+    // Without a baseline the seeded findings fail the run.
+    let (code, _, _) = run_cli(
+        &["--deep", "crates/analyze/fixtures/deep", "--fail-on=new", "--baseline", bl],
+        &root,
+    );
+    assert_eq!(code, 1, "empty baseline must not mask findings");
+    // Write the baseline, then the same invocation passes.
+    let (code, _, stderr) = run_cli(
+        &["--deep", "crates/analyze/fixtures/deep", "--write-baseline", "--baseline", bl],
+        &root,
+    );
+    assert_eq!(code, 0, "{stderr}");
+    let (code, stdout, _) = run_cli(
+        &["--deep", "crates/analyze/fixtures/deep", "--fail-on=new", "--baseline", bl],
+        &root,
+    );
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("baselined deep finding(s) ignored"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cli_cache_invalidation_reanalyzes_only_edited_files() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let dir =
+        std::env::temp_dir().join(format!("seal-analyze-inval-{}", std::process::id()));
+    let src_dir = dir.join("src_copy");
+    let cache_dir = dir.join("cache");
+    std::fs::create_dir_all(&src_dir).expect("mkdir");
+    for f in std::fs::read_dir(fixture("deep")).expect("deep dir") {
+        let p = f.expect("entry").path();
+        std::fs::copy(&p, src_dir.join(p.file_name().expect("name"))).expect("copy");
+    }
+    let args = [
+        "--deep",
+        src_dir.to_str().expect("utf8"),
+        "--cache-dir",
+        cache_dir.to_str().expect("utf8"),
+    ];
+    let (_, _, stderr) = run_cli(&args, &root);
+    assert!(stderr.contains("cache 0 hit(s) / 3 miss(es)"), "cold: {stderr}");
+    let (_, _, stderr) = run_cli(&args, &root);
+    assert!(stderr.contains("cache 3 hit(s) / 0 miss(es)"), "warm: {stderr}");
+    // Edit one file: only that file re-analyzes.
+    let edited = src_dir.join("bad_unsafe.rs");
+    let mut text = std::fs::read_to_string(&edited).expect("read");
+    text.push_str("\nfn appended() {}\n");
+    std::fs::write(&edited, text).expect("write");
+    let (_, _, stderr) = run_cli(&args, &root);
+    assert!(stderr.contains("cache 2 hit(s) / 1 miss(es)"), "invalidated: {stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

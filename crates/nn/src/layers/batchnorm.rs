@@ -194,6 +194,7 @@ impl Layer for BatchNorm2d {
         Ok(out)
     }
 
+    // seal-lint: allow(panic-freedom) — per-channel offsets are products of the NCHW dims validated by `check_model` before serving
     fn forward_infer(&self, input: &Tensor) -> Result<Tensor, NnError> {
         let (_, h, w) = self.check_input(input)?;
         let c = self.channels;

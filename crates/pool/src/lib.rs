@@ -537,7 +537,12 @@ impl<T> SendPtr<T> {
         self.0
     }
 }
+// SAFETY: `SendPtr` is only handed to tasks that write disjoint index
+// ranges of the pointee slice, and `parallel_for` joins every task before
+// the caller's mutable borrow ends; `T: Send` carries the element bound.
 unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: sharing `SendPtr` across workers is sound for the same reason —
+// no two tasks alias an element, so `&SendPtr` grants no shared mutation.
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 /// Splits `data` into `chunk`-sized pieces (last one may be short) and
@@ -548,6 +553,7 @@ unsafe impl<T: Send> Sync for SendPtr<T> {}
 /// # Panics
 ///
 /// Panics if `chunk == 0`.
+// seal-lint: allow(panic-freedom) — the geometry asserts are the documented `# Panics` contract — a violation is a caller bug we fail loudly on
 pub fn par_chunks_mut<T, F>(data: &mut [T], chunk: usize, f: F)
 where
     T: Send,
@@ -579,6 +585,7 @@ where
 /// # Panics
 ///
 /// Panics if either chunk size is zero or the chunk counts disagree.
+// seal-lint: allow(panic-freedom) — the paired-length asserts are the documented `# Panics` contract guarding disjoint-range safety
 pub fn par_chunks_pair_mut<T, U, F>(a: &mut [T], chunk_a: usize, b: &mut [U], chunk_b: usize, f: F)
 where
     T: Send,
@@ -606,6 +613,8 @@ where
         // SAFETY: disjoint ranges per task in both slices, within the live
         // borrows of `a` and `b`.
         let pa = unsafe { std::slice::from_raw_parts_mut(base_a.get().add(sa), ea - sa) };
+        // SAFETY: same argument as `pa` — `sb..eb` is disjoint per task and
+        // clamped to `len_b`, inside `b`'s live mutable borrow.
         let pb = unsafe { std::slice::from_raw_parts_mut(base_b.get().add(sb), eb - sb) };
         f(i, pa, pb);
     });
@@ -619,6 +628,7 @@ where
 /// # Panics
 ///
 /// Panics if the ranges overlap, descend or leave `data`.
+// seal-lint: allow(panic-freedom) — the ascending/disjoint-range assert is the documented `# Panics` contract guarding aliasing safety
 pub fn par_ranges_mut<T, F>(data: &mut [T], ranges: &[std::ops::Range<usize>], f: F)
 where
     T: Send,

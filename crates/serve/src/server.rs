@@ -418,7 +418,7 @@ fn worker_loop(shared: &Shared, max_batch: usize, deadline: Duration, use_plan: 
             }));
             // This panic IS the injected fault — the supervisor's
             // catch/respawn path is the code under test.
-            // seal-lint: allow(panic)
+            // seal-lint: allow(panic, panic-freedom)
             panic!("injected panic serving request {}", request.id);
         }
         // An injected slow request inflates its whole batch's service time.

@@ -145,6 +145,7 @@ fn check_conv_shapes(
 /// order `q` matches the `ci → ky → kx` accumulation order of the direct
 /// kernel, so the GEMM reduction visits products in the same sequence.
 #[allow(clippy::too_many_arguments)]
+// seal-lint: allow(panic-freedom) — gather offsets are bounded by the conv geometry validated in `Conv2dGeometry::checked_dims`
 fn fill_im2col(
     cols: &mut [f32],
     x: &[f32],
@@ -205,6 +206,7 @@ fn fill_im2col(
 /// # Errors
 ///
 /// Shape/geometry mismatches produce the corresponding [`TensorError`].
+// seal-lint: allow(panic-freedom) — patch offsets follow the validated conv geometry; shape errors are rejected before the loops
 pub fn conv2d(
     input: &Tensor,
     weights: &Tensor,
@@ -319,6 +321,7 @@ impl Im2colGather {
     /// Builds the gather tables for `dims`. This allocates and runs the
     /// full index arithmetic — call it at plan-compile time, never per
     /// batch.
+    // seal-lint: allow(panic-freedom) — precomputed gather indices are built from the same validated geometry they will be used under
     pub fn compile(dims: &ConvPlanDims) -> Im2colGather {
         let ConvPlanDims {
             c_in,
@@ -435,6 +438,7 @@ fn fill_im2col_packed(
 /// the buffers or `gather` tables disagree with `dims` (the plan
 /// compiler guarantees they never do).
 #[allow(clippy::too_many_arguments)]
+// seal-lint: allow(panic-freedom) — panel and column offsets derive from the validated geometry and the packed panel's own extents
 pub fn conv2d_infer_packed(
     x: &[f32],
     n: usize,

@@ -297,6 +297,7 @@ pub(crate) fn gemm(
 /// `epilogue_relu` is set, each task clamps its freshly-written block to
 /// `max(0, ·)` before returning (the plan's fused-ReLU write-back).
 #[allow(clippy::too_many_arguments)]
+// seal-lint: allow(panic-freedom) — tile offsets are bounded by the blocking scheme; dims are asserted once at the gemm entry
 pub(crate) fn gemm_shared_pack(
     a: &[f32],
     pack: &[f32],
@@ -349,6 +350,7 @@ pub(crate) fn gemm_shared_pack(
 /// order per output element is ascending `k`, carried through `out`
 /// across k-panels.
 #[allow(clippy::too_many_arguments)]
+// seal-lint: allow(panic-freedom) — tile offsets are bounded by the blocking scheme; dims are asserted once at the gemm entry
 pub(crate) fn gemm_consume(
     a: &[f32],
     pack: &[f32],
@@ -412,6 +414,7 @@ pub(crate) fn gemm_consume(
     }
 }
 
+// seal-lint: allow(panic-freedom) — tail extents are the remainders of the blocking scheme, always within the panel
 fn tail_raw(a: &[f32], b: &[f32], out: &mut [f32], rows: usize, k: usize, n: usize, strips: usize) {
     for i in 0..rows {
         for j in (strips * NR)..n {
@@ -439,6 +442,7 @@ unsafe fn tail_raw_fma(
 }
 
 #[inline(always)]
+// seal-lint: allow(panic-freedom) — tail extents are the remainders of the blocking scheme, always within the panel
 fn tail_raw_fma_body(
     a: &[f32],
     b: &[f32],
@@ -459,6 +463,7 @@ fn tail_raw_fma_body(
     }
 }
 
+// seal-lint: allow(panic-freedom) — column-tail offsets stay inside the packed panel by the blocking invariant
 fn tail_cols(
     a: &[f32],
     cols: &[f32],
@@ -496,6 +501,7 @@ unsafe fn tail_cols_fma(
 }
 
 #[inline(always)]
+// seal-lint: allow(panic-freedom) — column-tail offsets stay inside the packed panel by the blocking invariant
 fn tail_cols_fma_body(
     a: &[f32],
     cols: &[f32],
@@ -524,6 +530,7 @@ fn tail_cols_fma_body(
 /// `pack[s][kk][c] = b[(p·KC+kk)·n + s·NR+c]`. The destination is grown
 /// once and never cleared — every live element is overwritten — so
 /// steady-state packing performs no allocation and no redundant zeroing.
+// seal-lint: allow(panic-freedom) — pack offsets enumerate `k x n` exactly once; the destination is sized for the padded panel
 pub(crate) fn pack_b_full(b: &[f32], pack: &mut Vec<f32>, k: usize, n: usize, strips: usize) {
     let need = strips * k * NR;
     if pack.len() < need {
@@ -566,6 +573,8 @@ fn micro_kernel(
         // SAFETY: `Avx2`/`Fma` are only installed when detected
         // (`KernelMode::degrade`).
         KernelMode::Avx2 => unsafe { micro_kernel_avx2(a, bp, out, i0, k0, k, n, s) },
+        // SAFETY: `Fma` likewise — `KernelMode::degrade` clears it on any
+        // CPU that lacks the feature, so the target-feature fn is sound.
         KernelMode::Fma => unsafe { micro_kernel_fma(a, bp, out, i0, k0, k, n, s) },
     }
     #[cfg(not(target_arch = "x86_64"))]
@@ -617,6 +626,7 @@ unsafe fn micro_kernel_fma(
 /// strip (`kc × NR`).
 #[allow(clippy::too_many_arguments)]
 #[inline(always)]
+// seal-lint: allow(panic-freedom) — register-tile offsets are bounded by `MR`/`NR` and the asserted panel extents
 fn micro_kernel_generic(
     a: &[f32],
     bp: &[f32],
@@ -654,6 +664,7 @@ fn micro_kernel_generic(
 /// [`micro_kernel_generic`] with each update contracted via `mul_add`.
 #[allow(clippy::too_many_arguments)]
 #[inline(always)]
+// seal-lint: allow(panic-freedom) — register-tile offsets are bounded by `MR`/`NR` and the asserted panel extents
 fn micro_kernel_fma_body(
     a: &[f32],
     bp: &[f32],
@@ -690,6 +701,7 @@ fn micro_kernel_fma_body(
 /// Remainder rows (`mr < MR`) against one packed strip — same per-element
 /// `k` order as the micro-kernel, one row at a time.
 #[allow(clippy::too_many_arguments)]
+// seal-lint: allow(panic-freedom) — edge-row extents are remainders of the row blocking, always within the output
 fn edge_rows(
     mode: KernelMode,
     a: &[f32],
@@ -747,6 +759,7 @@ unsafe fn edge_rows_fma(
 
 #[allow(clippy::too_many_arguments)]
 #[inline(always)]
+// seal-lint: allow(panic-freedom) — edge-row extents are remainders of the row blocking, always within the output
 fn edge_rows_fma_body(
     a: &[f32],
     bp: &[f32],

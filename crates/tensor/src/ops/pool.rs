@@ -65,6 +65,7 @@ fn check_pool(input: &Tensor, geom: &PoolGeometry) -> Result<(usize, usize, usiz
 /// # Errors
 ///
 /// Returns [`TensorError`] for non-rank-4 inputs or windows that do not fit.
+// seal-lint: allow(panic-freedom) — window offsets are clipped to the input extent by the pooling geometry
 pub fn max_pool2d(
     input: &Tensor,
     geom: &PoolGeometry,
@@ -173,6 +174,7 @@ pub fn max_pool2d_backward(
 /// [`TensorError::LengthMismatch`] if either buffer disagrees with the
 /// dimensions; [`TensorError::InvalidGeometry`] if the window does not fit.
 #[allow(clippy::too_many_arguments)]
+// seal-lint: allow(panic-freedom) — window offsets are clipped to the input extent; the output buffer is sized by the same geometry
 pub fn max_pool2d_into(
     x: &[f32],
     out: &mut [f32],
@@ -216,6 +218,7 @@ pub fn max_pool2d_into(
 ///
 /// Same errors as [`max_pool2d_into`].
 #[allow(clippy::too_many_arguments)]
+// seal-lint: allow(panic-freedom) — window offsets are clipped to the input extent; the output buffer is sized by the same geometry
 pub fn avg_pool2d_into(
     x: &[f32],
     out: &mut [f32],
@@ -277,6 +280,7 @@ fn check_pool_into(
 /// # Errors
 ///
 /// Returns [`TensorError`] for non-rank-4 inputs or windows that do not fit.
+// seal-lint: allow(panic-freedom) — window offsets are clipped to the input extent by the pooling geometry
 pub fn avg_pool2d(input: &Tensor, geom: &PoolGeometry) -> Result<Tensor, TensorError> {
     let (n, c, h, w, oh, ow) = check_pool(input, geom)?;
     let x = input.as_slice();

@@ -47,6 +47,7 @@ impl PackedB {
     }
 
     /// Pack a row-major `k×n` slice. Panics if `b.len() != k*n`.
+    // seal-lint: allow(panic-freedom) — the length assert is the documented `# Panics` contract; pack offsets enumerate the padded panel
     pub fn from_slice(b: &[f32], k: usize, n: usize) -> PackedB {
         assert_eq!(b.len(), k * n, "PackedB::from_slice: length mismatch");
         let strips = n / NR;
@@ -119,6 +120,7 @@ pub fn matmul_prepacked(lhs: &Tensor, rhs: &PackedB) -> Result<Tensor, TensorErr
 /// # Panics
 ///
 /// If `a.len() < m·k` or `out.len() != m·n`.
+// seal-lint: allow(panic-freedom) — the dim asserts are the documented `# Panics` contract matching A and the packed panel
 pub fn gemm_prepacked(
     a: &[f32],
     b: &PackedB,

@@ -226,6 +226,7 @@ impl Tensor {
     /// new tensor. The shared `par_chunks` path for elementwise layers:
     /// fixed-size chunks (independent of the thread count) keep the
     /// output bitwise identical to [`Tensor::map`] for any pure `f`.
+    // seal-lint: allow(panic-freedom) — chunk offsets are derived from the buffer's own length, so the final clamp keeps them in bounds
     pub fn par_map(&self, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
         let mut data = vec![0.0f32; self.data.len()];
         if !data.is_empty() {
@@ -293,6 +294,7 @@ impl Tensor {
     /// # Errors
     ///
     /// Returns [`TensorError::RankMismatch`] for non-matrices.
+    // seal-lint: allow(panic-freedom) — the `r * cols + c` offsets enumerate exactly the `rows x cols` extent of the tensor
     pub fn transpose(&self) -> Result<Tensor, TensorError> {
         if self.shape.rank() != 2 {
             return Err(TensorError::RankMismatch {

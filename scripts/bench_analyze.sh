@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Benchmarks the seal-analyze deep-analysis driver: one serial cold run
+# (no cache), one parallel cold run (fresh cache), one parallel warm run
+# (same cache), and writes `results/BENCH_analyze.json`.
+#
+# Usage:
+#   scripts/bench_analyze.sh [output.json]
+#
+# The JSON records, per configuration:
+#   * millis, files_per_sec, cache_hit_rate
+# plus parallel_speedup (serial cold vs parallel cold — file-level
+# parallelism) and warm_speedup (serial cold vs parallel warm — the
+# combined parallel + incremental win; the warm run re-parses nothing).
+# The bench uses a scratch cache directory so it never perturbs the real
+# incremental state under target/seal-analyze-cache.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-results/BENCH_analyze.json}"
+mkdir -p "$(dirname "$OUT")"
+
+echo "==> cargo run --release -p seal-analyze -- --bench"
+cargo run --release -q -p seal-analyze -- --bench > "$OUT"
+cat "$OUT"

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # The tier-1 gate: hermetic build, full test suite, and the seal-analyze
-# static-analysis passes (source lint + semantic model/plan/heap checks).
+# static-analysis passes (source lint + semantic model/plan/heap checks +
+# the deep call-graph passes: encryption-boundary taint, panic-freedom
+# reachability, unsafe-audit).
 #
 # Usage:
 #   scripts/check.sh
@@ -16,8 +18,15 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
+# All three analysis layers over the full workspace. The deep passes run
+# against the committed baseline (analyze_baseline.txt — empty: the tree
+# carries zero known findings) with --fail-on=new, so any regression
+# fails the gate while the per-pass wall times and the findings land in
+# results/analyze_report.json.
 echo "==> seal-analyze --workspace"
-cargo run --release -q -p seal-analyze -- --workspace
+mkdir -p results
+cargo run --release -q -p seal-analyze -- --workspace \
+    --fail-on=new --timing --report results/analyze_report.json
 
 # Determinism suite: the parallel kernels must produce bitwise-identical
 # results for any thread count (in-process pools and SEAL_THREADS
