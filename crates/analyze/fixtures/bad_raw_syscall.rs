@@ -1,0 +1,27 @@
+//! Seeded `raw-syscall` violations: a private `extern "C"` import block
+//! and bare libc-level calls, both living outside the one audited shim
+//! (`crates/net/src/sys.rs`) where that surface is sanctioned.
+
+extern "C" {
+    fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+    fn fcntl(fd: i32, cmd: i32, arg: i32) -> i32;
+}
+
+/// Opens a raw socket directly, bypassing the seal-net sys shim.
+pub fn open_raw_socket() -> i32 {
+    unsafe { socket(2, 1, 0) }
+}
+
+/// Flips a descriptor to non-blocking with a direct `fcntl` call.
+pub fn set_nonblocking_raw(fd: i32) -> i32 {
+    unsafe { fcntl(fd, 4, 2048) }
+}
+
+/// The accepted idioms stay clean: path-qualified calls go through a
+/// named, auditable wrapper module, and `bind` on a receiver is std's
+/// socket API, not the libc symbol.
+pub fn through_the_shim(addr: &str) -> i32 {
+    let fd = sys::socket(2, 1, 0);
+    sys::listener(fd).bind(addr);
+    fd
+}

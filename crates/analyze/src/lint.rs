@@ -39,6 +39,10 @@ pub enum Rule {
     /// `Err` and either sleeps a *constant* delay between attempts or
     /// retries (`continue`) without sleeping at all.
     RetryBackoff,
+    /// Raw syscall surface (`extern "C"` declarations, bare calls to the
+    /// libc-level socket/epoll symbols) outside `crates/net/src/sys.rs` —
+    /// the one audited home for the hand-rolled syscall shim.
+    RawSyscall,
     /// Heap allocation (`Vec::new`, `vec!`, `.to_vec()`, `.collect()`) in
     /// an inference hot-path file — the blocked tensor kernels and the
     /// compiled-plan executor, whose steady-state contract is zero
@@ -72,6 +76,7 @@ impl Rule {
             Rule::LockUnwrap => "lock-unwrap",
             Rule::ThreadSpawn => "thread-spawn",
             Rule::RetryBackoff => "retry-backoff",
+            Rule::RawSyscall => "raw-syscall",
             Rule::HotPathAlloc => "hot-path-alloc",
             Rule::EncryptionBoundary => "encryption-boundary",
             Rule::PanicFreedom => "panic-freedom",
@@ -92,6 +97,7 @@ impl Rule {
             "lock-unwrap" => Rule::LockUnwrap,
             "thread-spawn" => Rule::ThreadSpawn,
             "retry-backoff" => Rule::RetryBackoff,
+            "raw-syscall" => Rule::RawSyscall,
             "hot-path-alloc" => Rule::HotPathAlloc,
             "encryption-boundary" => Rule::EncryptionBoundary,
             "panic-freedom" => Rule::PanicFreedom,
@@ -102,7 +108,7 @@ impl Rule {
 }
 
 /// Every rule, in reporting order.
-pub const ALL_RULES: [Rule; 11] = [
+pub const ALL_RULES: [Rule; 12] = [
     Rule::Unwrap,
     Rule::Expect,
     Rule::Panic,
@@ -113,6 +119,7 @@ pub const ALL_RULES: [Rule; 11] = [
     Rule::LockUnwrap,
     Rule::ThreadSpawn,
     Rule::RetryBackoff,
+    Rule::RawSyscall,
     Rule::HotPathAlloc,
 ];
 
@@ -139,6 +146,32 @@ const NARROW_INTS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
 /// a correctness smell (dropped counter/address bits), so the cast rule
 /// applies only to them.
 const CRYPTO_HOT_PATHS: [&str; 3] = ["aes.rs", "ctr.rs", "engine.rs"];
+
+/// The libc-level symbols the hand-rolled network stack declares; a bare
+/// call to one of these (not `.method()`, not a `path::` segment, not an
+/// `fn` declaration) is direct raw-syscall use.
+const SYSCALL_NAMES: [&str; 12] = [
+    "socket",
+    "bind",
+    "listen",
+    "accept4",
+    "epoll_create1",
+    "epoll_ctl",
+    "epoll_wait",
+    "setsockopt",
+    "getsockname",
+    "pipe2",
+    "fcntl",
+    "syscall",
+];
+
+/// Returns `true` when `path` is the audited syscall shim
+/// `crates/net/src/sys.rs` — the single file where `extern "C"`
+/// declarations and direct syscall invocations are sanctioned, and the
+/// one place the [`Rule::RawSyscall`] rule does not apply.
+pub fn is_net_sys(path: &str) -> bool {
+    path.replace('\\', "/").ends_with("crates/net/src/sys.rs")
+}
 
 /// Returns `true` when `path` belongs to the `seal-pool` runtime crate —
 /// the single audited home for thread creation, and the one place the
@@ -205,6 +238,9 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Finding> {
     }
     if !is_pool_runtime(path) {
         thread_spawn_rule(&code, &mut emit);
+    }
+    if !is_net_sys(path) {
+        raw_syscall_rule(&code, &mut emit);
     }
     retry_backoff_rule(&code, &mut emit);
     missing_docs_rule(&toks, &suppressed, &mut emit);
@@ -452,6 +488,68 @@ fn thread_spawn_rule(code: &[&Tok], emit: &mut impl FnMut(Rule, u32, String)) {
                 ),
             );
         }
+    }
+}
+
+/// Raw syscall surface outside the audited `crates/net/src/sys.rs` shim:
+/// an `extern "C"` (or any `extern "…"`) declaration, or a *bare* call to
+/// one of the libc-level symbols in [`SYSCALL_NAMES`]. Path-qualified
+/// calls (`sys::accept_nonblocking(…)`) go through a named, auditable
+/// wrapper module and stay clean, as do `.method()` calls (`listener
+/// .bind(…)` is std API, not libc) and `fn` declarations themselves.
+fn raw_syscall_rule(code: &[&Tok], emit: &mut impl FnMut(Rule, u32, String)) {
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if t.text == "extern" {
+            // `extern "C" { … }` / `pub extern "C" fn …`: the ABI string
+            // right after the keyword is what distinguishes an FFI
+            // surface from `extern crate`.
+            if code
+                .get(i + 1)
+                .is_some_and(|n| n.kind == TokKind::Str)
+            {
+                emit(
+                    Rule::RawSyscall,
+                    t.line,
+                    "`extern \"C\"` declaration outside crates/net/src/sys.rs — \
+                     the raw syscall surface must stay in the one audited shim"
+                        .into(),
+                );
+            }
+            continue;
+        }
+        if !SYSCALL_NAMES.contains(&t.text.as_str()) {
+            continue;
+        }
+        let opens_call = code
+            .get(i + 1)
+            .is_some_and(|n| n.kind == TokKind::Punct && n.text == "(");
+        if !opens_call {
+            continue;
+        }
+        // `.bind(…)` is a method, `sys::listen(…)`/`libc::socket(…)` are
+        // path-qualified (the lexer splits `::` into two `:` puncts), and
+        // `fn accept4(…)` is a declaration — only a bare call means the
+        // raw symbol itself is in scope here.
+        let shielded = i > 0 && {
+            let p = code[i - 1];
+            (p.kind == TokKind::Punct && (p.text == "." || p.text == ":"))
+                || (p.kind == TokKind::Ident && p.text == "fn")
+        };
+        if shielded {
+            continue;
+        }
+        emit(
+            Rule::RawSyscall,
+            t.line,
+            format!(
+                "bare call to raw syscall `{}` outside crates/net/src/sys.rs — \
+                 go through the audited seal-net sys shim (or a safe wrapper)",
+                t.text
+            ),
+        );
     }
 }
 
@@ -950,6 +1048,38 @@ mod tests {
     #[test]
     fn thread_spawn_suppressible_by_allow() {
         let src = "fn f() {\n  // seal-lint: allow(thread-spawn)\n  std::thread::spawn(|| {});\n}\n";
+        assert!(rules_found(src).is_empty());
+    }
+
+    #[test]
+    fn raw_syscall_extern_blocks_and_bare_calls_flagged() {
+        let src = "extern \"C\" {\n  fn socket(d: i32, t: i32, p: i32) -> i32;\n}\nfn f() -> i32 {\n  unsafe { socket(2, 1, 0) }\n}\n";
+        assert_eq!(
+            rules_found(src),
+            vec![(Rule::RawSyscall, 1), (Rule::RawSyscall, 5)]
+        );
+        let msg = &lint_source("lib.rs", src)[1].message;
+        assert!(msg.contains("sys shim"), "{msg}");
+    }
+
+    #[test]
+    fn raw_syscall_exempt_in_the_sys_shim() {
+        let src = "extern \"C\" {\n  fn epoll_wait(e: i32) -> i32;\n}\nfn f(e: i32) -> i32 { unsafe { epoll_wait(e) } }\n";
+        assert!(lint_source("crates/net/src/sys.rs", src).is_empty());
+        assert!(!lint_source("crates/serve/src/netserve.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_syscall_ignores_wrappers_methods_and_declarations() {
+        // Path-qualified shim calls, std method calls on a receiver, and
+        // local fn items that merely share a syscall's name are all fine.
+        let src = "fn f() {\n  let l = sys::listen(7);\n  socket2::socket(1);\n  listener.bind(addr);\n}\nfn bind(x: u8) -> u8 { x }\n";
+        assert!(rules_found(src).is_empty());
+    }
+
+    #[test]
+    fn raw_syscall_suppressible_by_allow() {
+        let src = "fn f() -> i32 {\n  // seal-lint: allow(raw-syscall)\n  unsafe { fcntl(0, 3) }\n}\n";
         assert!(rules_found(src).is_empty());
     }
 

@@ -95,6 +95,42 @@ fn retry_fixture_yields_both_seeded_retry_loops() {
 }
 
 #[test]
+fn raw_syscall_fixture_yields_the_extern_block_and_bare_calls() {
+    let findings = lint_paths(&[fixture("bad_raw_syscall.rs")]).unwrap();
+    let rules: Vec<(Rule, u32)> = findings.iter().map(|f| (f.rule, f.line)).collect();
+    assert_eq!(
+        rules,
+        vec![
+            (Rule::RawSyscall, 5),
+            (Rule::RawSyscall, 12),
+            (Rule::RawSyscall, 17),
+        ],
+        "full findings: {findings:#?}"
+    );
+    // The path-qualified shim calls and the `.bind(…)` method call in the
+    // same file stay clean; every message points at the audited shim.
+    assert!(findings.iter().all(|f| f.message.contains("sys.rs")));
+}
+
+#[test]
+fn raw_syscall_rule_is_exempt_only_in_the_sys_shim() {
+    // The identical source attributed to the audited shim is clean; any
+    // other crate path fires.
+    let src = std::fs::read_to_string(fixture("bad_raw_syscall.rs")).unwrap();
+    let shim = seal_analyze::lint_source("crates/net/src/sys.rs", &src);
+    assert!(
+        !shim.iter().any(|f| f.rule == Rule::RawSyscall),
+        "raw-syscall fired inside its own shim: {shim:#?}"
+    );
+    let elsewhere = seal_analyze::lint_source("crates/serve/src/netserve.rs", &src);
+    assert_eq!(
+        elsewhere.iter().filter(|f| f.rule == Rule::RawSyscall).count(),
+        3,
+        "{elsewhere:#?}"
+    );
+}
+
+#[test]
 fn hot_alloc_fixture_yields_only_the_unsanctioned_allocations() {
     let findings = lint_paths(&[fixture("tensor/src/ops/bad_hot_alloc.rs")]).unwrap();
     let rules: Vec<(Rule, u32)> = findings.iter().map(|f| (f.rule, f.line)).collect();
@@ -138,7 +174,8 @@ fn linting_the_whole_fixture_dir_finds_all_files() {
     assert!(findings.iter().any(|f| f.path.ends_with("bad_retry.rs")));
     assert!(findings.iter().any(|f| f.path.ends_with("aes.rs")));
     assert!(findings.iter().any(|f| f.path.ends_with("bad_hot_alloc.rs")));
-    assert_eq!(findings.len(), 20);
+    assert!(findings.iter().any(|f| f.path.ends_with("bad_raw_syscall.rs")));
+    assert_eq!(findings.len(), 23);
 }
 
 #[test]

@@ -40,6 +40,7 @@ mod engine;
 mod error;
 mod key;
 mod mac;
+mod tenant;
 
 pub use aes::{Aes128, BLOCK_BYTES};
 pub use counter_cache::{CounterCache, CounterCacheConfig, CounterCacheStats};
@@ -49,3 +50,4 @@ pub use engine::{EnginePipeline, EngineSpec, TABLE_I_ENGINES};
 pub use error::CryptoError;
 pub use key::Key128;
 pub use mac::{block_tag, first_bad_block, tag_buffer, BlockTag, TaggedCiphertext, TAG_BYTES};
+pub use tenant::{TenantCrypto, MAX_TENANTS, TENANT_SPAN};

@@ -43,5 +43,6 @@ mod plan;
 
 pub use backoff::{backoff_cycles, Backoff};
 pub use plan::{
-    FaultConfig, FaultError, FaultKind, FaultPlan, RequestFault, RequestFaultCounts, ALL_FAULTS,
+    FaultConfig, FaultError, FaultKind, FaultPlan, NetFault, NetFaultCounts, RequestFault,
+    RequestFaultCounts, ALL_FAULTS,
 };

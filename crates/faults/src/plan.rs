@@ -110,6 +110,48 @@ impl RequestFaultCounts {
     }
 }
 
+/// A per-network-request fault decision (at most one class per request
+/// index, mirroring [`RequestFault`] for the TCP edge). The injection
+/// site is the *client*: a faulty request is sent malformed, truncated,
+/// slow-lorised or abandoned, and the server must detect each with a
+/// typed outcome — never a hang.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetFault {
+    /// The frame is sent with corrupted header bytes (bad magic): the
+    /// reactor must reject it as a typed protocol error.
+    MalformedFrame,
+    /// The frame's header promises more payload than is ever sent, then
+    /// the connection closes: detected as a truncated frame.
+    TruncatedFrame,
+    /// The client sends a partial frame and stalls, holding the
+    /// connection open: the reactor's mid-frame idle sweep must reap it.
+    SlowLoris,
+    /// The client sends a well-formed request then disconnects before
+    /// the response: the response is dropped (counted), never a hang.
+    Disconnect,
+}
+
+/// How many of each network fault class a plan injects over a request
+/// stream — computable statically from `(seed, config, request_count)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetFaultCounts {
+    /// Requests sent as malformed frames.
+    pub malformed: u64,
+    /// Requests sent as truncated frames.
+    pub truncated: u64,
+    /// Requests turned into slow-loris stalls.
+    pub slow_loris: u64,
+    /// Requests abandoned mid-flight.
+    pub disconnects: u64,
+}
+
+impl NetFaultCounts {
+    /// Total injected network faults.
+    pub fn total(&self) -> u64 {
+        self.malformed + self.truncated + self.slow_loris + self.disconnects
+    }
+}
+
 /// Rates and periods of a fault schedule.
 ///
 /// Per-request classes are expressed in permille (out of 1000 requests);
@@ -137,6 +179,14 @@ pub struct FaultConfig {
     pub slow_per_mille: u32,
     /// Permille of requests born past their deadline.
     pub deadline_bust_per_mille: u32,
+    /// Permille of network requests sent as malformed frames.
+    pub malformed_per_mille: u32,
+    /// Permille of network requests sent as truncated frames.
+    pub truncated_per_mille: u32,
+    /// Permille of network requests turned into slow-loris stalls.
+    pub slow_loris_per_mille: u32,
+    /// Permille of network requests abandoned before their response.
+    pub disconnect_per_mille: u32,
 }
 
 impl FaultConfig {
@@ -152,6 +202,10 @@ impl FaultConfig {
             oversized_per_mille: 0,
             slow_per_mille: 0,
             deadline_bust_per_mille: 0,
+            malformed_per_mille: 0,
+            truncated_per_mille: 0,
+            slow_loris_per_mille: 0,
+            disconnect_per_mille: 0,
         }
     }
 
@@ -169,6 +223,26 @@ impl FaultConfig {
             oversized_per_mille: 40,
             slow_per_mille: 60,
             deadline_bust_per_mille: 40,
+            // The in-process chaos smoke has no wire; network fault
+            // classes stay off so its counts are unchanged.
+            malformed_per_mille: 0,
+            truncated_per_mille: 0,
+            slow_loris_per_mille: 0,
+            disconnect_per_mille: 0,
+        }
+    }
+
+    /// The TCP chaos-smoke schedule: every *network* fault class enabled
+    /// at rates that exercise the reactor's detection paths while the
+    /// in-process classes stay quiet (the net smoke proves edge
+    /// behaviour; `chaos_smoke` already covers the worker pipeline).
+    pub fn net_smoke() -> Self {
+        FaultConfig {
+            malformed_per_mille: 20,
+            truncated_per_mille: 20,
+            slow_loris_per_mille: 10,
+            disconnect_per_mille: 20,
+            ..FaultConfig::quiescent()
         }
     }
 
@@ -186,6 +260,17 @@ impl FaultConfig {
         if per_mille > 1000 {
             return Err(FaultError::InvalidConfig {
                 reason: format!("per-request fault rates sum to {per_mille}\u{2030} > 1000\u{2030}"),
+            });
+        }
+        let net_per_mille = u64::from(self.malformed_per_mille)
+            + u64::from(self.truncated_per_mille)
+            + u64::from(self.slow_loris_per_mille)
+            + u64::from(self.disconnect_per_mille);
+        if net_per_mille > 1000 {
+            return Err(FaultError::InvalidConfig {
+                reason: format!(
+                    "network fault rates sum to {net_per_mille}\u{2030} > 1000\u{2030}"
+                ),
             });
         }
         if self.stall_every_samples > 0 && self.stall_cycles == 0 {
@@ -313,6 +398,49 @@ impl FaultPlan {
         counts
     }
 
+    /// The network fault (if any) injected into the request with stable
+    /// index `request_index`. Drawn from a domain distinct from
+    /// [`request_fault`](Self::request_fault), so enabling network faults
+    /// never re-rolls the in-process fault decisions.
+    pub fn net_fault(&self, request_index: u64) -> Option<NetFault> {
+        let roll = self.draw(0x006E_6574, request_index) % 1000;
+        let c = &self.config;
+        let mut edge = u64::from(c.malformed_per_mille);
+        if roll < edge {
+            return Some(NetFault::MalformedFrame);
+        }
+        edge += u64::from(c.truncated_per_mille);
+        if roll < edge {
+            return Some(NetFault::TruncatedFrame);
+        }
+        edge += u64::from(c.slow_loris_per_mille);
+        if roll < edge {
+            return Some(NetFault::SlowLoris);
+        }
+        edge += u64::from(c.disconnect_per_mille);
+        if roll < edge {
+            return Some(NetFault::Disconnect);
+        }
+        None
+    }
+
+    /// How many of each network fault class the plan injects across
+    /// `requests` consecutive request indices — the static side of the
+    /// net-smoke determinism check.
+    pub fn planned_net_faults(&self, requests: u64) -> NetFaultCounts {
+        let mut counts = NetFaultCounts::default();
+        for i in 0..requests {
+            match self.net_fault(i) {
+                Some(NetFault::MalformedFrame) => counts.malformed += 1,
+                Some(NetFault::TruncatedFrame) => counts.truncated += 1,
+                Some(NetFault::SlowLoris) => counts.slow_loris += 1,
+                Some(NetFault::Disconnect) => counts.disconnects += 1,
+                None => {}
+            }
+        }
+        counts
+    }
+
     /// Number of period boundaries crossed when a cumulative event count
     /// advances from `before` to `after` (half-open on the left: counts
     /// multiples of `period` in `(before, after]`). Sample-keyed fault
@@ -402,6 +530,49 @@ mod tests {
         let mut c = FaultConfig::chaos_smoke();
         c.storm_pages = 0;
         assert!(FaultPlan::new(0, c).is_err());
+    }
+
+    #[test]
+    fn net_faults_are_deterministic_and_independent() {
+        let base = plan(17); // chaos_smoke: net classes disabled
+        assert!((0..1000).all(|i| base.net_fault(i).is_none()));
+        let net = FaultPlan::new(17, FaultConfig::net_smoke()).unwrap();
+        // Enabling net faults must not re-roll the in-process decisions.
+        let both = {
+            let mut c = FaultConfig::chaos_smoke();
+            c.malformed_per_mille = 20;
+            c.truncated_per_mille = 20;
+            c.slow_loris_per_mille = 10;
+            c.disconnect_per_mille = 20;
+            FaultPlan::new(17, c).unwrap()
+        };
+        for i in 0..1000 {
+            assert_eq!(base.request_fault(i), both.request_fault(i), "index {i}");
+            assert_eq!(net.net_fault(i), both.net_fault(i), "index {i}");
+        }
+        // Same seed, same counts; rates land near expectation over 10k.
+        let counts = net.planned_net_faults(10_000);
+        assert_eq!(counts, net.planned_net_faults(10_000));
+        assert!((100..=300).contains(&counts.malformed), "{counts:?}");
+        assert!((100..=300).contains(&counts.truncated), "{counts:?}");
+        assert!((50..=150).contains(&counts.slow_loris), "{counts:?}");
+        assert!((100..=300).contains(&counts.disconnects), "{counts:?}");
+        assert_eq!(
+            counts.total(),
+            counts.malformed + counts.truncated + counts.slow_loris + counts.disconnects
+        );
+    }
+
+    #[test]
+    fn overcommitted_net_rates_rejected() {
+        let mut c = FaultConfig::net_smoke();
+        c.malformed_per_mille = 600;
+        c.truncated_per_mille = 500;
+        assert!(matches!(
+            FaultPlan::new(0, c),
+            Err(FaultError::InvalidConfig { .. })
+        ));
+        assert!(FaultConfig::net_smoke().any_enabled());
     }
 
     #[test]

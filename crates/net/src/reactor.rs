@@ -1,0 +1,766 @@
+//! The epoll reactor: one thread, edge-triggered readiness, per-connection
+//! state machines.
+//!
+//! Design (DESIGN §6h):
+//!
+//! * **One reactor thread** owns the listener, the epoll instance, and all
+//!   connection state; nothing here is shared mutably, so the hot loop is
+//!   lock-free. Worker threads hand completed responses back through a
+//!   [`Responder`], which appends to a mutex-guarded mailbox and nudges
+//!   the reactor over a nonblocking wake pipe.
+//! * **Edge-triggered** registration means every readiness edge must be
+//!   drained to `EAGAIN`; the per-connection state machine does exactly
+//!   that (read → decode frames → handler; flush outbox → re-arm
+//!   `EPOLLOUT` only while bytes remain).
+//! * **Every malformed input is a typed close, never a hang**: framing
+//!   errors kill the connection after an optional handler-built reject
+//!   frame; a peer that stalls mid-frame (slow-loris) is reaped by the
+//!   idle sweep; a peer that disconnects mid-request just loses its
+//!   response (counted, not fatal).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::frame::{Frame, FrameDecoder, FrameError};
+use crate::sys;
+
+/// Why the reactor closed a connection — handed to
+/// [`Handler::on_close`] so policy code can count fault classes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CloseReason {
+    /// The peer closed cleanly with no partial frame buffered.
+    PeerClosed,
+    /// The peer closed (or errored) mid-frame: a truncated frame.
+    TruncatedFrame,
+    /// The peer stalled mid-frame past the idle limit: slow-loris.
+    IdleMidFrame,
+    /// The byte stream was malformed; the typed decode error is attached.
+    Protocol(FrameError),
+    /// An OS-level read/write error.
+    Io,
+    /// The reactor is shutting down.
+    Shutdown,
+}
+
+impl CloseReason {
+    /// Stable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CloseReason::PeerClosed => "peer_closed",
+            CloseReason::TruncatedFrame => "truncated_frame",
+            CloseReason::IdleMidFrame => "idle_mid_frame",
+            CloseReason::Protocol(_) => "protocol",
+            CloseReason::Io => "io",
+            CloseReason::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// Stable identifier for one accepted connection.
+pub type ConnId = u64;
+
+/// Policy callbacks driven by the reactor thread. Implementations must not
+/// block: admission and queueing decisions are fine, inference is not.
+pub trait Handler: Send {
+    /// A complete frame arrived on `conn`. Immediate replies (admission
+    /// rejects, echoes) are pushed as encoded frames onto `reply`.
+    fn on_frame(&mut self, conn: ConnId, frame: Frame, reply: &mut Vec<Vec<u8>>);
+
+    /// The byte stream on `conn` is malformed; the connection will be
+    /// closed after any `reply` frames flush. Default: no reply.
+    fn on_protocol_error(&mut self, conn: ConnId, err: &FrameError, reply: &mut Vec<Vec<u8>>) {
+        let _ = (conn, err, reply);
+    }
+
+    /// `conn` is gone. Always called exactly once per accepted connection.
+    fn on_close(&mut self, conn: ConnId, reason: &CloseReason) {
+        let _ = (conn, reason);
+    }
+}
+
+/// Tuning knobs for [`Reactor::bind`].
+#[derive(Debug, Clone)]
+pub struct ReactorConfig {
+    /// Port to bind on loopback; 0 = kernel-assigned (tests, smoke runs).
+    pub port: u16,
+    /// Listen backlog.
+    pub backlog: i32,
+    /// Hard cap on concurrently-open connections; the accept loop closes
+    /// the excess immediately (backpressure at the edge).
+    pub max_conns: usize,
+    /// A connection stalled **mid-frame** longer than this is closed as
+    /// [`CloseReason::IdleMidFrame`]. Zero disables the sweep. Idle
+    /// connections *between* frames are never reaped — persistent
+    /// connections are the normal client idiom.
+    pub idle_mid_frame: Duration,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> Self {
+        ReactorConfig {
+            port: 0,
+            backlog: 128,
+            max_conns: 1024,
+            idle_mid_frame: Duration::from_millis(200),
+        }
+    }
+}
+
+/// Counters the reactor reports at shutdown. All byte/frame counts are
+/// deterministic for a deterministic client schedule.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReactorStats {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Connections rejected at accept because `max_conns` was reached.
+    pub over_capacity: u64,
+    /// Complete frames decoded and delivered to the handler.
+    pub frames_in: u64,
+    /// Encoded frames written out (replies + worker responses).
+    pub frames_out: u64,
+    /// Connections closed with a malformed byte stream.
+    pub protocol_errors: u64,
+    /// Connections closed mid-frame by the peer (truncated frames).
+    pub truncated: u64,
+    /// Connections reaped by the slow-loris sweep.
+    pub idle_reaped: u64,
+    /// Worker responses dropped because the connection was already gone.
+    pub dropped_responses: u64,
+}
+
+/// The worker-side handle for delivering responses to connections. Clone
+/// freely; sends are mailbox appends plus a pipe nudge.
+#[derive(Debug, Clone)]
+pub struct Responder {
+    mailbox: Mailbox,
+    wake: Arc<sys::WakePipe>,
+}
+
+impl Responder {
+    /// Queues `bytes` (an encoded frame) for delivery on `conn` and wakes
+    /// the reactor. Delivery is best-effort: if the connection has closed
+    /// in the meantime the bytes are dropped and counted.
+    pub fn send(&self, conn: ConnId, bytes: Vec<u8>) {
+        locked(&self.mailbox).push((conn, bytes));
+        // A failed wake means the reactor is gone; the shutdown path will
+        // account for undelivered responses.
+        let _ = self.wake.wake();
+    }
+}
+
+/// The shutdown handle: flips a flag and nudges the reactor loop.
+#[derive(Debug, Clone)]
+pub struct ReactorControl {
+    stop: Arc<AtomicBool>,
+    wake: Arc<sys::WakePipe>,
+}
+
+impl ReactorControl {
+    /// Asks the reactor to stop; it closes every connection (reason
+    /// [`CloseReason::Shutdown`]) and returns its stats.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        let _ = self.wake.wake();
+    }
+}
+
+/// Poison-tolerant lock: a panicked peer must not cascade.
+fn locked<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The worker → reactor response mailbox: `(connection, encoded frame)`
+/// pairs awaiting delivery.
+type Mailbox = Arc<Mutex<Vec<(ConnId, Vec<u8>)>>>;
+
+const LISTENER_TOKEN: u64 = 0;
+const WAKE_TOKEN: u64 = 1;
+const FIRST_CONN: u64 = 2;
+
+struct Conn {
+    fd: sys::Fd,
+    decoder: FrameDecoder,
+    outbox: Vec<u8>,
+    out_pos: usize,
+    watching_write: bool,
+    mid_frame_since: Option<Instant>,
+}
+
+impl Conn {
+    fn pending_out(&self) -> bool {
+        self.out_pos < self.outbox.len()
+    }
+}
+
+/// The reactor: owns the listener, the epoll set and all connections, and
+/// runs the event loop on the caller's thread (spawn it via
+/// `seal_pool::spawn_worker`).
+pub struct Reactor<H: Handler> {
+    config: ReactorConfig,
+    epoll: sys::Epoll,
+    listener: sys::Fd,
+    port: u16,
+    wake: Arc<sys::WakePipe>,
+    mailbox: Mailbox,
+    stop: Arc<AtomicBool>,
+    conns: HashMap<ConnId, Conn>,
+    next_id: ConnId,
+    handler: H,
+    stats: ReactorStats,
+    reply_scratch: Vec<Vec<u8>>,
+    read_buf: Vec<u8>,
+}
+
+impl<H: Handler> Reactor<H> {
+    /// Binds the listener and registers it plus the wake pipe with epoll.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket/epoll setup failures as [`std::io::Error`].
+    pub fn bind(config: ReactorConfig, handler: H) -> std::io::Result<Reactor<H>> {
+        let epoll = sys::Epoll::new()?;
+        let (listener, port) = sys::listen_tcp(config.port, config.backlog)?;
+        let wake = Arc::new(sys::WakePipe::new()?);
+        epoll.add(
+            &listener,
+            LISTENER_TOKEN,
+            sys::Interest { writable: false },
+        )?;
+        epoll.add(
+            wake.reader(),
+            WAKE_TOKEN,
+            sys::Interest { writable: false },
+        )?;
+        Ok(Reactor {
+            config,
+            epoll,
+            listener,
+            port,
+            wake,
+            mailbox: Arc::new(Mutex::new(Vec::new())),
+            stop: Arc::new(AtomicBool::new(false)),
+            conns: HashMap::new(),
+            next_id: FIRST_CONN,
+            handler,
+            stats: ReactorStats::default(),
+            reply_scratch: Vec::new(),
+            read_buf: vec![0u8; 64 * 1024],
+        })
+    }
+
+    /// The actual bound port (useful with `port: 0`).
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// A clonable response handle for worker threads.
+    pub fn responder(&self) -> Responder {
+        Responder {
+            mailbox: Arc::clone(&self.mailbox),
+            wake: Arc::clone(&self.wake),
+        }
+    }
+
+    /// A clonable shutdown handle.
+    pub fn control(&self) -> ReactorControl {
+        ReactorControl {
+            stop: Arc::clone(&self.stop),
+            wake: Arc::clone(&self.wake),
+        }
+    }
+
+    /// Runs the event loop until [`ReactorControl::shutdown`], then closes
+    /// every connection and returns the final stats. Never panics on
+    /// malformed peers; OS-level epoll failure ends the loop with stats so
+    /// far (the owning server surfaces the condition as drained requests).
+    pub fn run(mut self) -> ReactorStats {
+        let sweep_every = if self.config.idle_mid_frame.is_zero() {
+            Duration::from_millis(500)
+        } else {
+            // Sweep at half the limit so an overdue stall is caught within
+            // 1.5× the configured limit.
+            (self.config.idle_mid_frame / 2).max(Duration::from_millis(10))
+        };
+        let mut events = Vec::with_capacity(64);
+        let mut last_sweep = Instant::now();
+        while !self.stop.load(Ordering::Acquire) {
+            events.clear();
+            let timeout_ms = sweep_every.as_millis().min(1000) as i32;
+            if self.epoll.wait(&mut events, timeout_ms).is_err() {
+                break;
+            }
+            for ev in events.drain(..) {
+                match ev.token {
+                    LISTENER_TOKEN => self.accept_ready(),
+                    WAKE_TOKEN => {
+                        self.wake.drain();
+                        self.deliver_mailbox();
+                    }
+                    token => self.conn_ready(token, ev),
+                }
+            }
+            if !self.config.idle_mid_frame.is_zero()
+                && last_sweep.elapsed() >= sweep_every
+            {
+                self.sweep_idle();
+                last_sweep = Instant::now();
+            }
+        }
+        // Shutdown: deliver anything still in the mailbox (dead conns are
+        // counted as dropped), then close all connections.
+        self.wake.drain();
+        self.deliver_mailbox();
+        let ids: Vec<ConnId> = self.conns.keys().copied().collect();
+        for id in ids {
+            self.close_conn(id, CloseReason::Shutdown);
+        }
+        self.stats
+    }
+
+    fn accept_ready(&mut self) {
+        // Edge-triggered: accept until the queue is empty.
+        while let Ok(Some(fd)) = sys::accept_nonblocking(&self.listener) {
+            if self.conns.len() >= self.config.max_conns {
+                // `fd` drops at the end of this arm, closing the excess
+                // connection immediately: backpressure at the edge.
+                self.stats.over_capacity += 1;
+            } else {
+                let _ = sys::set_nodelay(&fd);
+                let id = self.next_id;
+                self.next_id += 1;
+                if self
+                    .epoll
+                    .add(&fd, id, sys::Interest { writable: false })
+                    .is_ok()
+                {
+                    self.stats.accepted += 1;
+                    self.conns.insert(
+                        id,
+                        Conn {
+                            fd,
+                            decoder: FrameDecoder::new(),
+                            outbox: Vec::new(),
+                            out_pos: 0,
+                            watching_write: false,
+                            mid_frame_since: None,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn deliver_mailbox(&mut self) {
+        let pending = std::mem::take(&mut *locked(&self.mailbox));
+        for (id, bytes) in pending {
+            match self.conns.get_mut(&id) {
+                Some(conn) => {
+                    conn.outbox.extend_from_slice(&bytes);
+                    self.stats.frames_out += 1;
+                    self.flush_conn(id);
+                }
+                None => self.stats.dropped_responses += 1,
+            }
+        }
+    }
+
+    fn conn_ready(&mut self, token: ConnId, ev: sys::Event) {
+        if !self.conns.contains_key(&token) {
+            return; // already closed this tick
+        }
+        if ev.readable || ev.closed {
+            if let Some(reason) = self.read_conn(token) {
+                self.close_conn(token, reason);
+                return;
+            }
+            if ev.closed {
+                // Read side drained; peer is gone. Mid-frame leftovers mean
+                // the final frame was truncated.
+                let mid = self
+                    .conns
+                    .get(&token)
+                    .is_some_and(|c| c.decoder.mid_frame());
+                let reason = if mid {
+                    CloseReason::TruncatedFrame
+                } else {
+                    CloseReason::PeerClosed
+                };
+                self.close_conn(token, reason);
+                return;
+            }
+        }
+        if ev.writable {
+            self.flush_conn(token);
+        }
+    }
+
+    /// Drains the read edge on `token`. Returns `Some(reason)` when the
+    /// connection must close.
+    fn read_conn(&mut self, token: ConnId) -> Option<CloseReason> {
+        loop {
+            let conn = self.conns.get_mut(&token)?;
+            let n = match conn.fd.read(&mut self.read_buf) {
+                Ok(0) => {
+                    return Some(if conn.decoder.mid_frame() {
+                        CloseReason::TruncatedFrame
+                    } else {
+                        CloseReason::PeerClosed
+                    });
+                }
+                Ok(n) => n,
+                Err(e) if sys::is_would_block(&e) => return None,
+                Err(_) => return Some(CloseReason::Io),
+            };
+            conn.decoder.push(&self.read_buf[..n]);
+            // Decode every complete frame in the buffer.
+            loop {
+                let conn = self.conns.get_mut(&token)?;
+                match conn.decoder.next_frame() {
+                    Ok(Some(frame)) => {
+                        conn.mid_frame_since = None;
+                        self.stats.frames_in += 1;
+                        self.reply_scratch.clear();
+                        let mut reply = std::mem::take(&mut self.reply_scratch);
+                        self.handler.on_frame(token, frame, &mut reply);
+                        self.queue_replies(token, &mut reply);
+                        self.reply_scratch = reply;
+                    }
+                    Ok(None) => {
+                        if conn.decoder.mid_frame() {
+                            if conn.mid_frame_since.is_none() {
+                                conn.mid_frame_since = Some(Instant::now());
+                            }
+                        } else {
+                            conn.mid_frame_since = None;
+                        }
+                        break;
+                    }
+                    Err(err) => {
+                        self.stats.protocol_errors += 1;
+                        self.reply_scratch.clear();
+                        let mut reply = std::mem::take(&mut self.reply_scratch);
+                        self.handler.on_protocol_error(token, &err, &mut reply);
+                        self.queue_replies(token, &mut reply);
+                        self.reply_scratch = reply;
+                        // Best-effort flush of the reject, then drop.
+                        self.flush_conn(token);
+                        return Some(CloseReason::Protocol(err));
+                    }
+                }
+            }
+        }
+    }
+
+    fn queue_replies(&mut self, token: ConnId, reply: &mut Vec<Vec<u8>>) {
+        if reply.is_empty() {
+            return;
+        }
+        if let Some(conn) = self.conns.get_mut(&token) {
+            for bytes in reply.drain(..) {
+                conn.outbox.extend_from_slice(&bytes);
+                self.stats.frames_out += 1;
+            }
+        } else {
+            self.stats.dropped_responses += reply.len() as u64;
+            reply.clear();
+        }
+        self.flush_conn(token);
+    }
+
+    /// Writes pending outbox bytes until `EAGAIN` or empty, adjusting the
+    /// `EPOLLOUT` registration to match.
+    fn flush_conn(&mut self, token: ConnId) {
+        let mut io_error = false;
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        while conn.pending_out() {
+            match conn.fd.write(&conn.outbox[conn.out_pos..]) {
+                Ok(n) => conn.out_pos += n,
+                Err(e) if sys::is_would_block(&e) => break,
+                Err(_) => {
+                    io_error = true;
+                    break;
+                }
+            }
+        }
+        if !io_error {
+            if !conn.pending_out() {
+                conn.outbox.clear();
+                conn.out_pos = 0;
+            }
+            let want_write = conn.pending_out();
+            if want_write != conn.watching_write {
+                conn.watching_write = want_write;
+                let _ = self.epoll.modify(
+                    &conn.fd,
+                    token,
+                    sys::Interest {
+                        writable: want_write,
+                    },
+                );
+            }
+        }
+        if io_error {
+            self.close_conn(token, CloseReason::Io);
+        }
+    }
+
+    fn sweep_idle(&mut self) {
+        let limit = self.config.idle_mid_frame;
+        let overdue: Vec<ConnId> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| {
+                c.mid_frame_since
+                    .is_some_and(|since| since.elapsed() >= limit)
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        for id in overdue {
+            self.stats.idle_reaped += 1;
+            self.close_conn(id, CloseReason::IdleMidFrame);
+        }
+    }
+
+    fn close_conn(&mut self, token: ConnId, reason: CloseReason) {
+        if let Some(conn) = self.conns.remove(&token) {
+            // Protocol errors and idle reaps were counted at detection.
+            if reason == CloseReason::TruncatedFrame {
+                self.stats.truncated += 1;
+            }
+            let _ = self.epoll.delete(&conn.fd);
+            self.handler.on_close(token, &reason);
+            // conn.fd drops here, closing the socket.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FrameKind;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::sync::mpsc;
+
+    /// Echo handler: responds to every request with the payload reversed;
+    /// forwards close reasons on a channel.
+    struct Echo {
+        closes: mpsc::Sender<CloseReason>,
+    }
+
+    impl Handler for Echo {
+        fn on_frame(&mut self, _conn: ConnId, frame: Frame, reply: &mut Vec<Vec<u8>>) {
+            let mut payload = frame.payload.clone();
+            payload.reverse();
+            reply.push(Frame::response(frame.tenant, frame.seq, payload).encode());
+        }
+
+        fn on_protocol_error(
+            &mut self,
+            _conn: ConnId,
+            err: &FrameError,
+            reply: &mut Vec<Vec<u8>>,
+        ) {
+            reply.push(Frame::reject(0, 0, format!("{err}").into_bytes()).encode());
+        }
+
+        fn on_close(&mut self, _conn: ConnId, reason: &CloseReason) {
+            let _ = self.closes.send(reason.clone());
+        }
+    }
+
+    fn start_echo(
+        config: ReactorConfig,
+    ) -> (
+        u16,
+        ReactorControl,
+        std::thread::JoinHandle<ReactorStats>,
+        mpsc::Receiver<CloseReason>,
+    ) {
+        let (tx, rx) = mpsc::channel();
+        let reactor = Reactor::bind(config, Echo { closes: tx }).unwrap();
+        let port = reactor.port();
+        let control = reactor.control();
+        let handle = seal_pool::spawn_worker("test-reactor", move || reactor.run()).unwrap();
+        (port, control, handle, rx)
+    }
+
+    fn read_frame(stream: &mut TcpStream) -> Frame {
+        let mut dec = FrameDecoder::new();
+        let mut buf = [0u8; 4096];
+        loop {
+            if let Some(f) = dec.next_frame().unwrap() {
+                return f;
+            }
+            let n = stream.read(&mut buf).unwrap();
+            assert!(n > 0, "peer closed before a full frame arrived");
+            dec.push(&buf[..n]);
+        }
+    }
+
+    #[test]
+    fn echo_roundtrip_over_tcp() {
+        let (port, control, handle, _rx) = start_echo(ReactorConfig::default());
+        let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
+        for seq in 0..10u64 {
+            let req = Frame::request(3, seq, vec![1, 2, 3, seq as u8]);
+            stream.write_all(&req.encode()).unwrap();
+            let resp = read_frame(&mut stream);
+            assert_eq!(resp.kind, FrameKind::Response);
+            assert_eq!(resp.seq, seq);
+            assert_eq!(resp.payload, vec![seq as u8, 3, 2, 1]);
+        }
+        drop(stream);
+        control.shutdown();
+        let stats = handle.join().unwrap();
+        assert_eq!(stats.accepted, 1);
+        assert_eq!(stats.frames_in, 10);
+        assert_eq!(stats.frames_out, 10);
+        assert_eq!(stats.protocol_errors, 0);
+    }
+
+    #[test]
+    fn malformed_stream_gets_typed_reject_and_close() {
+        let (port, control, handle, rx) = start_echo(ReactorConfig::default());
+        let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
+        stream.write_all(&[0u8; 64]).unwrap(); // garbage, bad magic
+        let resp = read_frame(&mut stream);
+        assert_eq!(resp.kind, FrameKind::Reject);
+        assert!(String::from_utf8_lossy(&resp.payload).contains("magic"));
+        // The server closes after the reject.
+        let mut rest = Vec::new();
+        let _ = stream.read_to_end(&mut rest);
+        let reason = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(matches!(reason, CloseReason::Protocol(FrameError::BadMagic { .. })));
+        control.shutdown();
+        let stats = handle.join().unwrap();
+        assert_eq!(stats.protocol_errors, 1);
+    }
+
+    #[test]
+    fn truncated_frame_detected_on_disconnect() {
+        let (port, control, handle, rx) = start_echo(ReactorConfig::default());
+        let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
+        let wire = Frame::request(1, 1, vec![9; 100]).encode();
+        stream.write_all(&wire[..wire.len() / 2]).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        drop(stream); // disconnect mid-frame
+        let reason = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(reason, CloseReason::TruncatedFrame);
+        control.shutdown();
+        let stats = handle.join().unwrap();
+        assert_eq!(stats.truncated, 1);
+        assert_eq!(stats.frames_in, 0);
+    }
+
+    #[test]
+    fn slow_loris_is_reaped() {
+        let config = ReactorConfig {
+            idle_mid_frame: Duration::from_millis(50),
+            ..ReactorConfig::default()
+        };
+        let (port, control, handle, rx) = start_echo(config);
+        let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
+        let wire = Frame::request(1, 1, vec![9; 100]).encode();
+        stream.write_all(&wire[..10]).unwrap();
+        stream.flush().unwrap();
+        // Stall. The sweep must kill the connection without our help.
+        let reason = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(reason, CloseReason::IdleMidFrame);
+        control.shutdown();
+        let stats = handle.join().unwrap();
+        assert_eq!(stats.idle_reaped, 1);
+    }
+
+    #[test]
+    fn responder_delivers_worker_responses() {
+        struct Park {
+            tx: mpsc::Sender<(ConnId, Frame)>,
+        }
+        impl Handler for Park {
+            fn on_frame(&mut self, conn: ConnId, frame: Frame, _reply: &mut Vec<Vec<u8>>) {
+                let _ = self.tx.send((conn, frame));
+            }
+        }
+        let (tx, rx) = mpsc::channel();
+        let reactor = Reactor::bind(ReactorConfig::default(), Park { tx }).unwrap();
+        let port = reactor.port();
+        let control = reactor.control();
+        let responder = reactor.responder();
+        let handle = seal_pool::spawn_worker("test-reactor", move || reactor.run()).unwrap();
+
+        let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
+        stream
+            .write_all(&Frame::request(8, 77, vec![5]).encode())
+            .unwrap();
+        // "Worker": receive the parked request, respond via the responder.
+        let (conn, frame) = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(frame.seq, 77);
+        responder.send(conn, Frame::response(8, 77, vec![42]).encode());
+        let resp = read_frame(&mut stream);
+        assert_eq!(resp.payload, vec![42]);
+        control.shutdown();
+        let stats = handle.join().unwrap();
+        assert_eq!(stats.frames_out, 1);
+        assert_eq!(stats.dropped_responses, 0);
+    }
+
+    #[test]
+    fn response_to_dead_conn_is_dropped_not_fatal() {
+        struct Park {
+            tx: mpsc::Sender<ConnId>,
+        }
+        impl Handler for Park {
+            fn on_frame(&mut self, conn: ConnId, _frame: Frame, _reply: &mut Vec<Vec<u8>>) {
+                let _ = self.tx.send(conn);
+            }
+        }
+        let (tx, rx) = mpsc::channel();
+        let reactor = Reactor::bind(ReactorConfig::default(), Park { tx }).unwrap();
+        let port = reactor.port();
+        let control = reactor.control();
+        let responder = reactor.responder();
+        let handle = seal_pool::spawn_worker("test-reactor", move || reactor.run()).unwrap();
+
+        let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
+        stream
+            .write_all(&Frame::request(1, 5, vec![]).encode())
+            .unwrap();
+        let conn = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        drop(stream); // client vanishes mid-request
+        std::thread::sleep(Duration::from_millis(50));
+        responder.send(conn, Frame::response(1, 5, vec![1]).encode());
+        std::thread::sleep(Duration::from_millis(50));
+        control.shutdown();
+        let stats = handle.join().unwrap();
+        assert_eq!(stats.dropped_responses, 1);
+    }
+
+    #[test]
+    fn over_capacity_connections_are_shed() {
+        let config = ReactorConfig {
+            max_conns: 1,
+            ..ReactorConfig::default()
+        };
+        let (port, control, handle, _rx) = start_echo(config);
+        let mut keep = TcpStream::connect(("127.0.0.1", port)).unwrap();
+        // Prove the first conn is established end-to-end before the probe.
+        keep.write_all(&Frame::request(0, 1, vec![]).encode()).unwrap();
+        let _ = read_frame(&mut keep);
+        let mut probe = TcpStream::connect(("127.0.0.1", port)).unwrap();
+        // The reactor accepts then immediately closes the excess conn.
+        let mut buf = [0u8; 16];
+        probe.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let n = probe.read(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "excess connection should see EOF");
+        control.shutdown();
+        let stats = handle.join().unwrap();
+        assert_eq!(stats.accepted, 1);
+        assert_eq!(stats.over_capacity, 1);
+    }
+}

@@ -25,7 +25,7 @@
 
 use seal_crypto::{
     Aes128, CounterCache, CounterCacheConfig, CryptoError, CtrCipher, EnginePipeline, EngineSpec,
-    Key128,
+    Key128, TenantCrypto,
 };
 use seal_core::traffic::network_traffic;
 use seal_core::{EncryptionPlan, Scheme, SePolicy};
@@ -100,6 +100,9 @@ struct ChaosState {
     cipher: CtrCipher,
     payload: Vec<u8>,
     stats: FaultStats,
+    /// Base of the address window tamper events land in (0 for the
+    /// single-tenant server, the tenant's counter window otherwise).
+    addr_base: u64,
 }
 
 /// The fault events one costed batch crosses, identical for every lane
@@ -133,7 +136,7 @@ impl ChaosState {
     /// One tamper event: encrypt a block, flip a planned ciphertext bit,
     /// and demand that verified decryption rejects it.
     fn run_tamper(&mut self, event: u64) {
-        let addr = (self.plan.draw(TAMPER_ADDR_DOMAIN, event) % 4096) * 64;
+        let addr = self.addr_base + (self.plan.draw(TAMPER_ADDR_DOMAIN, event) % 4096) * 64;
         let mut tc = self.cipher.encrypt_tagged(addr, &self.payload);
         self.stats.tampers_injected += 1;
         if tc
@@ -154,6 +157,9 @@ struct SchemeLane {
     scheme: Scheme,
     engine: EnginePipeline,
     cache: CounterCache,
+    /// Base of this lane's weight-page counter addresses (the owning
+    /// tenant's counter window; 0 for the single-tenant server).
+    weight_base: u64,
     /// Encrypted weight bytes streamed once per batch.
     weight_enc: u64,
     /// Encrypted feature-map bytes per sample.
@@ -222,6 +228,33 @@ impl CostModel {
     /// Propagates plan/traffic errors ([`ServeError::Core`]) and engine or
     /// counter-cache configuration errors ([`ServeError::Crypto`]).
     pub fn new(topo: &NetworkTopology, config: &ServerConfig) -> Result<Self, ServeError> {
+        CostModel::build(topo, config, None)
+    }
+
+    /// [`CostModel::new`] with every virtual address — weight counter
+    /// pages, streaming feature-map cursor, storm cursor and tamper
+    /// targets — confined to `tenant`'s private counter window, and the
+    /// chaos cipher replaced by the tenant's own key/nonce. Two tenants'
+    /// cost models therefore never share a counter address or a keystream,
+    /// which is the isolation property the multi-tenant server tests.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CostModel::new`].
+    pub fn for_tenant(
+        topo: &NetworkTopology,
+        config: &ServerConfig,
+        tenant: &TenantCrypto,
+    ) -> Result<Self, ServeError> {
+        CostModel::build(topo, config, Some(tenant))
+    }
+
+    fn build(
+        topo: &NetworkTopology,
+        config: &ServerConfig,
+        tenant: Option<&TenantCrypto>,
+    ) -> Result<Self, ServeError> {
+        let base = tenant.map_or(0, |t| t.counter_base());
         let policy = SePolicy::paper_default().with_ratio(config.se_ratio);
         let plan = EncryptionPlan::from_topology(topo, policy)?;
         let weight_total = topo.total_weight_bytes();
@@ -242,11 +275,12 @@ impl CostModel {
                 cache: CounterCache::new(CounterCacheConfig::with_kilobytes(
                     config.counter_cache_kb,
                 ))?,
+                weight_base: base,
                 weight_enc,
                 fmap_enc,
                 free_at: 0,
-                fmap_cursor: FMAP_REGION_BASE,
-                storm_cursor: STORM_REGION_BASE,
+                fmap_cursor: base + FMAP_REGION_BASE,
+                storm_cursor: base + STORM_REGION_BASE,
                 enc_bytes: 0,
                 total_bytes: 0,
                 batches: 0,
@@ -257,12 +291,19 @@ impl CostModel {
             Some(fc) if fc.any_enabled() => Some(ChaosState {
                 plan: FaultPlan::new(config.fault_seed, *fc)?,
                 config: *fc,
-                cipher: CtrCipher::new(
-                    Aes128::new(&Key128::from_seed(config.fault_seed)),
-                    config.fault_seed ^ 0x5345_414C,
-                ),
+                // Tamper round-trips run under the tenant's own key and
+                // nonce when one is attached — tampering one tenant's
+                // ciphertext can never involve another tenant's keystream.
+                cipher: match tenant {
+                    Some(t) => CtrCipher::new(Aes128::new(t.key()), t.nonce()),
+                    None => CtrCipher::new(
+                        Aes128::new(&Key128::from_seed(config.fault_seed)),
+                        config.fault_seed ^ 0x5345_414C,
+                    ),
+                },
                 payload: vec![0xA5; 64],
                 stats: FaultStats::default(),
+                addr_base: base,
             }),
             _ => None,
         };
@@ -410,7 +451,7 @@ impl SchemeLane {
         let mut misses = 0u64;
         let weight_pages = self.weight_enc.div_ceil(COUNTER_PAGE_BYTES);
         for p in 0..weight_pages {
-            if !self.cache.access(p * COUNTER_PAGE_BYTES) {
+            if !self.cache.access(self.weight_base + p * COUNTER_PAGE_BYTES) {
                 misses += 1;
             }
         }
@@ -597,6 +638,44 @@ mod tests {
         let cb = by_scheme(&clean.summaries(), Scheme::Baseline);
         let fb = by_scheme(&chaotic.summaries(), Scheme::Baseline);
         assert_eq!(cb.makespan_cycles, fb.makespan_cycles);
+    }
+
+    #[test]
+    fn tenant_chaos_never_perturbs_another_tenants_lanes() {
+        use seal_crypto::TenantCrypto;
+        // Tenant B prices the identical batch stream twice: once while
+        // tenant A sits idle, once while tenant A's cost model runs a full
+        // tamper/stall/storm chaos schedule. B's accounting — makespans,
+        // hit rates, byte counts — must be bitwise identical either way,
+        // and every tamper against A must be caught by A's own MAC.
+        let chaos_cfg = ServerConfig::chaos_smoke(13);
+        let clean_cfg = ServerConfig {
+            faults: None,
+            ..chaos_cfg.clone()
+        };
+        let ta = TenantCrypto::derive(9, 0).unwrap();
+        let tb = TenantCrypto::derive(9, 1).unwrap();
+        let run = |tamper_a: bool| {
+            let a_cfg = if tamper_a { &chaos_cfg } else { &clean_cfg };
+            let mut a = CostModel::for_tenant(&vgg16_topology(), a_cfg, &ta).unwrap();
+            let mut b = CostModel::for_tenant(&vgg16_topology(), &clean_cfg, &tb).unwrap();
+            for batch in [4usize, 1, 3, 4, 2, 4] {
+                a.cost_batch(batch);
+                b.cost_batch(batch);
+            }
+            (a.fault_stats(), b.summaries())
+        };
+        let (a_idle, b_while_idle) = run(false);
+        let (a_chaos, b_while_chaos) = run(true);
+        assert!(a_idle.is_none());
+        let f = a_chaos.expect("chaos armed on tenant A");
+        assert!(f.tampers_injected > 0, "schedule must actually tamper");
+        assert_eq!(f.tampers_detected, f.tampers_injected);
+        assert_eq!(f.silent_corruptions, 0, "A's own MAC catches every tamper");
+        assert_eq!(
+            b_while_idle, b_while_chaos,
+            "tampering tenant A must not move tenant B's accounting"
+        );
     }
 
     #[test]

@@ -91,6 +91,13 @@ pub enum ServeError {
         /// The name that failed to resolve.
         name: String,
     },
+    /// A frame carried a tenant id that is not in the registry.
+    UnknownTenant {
+        /// The unregistered tenant id from the frame header.
+        tenant: u32,
+    },
+    /// The TCP front-end failed (socket setup, reactor, framing).
+    Net(seal_net::NetError),
     /// A tensor could not be assembled (batch concatenation).
     Tensor(seal_tensor::TensorError),
     /// The neural-network layer stack rejected an input.
@@ -156,6 +163,10 @@ impl fmt::Display for ServeError {
             ServeError::UnknownModel { name } => {
                 write!(f, "unknown model `{name}` (zoo: mlp, vgg16, resnet18)")
             }
+            ServeError::UnknownTenant { tenant } => {
+                write!(f, "tenant {tenant} is not registered")
+            }
+            ServeError::Net(e) => write!(f, "network front-end error: {e}"),
             ServeError::Tensor(e) => write!(f, "tensor error: {e}"),
             ServeError::Model(e) => write!(f, "model error: {e}"),
             ServeError::Core(e) => write!(f, "encryption-plan error: {e}"),
@@ -173,6 +184,7 @@ impl std::error::Error for ServeError {
             ServeError::Core(e) => Some(e),
             ServeError::Crypto(e) => Some(e),
             ServeError::Fault(e) => Some(e),
+            ServeError::Net(e) => Some(e),
             ServeError::WorkerSpawn { source, .. } => Some(source),
             _ => None,
         }
@@ -206,6 +218,12 @@ impl From<seal_crypto::CryptoError> for ServeError {
 impl From<seal_faults::FaultError> for ServeError {
     fn from(e: seal_faults::FaultError) -> Self {
         ServeError::Fault(e)
+    }
+}
+
+impl From<seal_net::NetError> for ServeError {
+    fn from(e: seal_net::NetError) -> Self {
+        ServeError::Net(e)
     }
 }
 

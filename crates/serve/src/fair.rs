@@ -1,0 +1,347 @@
+//! Weighted-fair admission: per-tenant bounded queues drained by deficit
+//! round-robin.
+//!
+//! Each tenant owns a bounded `VecDeque`; admission rejects per tenant
+//! (one tenant's backlog can never evict or starve another's). Workers
+//! drain with **deficit round-robin**: the scheduler visits tenants in a
+//! fixed cycle, tops each non-empty tenant's deficit up by
+//! `quantum × weight` on every visit, and serves up to the deficit —
+//! so long-run service is proportional to weight while every batch stays
+//! single-tenant (a batch never mixes tenants, which is what keeps the
+//! per-tenant cost lanes and key material honest).
+//!
+//! The blocking/batching discipline mirrors [`BoundedQueue`]
+//! (crate::queue::BoundedQueue): consumers wait for the first item, then
+//! linger up to the batching deadline hoping to fill `max_batch` from the
+//! selected tenant. Lock poisoning is recovered, never propagated.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use crate::queue::PushRefused;
+
+/// Recovers the guard from a possibly-poisoned mutex (plain data inside).
+fn locked<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// One tenant's lane: its bounded backlog and its running DRR deficit.
+#[derive(Debug)]
+struct Lane<T> {
+    tenant: u32,
+    weight: u64,
+    items: VecDeque<T>,
+    deficit: u64,
+}
+
+#[derive(Debug)]
+struct FairState<T> {
+    lanes: Vec<Lane<T>>,
+    /// DRR cursor: index of the next lane to visit.
+    cursor: usize,
+    closed: bool,
+    /// Total queued items across lanes (cheap emptiness check).
+    queued: usize,
+}
+
+/// A batch popped from the fair queue: every item belongs to one tenant.
+#[derive(Debug)]
+pub struct FairBatch<T> {
+    /// Registry index of the tenant the batch belongs to.
+    pub tenant_index: usize,
+    /// Wire id of that tenant.
+    pub tenant: u32,
+    /// The items, in arrival order.
+    pub items: Vec<T>,
+}
+
+/// Per-tenant bounded queues with deficit-round-robin batch draining.
+#[derive(Debug)]
+pub struct FairQueue<T> {
+    state: Mutex<FairState<T>>,
+    not_empty: Condvar,
+    per_tenant_capacity: usize,
+    quantum: u64,
+}
+
+impl<T> FairQueue<T> {
+    /// Builds one lane per `(tenant, weight)` pair; each lane holds at
+    /// most `per_tenant_capacity` items. `quantum` is the deficit added
+    /// per unit weight on each DRR visit (requests cost 1 each).
+    pub fn new(weights: &[(u32, u32)], per_tenant_capacity: usize, quantum: u64) -> Self {
+        FairQueue {
+            state: Mutex::new(FairState {
+                lanes: weights
+                    .iter()
+                    .map(|&(tenant, weight)| Lane {
+                        tenant,
+                        weight: u64::from(weight.max(1)),
+                        items: VecDeque::new(),
+                        deficit: 0,
+                    })
+                    .collect(),
+                cursor: 0,
+                closed: false,
+                queued: 0,
+            }),
+            not_empty: Condvar::new(),
+            per_tenant_capacity: per_tenant_capacity.max(1),
+            quantum: quantum.max(1),
+        }
+    }
+
+    /// Per-lane capacity.
+    pub fn per_tenant_capacity(&self) -> usize {
+        self.per_tenant_capacity
+    }
+
+    /// Non-blocking admission into `tenant_index`'s lane.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item back with [`PushRefused::Full`] when that lane is
+    /// at capacity or [`PushRefused::Closed`] after [`close`](Self::close).
+    pub fn try_push(&self, tenant_index: usize, item: T) -> Result<(), (T, PushRefused)> {
+        let mut s = locked(&self.state);
+        if s.closed {
+            return Err((item, PushRefused::Closed));
+        }
+        let Some(lane) = s.lanes.get_mut(tenant_index) else {
+            return Err((item, PushRefused::Closed));
+        };
+        if lane.items.len() >= self.per_tenant_capacity {
+            return Err((item, PushRefused::Full));
+        }
+        lane.items.push_back(item);
+        s.queued += 1;
+        drop(s);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until work is available, lingers up to `deadline` for more,
+    /// then returns the next DRR-selected single-tenant batch of at most
+    /// `max_batch` items. Returns `None` when closed and fully drained.
+    pub fn pop_batch(&self, max_batch: usize, deadline: Duration) -> Option<FairBatch<T>> {
+        let max_batch = max_batch.max(1);
+        let mut s = locked(&self.state);
+        loop {
+            while s.queued == 0 {
+                if s.closed {
+                    return None;
+                }
+                s = self.not_empty.wait(s).unwrap_or_else(|e| e.into_inner());
+            }
+            // Linger for the batching deadline while the backlog is short
+            // of a full batch (same discipline as BoundedQueue).
+            let until = Instant::now() + deadline;
+            while s.queued > 0 && s.queued < max_batch && !s.closed {
+                let now = Instant::now();
+                if now >= until {
+                    break;
+                }
+                let (guard, timeout) = self
+                    .not_empty
+                    .wait_timeout(s, until - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                s = guard;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+            if let Some(batch) = self.drr_take(&mut s, max_batch) {
+                return Some(batch);
+            }
+        }
+    }
+
+    /// One DRR scheduling decision under the lock: find the next lane
+    /// with backlog, top up its deficit, and take up to
+    /// `min(deficit, max_batch, backlog)` items.
+    fn drr_take(&self, s: &mut FairState<T>, max_batch: usize) -> Option<FairBatch<T>> {
+        if s.queued == 0 {
+            return None;
+        }
+        let lanes = s.lanes.len();
+        for step in 0..lanes {
+            let idx = (s.cursor + step) % lanes;
+            let quantum = self.quantum;
+            let lane = &mut s.lanes[idx];
+            if lane.items.is_empty() {
+                // Classic DRR: an empty lane forfeits its deficit so idle
+                // tenants cannot bank unbounded credit.
+                lane.deficit = 0;
+            } else {
+                lane.deficit = lane.deficit.saturating_add(quantum * lane.weight);
+                let take = (lane.deficit.min(max_batch as u64) as usize).min(lane.items.len());
+                if take > 0 {
+                    lane.deficit -= take as u64;
+                    let items: Vec<T> = lane.items.drain(..take).collect();
+                    let tenant = lane.tenant;
+                    if lane.items.is_empty() {
+                        lane.deficit = 0;
+                    }
+                    s.queued -= take;
+                    // Advance past the served lane so siblings interleave.
+                    s.cursor = (idx + 1) % lanes;
+                    return Some(FairBatch {
+                        tenant_index: idx,
+                        tenant,
+                        items,
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// Closes every lane: future pushes are refused, consumers drain what
+    /// remains and then see `None`.
+    pub fn close(&self) {
+        locked(&self.state).closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Takes every queued item at once, lane by lane (shutdown drain).
+    pub fn drain_remaining(&self) -> Vec<FairBatch<T>> {
+        let mut s = locked(&self.state);
+        let mut out = Vec::new();
+        for (idx, lane) in s.lanes.iter_mut().enumerate() {
+            if !lane.items.is_empty() {
+                out.push(FairBatch {
+                    tenant_index: idx,
+                    tenant: lane.tenant,
+                    items: lane.items.drain(..).collect(),
+                });
+            }
+        }
+        s.queued = 0;
+        out
+    }
+
+    /// Items currently queued across all lanes.
+    pub fn len(&self) -> usize {
+        locked(&self.state).queued
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weights(n: u32) -> Vec<(u32, u32)> {
+        (0..n).map(|t| (t, t + 1)).collect()
+    }
+
+    #[test]
+    fn batches_never_mix_tenants() {
+        let q = FairQueue::new(&weights(3), 16, 4);
+        for i in 0..12 {
+            q.try_push((i % 3) as usize, i).unwrap();
+        }
+        while !q.is_empty() {
+            let batch = q.pop_batch(8, Duration::ZERO).unwrap();
+            assert!(!batch.items.is_empty());
+            for item in &batch.items {
+                assert_eq!((*item % 3) as usize, batch.tenant_index);
+            }
+        }
+    }
+
+    #[test]
+    fn service_is_weight_proportional_under_backlog() {
+        // Tenants 0/1/2 with weights 1/2/3, all permanently backlogged:
+        // served counts must track the weights.
+        let q = FairQueue::new(&weights(3), 600, 1);
+        for i in 0..1800 {
+            q.try_push((i % 3) as usize, i).unwrap();
+        }
+        let mut served = [0usize; 3];
+        // Serve exactly half the backlog, then compare shares.
+        let mut taken = 0;
+        while taken < 900 {
+            let batch = q.pop_batch(4, Duration::ZERO).unwrap();
+            served[batch.tenant_index] += batch.items.len();
+            taken += batch.items.len();
+        }
+        assert!(
+            served[2] > served[1] && served[1] > served[0],
+            "weighted shares must order: {served:?}"
+        );
+        // Weight-normalised service is near-uniform (within one quantum
+        // round per lane).
+        let norm: Vec<f64> = served
+            .iter()
+            .zip([1.0f64, 2.0, 3.0])
+            .map(|(s, w)| *s as f64 / w)
+            .collect();
+        let (lo, hi) = (
+            norm.iter().cloned().fold(f64::MAX, f64::min),
+            norm.iter().cloned().fold(0.0, f64::max),
+        );
+        assert!(hi / lo < 1.25, "normalised service uneven: {norm:?}");
+    }
+
+    #[test]
+    fn per_tenant_capacity_is_enforced_per_lane() {
+        let q = FairQueue::new(&[(0, 1), (1, 1)], 2, 1);
+        q.try_push(0, 1).unwrap();
+        q.try_push(0, 2).unwrap();
+        let (item, why) = q.try_push(0, 3).unwrap_err();
+        assert_eq!((item, why), (3, PushRefused::Full));
+        // Tenant 1's lane is unaffected by tenant 0's backlog.
+        q.try_push(1, 9).unwrap();
+    }
+
+    #[test]
+    fn close_refuses_new_work_and_drains_old() {
+        let q = FairQueue::new(&weights(2), 8, 1);
+        q.try_push(0, 1).unwrap();
+        q.close();
+        assert_eq!(q.try_push(1, 2).unwrap_err().1, PushRefused::Closed);
+        let batch = q.pop_batch(4, Duration::ZERO).unwrap();
+        assert_eq!(batch.items, vec![1]);
+        assert!(q.pop_batch(4, Duration::ZERO).is_none());
+    }
+
+    #[test]
+    fn drain_remaining_groups_by_tenant() {
+        let q = FairQueue::new(&weights(2), 8, 1);
+        q.try_push(0, 1).unwrap();
+        q.try_push(1, 2).unwrap();
+        q.try_push(1, 3).unwrap();
+        q.close();
+        let drained = q.drain_remaining();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[1].items, vec![2, 3]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn blocked_consumer_wakes_on_push_and_close() {
+        use std::sync::Arc;
+        let q = Arc::new(FairQueue::new(&weights(1), 8, 1));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop_batch(1, Duration::ZERO).map(|b| b.items))
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        q.try_push(0, 42).unwrap();
+        assert_eq!(consumer.join().unwrap(), Some(vec![42]));
+
+        let q2 = Arc::new(FairQueue::<u32>::new(&weights(1), 8, 1));
+        let consumer = {
+            let q2 = Arc::clone(&q2);
+            std::thread::spawn(move || q2.pop_batch(1, Duration::from_secs(5)))
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        q2.close();
+        assert!(consumer.join().unwrap().is_none());
+    }
+}

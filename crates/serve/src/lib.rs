@@ -23,6 +23,12 @@
 //! | [`cost`] | per-scheme virtual pipelines pricing each realized batch (and its fault recoveries) |
 //! | [`metrics`] | latency percentiles, queue-depth and batch statistics |
 //! | [`loadgen`] | closed-loop, open-loop and chaos load generators |
+//! | [`arrivals`] | deterministic Pareto arrival schedules + tenant assignment |
+//! | [`tenant`] | multi-tenant registry: per-tenant keys, counter windows, models, breakers |
+//! | [`fair`] | per-tenant bounded lanes drained by deficit round-robin |
+//! | [`netserve`] | the TCP front-end: seal-net reactor + admission + tenant workers |
+//! | [`netload`] | open-loop TCP load generator with network-fault realisation |
+//! | [`netreport`] | `results/serve_net.json` writer + net-smoke acceptance checks |
 //! | [`report`] | `results/serve_*.json` writer + smoke acceptance checks |
 //!
 //! ## Fault model
@@ -50,24 +56,36 @@
 //! assert_eq!(stats.batches.samples, 8);
 //! ```
 
+pub mod arrivals;
 pub mod breaker;
 pub mod config;
 pub mod cost;
 pub mod error;
+pub mod fair;
 pub mod loadgen;
 pub mod metrics;
 pub mod model;
+pub mod netload;
+pub mod netreport;
+pub mod netserve;
 pub mod queue;
 pub mod report;
 pub mod server;
+pub mod tenant;
 
+pub use arrivals::{assign_tenants, ArrivalSchedule};
 pub use breaker::{BreakerState, BreakerStats, CircuitBreaker};
 pub use config::ServerConfig;
 pub use cost::{CostModel, FaultStats, SchemeSummary, COSTED_SCHEMES};
 pub use error::ServeError;
+pub use fair::{FairBatch, FairQueue};
 pub use loadgen::{ChaosReport, LoadMode, LoadReport};
 pub use metrics::{BatchStats, LatencyHistogram, QueueDepthStats};
 pub use model::{ServedModel, ZOO};
+pub use netload::{NetLoadConfig, NetLoadReport, TenantLoad};
+pub use netreport::NetSmoke;
+pub use netserve::{NetServer, NetServerConfig, NetStats};
 pub use queue::{BoundedQueue, PushRefused};
 pub use report::{ChaosRun, ChaosSmoke, PlanComparison, ServeReport};
 pub use server::{Response, ResponseHandle, ServeStats, Server};
+pub use tenant::{TenantRegistry, TenantSpec, TenantState};

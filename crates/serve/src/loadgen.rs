@@ -26,6 +26,7 @@ use seal_tensor::rng::rngs::StdRng;
 use seal_tensor::rng::SeedableRng;
 use seal_tensor::{Shape, Tensor};
 
+use crate::arrivals::ArrivalSchedule;
 use crate::metrics::LatencyHistogram;
 use crate::{ServeError, Server};
 
@@ -52,6 +53,14 @@ pub enum LoadMode {
         /// Arrival rate in requests per second.
         rate_rps: f64,
     },
+    /// Open loop with Pareto (heavy-tailed) inter-arrival gaps — the
+    /// same [`ArrivalSchedule`] the TCP load generator replays.
+    OpenPareto {
+        /// Mean inter-arrival gap in microseconds.
+        mean_gap_us: f64,
+        /// Pareto shape parameter (tail heaviness).
+        alpha: f64,
+    },
 }
 
 impl LoadMode {
@@ -60,6 +69,7 @@ impl LoadMode {
         match self {
             LoadMode::Closed { .. } => "closed",
             LoadMode::Open { .. } => "open",
+            LoadMode::OpenPareto { .. } => "open-pareto",
         }
     }
 }
@@ -273,6 +283,71 @@ pub fn run_open(
     })
 }
 
+/// Runs an open-loop test with Pareto inter-arrivals: the schedule is the
+/// deterministic [`ArrivalSchedule`] shared with the TCP load generator,
+/// so in-process and network runs replay the identical offered load for a
+/// given seed. Rejected arrivals are dropped and counted, exactly as in
+/// [`run_open`].
+///
+/// # Errors
+///
+/// Returns [`ServeError::InvalidConfig`] for a non-positive mean gap and
+/// propagates non-backpressure submission failures.
+pub fn run_open_pareto(
+    server: &Server,
+    requests: usize,
+    mean_gap_us: f64,
+    alpha: f64,
+    seed: u64,
+) -> Result<LoadReport, ServeError> {
+    if mean_gap_us <= 0.0 {
+        return Err(ServeError::InvalidConfig {
+            reason: format!("open-loop mean gap {mean_gap_us}us must be positive"),
+        });
+    }
+    let schedule = ArrivalSchedule::pareto(seed, requests, mean_gap_us, alpha);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(requests);
+    let mut rejected = 0usize;
+
+    for &offset_us in schedule.offsets_us() {
+        let fire = started + Duration::from_micros(offset_us);
+        let now = Instant::now();
+        if now < fire {
+            std::thread::sleep(fire - now);
+        }
+        let input = server.sample_input(&mut rng);
+        match server.submit(input) {
+            Ok(h) => handles.push(h),
+            Err(ServeError::QueueFull { .. }) => rejected += 1,
+            Err(e) => return Err(e),
+        }
+    }
+
+    let mut latency = LatencyHistogram::new();
+    let mut completed = 0usize;
+    for h in handles {
+        let r = h.wait()?;
+        completed += 1;
+        latency.record(r.latency.as_micros() as u64);
+    }
+    let wall = started.elapsed().as_secs_f64();
+    Ok(LoadReport {
+        mode: LoadMode::OpenPareto { mean_gap_us, alpha },
+        requested: requests,
+        completed,
+        rejected,
+        wall_seconds: wall,
+        observed_throughput_rps: if wall > 0.0 {
+            completed as f64 / wall
+        } else {
+            0.0
+        },
+        latency,
+    })
+}
+
 /// Per-outcome atomic tallies shared by the chaos clients.
 #[derive(Default)]
 struct ChaosCounts {
@@ -472,10 +547,20 @@ mod tests {
     }
 
     #[test]
+    fn open_pareto_replays_the_shared_schedule() {
+        let server = mlp_server();
+        let report = run_open_pareto(&server, 30, 50.0, 1.5, 17).unwrap();
+        assert_eq!(report.completed + report.rejected, 30);
+        assert_eq!(report.mode.name(), "open-pareto");
+        server.shutdown().unwrap();
+    }
+
+    #[test]
     fn bad_parameters_are_rejected() {
         let server = mlp_server();
         assert!(run_closed(&server, 1, 0, 0).is_err());
         assert!(run_open(&server, 1, 0.0, 0).is_err());
+        assert!(run_open_pareto(&server, 1, 0.0, 1.5, 0).is_err());
         assert!(
             run_chaos(&server, 1, 2).is_err(),
             "chaos without an armed schedule is a config error"

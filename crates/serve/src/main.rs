@@ -16,8 +16,14 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
-use seal_serve::{loadgen, ChaosRun, ChaosSmoke, PlanComparison, ServeReport, Server, ServerConfig};
+use seal_serve::netload::{run_tcp, NetLoadConfig};
+use seal_serve::netreport::NetPhase;
+use seal_serve::{
+    loadgen, ChaosRun, ChaosSmoke, NetServer, NetServerConfig, NetSmoke, PlanComparison,
+    ServeReport, Server, ServerConfig,
+};
 
 const USAGE: &str = "usage: seal-serve [options]
 
@@ -28,7 +34,17 @@ const USAGE: &str = "usage: seal-serve [options]
                       assert liveness (no hangs), integrity (no silent
                       corruptions) and determinism (identical fault and
                       recovery counts), write results/chaos_smoke.json
-  --fault-seed N      fault-plan seed for --chaos               (default 42)
+  --net-smoke         network smoke: serve skew-weighted tenants over real
+                      loopback TCP (seal-net reactor + weighted-fair
+                      admission), measure per-tenant latency and Jain's
+                      fairness index, then run the seeded network-fault
+                      schedule twice and assert determinism; write
+                      results/serve_net.json
+  --tenants N         tenants for --net-smoke                   (default 8)
+  --users N           distinct simulated users for --net-smoke
+                      fairness phase                       (default 100000)
+  --net-requests N    arrivals per --net-smoke chaos run     (default 2000)
+  --fault-seed N      fault-plan seed for --chaos/--net-smoke   (default 42)
   --model NAME        zoo model: mlp | vgg16 | resnet18   (default vgg16)
   --mode MODE         closed | open                       (default closed)
   --requests N        requests to issue                   (default 100)
@@ -47,6 +63,10 @@ exit codes: 0 ok, 1 acceptance violations, 2 usage or runtime error";
 struct Args {
     smoke: bool,
     chaos: bool,
+    net_smoke: bool,
+    tenants: u32,
+    users: u64,
+    net_requests: u64,
     fault_seed: u64,
     mode: String,
     requests: usize,
@@ -60,6 +80,10 @@ fn parse_args() -> Result<Option<Args>, String> {
     let mut args = Args {
         smoke: false,
         chaos: false,
+        net_smoke: false,
+        tenants: 8,
+        users: 100_000,
+        net_requests: 2_000,
         fault_seed: 42,
         mode: "closed".into(),
         requests: 100,
@@ -78,6 +102,12 @@ fn parse_args() -> Result<Option<Args>, String> {
             "--help" | "-h" => return Ok(None),
             "--smoke" => args.smoke = true,
             "--chaos" => args.chaos = true,
+            "--net-smoke" => args.net_smoke = true,
+            "--tenants" => args.tenants = parse_num(&value("--tenants")?, "--tenants")?,
+            "--users" => args.users = parse_num(&value("--users")?, "--users")?,
+            "--net-requests" => {
+                args.net_requests = parse_num(&value("--net-requests")?, "--net-requests")?
+            }
             "--fault-seed" => {
                 args.fault_seed = parse_num(&value("--fault-seed")?, "--fault-seed")?
             }
@@ -105,8 +135,8 @@ fn parse_args() -> Result<Option<Args>, String> {
             s => return Err(format!("unknown argument {s}")),
         }
     }
-    if args.smoke && args.chaos {
-        return Err("--smoke and --chaos are mutually exclusive".into());
+    if usize::from(args.smoke) + usize::from(args.chaos) + usize::from(args.net_smoke) > 1 {
+        return Err("--smoke, --chaos and --net-smoke are mutually exclusive".into());
     }
     if args.smoke {
         args.config.model = "vgg16".into();
@@ -116,6 +146,9 @@ fn parse_args() -> Result<Option<Args>, String> {
     }
     if args.chaos {
         args.out.get_or_insert(PathBuf::from("results/chaos_smoke.json"));
+    }
+    if args.net_smoke {
+        args.out.get_or_insert(PathBuf::from("results/serve_net.json"));
     }
     if args.mode != "closed" && args.mode != "open" {
         return Err(format!("--mode must be closed or open, got {}", args.mode));
@@ -203,9 +236,110 @@ fn run_chaos(args: Args) -> Result<ExitCode, String> {
     }
 }
 
+/// One net-smoke phase: start a TCP server, drive it with the given load
+/// configuration, and fold the client report and server shutdown stats
+/// into a [`NetPhase`].
+fn run_net_phase(
+    server_cfg: &NetServerConfig,
+    load_cfg: &NetLoadConfig,
+) -> Result<NetPhase, String> {
+    let server = NetServer::start(server_cfg.clone()).map_err(|e| e.to_string())?;
+    let weights = server.registry().weights();
+    let load = run_tcp(server.port(), &weights, load_cfg).map_err(|e| e.to_string())?;
+    let stats = server.shutdown().map_err(|e| e.to_string())?;
+    Ok(NetPhase { load, stats })
+}
+
+/// The network smoke: a clean weighted-fairness measurement over real
+/// loopback TCP, then two same-fault-seed chaos runs whose fault ledgers
+/// and counters must agree exactly.
+fn run_net_smoke(args: Args) -> Result<ExitCode, String> {
+    let seed = args.config.seed;
+    let fault_seed = args.fault_seed;
+    let mut server_cfg = NetServerConfig::smoke(args.tenants);
+    server_cfg.base.seed = seed;
+    println!(
+        "seal-serve: net smoke, {} tenants, {} users, seed {seed}, fault seed {fault_seed}",
+        args.tenants, args.users
+    );
+
+    let fairness = run_net_phase(&server_cfg, &NetLoadConfig::fairness(args.users, seed))?;
+    println!(
+        "seal-serve: fairness: {}/{} completed over TCP in {:.2}s, Jain index {:.4}",
+        fairness.load.total_completed(),
+        args.users,
+        fairness.load.wall_seconds,
+        fairness.load.jain_index()
+    );
+
+    // Chaos runs hold partial frames on purpose (slow-loris); a short
+    // mid-frame idle budget keeps the reap inside the client timeout.
+    let mut chaos_cfg = server_cfg.clone();
+    chaos_cfg.idle_mid_frame = Duration::from_millis(40);
+    let chaos_load = NetLoadConfig::chaos(args.net_requests, seed, fault_seed);
+    let mut chaos_runs = Vec::with_capacity(2);
+    for attempt in 1..=2 {
+        let phase = run_net_phase(&chaos_cfg, &chaos_load)?;
+        println!(
+            "seal-serve: chaos run {attempt}: {} completed, faults realized: {} malformed, {} truncated, {} slow-loris, {} disconnects",
+            phase.load.total_completed(),
+            phase.load.realized.malformed,
+            phase.load.realized.truncated,
+            phase.load.realized.slow_loris,
+            phase.load.realized.disconnects
+        );
+        chaos_runs.push(phase);
+    }
+    let chaos: [NetPhase; 2] = match chaos_runs.try_into() {
+        Ok(r) => r,
+        Err(_) => return Err("net smoke did not produce two chaos runs".into()),
+    };
+
+    let mut smoke = NetSmoke {
+        seed,
+        fault_seed,
+        fairness,
+        chaos,
+        jain_floor: 0.9,
+    };
+    for t in &mut smoke.fairness.load.per_tenant {
+        println!(
+            "seal-serve:   tenant {:>2} (weight {}): {:>6} completed  p50={}us p95={}us p99={}us",
+            t.tenant,
+            t.weight,
+            t.completed,
+            t.latency.p50(),
+            t.latency.p95(),
+            t.latency.p99()
+        );
+    }
+
+    let out = args
+        .out
+        .unwrap_or_else(|| PathBuf::from("results/serve_net.json"));
+    smoke
+        .write(&out)
+        .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    println!("seal-serve: net report written to {}", out.display());
+
+    let violations = smoke.violations();
+    if violations.is_empty() {
+        println!("seal-serve: net checks clean (fair, deterministic, fault ledger exact)");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for v in &violations {
+            eprintln!("seal-serve: VIOLATION: {v}");
+        }
+        Ok(ExitCode::from(1))
+    }
+}
+
 fn run(args: Args) -> Result<ExitCode, String> {
     if args.chaos {
         return run_chaos(args);
+    }
+    if args.net_smoke {
+        return run_net_smoke(args);
     }
     let config = args.config.clone();
     // Smoke runs measure a control pass first: the same workload served

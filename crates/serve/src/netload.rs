@@ -1,0 +1,571 @@
+//! The TCP load generator: an open-loop, heavy-tailed, multi-tenant
+//! driver for the [`NetServer`](crate::netserve::NetServer).
+//!
+//! The generator replays the same deterministic [`ArrivalSchedule`] the
+//! in-process loadgen uses (bitwise identical per seed), assigns each
+//! arrival a simulated user id (`user = arrival index`, so 10^5 arrivals
+//! mean 10^5 distinct users) and a tenant (hash-proportional to the
+//! weighted-fair shares), and drives the server over real loopback TCP
+//! with a bounded per-client pipeline window.
+//!
+//! When a [`FaultConfig`] is armed, the seed-deterministic
+//! [`FaultPlan::net_fault`] schedule decides which arrival slots become
+//! network chaos instead of requests: malformed frames, truncated frames,
+//! slow-loris stalls and mid-request disconnects. Every fault is realised
+//! against the live socket and every outcome is a typed count — the
+//! chaos smoke asserts the whole ledger is identical across same-seed
+//! runs.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use seal_faults::{FaultConfig, FaultPlan, NetFault, NetFaultCounts};
+use seal_net::{Frame, FrameClient, FrameKind};
+
+use crate::arrivals::{assign_tenants, ArrivalSchedule};
+use crate::metrics::LatencyHistogram;
+use crate::netserve::{
+    parse_reject, REJECT_BREAKER, REJECT_QUEUE_FULL, REJECT_SHED,
+};
+use crate::ServeError;
+
+/// Bounded retries for a queue-full reject before the arrival is dropped.
+const RETRY_LIMIT: u32 = 64;
+
+/// How many bytes of a valid frame a truncation/slow-loris fault puts on
+/// the wire before stalling or vanishing (mid-header: always mid-frame).
+const PARTIAL_BYTES: usize = 10;
+
+/// Configuration of one TCP load run.
+#[derive(Debug, Clone)]
+pub struct NetLoadConfig {
+    /// Total arrivals; each arrival is a distinct simulated user.
+    pub users: u64,
+    /// Client connections driving the schedule in parallel.
+    pub concurrency: usize,
+    /// Mean Pareto inter-arrival gap in microseconds.
+    pub mean_gap_us: f64,
+    /// Pareto shape parameter.
+    pub alpha: f64,
+    /// Seed for the arrival schedule and tenant assignment.
+    pub seed: u64,
+    /// Network fault schedule; `None` runs clean.
+    pub faults: Option<FaultConfig>,
+    /// Seed of the fault plan (independent of the workload seed).
+    pub fault_seed: u64,
+    /// Max in-flight requests per client connection.
+    pub window: usize,
+    /// Per-read socket timeout; a recv past this is a hang violation.
+    pub read_timeout: Duration,
+}
+
+impl NetLoadConfig {
+    /// A clean fairness-phase preset over `users` arrivals.
+    pub fn fairness(users: u64, seed: u64) -> NetLoadConfig {
+        NetLoadConfig {
+            users,
+            concurrency: 4,
+            mean_gap_us: 60.0,
+            alpha: 1.5,
+            seed,
+            faults: None,
+            fault_seed: 0,
+            window: 32,
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+
+    /// A chaos-phase preset: the net-smoke fault mix over `users`
+    /// arrivals, paced gently so fault counts stay timing-independent.
+    pub fn chaos(users: u64, seed: u64, fault_seed: u64) -> NetLoadConfig {
+        NetLoadConfig {
+            users,
+            concurrency: 4,
+            mean_gap_us: 120.0,
+            alpha: 1.5,
+            seed,
+            faults: Some(FaultConfig::net_smoke()),
+            fault_seed,
+            window: 16,
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Client-observed per-tenant ledger for one run.
+#[derive(Debug, Clone)]
+pub struct TenantLoad {
+    /// Tenant wire id.
+    pub tenant: u32,
+    /// Weighted-fair share.
+    pub weight: u32,
+    /// Requests actually sent for this tenant (fault slots excluded).
+    pub assigned: u64,
+    /// Responses received.
+    pub completed: u64,
+    /// Queue-full rejects that were retried.
+    pub retries: u64,
+    /// Arrivals dropped after exhausting the retry budget.
+    pub dropped_queue_full: u64,
+    /// Arrivals refused by the tenant's breaker.
+    pub breaker_rejected: u64,
+    /// Arrivals shed past their deadline (typed reject).
+    pub shed: u64,
+    /// Rejects with any other code (drain, model, protocol).
+    pub other_rejected: u64,
+    /// Valid requests abandoned by a disconnect fault (response dropped
+    /// server-side by design).
+    pub abandoned: u64,
+    /// Client-observed end-to-end latency of completed requests.
+    pub latency: LatencyHistogram,
+}
+
+impl TenantLoad {
+    fn new(tenant: u32, weight: u32) -> TenantLoad {
+        TenantLoad {
+            tenant,
+            weight,
+            assigned: 0,
+            completed: 0,
+            retries: 0,
+            dropped_queue_full: 0,
+            breaker_rejected: 0,
+            shed: 0,
+            other_rejected: 0,
+            abandoned: 0,
+            latency: LatencyHistogram::new(),
+        }
+    }
+
+    fn merge(&mut self, other: &TenantLoad) {
+        self.assigned += other.assigned;
+        self.completed += other.completed;
+        self.retries += other.retries;
+        self.dropped_queue_full += other.dropped_queue_full;
+        self.breaker_rejected += other.breaker_rejected;
+        self.shed += other.shed;
+        self.other_rejected += other.other_rejected;
+        self.abandoned += other.abandoned;
+        self.latency.merge(&other.latency);
+    }
+}
+
+/// What one TCP load run observed, client side.
+#[derive(Debug, Clone)]
+pub struct NetLoadReport {
+    /// Arrivals driven.
+    pub users: u64,
+    /// Client connections used.
+    pub concurrency: usize,
+    /// Faults the plan assigned to the arrival stream.
+    pub planned: NetFaultCounts,
+    /// Faults actually realised on the wire (must equal `planned`).
+    pub realized: NetFaultCounts,
+    /// Per-tenant ledgers, in weight-table order.
+    pub per_tenant: Vec<TenantLoad>,
+    /// Wall-clock duration in seconds (not deterministic).
+    pub wall_seconds: f64,
+}
+
+impl NetLoadReport {
+    /// Jain's fairness index over weight-normalised completions:
+    /// `J = (Σx)² / (n·Σx²)` with `x_i = completed_i / weight_i`.
+    /// 1.0 is perfectly weighted-fair; `1/n` is maximally unfair.
+    pub fn jain_index(&self) -> f64 {
+        let xs: Vec<f64> = self
+            .per_tenant
+            .iter()
+            .map(|t| t.completed as f64 / f64::from(t.weight.max(1)))
+            .collect();
+        let n = xs.len() as f64;
+        let sum: f64 = xs.iter().sum();
+        let sum_sq: f64 = xs.iter().map(|x| x * x).sum();
+        if n == 0.0 || sum_sq == 0.0 {
+            return 0.0;
+        }
+        (sum * sum) / (n * sum_sq)
+    }
+
+    /// Total completed requests across tenants.
+    pub fn total_completed(&self) -> u64 {
+        self.per_tenant.iter().map(|t| t.completed).sum()
+    }
+
+    /// The deterministic part of the ledger, flattened for same-seed
+    /// comparison: planned/realised fault counts plus every per-tenant
+    /// counter except retries (timing-dependent) and latency.
+    pub fn deterministic_signature(&self) -> Vec<u64> {
+        let mut sig = vec![
+            self.users,
+            self.planned.malformed,
+            self.planned.truncated,
+            self.planned.slow_loris,
+            self.planned.disconnects,
+            self.realized.malformed,
+            self.realized.truncated,
+            self.realized.slow_loris,
+            self.realized.disconnects,
+        ];
+        for t in &self.per_tenant {
+            sig.extend_from_slice(&[
+                u64::from(t.tenant),
+                t.assigned,
+                t.completed,
+                t.dropped_queue_full,
+                t.breaker_rejected,
+                t.shed,
+                t.abandoned,
+            ]);
+        }
+        sig
+    }
+}
+
+/// A request in flight on one client connection.
+struct Pending {
+    tenant_idx: usize,
+    sent: Instant,
+    attempts: u32,
+}
+
+/// Shared, read-only context for the client threads.
+struct LoadCtx<'a> {
+    port: u16,
+    weights: &'a [(u32, u32)],
+    schedule: &'a ArrivalSchedule,
+    assignment: &'a [usize],
+    plan: Option<&'a FaultPlan>,
+    window: usize,
+    concurrency: usize,
+    read_timeout: Duration,
+    started: Instant,
+}
+
+/// Per-client local tallies, merged after the scoped clients join.
+struct ClientLocal {
+    per_tenant: Vec<TenantLoad>,
+    realized: NetFaultCounts,
+}
+
+/// Drives `cfg.users` deterministic arrivals at the server on `port`
+/// through real TCP, realising any planned network faults on the wire.
+/// `weights` must be the server registry's own `(tenant, weight)` table.
+///
+/// # Errors
+///
+/// Returns [`ServeError::InvalidConfig`] for bad parameters and a typed
+/// [`ServeError::Net`] for connection failures or a response that never
+/// arrived within the read timeout (the hang violation).
+pub fn run_tcp(
+    port: u16,
+    weights: &[(u32, u32)],
+    cfg: &NetLoadConfig,
+) -> Result<NetLoadReport, ServeError> {
+    if cfg.concurrency == 0 || cfg.window == 0 {
+        return Err(ServeError::InvalidConfig {
+            reason: "net loadgen needs concurrency >= 1 and window >= 1".into(),
+        });
+    }
+    if weights.is_empty() {
+        return Err(ServeError::InvalidConfig {
+            reason: "net loadgen needs a non-empty tenant weight table".into(),
+        });
+    }
+    let plan = match cfg.faults {
+        Some(faults) => Some(FaultPlan::new(cfg.fault_seed, faults)?),
+        None => None,
+    };
+    let schedule = ArrivalSchedule::pareto(cfg.seed, cfg.users as usize, cfg.mean_gap_us, cfg.alpha);
+    let assignment = assign_tenants(cfg.seed, cfg.users, weights);
+    let started = Instant::now();
+    let ctx = LoadCtx {
+        port,
+        weights,
+        schedule: &schedule,
+        assignment: &assignment,
+        plan: plan.as_ref(),
+        window: cfg.window,
+        concurrency: cfg.concurrency,
+        read_timeout: cfg.read_timeout,
+        started,
+    };
+
+    let locals: Vec<Result<ClientLocal, ServeError>> =
+        seal_pool::scoped_map((0..cfg.concurrency).collect(), |client: usize| {
+            client_loop(client, &ctx)
+        });
+
+    let mut per_tenant: Vec<TenantLoad> = weights
+        .iter()
+        .map(|&(t, w)| TenantLoad::new(t, w))
+        .collect();
+    let mut realized = NetFaultCounts::default();
+    for local in locals {
+        let local = local?;
+        for (agg, part) in per_tenant.iter_mut().zip(&local.per_tenant) {
+            agg.merge(part);
+        }
+        realized.malformed += local.realized.malformed;
+        realized.truncated += local.realized.truncated;
+        realized.slow_loris += local.realized.slow_loris;
+        realized.disconnects += local.realized.disconnects;
+    }
+    Ok(NetLoadReport {
+        users: cfg.users,
+        concurrency: cfg.concurrency,
+        planned: plan
+            .as_ref()
+            .map(|p| p.planned_net_faults(cfg.users))
+            .unwrap_or_default(),
+        realized,
+        per_tenant,
+        wall_seconds: started.elapsed().as_secs_f64(),
+    })
+}
+
+/// One client: drives every arrival index `i ≡ client (mod concurrency)`,
+/// pacing against the global schedule as a lower bound.
+fn client_loop(client: usize, ctx: &LoadCtx<'_>) -> Result<ClientLocal, ServeError> {
+    let mut conn = FrameClient::connect(ctx.port, ctx.read_timeout)?;
+    let mut outstanding: HashMap<u64, Pending> = HashMap::new();
+    let mut local = ClientLocal {
+        per_tenant: ctx
+            .weights
+            .iter()
+            .map(|&(t, w)| TenantLoad::new(t, w))
+            .collect(),
+        realized: NetFaultCounts::default(),
+    };
+    let offsets = ctx.schedule.offsets_us();
+
+    let mut i = client;
+    while i < offsets.len() {
+        let fire = ctx.started + Duration::from_micros(offsets[i]);
+        let now = Instant::now();
+        if now < fire {
+            std::thread::sleep(fire - now);
+        }
+        match ctx.plan.and_then(|p| p.net_fault(i as u64)) {
+            None => {
+                if outstanding.len() >= ctx.window {
+                    drain_one(&mut conn, &mut outstanding, &mut local, ctx)?;
+                }
+                let tenant_idx = ctx.assignment[i];
+                let seq = i as u64;
+                conn.send(&Frame::request(
+                    ctx.weights[tenant_idx].0,
+                    seq,
+                    seq.to_le_bytes().to_vec(),
+                ))?;
+                outstanding.insert(
+                    seq,
+                    Pending {
+                        tenant_idx,
+                        sent: Instant::now(),
+                        attempts: 0,
+                    },
+                );
+                local.per_tenant[tenant_idx].assigned += 1;
+            }
+            Some(fault) => {
+                // Chaos trashes the connection: settle the pipeline first
+                // so no healthy in-flight request is collateral damage.
+                drain_all(&mut conn, &mut outstanding, &mut local, ctx)?;
+                realize_fault(fault, i, &mut conn, &mut local, ctx)?;
+            }
+        }
+        i += ctx.concurrency;
+    }
+    drain_all(&mut conn, &mut outstanding, &mut local, ctx)?;
+    Ok(local)
+}
+
+/// Realises one planned network fault against the live socket, then
+/// reconnects so the next arrival starts clean.
+fn realize_fault(
+    fault: NetFault,
+    index: usize,
+    conn: &mut FrameClient,
+    local: &mut ClientLocal,
+    ctx: &LoadCtx<'_>,
+) -> Result<(), ServeError> {
+    let tenant_idx = ctx.assignment[index];
+    let seq = index as u64;
+    let valid = Frame::request(ctx.weights[tenant_idx].0, seq, seq.to_le_bytes().to_vec()).encode();
+    match fault {
+        NetFault::MalformedFrame => {
+            // Bad magic: the reactor must type it as a protocol error and
+            // close; nothing useful can come back.
+            conn.send_raw(&[0xDE, 0xAD, 0xBE, 0xEF, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0])?;
+            let _ = conn.recv(); // server closes; Closed (or raced reject)
+            local.realized.malformed += 1;
+        }
+        NetFault::TruncatedFrame => {
+            // Mid-frame EOF: send a partial header, then vanish.
+            conn.send_raw(&valid[..PARTIAL_BYTES])?;
+            let _ = conn.shutdown_write();
+            let _ = conn.recv(); // drains the FIN so close ordering is fixed
+            local.realized.truncated += 1;
+        }
+        NetFault::SlowLoris => {
+            // Partial frame + stall: hold until the server's mid-frame
+            // idle sweep reaps the connection (recv returns Closed).
+            conn.send_raw(&valid[..PARTIAL_BYTES])?;
+            let _ = conn.recv();
+            local.realized.slow_loris += 1;
+        }
+        NetFault::Disconnect => {
+            // Valid request, then gone before the response: the server
+            // serves it and its reply is dropped (counted server-side).
+            conn.send_raw(&valid)?;
+            local.realized.disconnects += 1;
+            local.per_tenant[tenant_idx].abandoned += 1;
+        }
+    }
+    *conn = FrameClient::connect(ctx.port, ctx.read_timeout)?;
+    Ok(())
+}
+
+/// Receives one frame and settles its pending request: completion,
+/// typed reject, or a bounded queue-full retry.
+fn drain_one(
+    conn: &mut FrameClient,
+    outstanding: &mut HashMap<u64, Pending>,
+    local: &mut ClientLocal,
+    ctx: &LoadCtx<'_>,
+) -> Result<(), ServeError> {
+    let frame = conn.recv()?;
+    let Some(pending) = outstanding.remove(&frame.seq) else {
+        // A reply for a request this client no longer tracks (should not
+        // happen on a healthy run); ignore rather than misattribute.
+        return Ok(());
+    };
+    let ledger = &mut local.per_tenant[pending.tenant_idx];
+    match frame.kind {
+        FrameKind::Response => {
+            ledger.completed += 1;
+            ledger
+                .latency
+                .record(pending.sent.elapsed().as_micros() as u64);
+        }
+        FrameKind::Reject | FrameKind::Request => {
+            let code = parse_reject(&frame.payload).map(|(c, _)| c).unwrap_or(0);
+            if code == REJECT_QUEUE_FULL && pending.attempts < RETRY_LIMIT {
+                // Retryable backpressure: back off briefly, resend the
+                // same request under the same seq.
+                ledger.retries += 1;
+                let pause = 100u64 << pending.attempts.min(6);
+                std::thread::sleep(Duration::from_micros(pause));
+                conn.send(&Frame::request(
+                    ctx.weights[pending.tenant_idx].0,
+                    frame.seq,
+                    frame.seq.to_le_bytes().to_vec(),
+                ))?;
+                outstanding.insert(
+                    frame.seq,
+                    Pending {
+                        tenant_idx: pending.tenant_idx,
+                        sent: Instant::now(),
+                        attempts: pending.attempts + 1,
+                    },
+                );
+            } else if code == REJECT_QUEUE_FULL {
+                ledger.dropped_queue_full += 1;
+            } else if code == REJECT_BREAKER {
+                ledger.breaker_rejected += 1;
+            } else if code == REJECT_SHED {
+                ledger.shed += 1;
+            } else {
+                ledger.other_rejected += 1;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Settles every in-flight request on this connection.
+fn drain_all(
+    conn: &mut FrameClient,
+    outstanding: &mut HashMap<u64, Pending>,
+    local: &mut ClientLocal,
+    ctx: &LoadCtx<'_>,
+) -> Result<(), ServeError> {
+    while !outstanding.is_empty() {
+        drain_one(conn, outstanding, local, ctx)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netserve::{NetServer, NetServerConfig};
+
+    #[test]
+    fn clean_tcp_load_completes_every_user() {
+        let server = NetServer::start(NetServerConfig::smoke(3)).unwrap();
+        let weights = server.registry().weights();
+        let mut cfg = NetLoadConfig::fairness(300, 21);
+        cfg.concurrency = 3;
+        let report = run_tcp(server.port(), &weights, &cfg).unwrap();
+        assert_eq!(report.total_completed(), 300);
+        let assigned: u64 = report.per_tenant.iter().map(|t| t.assigned).sum();
+        assert_eq!(assigned, 300);
+        assert!(report.jain_index() > 0.9, "jain {}", report.jain_index());
+        let stats = server.shutdown().unwrap();
+        let served: u64 = stats.tenants.iter().map(|t| t.1).sum();
+        assert_eq!(served, 300);
+        assert!(stats.worker_errors.is_empty());
+    }
+
+    #[test]
+    fn chaos_tcp_load_realizes_the_planned_faults() {
+        let mut server_cfg = NetServerConfig::smoke(2);
+        server_cfg.idle_mid_frame = Duration::from_millis(40);
+        let server = NetServer::start(server_cfg).unwrap();
+        let weights = server.registry().weights();
+        let cfg = NetLoadConfig::chaos(400, 5, 77);
+        let report = run_tcp(server.port(), &weights, &cfg).unwrap();
+        assert_eq!(report.realized, report.planned, "every planned fault on the wire");
+        let faults = report.planned.malformed
+            + report.planned.truncated
+            + report.planned.slow_loris
+            + report.planned.disconnects;
+        assert!(faults > 0, "net_smoke rates must fire within 400 slots");
+        assert_eq!(report.total_completed() + faults, 400);
+        let stats = server.shutdown().unwrap();
+        assert_eq!(stats.reactor.protocol_errors, report.planned.malformed);
+        assert_eq!(stats.reactor.truncated, report.planned.truncated);
+        assert_eq!(stats.reactor.idle_reaped, report.planned.slow_loris);
+        // Disconnect requests are served; their replies die with the
+        // connection — the server must still account for every one.
+        let served: u64 = stats.tenants.iter().map(|t| t.1).sum();
+        assert_eq!(served, report.total_completed() + report.planned.disconnects);
+    }
+
+    #[test]
+    fn same_seed_runs_have_identical_signatures() {
+        let mut signatures = Vec::new();
+        for _ in 0..2 {
+            let mut server_cfg = NetServerConfig::smoke(2);
+            server_cfg.idle_mid_frame = Duration::from_millis(40);
+            let server = NetServer::start(server_cfg).unwrap();
+            let weights = server.registry().weights();
+            let report = run_tcp(server.port(), &weights, &NetLoadConfig::chaos(200, 9, 13)).unwrap();
+            signatures.push(report.deterministic_signature());
+            server.shutdown().unwrap();
+        }
+        assert_eq!(signatures[0], signatures[1]);
+    }
+
+    #[test]
+    fn bad_parameters_are_typed_errors() {
+        let cfg = NetLoadConfig {
+            concurrency: 0,
+            ..NetLoadConfig::fairness(1, 1)
+        };
+        assert!(run_tcp(1, &[(0, 1)], &cfg).is_err());
+        let cfg = NetLoadConfig::fairness(1, 1);
+        assert!(run_tcp(1, &[], &cfg).is_err());
+    }
+}

@@ -1,0 +1,357 @@
+//! The network-serving smoke artifact: `results/serve_net.json`.
+//!
+//! One [`NetSmoke`] bundles the two phases of the `--net-smoke` run:
+//!
+//! * **fairness** — one clean open-loop TCP run over many distinct users
+//!   and skew-weighted tenants, judged on per-tenant latency percentiles
+//!   and Jain's fairness index over weight-normalised completions;
+//! * **chaos** — two same-fault-seed TCP runs under the
+//!   [`net_smoke`](seal_faults::FaultConfig::net_smoke) fault mix, judged
+//!   on exact fault-ledger agreement (client realised == plan; reactor
+//!   typed counts == plan) and cross-run determinism of every
+//!   seed-deterministic counter.
+//!
+//! Rendering uses the workspace's hand-rolled JSON writer (no serde).
+
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::netload::NetLoadReport;
+use crate::netserve::NetStats;
+
+/// One phase: the client-side load report and the server's shutdown stats.
+#[derive(Debug)]
+pub struct NetPhase {
+    /// What the TCP load generator observed.
+    pub load: NetLoadReport,
+    /// What the server reported at shutdown.
+    pub stats: NetStats,
+}
+
+impl NetPhase {
+    /// The seed-deterministic counters of this phase: the client ledger
+    /// signature plus the server's per-tenant counters and the reactor's
+    /// typed fault counts. `dropped_responses` is deliberately excluded —
+    /// a response racing a disconnect may or may not reach the socket
+    /// buffer before the close is observed.
+    pub fn deterministic_signature(&self) -> Vec<u64> {
+        let mut sig = self.load.deterministic_signature();
+        for &(tenant, completed, queue_full, breaker, shed) in &self.stats.tenants {
+            sig.extend_from_slice(&[u64::from(tenant), completed, queue_full, breaker, shed]);
+        }
+        sig.extend_from_slice(&[
+            self.stats.reactor.protocol_errors,
+            self.stats.reactor.truncated,
+            self.stats.reactor.idle_reaped,
+            self.stats.drained,
+        ]);
+        sig
+    }
+
+    fn violations(&self, label: &str, out: &mut Vec<String>) {
+        if self.load.realized != self.load.planned {
+            out.push(format!(
+                "{label}: realised faults {:?} != planned {:?}",
+                self.load.realized, self.load.planned
+            ));
+        }
+        if self.stats.reactor.protocol_errors != self.load.planned.malformed {
+            out.push(format!(
+                "{label}: reactor protocol errors {} != planned malformed {}",
+                self.stats.reactor.protocol_errors, self.load.planned.malformed
+            ));
+        }
+        if self.stats.reactor.truncated != self.load.planned.truncated {
+            out.push(format!(
+                "{label}: reactor truncated closes {} != planned {}",
+                self.stats.reactor.truncated, self.load.planned.truncated
+            ));
+        }
+        if self.stats.reactor.idle_reaped != self.load.planned.slow_loris {
+            out.push(format!(
+                "{label}: reactor idle reaps {} != planned slow-loris {}",
+                self.stats.reactor.idle_reaped, self.load.planned.slow_loris
+            ));
+        }
+        if !self.stats.worker_errors.is_empty() {
+            out.push(format!(
+                "{label}: {} server-side worker errors",
+                self.stats.worker_errors.len()
+            ));
+        }
+        if self.stats.supervision.quarantined {
+            out.push(format!("{label}: a worker was quarantined"));
+        }
+        // Server-side completions must cover every client completion plus
+        // every abandoned (disconnect-fault) request — nothing vanishes.
+        let served: u64 = self.stats.tenants.iter().map(|t| t.1).sum();
+        let abandoned: u64 = self.load.per_tenant.iter().map(|t| t.abandoned).sum();
+        if served != self.load.total_completed() + abandoned {
+            out.push(format!(
+                "{label}: server completed {served} != client completed {} + abandoned {abandoned}",
+                self.load.total_completed()
+            ));
+        }
+    }
+}
+
+/// The full network smoke artifact, written to `results/serve_net.json`.
+#[derive(Debug)]
+pub struct NetSmoke {
+    /// Workload seed of the fairness phase.
+    pub seed: u64,
+    /// Fault seed both chaos runs share.
+    pub fault_seed: u64,
+    /// The clean weighted-fairness measurement.
+    pub fairness: NetPhase,
+    /// Two same-seed chaos runs, in execution order.
+    pub chaos: [NetPhase; 2],
+    /// Jain-index acceptance floor (the ISSUE pins 0.9).
+    pub jain_floor: f64,
+}
+
+impl NetSmoke {
+    /// `true` when both chaos runs produced identical deterministic
+    /// signatures.
+    pub fn deterministic(&self) -> bool {
+        self.chaos[0].deterministic_signature() == self.chaos[1].deterministic_signature()
+    }
+
+    /// Every acceptance violation (empty = the net smoke passes):
+    /// fairness-phase completion/Jain/latency checks, per-phase fault
+    /// ledger agreement, and cross-run chaos determinism.
+    pub fn violations(&mut self) -> Vec<String> {
+        let mut v = Vec::new();
+        if self.fairness.load.total_completed() == 0 {
+            v.push("fairness: no requests completed".into());
+        }
+        let jain = self.fairness.load.jain_index();
+        if jain < self.jain_floor {
+            v.push(format!(
+                "fairness: Jain index {jain:.4} below the {:.2} floor",
+                self.jain_floor
+            ));
+        }
+        for t in &mut self.fairness.load.per_tenant {
+            if !t.latency.is_empty() && t.latency.p50() > t.latency.p99() {
+                v.push(format!(
+                    "fairness: tenant {} latency p50 {}us exceeds p99 {}us",
+                    t.tenant,
+                    t.latency.p50(),
+                    t.latency.p99()
+                ));
+            }
+        }
+        self.fairness.violations("fairness", &mut v);
+        self.chaos[0].violations("chaos run 1", &mut v);
+        self.chaos[1].violations("chaos run 2", &mut v);
+        if !self.deterministic() {
+            let (a, b) = (
+                self.chaos[0].deterministic_signature(),
+                self.chaos[1].deterministic_signature(),
+            );
+            v.push(format!(
+                "fault seed {}: chaos signatures differ across same-seed runs \
+                 ({} vs {} entries, first divergence at index {:?})",
+                self.fault_seed,
+                a.len(),
+                b.len(),
+                a.iter().zip(&b).position(|(x, y)| x != y)
+            ));
+        }
+        v
+    }
+
+    /// Renders the artifact as JSON.
+    pub fn to_json(&mut self) -> String {
+        let deterministic = self.deterministic();
+        let violation_count = self.violations().len();
+        let jain = self.fairness.load.jain_index();
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"fault_seed\": {},\n", self.fault_seed));
+        out.push_str(&format!("  \"deterministic\": {deterministic},\n"));
+        out.push_str(&format!("  \"violations\": {violation_count},\n"));
+        out.push_str(&format!("  \"jain_index\": {jain:.6},\n"));
+        out.push_str(&format!("  \"jain_floor\": {:.2},\n", self.jain_floor));
+        out.push_str("  \"fairness\": ");
+        out.push_str(&phase_json(&mut self.fairness, "  "));
+        out.push_str(",\n  \"chaos\": [\n");
+        for i in 0..self.chaos.len() {
+            out.push_str("    ");
+            out.push_str(&phase_json(&mut self.chaos[i], "    "));
+            out.push_str(if i + 1 < self.chaos.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the JSON artifact to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write(&mut self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json().as_bytes())
+    }
+}
+
+/// Renders one phase (load + server stats) as a JSON object.
+fn phase_json(phase: &mut NetPhase, indent: &str) -> String {
+    let mut out = String::with_capacity(2048);
+    out.push_str("{\n");
+    out.push_str(&format!("{indent}  \"users\": {},\n", phase.load.users));
+    out.push_str(&format!(
+        "{indent}  \"concurrency\": {},\n",
+        phase.load.concurrency
+    ));
+    out.push_str(&format!(
+        "{indent}  \"wall_seconds\": {:.6},\n",
+        phase.load.wall_seconds
+    ));
+    out.push_str(&format!(
+        "{indent}  \"completed\": {},\n",
+        phase.load.total_completed()
+    ));
+    out.push_str(&format!(
+        "{indent}  \"jain_index\": {:.6},\n",
+        phase.load.jain_index()
+    ));
+    out.push_str(&format!(
+        "{indent}  \"planned_faults\": {{ \"malformed\": {}, \"truncated\": {}, \"slow_loris\": {}, \"disconnects\": {} }},\n",
+        phase.load.planned.malformed,
+        phase.load.planned.truncated,
+        phase.load.planned.slow_loris,
+        phase.load.planned.disconnects
+    ));
+    out.push_str(&format!(
+        "{indent}  \"realized_faults\": {{ \"malformed\": {}, \"truncated\": {}, \"slow_loris\": {}, \"disconnects\": {} }},\n",
+        phase.load.realized.malformed,
+        phase.load.realized.truncated,
+        phase.load.realized.slow_loris,
+        phase.load.realized.disconnects
+    ));
+    out.push_str(&format!(
+        "{indent}  \"reactor\": {{ \"accepted\": {}, \"frames_in\": {}, \"frames_out\": {}, \
+         \"protocol_errors\": {}, \"truncated\": {}, \"idle_reaped\": {}, \"dropped_responses\": {} }},\n",
+        phase.stats.reactor.accepted,
+        phase.stats.reactor.frames_in,
+        phase.stats.reactor.frames_out,
+        phase.stats.reactor.protocol_errors,
+        phase.stats.reactor.truncated,
+        phase.stats.reactor.idle_reaped,
+        phase.stats.reactor.dropped_responses
+    ));
+    out.push_str(&format!(
+        "{indent}  \"drained\": {},\n",
+        phase.stats.drained
+    ));
+    out.push_str(&format!("{indent}  \"tenants\": [\n"));
+    let n = phase.load.per_tenant.len();
+    for (i, t) in phase.load.per_tenant.iter_mut().enumerate() {
+        out.push_str(&format!(
+            "{indent}    {{ \"tenant\": {}, \"weight\": {}, \"assigned\": {}, \"completed\": {}, \
+             \"retries\": {}, \"dropped_queue_full\": {}, \"breaker_rejected\": {}, \"shed\": {}, \
+             \"abandoned\": {}, \"latency_us\": {{ \"count\": {}, \"p50\": {}, \"p95\": {}, \
+             \"p99\": {}, \"mean\": {}, \"max\": {} }} }}{}",
+            t.tenant,
+            t.weight,
+            t.assigned,
+            t.completed,
+            t.retries,
+            t.dropped_queue_full,
+            t.breaker_rejected,
+            t.shed,
+            t.abandoned,
+            t.latency.len(),
+            t.latency.p50(),
+            t.latency.p95(),
+            t.latency.p99(),
+            t.latency.mean(),
+            t.latency.max(),
+            if i + 1 < n { ",\n" } else { "\n" }
+        ));
+    }
+    out.push_str(&format!("{indent}  ]\n{indent}}}"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netload::{run_tcp, NetLoadConfig};
+    use crate::netserve::{NetServer, NetServerConfig};
+    use std::time::Duration;
+
+    fn run_phase(cfg: &NetLoadConfig) -> NetPhase {
+        let mut server_cfg = NetServerConfig::smoke(2);
+        server_cfg.idle_mid_frame = Duration::from_millis(40);
+        let server = NetServer::start(server_cfg).unwrap();
+        let weights = server.registry().weights();
+        let load = run_tcp(server.port(), &weights, cfg).unwrap();
+        let stats = server.shutdown().unwrap();
+        NetPhase { load, stats }
+    }
+
+    fn tiny_smoke() -> NetSmoke {
+        NetSmoke {
+            seed: 3,
+            fault_seed: 11,
+            fairness: run_phase(&NetLoadConfig::fairness(200, 3)),
+            chaos: [
+                run_phase(&NetLoadConfig::chaos(150, 3, 11)),
+                run_phase(&NetLoadConfig::chaos(150, 3, 11)),
+            ],
+            jain_floor: 0.9,
+        }
+    }
+
+    #[test]
+    fn healthy_smoke_has_no_violations_and_full_json() {
+        let mut smoke = tiny_smoke();
+        assert!(smoke.deterministic());
+        let violations = smoke.violations();
+        assert!(violations.is_empty(), "{violations:?}");
+        let json = smoke.to_json();
+        for needle in [
+            "\"jain_index\"",
+            "\"fairness\"",
+            "\"chaos\"",
+            "\"planned_faults\"",
+            "\"realized_faults\"",
+            "\"reactor\"",
+            "\"tenants\"",
+            "\"deterministic\": true",
+            "\"violations\": 0",
+        ] {
+            assert!(json.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn broken_determinism_is_reported() {
+        let mut smoke = tiny_smoke();
+        smoke.chaos[1].load.per_tenant[0].completed += 1;
+        assert!(!smoke.deterministic());
+        assert!(smoke
+            .violations()
+            .iter()
+            .any(|v| v.contains("signatures differ")));
+    }
+
+    #[test]
+    fn write_creates_parent_directories() {
+        let mut smoke = tiny_smoke();
+        let dir = std::env::temp_dir().join("seal_serve_netreport_test");
+        let path = dir.join("nested").join("serve_net.json");
+        smoke.write(&path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with('{'));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,566 @@
+//! The TCP-facing multi-tenant inference server.
+//!
+//! Wires the seal-net reactor to the serving stack: the reactor's handler
+//! does *admission only* (parse the request body, resolve the tenant,
+//! consult its breaker, push into its weighted-fair lane), worker threads
+//! pop strictly single-tenant batches from the [`FairQueue`], run the
+//! tenant's own model under the tenant's own cost lanes, and deliver
+//! responses back through the reactor's [`Responder`] mailbox.
+//!
+//! ## Wire contract (over the seal-net frame protocol)
+//!
+//! * Request payload: 8 bytes, a little-endian simulated **user id**. The
+//!   server derives the inference input deterministically from that id,
+//!   so a 12-byte frame stands in for a full tensor upload and 10^5+
+//!   distinct users stay cheap enough to drive over loopback.
+//! * Response payload: predicted class (`u32` LE) followed by the echoed
+//!   user id (`u64` LE).
+//! * Reject payload: one code byte (see the `REJECT_*` constants) plus a
+//!   human-readable message. Rejects echo the request's `seq`, so clients
+//!   can match and — for [`REJECT_QUEUE_FULL`] — retry.
+//!
+//! Every failure is a typed reject or a typed close; the admission path
+//! never blocks the reactor thread and never touches model weights.
+
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use seal_net::reactor::{Handler, Reactor, ReactorConfig, ReactorControl, ReactorStats, Responder};
+use seal_net::{ConnId, Frame, FrameKind};
+use seal_nn::CompiledModel;
+use seal_pool::{spawn_supervised, SupervisedWorker, SupervisorReport};
+use seal_tensor::rng::rngs::StdRng;
+use seal_tensor::rng::SeedableRng;
+use seal_tensor::Tensor;
+
+use crate::fair::{FairBatch, FairQueue};
+use crate::queue::PushRefused;
+use crate::tenant::{TenantRegistry, TenantSpec, TenantState};
+use crate::{ServeError, ServerConfig};
+
+/// Reject code: the tenant's admission lane is full (retryable).
+pub const REJECT_QUEUE_FULL: u8 = 1;
+/// Reject code: the tenant's circuit breaker is open.
+pub const REJECT_BREAKER: u8 = 2;
+/// Reject code: the frame named a tenant that is not registered.
+pub const REJECT_UNKNOWN_TENANT: u8 = 3;
+/// Reject code: the request payload is not an 8-byte user id.
+pub const REJECT_BAD_PAYLOAD: u8 = 4;
+/// Reject code: the frame kind was not `Request`.
+pub const REJECT_BAD_KIND: u8 = 5;
+/// Reject code: the request waited past its deadline and was shed.
+pub const REJECT_SHED: u8 = 6;
+/// Reject code: the request was still queued when the server shut down.
+pub const REJECT_DRAINED: u8 = 7;
+/// Reject code: the model failed on this batch (server-side error).
+pub const REJECT_MODEL: u8 = 8;
+
+/// Builds a reject payload: code byte + message text.
+pub fn reject_payload(code: u8, message: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + message.len());
+    out.push(code);
+    out.extend_from_slice(message.as_bytes());
+    out
+}
+
+/// Splits a reject payload back into its code and message.
+pub fn parse_reject(payload: &[u8]) -> Option<(u8, String)> {
+    let (&code, rest) = payload.split_first()?;
+    Some((code, String::from_utf8_lossy(rest).into_owned()))
+}
+
+/// Configuration of the TCP front-end, wrapping the in-process
+/// [`ServerConfig`] (model, workers, batching, deadlines, breaker) with
+/// the network- and tenancy-specific knobs.
+#[derive(Debug, Clone)]
+pub struct NetServerConfig {
+    /// The in-process serving configuration reused for model loading,
+    /// batching, deadlines and breaker thresholds.
+    pub base: ServerConfig,
+    /// The tenant table (ids and weighted-fair shares).
+    pub tenants: Vec<TenantSpec>,
+    /// Master seed for per-tenant key/nonce/counter-window derivation.
+    pub master_seed: u64,
+    /// TCP port to bind (0 picks an ephemeral port).
+    pub port: u16,
+    /// Maximum simultaneous connections the reactor accepts.
+    pub max_conns: usize,
+    /// Mid-frame idle limit (slow-loris defence); zero disables.
+    pub idle_mid_frame: Duration,
+    /// Deficit-round-robin quantum (requests credited per unit weight per
+    /// scheduler visit).
+    pub quantum: u64,
+}
+
+impl NetServerConfig {
+    /// A small smoke preset: `tenants` skew-weighted mlp tenants on an
+    /// ephemeral port.
+    pub fn smoke(tenants: u32) -> NetServerConfig {
+        NetServerConfig {
+            base: ServerConfig {
+                model: "mlp".into(),
+                workers: 2,
+                max_batch: 8,
+                batch_deadline: Duration::from_micros(200),
+                queue_capacity: 256,
+                request_deadline: Duration::from_secs(2),
+                ..ServerConfig::smoke()
+            },
+            tenants: TenantSpec::skewed(tenants),
+            master_seed: 0x5EA1_6E65,
+            port: 0,
+            max_conns: 256,
+            idle_mid_frame: Duration::from_millis(200),
+            quantum: 2,
+        }
+    }
+}
+
+/// One admitted request riding a tenant's fair-queue lane.
+#[derive(Debug)]
+struct NetRequest {
+    conn: ConnId,
+    seq: u64,
+    user: u64,
+    enqueued: Instant,
+}
+
+/// Poison-tolerant lock helper (mirrors the rest of the crate).
+fn locked<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// State shared between the admission handler and the workers.
+#[derive(Debug)]
+struct NetShared {
+    registry: Arc<TenantRegistry>,
+    queue: Arc<FairQueue<NetRequest>>,
+    responder: Responder,
+    errors: Mutex<Vec<ServeError>>,
+    max_batch: usize,
+    batch_deadline: Duration,
+    request_deadline: Duration,
+    use_plan: bool,
+}
+
+/// The reactor-side admission handler: parse, resolve tenant, consult the
+/// breaker, push into the tenant's lane — or reject, typed, immediately.
+struct Admission {
+    registry: Arc<TenantRegistry>,
+    queue: Arc<FairQueue<NetRequest>>,
+}
+
+impl Admission {
+    fn admit(&mut self, conn: ConnId, frame: &Frame) -> Result<(), Vec<u8>> {
+        if frame.kind != FrameKind::Request {
+            return Err(reject_payload(REJECT_BAD_KIND, "expected a Request frame"));
+        }
+        let Some(index) = self.registry.index_of(frame.tenant) else {
+            return Err(reject_payload(REJECT_UNKNOWN_TENANT, "tenant not registered"));
+        };
+        let tenant = self.registry.by_index(index);
+        let user_bytes: [u8; 8] = match frame.payload.as_slice().try_into() {
+            Ok(bytes) => bytes,
+            Err(_) => {
+                return Err(reject_payload(
+                    REJECT_BAD_PAYLOAD,
+                    "request body must be an 8-byte user id",
+                ));
+            }
+        };
+        if let Err(streak) = locked(&tenant.breaker).admit() {
+            tenant.rejected_breaker.fetch_add(1, Ordering::Relaxed);
+            return Err(reject_payload(
+                REJECT_BREAKER,
+                &format!("breaker open after {streak} sheds"),
+            ));
+        }
+        let request = NetRequest {
+            conn,
+            seq: frame.seq,
+            user: u64::from_le_bytes(user_bytes),
+            enqueued: Instant::now(),
+        };
+        match self.queue.try_push(index, request) {
+            Ok(()) => Ok(()),
+            Err((_, PushRefused::Full)) => {
+                tenant.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+                Err(reject_payload(REJECT_QUEUE_FULL, "tenant lane full; retry"))
+            }
+            Err((_, PushRefused::Closed)) => {
+                Err(reject_payload(REJECT_DRAINED, "server shutting down"))
+            }
+        }
+    }
+}
+
+impl Handler for Admission {
+    fn on_frame(&mut self, conn: ConnId, frame: Frame, reply: &mut Vec<Vec<u8>>) {
+        if let Err(payload) = self.admit(conn, &frame) {
+            reply.push(Frame::reject(frame.tenant, frame.seq, payload).encode());
+        }
+    }
+}
+
+/// Aggregate statistics of one [`NetServer`] run.
+#[derive(Debug)]
+pub struct NetStats {
+    /// Connection/frame/protocol counters from the reactor.
+    pub reactor: ReactorStats,
+    /// Worker supervision totals (panics, respawns, quarantine).
+    pub supervision: SupervisorReport,
+    /// Requests still queued at shutdown (rejected, never dropped).
+    pub drained: u64,
+    /// Deterministic per-tenant counters, in registry order:
+    /// `(tenant, completed, rejected_queue_full, rejected_breaker, shed)`.
+    pub tenants: Vec<(u32, u64, u64, u64, u64)>,
+    /// Server-side errors recorded by workers (model/batch failures).
+    pub worker_errors: Vec<ServeError>,
+}
+
+/// A running TCP inference server: reactor + registry + fair queue +
+/// worker pool.
+#[derive(Debug)]
+pub struct NetServer {
+    shared: Arc<NetShared>,
+    control: ReactorControl,
+    reactor: Option<std::thread::JoinHandle<ReactorStats>>,
+    workers: Vec<SupervisedWorker>,
+    port: u16,
+}
+
+impl NetServer {
+    /// Validates the configuration, builds the tenant registry, binds the
+    /// TCP listener and spawns the reactor and the supervised workers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, registry-build, socket and spawn
+    /// failures, all typed.
+    pub fn start(config: NetServerConfig) -> Result<NetServer, ServeError> {
+        config.base.validate()?;
+        let registry = Arc::new(TenantRegistry::build(
+            &config.base,
+            config.master_seed,
+            &config.tenants,
+        )?);
+        // Per-tenant lane capacity: split the configured total so the sum
+        // of lanes matches the single-queue server's bound.
+        let per_tenant = (config.base.queue_capacity / registry.len().max(1)).max(1);
+        let queue = Arc::new(FairQueue::new(
+            &registry.weights(),
+            per_tenant,
+            config.quantum,
+        ));
+
+        let reactor = Reactor::bind(
+            ReactorConfig {
+                port: config.port,
+                backlog: 128,
+                max_conns: config.max_conns,
+                idle_mid_frame: config.idle_mid_frame,
+            },
+            Admission {
+                registry: Arc::clone(&registry),
+                queue: Arc::clone(&queue),
+            },
+        )
+        .map_err(|e| ServeError::Net(seal_net::NetError::io("bind")(e)))?;
+        let port = reactor.port();
+        let responder = reactor.responder();
+        let control = reactor.control();
+
+        let shared = Arc::new(NetShared {
+            registry,
+            queue,
+            responder,
+            errors: Mutex::new(Vec::new()),
+            max_batch: config.base.max_batch,
+            batch_deadline: config.base.batch_deadline,
+            request_deadline: config.base.request_deadline,
+            use_plan: config.base.use_plan,
+        });
+
+        let reactor_join = seal_pool::spawn_worker("seal-net-reactor", move || reactor.run())
+            .map_err(|e| ServeError::WorkerSpawn { worker: 0, source: e })?;
+
+        let mut workers = Vec::with_capacity(config.base.workers);
+        for i in 0..config.base.workers {
+            let shared = Arc::clone(&shared);
+            let worker = spawn_supervised(
+                format!("seal-net-worker-{i}"),
+                config.base.worker_respawn_budget,
+                move || net_worker_loop(&shared),
+            )
+            .map_err(|e| ServeError::WorkerSpawn { worker: i, source: e })?;
+            workers.push(worker);
+        }
+
+        Ok(NetServer {
+            shared,
+            control,
+            reactor: Some(reactor_join),
+            workers,
+            port,
+        })
+    }
+
+    /// The bound TCP port.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// The tenant registry (read-only view for reports and tests).
+    pub fn registry(&self) -> &TenantRegistry {
+        &self.shared.registry
+    }
+
+    /// Stops the reactor, closes the fair queue, joins the workers and
+    /// returns the aggregated run statistics. Requests still queued are
+    /// counted as drained (their connections are gone with the reactor,
+    /// so no reject frame can reach them — but they are never silently
+    /// lost from the accounting).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::WorkerLost`] only if the reactor thread
+    /// itself panicked (a harness bug, not chaos).
+    pub fn shutdown(mut self) -> Result<NetStats, ServeError> {
+        self.control.shutdown();
+        let reactor = match self.reactor.take() {
+            Some(handle) => handle
+                .join()
+                .map_err(|_| ServeError::WorkerLost { request_id: 0 })?,
+            None => ReactorStats::default(),
+        };
+        self.shared.queue.close();
+        let mut supervision = SupervisorReport::default();
+        for w in self.workers.drain(..) {
+            let report = w.join();
+            supervision.panics += report.panics;
+            supervision.respawns += report.respawns;
+            supervision.quarantined |= report.quarantined;
+            if report.last_panic.is_some() {
+                supervision.last_panic = report.last_panic;
+            }
+        }
+        let drained: u64 = self
+            .shared
+            .queue
+            .drain_remaining()
+            .iter()
+            .map(|b| b.items.len() as u64)
+            .sum();
+        let worker_errors = std::mem::take(&mut *locked(&self.shared.errors));
+        Ok(NetStats {
+            reactor,
+            supervision,
+            drained,
+            tenants: self.shared.registry.counter_snapshot(),
+            worker_errors,
+        })
+    }
+}
+
+/// Serves one single-tenant batch: shed the expired, derive each user's
+/// input, classify through the tenant's (lazily compiled) plan, price the
+/// batch on the tenant's cost lanes, answer every rider.
+fn serve_batch(
+    shared: &NetShared,
+    plans: &mut HashMap<usize, Option<CompiledModel>>,
+    batch: FairBatch<NetRequest>,
+) {
+    let tenant: &TenantState = shared.registry.by_index(batch.tenant_index);
+    let now = Instant::now();
+    let mut live = Vec::with_capacity(batch.items.len());
+    for req in batch.items {
+        let waited = now.saturating_duration_since(req.enqueued);
+        if waited > shared.request_deadline {
+            tenant.shed.fetch_add(1, Ordering::Relaxed);
+            locked(&tenant.breaker).on_shed();
+            let msg = format!(
+                "shed after {}us (deadline {}us)",
+                waited.as_micros(),
+                shared.request_deadline.as_micros()
+            );
+            shared.responder.send(
+                req.conn,
+                Frame::reject(batch.tenant, req.seq, reject_payload(REJECT_SHED, &msg)).encode(),
+            );
+        } else {
+            live.push(req);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    // Each user's input tensor is a pure function of their id, so the
+    // whole 10^5-user workload is reproducible without shipping tensors.
+    let inputs: Vec<Tensor> = live
+        .iter()
+        .map(|r| tenant.model().sample(&mut StdRng::seed_from_u64(r.user)))
+        .collect();
+    let refs: Vec<&Tensor> = inputs.iter().collect();
+
+    // Lazily compile this tenant's plan once per worker; a failed compile
+    // is recorded once and the worker falls back to the interpreter.
+    if shared.use_plan && !plans.contains_key(&batch.tenant_index) {
+        let compiled = match tenant.model().compile_plan(shared.max_batch) {
+            Ok(p) => Some(p),
+            Err(e) => {
+                locked(&shared.errors).push(e);
+                None
+            }
+        };
+        plans.insert(batch.tenant_index, compiled);
+    }
+    let plan = plans.get_mut(&batch.tenant_index).and_then(Option::as_mut);
+
+    let outcome = tenant
+        .model()
+        .concat_batch(&refs)
+        .and_then(|t| match plan {
+            Some(p) => Ok(p.classify(&t)?),
+            None => tenant.model().classify(&t),
+        });
+    drop(refs);
+
+    match outcome {
+        Ok(preds) => {
+            locked(&tenant.cost).cost_batch(live.len());
+            let mut latency = locked(&tenant.latency);
+            let mut breaker = locked(&tenant.breaker);
+            for (req, pred) in live.iter().zip(preds) {
+                latency.record(req.enqueued.elapsed().as_micros() as u64);
+                tenant.completed.fetch_add(1, Ordering::Relaxed);
+                breaker.on_success();
+                let mut payload = Vec::with_capacity(12);
+                payload.extend_from_slice(&(pred as u32).to_le_bytes());
+                payload.extend_from_slice(&req.user.to_le_bytes());
+                shared
+                    .responder
+                    .send(req.conn, Frame::response(batch.tenant, req.seq, payload).encode());
+            }
+        }
+        Err(e) => {
+            // A server-side model failure rejects every rider, typed.
+            let msg = format!("model failed: {e}");
+            for req in &live {
+                shared.responder.send(
+                    req.conn,
+                    Frame::reject(batch.tenant, req.seq, reject_payload(REJECT_MODEL, &msg))
+                        .encode(),
+                );
+            }
+            locked(&shared.errors).push(e);
+        }
+    }
+}
+
+/// A network worker: pop single-tenant fair batches until the queue
+/// closes, serving each through the owning tenant's model and cost lanes.
+fn net_worker_loop(shared: &NetShared) {
+    let mut plans: HashMap<usize, Option<CompiledModel>> = HashMap::new();
+    while let Some(batch) = shared.queue.pop_batch(shared.max_batch, shared.batch_deadline) {
+        serve_batch(shared, &mut plans, batch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seal_net::FrameClient;
+
+    fn roundtrip_user(client: &mut FrameClient, tenant: u32, seq: u64, user: u64) -> Frame {
+        client
+            .send(&Frame::request(tenant, seq, user.to_le_bytes().to_vec()))
+            .unwrap();
+        client.recv().unwrap()
+    }
+
+    #[test]
+    fn serves_requests_over_real_tcp() {
+        let server = NetServer::start(NetServerConfig::smoke(2)).unwrap();
+        let mut client = FrameClient::connect(server.port(), Duration::from_secs(10)).unwrap();
+        for seq in 0..20u64 {
+            let reply = roundtrip_user(&mut client, (seq % 2) as u32, seq, 1000 + seq);
+            assert_eq!(reply.kind, FrameKind::Response, "reply: {reply:?}");
+            assert_eq!(reply.seq, seq);
+            assert_eq!(reply.payload.len(), 12);
+            let echoed = u64::from_le_bytes(reply.payload[4..12].try_into().unwrap());
+            assert_eq!(echoed, 1000 + seq);
+        }
+        drop(client);
+        let stats = server.shutdown().unwrap();
+        let completed: u64 = stats.tenants.iter().map(|t| t.1).sum();
+        assert_eq!(completed, 20);
+        assert!(stats.worker_errors.is_empty());
+        assert_eq!(stats.drained, 0);
+    }
+
+    #[test]
+    fn typed_rejects_for_bad_tenant_payload_and_kind() {
+        let server = NetServer::start(NetServerConfig::smoke(2)).unwrap();
+        let mut client = FrameClient::connect(server.port(), Duration::from_secs(10)).unwrap();
+
+        client
+            .send(&Frame::request(99, 1, 7u64.to_le_bytes().to_vec()))
+            .unwrap();
+        let reply = client.recv().unwrap();
+        assert_eq!(reply.kind, FrameKind::Reject);
+        assert_eq!(parse_reject(&reply.payload).unwrap().0, REJECT_UNKNOWN_TENANT);
+
+        client.send(&Frame::request(0, 2, vec![1, 2, 3])).unwrap();
+        let reply = client.recv().unwrap();
+        assert_eq!(parse_reject(&reply.payload).unwrap().0, REJECT_BAD_PAYLOAD);
+
+        client
+            .send(&Frame::response(0, 3, 7u64.to_le_bytes().to_vec()))
+            .unwrap();
+        let reply = client.recv().unwrap();
+        assert_eq!(parse_reject(&reply.payload).unwrap().0, REJECT_BAD_KIND);
+
+        drop(client);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn predictions_are_deterministic_and_tenant_private() {
+        // The same (tenant, user) pair answers identically across two
+        // independent server instances — and different tenants (private
+        // weight seeds) disagree on at least some users.
+        let mut answers = Vec::new();
+        for _ in 0..2 {
+            let server = NetServer::start(NetServerConfig::smoke(2)).unwrap();
+            let mut client = FrameClient::connect(server.port(), Duration::from_secs(10)).unwrap();
+            let mut round = Vec::new();
+            for user in 0..16u64 {
+                for tenant in 0..2u32 {
+                    let reply =
+                        roundtrip_user(&mut client, tenant, user * 2 + u64::from(tenant), user);
+                    assert_eq!(reply.kind, FrameKind::Response);
+                    round.push(u32::from_le_bytes(reply.payload[0..4].try_into().unwrap()));
+                }
+            }
+            drop(client);
+            server.shutdown().unwrap();
+            answers.push(round);
+        }
+        assert_eq!(answers[0], answers[1], "same seed, same answers");
+    }
+
+    #[test]
+    fn rejected_config_is_typed() {
+        let mut config = NetServerConfig::smoke(1);
+        config.base.workers = 0;
+        assert!(matches!(
+            NetServer::start(config),
+            Err(ServeError::InvalidConfig { .. })
+        ));
+        let config = NetServerConfig::smoke(0);
+        assert!(NetServer::start(config).is_err(), "no tenants");
+    }
+}

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Network-serving benchmark: drives the seal-net epoll TCP front-end
+# with the deterministic open-loop Pareto load generator — 8
+# skew-weighted tenants, each with its own AES key, counter window and
+# compiled model plan — then replays the seeded network-fault schedule
+# twice, and writes the whole ledger (per-tenant p50/p95/p99, Jain's
+# fairness index, planned vs realized fault counts, the cross-run
+# determinism verdict) to `results/BENCH_serve_net.json`.
+#
+# Usage:
+#   scripts/bench_serve_net.sh [--full] [output.json]
+#
+# The run fails (non-zero exit) on a Jain index below 0.9, a fault
+# ledger that disagrees with the plan, or two same-seed chaos runs that
+# diverge — the same acceptance gate `seal-serve --net-smoke` applies.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE=""
+OUT="results/BENCH_serve_net.json"
+for arg in "$@"; do
+    case "$arg" in
+        --full) MODE="--full" ;;
+        *) OUT="$arg" ;;
+    esac
+done
+
+USERS=100000
+REQS=2000
+if [ "$MODE" = "--full" ]; then
+    USERS=300000
+    REQS=5000
+fi
+
+echo "==> cargo run --release -p seal-serve -- --net-smoke ($USERS users)"
+cargo run --release -q -p seal-serve -- --net-smoke \
+    --users "$USERS" --net-requests "$REQS" --out "$OUT"

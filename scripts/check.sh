@@ -59,6 +59,17 @@ cargo test --release -q -p seal-serve --test chaos_smoke
 echo "==> seal-serve --chaos"
 cargo run --release -q -p seal-serve -- --chaos
 
+# Network serving smoke: the seal-net epoll front-end serves 8
+# skew-weighted tenants (per-tenant AES keys, counter windows and
+# compiled plans; deficit-round-robin admission) over real loopback TCP
+# under a deterministic open-loop Pareto load of 1e5 distinct users,
+# then replays the seeded network-fault schedule (malformed frames,
+# truncations, slow-loris holds, disconnects) twice. Fails on a Jain
+# fairness index < 0.9, any fault-ledger mismatch, or cross-run
+# nondeterminism; the artifact lands in results/serve_net.json.
+echo "==> seal-serve --net-smoke"
+cargo run --release -q -p seal-serve -- --net-smoke
+
 # Clippy is optional tooling: run it when the component is installed,
 # skip silently in minimal toolchains.
 if cargo clippy --version >/dev/null 2>&1; then

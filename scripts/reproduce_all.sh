@@ -44,5 +44,12 @@ else
     cargo run --release -q -p seal-serve -- --mode open --requests 100 --rate 400 --out results/serve_open.json
 fi
 
+# The network-serving view: weighted-fair multi-tenant TCP serving
+# under the deterministic Pareto loadgen plus the seeded network-fault
+# chaos replay, into results/BENCH_serve_net.json (check.sh already
+# wrote results/serve_net.json from the same gate at smoke scale).
+echo "==> bench_serve_net $MODE"
+scripts/bench_serve_net.sh $MODE
+
 echo
 echo "All outputs written to results/. Compare against EXPERIMENTS.md."

@@ -15,6 +15,7 @@
 //! | [`core`] | SEAL smart encryption: importance ranking, plans, traffic, `emalloc` |
 //! | [`attack`] | substitute models, Jacobian augmentation, I-FGSM, transferability |
 //! | [`serve`] | batched multi-threaded inference serving with encrypted-weight streaming |
+//! | [`net`] | hand-rolled epoll TCP reactor, length-prefixed framing, blocking client |
 //! | [`plan`] | compiled inference plans: weight pre-packing, activation arenas, op fusion |
 //! | [`pool`] | deterministic work-sharing thread pool behind every parallel kernel |
 //! | [`faults`] | seed-deterministic fault injection (tampers, stalls, panics) + `Backoff` |
@@ -44,6 +45,7 @@ pub use seal_crypto as crypto;
 pub use seal_faults as faults;
 pub use seal_data as data;
 pub use seal_gpusim as gpusim;
+pub use seal_net as net;
 pub use seal_nn as nn;
 pub use seal_pool as pool;
 pub use seal_serve as serve;
