@@ -182,7 +182,8 @@ pub fn is_pool_runtime(path: &str) -> bool {
 
 /// Returns `true` when `path` belongs to the inference hot path the
 /// [`Rule::HotPathAlloc`] rule watches: the blocked tensor kernels under
-/// `tensor/src/ops/` and the compiled-plan executor `nn/src/plan.rs`.
+/// `tensor/src/ops/` (including the int8 quantized GEMM in
+/// `ops/quant.rs`) and the compiled-plan executor `nn/src/plan.rs`.
 /// Sanctioned allocations there (one-time compile/pack steps, grow-only
 /// scratch) carry explicit `allow(hot-path-alloc)` directives, which
 /// doubles as documentation of *why* each one is off the steady-state
@@ -953,6 +954,30 @@ mod tests {
         // Widening casts stay legal.
         assert!(lint_source("crates/crypto/src/aes.rs", "fn f(x: u8) -> usize { x as usize }")
             .is_empty());
+    }
+
+    #[test]
+    fn hot_path_alloc_scope_pins_the_quantized_kernels() {
+        // The int8 GEMM lives on the steady-state inference path, so
+        // `ops/quant.rs` must sit inside the hot-path-alloc scope — a
+        // caller-provided-buffer regression there should fail the lint,
+        // not slide by because the file is newer than the rule.
+        let src = "fn f() { let v = vec![0u8; 64]; }";
+        for path in [
+            "crates/tensor/src/ops/quant.rs",
+            "crates/tensor/src/ops/prepack.rs",
+            "crates/nn/src/plan.rs",
+        ] {
+            assert!(is_inference_hot_path(path), "{path} must be in scope");
+            let found = lint_source(path, src);
+            assert!(
+                found.iter().any(|f| f.rule == Rule::HotPathAlloc),
+                "{path} did not flag a hot-path allocation"
+            );
+        }
+        // The serving layer allocates freely; only the kernels are pinned.
+        assert!(!is_inference_hot_path("crates/serve/src/server.rs"));
+        assert!(lint_source("crates/serve/src/server.rs", src).is_empty());
     }
 
     #[test]

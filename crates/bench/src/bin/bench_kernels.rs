@@ -5,9 +5,11 @@
 //! `cargo run --release -p seal-bench --bin bench_kernels`).
 //!
 //! Thread-scaling numbers are *measured on this machine*: on a single-core
-//! host the 4-thread case cannot beat 1 thread and the report says so via
-//! `detected_cores` — the determinism suite (not this bench) is what
-//! proves thread-count independence of the results.
+//! host a 4-thread run cannot beat 1 thread, so the multi-thread rows are
+//! **skipped entirely** and the report carries
+//! `"skipped_single_core": true` instead of a meaningless ~1.0x speedup —
+//! the determinism suite (not this bench) is what proves thread-count
+//! independence of the results.
 
 use std::io::Write as _;
 
@@ -28,15 +30,17 @@ struct Case {
     /// textbook loop.
     unblocked_ikj_gflops: Option<f64>,
     blocked_1t_gflops: f64,
-    blocked_4t_gflops: f64,
+    /// `None` on a single-core host, where a multi-thread row would only
+    /// measure scheduler overhead.
+    blocked_4t_gflops: Option<f64>,
 }
 
 impl Case {
     fn speedup_blocking(&self) -> f64 {
         self.blocked_1t_gflops / self.baseline_gflops
     }
-    fn speedup_threads(&self) -> f64 {
-        self.blocked_4t_gflops / self.blocked_1t_gflops
+    fn speedup_threads(&self) -> Option<f64> {
+        self.blocked_4t_gflops.map(|g| g / self.blocked_1t_gflops)
     }
 }
 
@@ -62,7 +66,7 @@ fn matmul_ikj(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
     out
 }
 
-fn matmul_case() -> Case {
+fn matmul_case(multi_core: bool) -> Case {
     let mut rng = StdRng::seed_from_u64(1);
     let a = uniform(&mut rng, Shape::matrix(256, 256), -1.0, 1.0);
     let b = uniform(&mut rng, Shape::matrix(256, 256), -1.0, 1.0);
@@ -72,8 +76,10 @@ fn matmul_case() -> Case {
     let ikj_ns = measure_ns(|| matmul_ikj(a.as_slice(), b.as_slice(), 256, 256, 256));
     let p1 = Pool::new(1);
     let one_ns = with_pool(&p1, || measure_ns(|| matmul(&a, &b).expect("shapes are valid")));
-    let p4 = Pool::new(4);
-    let four_ns = with_pool(&p4, || measure_ns(|| matmul(&a, &b).expect("shapes are valid")));
+    let four_ns = multi_core.then(|| {
+        let p4 = Pool::new(4);
+        with_pool(&p4, || measure_ns(|| matmul(&a, &b).expect("shapes are valid")))
+    });
 
     Case {
         name: "matmul_256x256x256",
@@ -81,11 +87,11 @@ fn matmul_case() -> Case {
         baseline_gflops: gflops(flops, naive_ns),
         unblocked_ikj_gflops: Some(gflops(flops, ikj_ns)),
         blocked_1t_gflops: gflops(flops, one_ns),
-        blocked_4t_gflops: gflops(flops, four_ns),
+        blocked_4t_gflops: four_ns.map(|ns| gflops(flops, ns)),
     }
 }
 
-fn conv_case() -> Case {
+fn conv_case(multi_core: bool) -> Case {
     let mut rng = StdRng::seed_from_u64(2);
     let (n, c_in, hw, c_out, k) = (4usize, 16usize, 16usize, 32usize, 3usize);
     let geom = Conv2dGeometry::same3x3();
@@ -98,9 +104,11 @@ fn conv_case() -> Case {
     let one_ns = with_pool(&p1, || {
         measure_ns(|| conv2d(&input, &weights, None, &geom).expect("valid"))
     });
-    let p4 = Pool::new(4);
-    let four_ns = with_pool(&p4, || {
-        measure_ns(|| conv2d(&input, &weights, None, &geom).expect("valid"))
+    let four_ns = multi_core.then(|| {
+        let p4 = Pool::new(4);
+        with_pool(&p4, || {
+            measure_ns(|| conv2d(&input, &weights, None, &geom).expect("valid"))
+        })
     });
 
     Case {
@@ -109,19 +117,24 @@ fn conv_case() -> Case {
         baseline_gflops: gflops(flops, direct_ns),
         unblocked_ikj_gflops: None,
         blocked_1t_gflops: gflops(flops, one_ns),
-        blocked_4t_gflops: gflops(flops, four_ns),
+        blocked_4t_gflops: four_ns.map(|ns| gflops(flops, ns)),
     }
 }
 
 fn case_json(c: &Case, indent: &str) -> String {
+    let threads = match (c.blocked_4t_gflops, c.speedup_threads()) {
+        (Some(g4), Some(sp)) => format!(
+            "{indent}  \"blocked_4t_gflops\": {g4:.4},\n\
+             {indent}  \"speedup_threads_4\": {sp:.3},\n"
+        ),
+        _ => String::new(),
+    };
     format!(
         "{indent}\"{}\": {{\n\
          {indent}  \"flops\": {},\n\
-         {indent}  \"baseline_gflops\": {:.4},\n{}\
+         {indent}  \"baseline_gflops\": {:.4},\n{}{}\
          {indent}  \"blocked_1t_gflops\": {:.4},\n\
-         {indent}  \"blocked_4t_gflops\": {:.4},\n\
-         {indent}  \"speedup_blocking\": {:.3},\n\
-         {indent}  \"speedup_threads_4\": {:.3}\n\
+         {indent}  \"speedup_blocking\": {:.3}\n\
          {indent}}}",
         c.name,
         c.flops,
@@ -130,31 +143,38 @@ fn case_json(c: &Case, indent: &str) -> String {
             .map_or(String::new(), |g| format!(
                 "{indent}  \"unblocked_ikj_gflops\": {g:.4},\n"
             )),
+        threads,
         c.blocked_1t_gflops,
-        c.blocked_4t_gflops,
         c.speedup_blocking(),
-        c.speedup_threads()
     )
 }
 
 fn main() {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let multi_core = cores >= 2;
     println!("kernel bench: detected {cores} core(s)");
+    if !multi_core {
+        println!("kernel bench: single-core host, skipping multi-thread rows");
+    }
     println!(
         "{:<28} {:>10} {:>12} {:>12} {:>10} {:>10}",
         "case", "baseline", "blocked 1t", "blocked 4t", "x block", "x thread"
     );
 
-    let cases = [matmul_case(), conv_case()];
+    let cases = [matmul_case(multi_core), conv_case(multi_core)];
     for c in &cases {
+        let (g4, sp) = match (c.blocked_4t_gflops, c.speedup_threads()) {
+            (Some(g4), Some(sp)) => (format!("{g4:>10.2}GF"), format!("{sp:>9.2}x")),
+            _ => ("   skipped".into(), "        -".into()),
+        };
         println!(
-            "{:<28} {:>8.2}GF {:>10.2}GF {:>10.2}GF {:>9.2}x {:>9.2}x",
+            "{:<28} {:>8.2}GF {:>10.2}GF {} {:>9.2}x {}",
             c.name,
             c.baseline_gflops,
             c.blocked_1t_gflops,
-            c.blocked_4t_gflops,
+            g4,
             c.speedup_blocking(),
-            c.speedup_threads()
+            sp
         );
     }
 
@@ -162,9 +182,14 @@ fn main() {
     json.push_str("{\n");
     json.push_str("  \"bench\": \"nn_kernels\",\n");
     json.push_str(&format!("  \"detected_cores\": {cores},\n"));
+    json.push_str(&format!(
+        "  \"skipped_single_core\": {},\n",
+        !multi_core
+    ));
     json.push_str(
         "  \"note\": \"baseline = naive/direct serial kernel; blocked = cache-blocked \
-         seal-pool kernel; thread scaling requires a multi-core host\",\n",
+         seal-pool kernel; multi-thread rows are skipped (not reported as ~1.0x) \
+         on single-core hosts\",\n",
     );
     json.push_str("  \"cases\": {\n");
     let rendered: Vec<String> = cases.iter().map(|c| case_json(c, "    ")).collect();

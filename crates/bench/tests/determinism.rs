@@ -14,8 +14,9 @@ use seal_nn::layers::{Conv2d, Flatten, Linear, ReLU};
 use seal_nn::{fit, FitConfig, Sequential, Sgd};
 use seal_pool::{with_pool, Pool};
 use seal_tensor::ops::{
-    conv2d, conv2d_backward, conv2d_reference, matmul, matmul_naive, matmul_naive_fma,
-    reset_kernel_mode, set_kernel_mode, Conv2dGeometry, KernelMode,
+    conv2d, conv2d_backward, conv2d_reference, gemm_i8, matmul, matmul_naive, matmul_naive_fma,
+    quantize_rows_u8, quantized_row_len, reset_kernel_mode, set_kernel_mode, Conv2dGeometry,
+    KernelMode, PackedBI8,
 };
 use seal_tensor::rng::rngs::StdRng;
 use seal_tensor::rng::SeedableRng;
@@ -173,11 +174,17 @@ fn kernel_probe_stdout_is_identical_under_seal_threads_env() {
 
 #[test]
 fn every_available_kernel_mode_is_zero_ulp_vs_its_own_reference() {
-    // `SEAL_KERNEL` dispatch: Scalar and Avx2 preserve the serial
-    // mul-then-add rounding and must match `matmul_naive` exactly; Fma
-    // fuses the rounding and has its own reference. Each installed mode
-    // must be bitwise thread-count independent, like the default path.
-    for mode in [KernelMode::Scalar, KernelMode::Avx2, KernelMode::Fma] {
+    // `SEAL_KERNEL` dispatch: Scalar, Avx2 and Avx512 preserve the
+    // serial mul-then-add rounding and must match `matmul_naive`
+    // exactly; Fma fuses the rounding and has its own reference. Each
+    // installed mode must be bitwise thread-count independent, like the
+    // default path.
+    for mode in [
+        KernelMode::Scalar,
+        KernelMode::Avx2,
+        KernelMode::Avx512,
+        KernelMode::Fma,
+    ] {
         if set_kernel_mode(mode) != mode {
             reset_kernel_mode();
             continue; // not available on this host — degrade path covered elsewhere
@@ -201,5 +208,71 @@ fn every_available_kernel_mode_is_zero_ulp_vs_its_own_reference() {
             }
         }
         reset_kernel_mode();
+    }
+}
+
+#[test]
+fn int8_gemm_is_identical_across_every_mode_and_thread_count() {
+    // The int8 path makes a stronger claim than the f32 one: integer
+    // accumulation has no rounding at all, so *every* kernel mode —
+    // scalar, AVX2 `vpmaddwd`, AVX-512 VNNI `vpdpbusd` — must agree to
+    // the exact i32, not merely within its own mode family.
+    for (m, k, n) in [(4, 8, 8), (33, 129, 17), (97, 83, 65), (64, 300, 72)] {
+        let mut rng = StdRng::seed_from_u64((m * 1000 + k * 10 + n) as u64);
+        let a = uniform(&mut rng, Shape::matrix(m, k), -1.0, 1.0);
+        let b = uniform(&mut rng, Shape::matrix(k, n), -1.0, 1.0);
+        let packed = PackedBI8::pack(&b).unwrap();
+        let mut qa = vec![0u8; m * quantized_row_len(k)];
+        let mut scales = vec![0.0f32; m];
+        quantize_rows_u8(a.as_slice(), m, k, &mut qa, &mut scales);
+
+        let reference = {
+            let mut acc = vec![0i32; m * n];
+            gemm_i8(&qa, &packed, &mut acc, m, KernelMode::Scalar);
+            acc
+        };
+        for mode in [KernelMode::Avx2, KernelMode::Avx512] {
+            if set_kernel_mode(mode) != mode {
+                reset_kernel_mode();
+                continue; // not available on this host
+            }
+            for threads in THREAD_COUNTS {
+                let pool = Pool::new(threads);
+                let mut acc = vec![0i32; m * n];
+                with_pool(&pool, || gemm_i8(&qa, &packed, &mut acc, m, mode));
+                assert_eq!(
+                    acc, reference,
+                    "{mode:?} gemm_i8 {m}x{k}x{n} diverged from scalar at {threads} threads"
+                );
+            }
+            reset_kernel_mode();
+        }
+    }
+}
+
+#[test]
+fn activation_quantization_is_bitwise_identical_for_any_thread_count() {
+    // `quantize_rows_u8` feeds every int8 GEMM; if its rounding varied
+    // with the pool size, bit-exact GEMMs downstream would not save the
+    // plan's determinism claim.
+    let (m, k) = (64, 300);
+    let mut rng = StdRng::seed_from_u64(77);
+    let a = uniform(&mut rng, Shape::matrix(m, k), -1.0, 1.0);
+    let run = |threads: usize| {
+        let pool = Pool::new(threads);
+        let mut qa = vec![0u8; m * quantized_row_len(k)];
+        let mut scales = vec![0.0f32; m];
+        with_pool(&pool, || {
+            quantize_rows_u8(a.as_slice(), m, k, &mut qa, &mut scales)
+        });
+        (qa, scales.iter().map(|s| s.to_bits()).collect::<Vec<u32>>())
+    };
+    let reference = run(1);
+    for threads in THREAD_COUNTS {
+        assert_eq!(
+            run(threads),
+            reference,
+            "quantize_rows_u8 diverged at {threads} threads"
+        );
     }
 }

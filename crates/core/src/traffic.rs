@@ -8,7 +8,7 @@
 //! unchanged; a tensor's encryption is therefore fixed by the requirements
 //! of the weight layer that consumes it.
 
-use seal_nn::NetworkTopology;
+use seal_nn::{DType, NetworkTopology};
 
 use crate::{CoreError, EncryptionPlan, Scheme};
 
@@ -63,7 +63,7 @@ fn split(bytes: u64, frac: f64) -> (u64, u64) {
     (enc.min(bytes), bytes - enc.min(bytes))
 }
 
-/// Computes the per-layer encrypted/plain traffic split.
+/// Computes the per-layer encrypted/plain traffic split at f32 precision.
 ///
 /// # Errors
 ///
@@ -73,6 +73,24 @@ pub fn network_traffic(
     topo: &NetworkTopology,
     plan: &EncryptionPlan,
     scheme: Scheme,
+) -> Result<Vec<LayerTrafficSplit>, CoreError> {
+    network_traffic_dt(topo, plan, scheme, DType::F32)
+}
+
+/// Computes the per-layer encrypted/plain traffic split for a given
+/// numeric format. The *fractions* (which kernel rows / channels are
+/// encrypted) are dtype-independent — they come from the encryption plan —
+/// but every byte count scales with the dtype, so int8 shrinks both the
+/// encrypted and the plain stream of every scheme by roughly 4×.
+///
+/// # Errors
+///
+/// Same as [`network_traffic`].
+pub fn network_traffic_dt(
+    topo: &NetworkTopology,
+    plan: &EncryptionPlan,
+    scheme: Scheme,
+    dtype: DType,
 ) -> Result<Vec<LayerTrafficSplit>, CoreError> {
     let weight_layers: Vec<usize> = topo
         .layers()
@@ -139,9 +157,9 @@ pub fn network_traffic(
         } else {
             after[i - 1]
         };
-        let (w_enc, w_plain) = split(layer.weight_bytes(), weight_frac[i]);
-        let (i_enc, i_plain) = split(layer.ifmap_bytes(), before);
-        let (o_enc, o_plain) = split(layer.ofmap_bytes(), after[i]);
+        let (w_enc, w_plain) = split(layer.weight_bytes_dt(dtype), weight_frac[i]);
+        let (i_enc, i_plain) = split(layer.ifmap_bytes_dt(dtype), before);
+        let (o_enc, o_plain) = split(layer.ofmap_bytes_dt(dtype), after[i]);
         out.push(LayerTrafficSplit {
             name: layer.name.clone(),
             weight_enc: w_enc,
@@ -236,6 +254,36 @@ mod tests {
             (0.4..0.75).contains(&frac),
             "VGG-16 at 50% ratio with boundary layers: {frac}"
         );
+    }
+
+    #[test]
+    fn int8_shrinks_every_lane_without_moving_fractions() {
+        let (topo, plan) = plan_and_topo(0.5);
+        for scheme in [Scheme::Baseline, Scheme::SealCounter, Scheme::Counter] {
+            let f = network_traffic_dt(&topo, &plan, scheme, DType::F32).unwrap();
+            let q = network_traffic_dt(&topo, &plan, scheme, DType::Int8).unwrap();
+            let f_enc: u64 = f.iter().map(|l| l.encrypted_bytes()).sum();
+            let q_enc: u64 = q.iter().map(|l| l.encrypted_bytes()).sum();
+            let f_tot: u64 = f.iter().map(|l| l.total_bytes()).sum();
+            let q_tot: u64 = q.iter().map(|l| l.total_bytes()).sum();
+            // ~4× fewer bytes in every stream (scale sidebands keep it
+            // slightly above an exact quarter).
+            assert!(q_tot * 3 < f_tot, "{scheme:?}: {q_tot} vs {f_tot}");
+            if f_enc > 0 {
+                assert!(q_enc * 3 < f_enc, "{scheme:?}: {q_enc} vs {f_enc}");
+                // The encrypted *fraction* is a plan property, not a dtype
+                // property — int8 must not move it materially.
+                let ff = f_enc as f64 / f_tot as f64;
+                let qf = q_enc as f64 / q_tot as f64;
+                assert!((ff - qf).abs() < 0.02, "{scheme:?}: {ff} vs {qf}");
+            } else {
+                assert_eq!(q_enc, 0);
+            }
+        }
+        // The f32 entry point is exactly the dtype-parameterised one.
+        let a = network_traffic(&topo, &plan, Scheme::SealCounter).unwrap();
+        let b = network_traffic_dt(&topo, &plan, Scheme::SealCounter, DType::F32).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -60,5 +60,5 @@ pub use optim::{Adam, Optimizer, Sgd};
 pub use plan::{forward_reference, CompiledModel, PlanOptions};
 pub use serialize::{load_weights, save_weights};
 pub use shape_check::{check_model, ShapeMismatch, ShapeReport, ShapeStep};
-pub use topo::{LayerRole, LayerTopo, NetworkTopology};
+pub use topo::{DType, LayerRole, LayerTopo, NetworkTopology};
 pub use train::{accuracy, fit, FitConfig, FitReport};

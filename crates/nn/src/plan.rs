@@ -29,9 +29,10 @@ use crate::layers::{
 use crate::shape_check::check_model;
 use crate::{Layer, NnError, Sequential};
 use seal_tensor::ops::{
-    avg_pool2d_into, conv2d_infer_packed, conv2d_reference, gemm_prepacked, kernel_mode,
-    max_pool2d_into, Conv2dGeometry, ConvPlanDims, Im2colGather, KernelMode, PackedB,
-    PoolGeometry,
+    avg_pool2d_into, conv2d_infer_packed, conv2d_reference, dequantize_bias_relu,
+    dequantize_transpose_bias_relu, gather_patches_u8, gemm_i8, gemm_prepacked, kernel_mode,
+    max_pool2d_into, quantize_rows_u8, quantize_slice_u8, quantized_row_len, Conv2dGeometry,
+    ConvPlanDims, Im2colGather, KernelMode, PackedB, PackedBI8, PatchGather, PoolGeometry,
 };
 use seal_tensor::{Shape, Tensor, ELEMWISE_CHUNK};
 
@@ -49,14 +50,37 @@ pub struct PlanOptions {
     /// (convolution/GEMM tasks clamp their freshly-written slab; linear
     /// and batch-norm clamp in the same pass that applies bias/affine).
     pub fuse_relu: bool,
+    /// Run every convolution and linear layer through the deterministic
+    /// int8 path: weights are symmetrically quantized per output channel
+    /// at compile time (after batch-norm folding, when enabled) and
+    /// pre-packed into [`PackedBI8`] panels; activations are quantized on
+    /// entry to each quantized step (per row for linear layers, per image
+    /// for convolutions) and dequantized — with bias and any fused ReLU —
+    /// in the write-back. Logits stay bitwise identical across thread
+    /// counts and `SEAL_KERNEL` modes (exact i32 accumulation), and track
+    /// the f32 plan to quantization tolerance.
+    pub quantize: bool,
 }
 
 impl PlanOptions {
-    /// Both fusions on — the fastest (tolerance-verified) configuration.
+    /// Both fusions on — the fastest (tolerance-verified) f32
+    /// configuration.
     pub fn fused() -> Self {
         PlanOptions {
             fold_batchnorm: true,
             fuse_relu: true,
+            quantize: false,
+        }
+    }
+
+    /// The int8 configuration: batch-norm folding and ReLU fusion on
+    /// (folding before quantization keeps the per-channel scales honest),
+    /// plus the quantized conv/linear path.
+    pub fn quantized() -> Self {
+        PlanOptions {
+            fold_batchnorm: true,
+            fuse_relu: true,
+            quantize: true,
         }
     }
 }
@@ -75,6 +99,25 @@ enum Step {
     /// Fully connected layer over a pre-packed `Wᵀ`.
     Linear {
         packed: PackedB,
+        bias: Vec<f32>,
+        in_f: usize,
+        out_f: usize,
+        relu: bool,
+    },
+    /// Int8 convolution: per-out-channel-quantized weights pre-packed at
+    /// compile time, patch-major im2col gather, exact-i32 GEMM, fused
+    /// dequantize/transpose/bias/ReLU write-back.
+    QConv {
+        dims: ConvPlanDims,
+        gather: PatchGather,
+        packed: PackedBI8,
+        bias: Vec<f32>,
+        relu: bool,
+    },
+    /// Int8 fully connected layer: per-out-channel-quantized `Wᵀ` panels,
+    /// per-row activation quantization, exact-i32 GEMM.
+    QLinear {
+        packed: PackedBI8,
         bias: Vec<f32>,
         in_f: usize,
         out_f: usize,
@@ -128,7 +171,12 @@ impl Step {
     fn swaps(&self) -> bool {
         matches!(
             self,
-            Step::Conv { .. } | Step::Linear { .. } | Step::MaxPool { .. } | Step::AvgPool { .. }
+            Step::Conv { .. }
+                | Step::Linear { .. }
+                | Step::QConv { .. }
+                | Step::QLinear { .. }
+                | Step::MaxPool { .. }
+                | Step::AvgPool { .. }
         )
     }
 }
@@ -167,6 +215,23 @@ impl Arena {
     }
 }
 
+/// Scratch for the quantized steps, sized once at compile time for the
+/// worst-case step (all vectors empty when the plan has no quantized
+/// steps). Like the arena, it is allocated at compile and only reused in
+/// steady state.
+#[derive(Debug, Default)]
+struct QuantScratch {
+    /// One quantized input image, offset-binary u8 (conv path).
+    q_img: Vec<u8>,
+    /// The quantized A operand: a patch-major im2col matrix (conv, one
+    /// image at a time) or the whole activation batch (linear).
+    qa: Vec<u8>,
+    /// The exact i32 GEMM accumulator.
+    acc: Vec<i32>,
+    /// Per-row activation scales (linear path).
+    a_scales: Vec<f32>,
+}
+
 /// An ahead-of-time compiled inference plan for one model and one input
 /// shape: pre-packed weights, a fixed activation arena, and a flat step
 /// list the executor replays without touching the `Layer` machinery (or
@@ -180,6 +245,7 @@ pub struct CompiledModel {
     num_classes: usize,
     options: PlanOptions,
     arena: Arena,
+    quant: QuantScratch,
 }
 
 impl CompiledModel {
@@ -218,8 +284,15 @@ impl CompiledModel {
             w: input.dim(3),
         };
         let mut max_vol = feat.vol();
-        let mut steps = compile_layers(model.layers(), &mut feat, true, &mut max_vol)?;
+        let mut steps =
+            compile_layers(model.layers(), &mut feat, true, &mut max_vol, options.quantize)?;
         fold_and_fuse(&mut steps, options);
+        if options.quantize {
+            // Convolutions quantize *after* folding so the per-channel
+            // scales see the batch-norm-scaled weights (linear layers are
+            // never folded and quantize during the walk).
+            quantize_convs(&mut steps)?;
+        }
         let num_classes = match feat {
             Feat::Flat(f) => f,
             Feat::Spatial { .. } => {
@@ -229,6 +302,8 @@ impl CompiledModel {
             }
         };
         let slot = max_vol * max_batch;
+        let mut qs = QuantSizes::default();
+        quant_sizes(&steps, max_batch, &mut qs);
         Ok(CompiledModel {
             name: model.name().to_string(),
             steps,
@@ -239,6 +314,12 @@ impl CompiledModel {
             arena: Arena {
                 buf: vec![0.0f32; 4 * slot], // seal-lint: allow(hot-path-alloc)
                 slot,
+            },
+            quant: QuantScratch {
+                q_img: vec![0u8; qs.q_img], // seal-lint: allow(hot-path-alloc) — compile-time, reused in steady state
+                qa: vec![128u8; qs.qa], // seal-lint: allow(hot-path-alloc) — compile-time, reused in steady state
+                acc: vec![0i32; qs.acc], // seal-lint: allow(hot-path-alloc) — compile-time, reused in steady state
+                a_scales: vec![0.0f32; qs.a_scales], // seal-lint: allow(hot-path-alloc) — compile-time, reused in steady state
             },
         })
     }
@@ -289,6 +370,7 @@ impl CompiledModel {
         let n = self.check_batch(batch)?;
         let mode = kernel_mode();
         let classes = self.num_classes;
+        let quant = &mut self.quant;
         let (a, b, c, d) = self.arena.split();
         let (mut cur, mut nxt, mut st, mut sh) = (a, b, c, d);
         let mut cur_idx = 0usize; // 0 = slot A, 1 = slot B
@@ -303,11 +385,11 @@ impl CompiledModel {
                 } => {
                     st[..n * in_vol].copy_from_slice(&cur[..n * in_vol]);
                     for s in main {
-                        run_plain(s, n, mode, &mut cur, &mut nxt, &mut cur_idx)?;
+                        run_plain(s, n, mode, &mut cur, &mut nxt, &mut cur_idx, quant)?;
                     }
                     let mut side_idx = 0usize;
                     for s in shortcut {
-                        run_plain(s, n, mode, &mut st, &mut sh, &mut side_idx)?;
+                        run_plain(s, n, mode, &mut st, &mut sh, &mut side_idx, quant)?;
                     }
                     // Combine: `max(0, f + s)` — the same values as
                     // `forward_infer`'s add-then-ReLU, fused in one pass.
@@ -320,7 +402,7 @@ impl CompiledModel {
                         }
                     });
                 }
-                _ => run_plain(step, n, mode, &mut cur, &mut nxt, &mut cur_idx)?,
+                _ => run_plain(step, n, mode, &mut cur, &mut nxt, &mut cur_idx, quant)?,
             }
         }
         let off = cur_idx * self.arena.slot;
@@ -373,6 +455,7 @@ impl CompiledModel {
 /// Execute one non-residual step. Buffer-swapping steps write
 /// `*cur → *nxt` then swap the refs (and the slot index, so the caller
 /// can locate the final buffer); the rest run in place on `*cur`.
+#[allow(clippy::too_many_arguments)]
 // seal-lint: allow(panic-freedom) — slot ranges were sized by `compile`'s arena layout; the batch shape is checked before dispatch
 fn run_plain<'a>(
     step: &Step,
@@ -381,6 +464,7 @@ fn run_plain<'a>(
     cur: &mut &'a mut [f32],
     nxt: &mut &'a mut [f32],
     cur_idx: &mut usize,
+    quant: &mut QuantScratch,
 ) -> Result<(), NnError> {
     match step {
         Step::Conv {
@@ -422,6 +506,56 @@ fn run_plain<'a>(
                     o[r * out_f + cc] = if *relu { v.max(0.0) } else { v };
                 }
             }
+        }
+        Step::QConv {
+            dims,
+            gather,
+            packed,
+            bias,
+            relu,
+        } => {
+            let in_vol = dims.c_in * dims.h * dims.w;
+            let s = gather.spatial();
+            let out_vol = dims.c_out * s;
+            // One image at a time: per-image symmetric activation scale,
+            // patch-major gather, exact-i32 GEMM (internally parallel and
+            // deterministic), transpose back to NCHW during dequantize.
+            for img in 0..n {
+                let x = &cur[img * in_vol..(img + 1) * in_vol];
+                let a_scale = quantize_slice_u8(x, &mut quant.q_img[..in_vol]);
+                gather_patches_u8(&quant.q_img[..in_vol], gather, &mut quant.qa);
+                gemm_i8(&quant.qa, packed, &mut quant.acc, s, mode);
+                dequantize_transpose_bias_relu(
+                    &quant.acc,
+                    a_scale,
+                    packed.scales(),
+                    Some(bias),
+                    &mut nxt[img * out_vol..(img + 1) * out_vol],
+                    s,
+                    dims.c_out,
+                    *relu,
+                );
+            }
+        }
+        Step::QLinear {
+            packed,
+            bias,
+            in_f,
+            out_f,
+            relu,
+        } => {
+            quantize_rows_u8(&cur[..n * in_f], n, *in_f, &mut quant.qa, &mut quant.a_scales);
+            gemm_i8(&quant.qa, packed, &mut quant.acc, n, mode);
+            dequantize_bias_relu(
+                &quant.acc,
+                &quant.a_scales[..n],
+                packed.scales(),
+                Some(bias),
+                &mut nxt[..n * out_f],
+                n,
+                *out_f,
+                *relu,
+            );
         }
         Step::BatchNorm {
             gamma,
@@ -526,6 +660,7 @@ fn compile_layers(
     feat: &mut Feat,
     allow_residual: bool,
     max_vol: &mut usize,
+    quantize: bool,
 ) -> Result<Vec<Step>, NnError> {
     let mut steps = Vec::with_capacity(layers.len());
     for layer in layers {
@@ -622,15 +757,28 @@ fn compile_layers(
             }
             let out_f = linear.out_features();
             // Pre-pack Wᵀ — the constant B operand `forward_infer`
-            // re-transposes and re-packs on every single call.
+            // re-transposes and re-packs on every single call. Quantized
+            // plans pack the per-out-channel int8 panels instead (linear
+            // weights never fold, so this can happen during the walk).
             let wt = linear.weights().value.transpose()?;
             *feat = Feat::Flat(out_f);
-            Step::Linear {
-                packed: PackedB::pack(&wt)?,
-                bias: linear.bias().value.as_slice().to_vec(), // seal-lint: allow(hot-path-alloc)
-                in_f,
-                out_f,
-                relu: false,
+            let bias = linear.bias().value.as_slice().to_vec(); // seal-lint: allow(hot-path-alloc)
+            if quantize {
+                Step::QLinear {
+                    packed: PackedBI8::pack(&wt)?,
+                    bias,
+                    in_f,
+                    out_f,
+                    relu: false,
+                }
+            } else {
+                Step::Linear {
+                    packed: PackedB::pack(&wt)?,
+                    bias,
+                    in_f,
+                    out_f,
+                    relu: false,
+                }
             }
         } else if let Some(res) = any.downcast_ref::<ResidualBlock>() {
             if !allow_residual {
@@ -641,9 +789,10 @@ fn compile_layers(
             let in_feat = *feat;
             let in_vol = in_feat.vol();
             let mut main_feat = in_feat;
-            let main = compile_layers(res.main_branch(), &mut main_feat, false, max_vol)?;
+            let main = compile_layers(res.main_branch(), &mut main_feat, false, max_vol, quantize)?;
             let mut short_feat = in_feat;
-            let shortcut = compile_layers(res.shortcut_branch(), &mut short_feat, false, max_vol)?;
+            let shortcut =
+                compile_layers(res.shortcut_branch(), &mut short_feat, false, max_vol, quantize)?;
             if main_feat != short_feat {
                 return Err(NnError::InvalidConfig {
                     reason: format!(
@@ -749,6 +898,8 @@ fn fold_and_fuse(steps: &mut Vec<Step>, options: PlanOptions) {
                 let fused = match &mut steps[i] {
                     Step::Conv { relu, .. }
                     | Step::Linear { relu, .. }
+                    | Step::QConv { relu, .. }
+                    | Step::QLinear { relu, .. }
                     | Step::BatchNorm { relu, .. } => {
                         *relu = true;
                         true
@@ -767,6 +918,72 @@ fn fold_and_fuse(steps: &mut Vec<Step>, options: PlanOptions) {
         if let Step::Residual { main, shortcut, .. } = step {
             fold_and_fuse(main, options);
             fold_and_fuse(shortcut, options);
+        }
+    }
+}
+
+/// Converts every (already folded/fused) f32 convolution step into its
+/// int8 counterpart: symmetric per-out-channel weight quantization,
+/// pre-packed [`PackedBI8`] panels, and the patch-major gather table.
+/// Runs after [`fold_and_fuse`] so the quantization scales see the final
+/// (batch-norm-scaled) weights.
+fn quantize_convs(steps: &mut [Step]) -> Result<(), NnError> {
+    for step in steps.iter_mut() {
+        match step {
+            Step::Conv {
+                dims,
+                weights,
+                bias,
+                relu,
+                ..
+            } => {
+                let kdim = dims.c_in * dims.geom.kernel * dims.geom.kernel;
+                let packed = PackedBI8::pack_conv(weights, dims.c_out, kdim)?;
+                *step = Step::QConv {
+                    gather: PatchGather::compile(dims),
+                    dims: *dims,
+                    packed,
+                    bias: std::mem::take(bias),
+                    relu: *relu,
+                };
+            }
+            Step::Residual { main, shortcut, .. } => {
+                quantize_convs(main)?;
+                quantize_convs(shortcut)?;
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Worst-case quantized-scratch extents across a step list.
+#[derive(Debug, Default)]
+struct QuantSizes {
+    q_img: usize,
+    qa: usize,
+    acc: usize,
+    a_scales: usize,
+}
+
+fn quant_sizes(steps: &[Step], max_batch: usize, sz: &mut QuantSizes) {
+    for step in steps {
+        match step {
+            Step::QConv { dims, gather, .. } => {
+                sz.q_img = sz.q_img.max(dims.c_in * dims.h * dims.w);
+                sz.qa = sz.qa.max(gather.patch_bytes());
+                sz.acc = sz.acc.max(gather.spatial() * dims.c_out);
+            }
+            Step::QLinear { in_f, out_f, .. } => {
+                sz.qa = sz.qa.max(max_batch * quantized_row_len(*in_f));
+                sz.acc = sz.acc.max(max_batch * out_f);
+                sz.a_scales = sz.a_scales.max(max_batch);
+            }
+            Step::Residual { main, shortcut, .. } => {
+                quant_sizes(main, max_batch, sz);
+                quant_sizes(shortcut, max_batch, sz);
+            }
+            _ => {}
         }
     }
 }

@@ -60,38 +60,99 @@ pub struct LayerTopo {
 
 const F32_BYTES: u64 = 4;
 
+/// Numeric storage format of a served model's weights and activations —
+/// the knob that reprices every byte-accounting method below. Int8 moves
+/// one quarter of the f32 bytes across the memory bus (quantized weights
+/// carry a small per-output-channel f32 scale sideband, counted with the
+/// weights), which is exactly the lever the quantized compiled plans pull
+/// on the encrypted-traffic economics: the AES engine prices *bytes*, so
+/// int8 shrinks the encrypted stream of every scheme by ~4×.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DType {
+    /// 32-bit float (the default everywhere).
+    #[default]
+    F32,
+    /// Symmetric per-output-channel int8, as produced by the quantized
+    /// compiled plans (`PlanOptions::quantized()`).
+    Int8,
+}
+
+impl DType {
+    /// Bytes one tensor element occupies.
+    pub fn bytes_per_element(self) -> u64 {
+        match self {
+            DType::F32 => F32_BYTES,
+            DType::Int8 => 1,
+        }
+    }
+
+    /// Display name (`"f32"` / `"int8"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            DType::F32 => "f32",
+            DType::Int8 => "int8",
+        }
+    }
+}
+
 impl LayerTopo {
     /// Bytes of weights (0 for pooling).
     pub fn weight_bytes(&self) -> u64 {
-        match self.role {
+        self.weight_bytes_dt(DType::F32)
+    }
+
+    /// Bytes of weights under `dtype`. Int8 weights additionally carry one
+    /// f32 scale per output channel (the symmetric per-channel sideband).
+    pub fn weight_bytes_dt(&self, dtype: DType) -> u64 {
+        let (elems, channels) = match self.role {
             LayerRole::Conv {
                 in_channels,
                 out_channels,
                 kernel,
                 ..
-            } => (in_channels * out_channels * kernel * kernel) as u64 * F32_BYTES,
-            LayerRole::Pool { .. } => 0,
+            } => (in_channels * out_channels * kernel * kernel, out_channels),
+            LayerRole::Pool { .. } => (0, 0),
             LayerRole::Fc {
                 in_features,
                 out_features,
-            } => (in_features * out_features) as u64 * F32_BYTES,
-        }
+            } => (in_features * out_features, out_features),
+        };
+        let sideband = match dtype {
+            DType::F32 => 0,
+            DType::Int8 => channels as u64 * F32_BYTES,
+        };
+        elems as u64 * dtype.bytes_per_element() + sideband
     }
 
     /// Bytes of the input feature map.
     pub fn ifmap_bytes(&self) -> u64 {
-        self.ifmap.volume() as u64 * F32_BYTES
+        self.ifmap_bytes_dt(DType::F32)
+    }
+
+    /// Bytes of the input feature map under `dtype`.
+    pub fn ifmap_bytes_dt(&self, dtype: DType) -> u64 {
+        self.ifmap.volume() as u64 * dtype.bytes_per_element()
     }
 
     /// Bytes of the output feature map.
     pub fn ofmap_bytes(&self) -> u64 {
-        self.ofmap.volume() as u64 * F32_BYTES
+        self.ofmap_bytes_dt(DType::F32)
+    }
+
+    /// Bytes of the output feature map under `dtype`.
+    pub fn ofmap_bytes_dt(&self, dtype: DType) -> u64 {
+        self.ofmap.volume() as u64 * dtype.bytes_per_element()
     }
 
     /// Total bytes read + written by this layer (weights + ifmap read,
     /// ofmap write) assuming no cache reuse.
     pub fn traffic_bytes(&self) -> u64 {
-        self.weight_bytes() + self.ifmap_bytes() + self.ofmap_bytes()
+        self.traffic_bytes_dt(DType::F32)
+    }
+
+    /// [`traffic_bytes`](Self::traffic_bytes) under `dtype`.
+    pub fn traffic_bytes_dt(&self, dtype: DType) -> u64 {
+        self.weight_bytes_dt(dtype) + self.ifmap_bytes_dt(dtype) + self.ofmap_bytes_dt(dtype)
     }
 
     /// Multiply–accumulate-derived FLOP count for this layer.
@@ -252,12 +313,22 @@ impl NetworkTopology {
 
     /// Total weight bytes of the whole model.
     pub fn total_weight_bytes(&self) -> u64 {
-        self.layers.iter().map(|l| l.weight_bytes()).sum()
+        self.total_weight_bytes_dt(DType::F32)
+    }
+
+    /// Total weight bytes under `dtype`.
+    pub fn total_weight_bytes_dt(&self, dtype: DType) -> u64 {
+        self.layers.iter().map(|l| l.weight_bytes_dt(dtype)).sum()
     }
 
     /// Total memory traffic of one inference pass, in bytes.
     pub fn total_traffic_bytes(&self) -> u64 {
-        self.layers.iter().map(|l| l.traffic_bytes()).sum()
+        self.total_traffic_bytes_dt(DType::F32)
+    }
+
+    /// Total memory traffic of one inference pass under `dtype`.
+    pub fn total_traffic_bytes_dt(&self, dtype: DType) -> u64 {
+        self.layers.iter().map(|l| l.traffic_bytes_dt(dtype)).sum()
     }
 
     /// Total FLOPs of one inference pass.
@@ -437,6 +508,31 @@ mod tests {
         assert!(NetworkTopology::build("x", Shape::nchw(2, 3, 8, 8)).is_err());
         let b = NetworkTopology::build("x", Shape::nchw(1, 3, 4, 4)).unwrap();
         assert!(b.conv("c", 8, 7, 1, 0).is_err());
+    }
+
+    #[test]
+    fn int8_traffic_is_a_quarter_plus_scale_sideband() {
+        let t = toy();
+        let conv = &t.layers()[0];
+        // Weights: one byte per element plus a f32 scale per out channel.
+        assert_eq!(
+            conv.weight_bytes_dt(DType::Int8),
+            (16 * 3 * 9) as u64 + 16 * 4
+        );
+        // Feature maps: exactly a quarter of the f32 bytes.
+        assert_eq!(conv.ifmap_bytes_dt(DType::Int8) * 4, conv.ifmap_bytes());
+        assert_eq!(conv.ofmap_bytes_dt(DType::Int8) * 4, conv.ofmap_bytes());
+        // F32 variants delegate exactly.
+        assert_eq!(conv.traffic_bytes_dt(DType::F32), conv.traffic_bytes());
+        assert_eq!(
+            t.total_traffic_bytes_dt(DType::F32),
+            t.total_traffic_bytes()
+        );
+        // The whole-model int8 stream is strictly below a third of f32
+        // (a quarter plus the small scale sidebands).
+        let q = t.total_traffic_bytes_dt(DType::Int8);
+        assert!(q * 3 < t.total_traffic_bytes(), "{q}");
+        assert!(t.total_weight_bytes_dt(DType::Int8) < t.total_weight_bytes());
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! Contracts of the quantized (int8) compiled plans.
+//!
+//! Determinism: a quantized plan accumulates in exact i32 and dequantizes
+//! elementwise, so its logits are **bitwise identical** across thread
+//! counts *and* across every available `SEAL_KERNEL` mode (scalar, AVX2
+//! `vpmaddwd`, AVX-512 VNNI `vpdpbusd`) — a strictly stronger guarantee
+//! than the f32 plans, whose FMA mode is allowed to differ.
+//!
+//! Accuracy: against the f32 fused plan the quantized plan must stay
+//! within quantization tolerance on logits and within one percentage
+//! point of top-1 agreement on a 128-sample fixture batch of both zoo
+//! networks.
+
+use seal_nn::models::{resnet, vgg16, ResNetConfig, VggConfig};
+use seal_nn::{CompiledModel, PlanOptions, Sequential};
+use seal_pool::{with_pool, Pool};
+use seal_tensor::ops::{reset_kernel_mode, set_kernel_mode, KernelMode};
+use seal_tensor::rng::rngs::StdRng;
+use seal_tensor::rng::SeedableRng;
+use seal_tensor::{Shape, Tensor};
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+fn sample(seed: u64, n: usize, c: usize, hw: usize) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    seal_tensor::uniform(&mut rng, Shape::nchw(n, c, hw, hw), -1.0, 1.0)
+}
+
+fn assert_bitwise(out: &[f32], reference: &[f32], what: &str) {
+    assert_eq!(out.len(), reference.len(), "{what}: length mismatch");
+    for (i, (p, r)) in out.iter().zip(reference).enumerate() {
+        assert_eq!(
+            p.to_bits(),
+            r.to_bits(),
+            "{what}: logit {i} differs ({p} vs {r})"
+        );
+    }
+}
+
+/// Single-thread scalar-kernel run of a quantized plan — the reference
+/// every other (threads × kernel mode) combination must reproduce bit for
+/// bit.
+fn quant_reference(model: &Sequential, c: usize, hw: usize, x: &Tensor) -> Vec<f32> {
+    let input = Shape::nchw(1, c, hw, hw);
+    let mut plan = CompiledModel::compile(model, &input, 8, PlanOptions::quantized()).unwrap();
+    let pool = Pool::new(1);
+    set_kernel_mode(KernelMode::Scalar);
+    let out = with_pool(&pool, || plan.execute_into(x).unwrap().to_vec());
+    reset_kernel_mode();
+    out
+}
+
+fn check_quant_bitwise(model: &Sequential, c: usize, hw: usize, seed: u64, what: &str) {
+    let input = Shape::nchw(1, c, hw, hw);
+    let mut plan = CompiledModel::compile(model, &input, 8, PlanOptions::quantized()).unwrap();
+    for n in [1usize, 5, 8] {
+        let x = sample(seed + n as u64, n, c, hw);
+        let reference = quant_reference(model, c, hw, &x);
+        for threads in THREADS {
+            let pool = Pool::new(threads);
+            for mode in [
+                KernelMode::Scalar,
+                KernelMode::Avx2,
+                KernelMode::Avx512,
+                KernelMode::Fma,
+            ] {
+                if set_kernel_mode(mode) != mode {
+                    continue; // not available on this host
+                }
+                with_pool(&pool, || {
+                    let logits = plan.execute_into(&x).unwrap();
+                    assert_bitwise(
+                        logits,
+                        &reference,
+                        &format!(
+                            "{what} quantized plan, batch {n}, {threads} threads, {}",
+                            mode.name()
+                        ),
+                    );
+                });
+            }
+            reset_kernel_mode();
+        }
+    }
+}
+
+#[test]
+fn vgg16_quantized_plan_bitwise_across_threads_and_kernels() {
+    let mut rng = StdRng::seed_from_u64(401);
+    let cfg = VggConfig::reduced();
+    let model = vgg16(&mut rng, &cfg).unwrap();
+    check_quant_bitwise(&model, cfg.input_channels, cfg.input_hw, 410, "vgg16");
+}
+
+#[test]
+fn resnet18_quantized_plan_bitwise_across_threads_and_kernels() {
+    let mut rng = StdRng::seed_from_u64(402);
+    let cfg = ResNetConfig::reduced(18);
+    let model = resnet(&mut rng, &cfg).unwrap();
+    check_quant_bitwise(&model, cfg.input_channels, cfg.input_hw, 420, "resnet18");
+}
+
+/// The accuracy gate: over 128 fixture samples the quantized plan's
+/// logits must stay within quantization tolerance of the f32 fused plan,
+/// and its top-1 prediction must agree wherever the f32 decision is
+/// *stable* — the fixture models are randomly initialised, so some logit
+/// rows are exact ties at quantization resolution, and flipping such a
+/// tie is not an accuracy loss. A disagreement counts against the 1%
+/// budget only when the f32 margin between its top choice and the
+/// quantized plan's choice exceeds the pinned logit tolerance.
+fn check_quant_accuracy(model: &Sequential, c: usize, hw: usize, seed: u64, what: &str) {
+    let input = Shape::nchw(1, c, hw, hw);
+    let batch = 8usize;
+    let batches = 16usize; // 128 samples total
+    let classes = {
+        let probe = CompiledModel::compile(model, &input, 1, PlanOptions::fused()).unwrap();
+        probe.num_classes()
+    };
+    let mut f32_plan = CompiledModel::compile(model, &input, batch, PlanOptions::fused()).unwrap();
+    let mut q_plan =
+        CompiledModel::compile(model, &input, batch, PlanOptions::quantized()).unwrap();
+    let pool = Pool::new(2);
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    with_pool(&pool, || {
+        for b in 0..batches {
+            let x = sample(seed + b as u64, batch, c, hw);
+            let fl = f32_plan.execute_into(&x).unwrap().to_vec();
+            let ql = q_plan.execute_into(&x).unwrap();
+            let scale = fl.iter().fold(1.0f32, |m, v| m.max(v.abs()));
+            let tol = 0.05 * scale;
+            // Logits track the f32 plan to quantization tolerance
+            // (relative to the magnitude of the logit slab).
+            for (p, r) in ql.iter().zip(&fl) {
+                assert!(
+                    (p - r).abs() <= tol,
+                    "{what}: quantized logit {p} too far from f32 {r} (scale {scale})"
+                );
+            }
+            for s in 0..batch {
+                let frow = &fl[s * classes..(s + 1) * classes];
+                let qrow = &ql[s * classes..(s + 1) * classes];
+                let argmax = |row: &[f32]| {
+                    row.iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                        .map(|(i, _)| i)
+                        .unwrap()
+                };
+                let (ft, qt) = (argmax(frow), argmax(qrow));
+                total += 1;
+                // Stable agreement, or a tie at quantization resolution.
+                if ft == qt || frow[ft] - frow[qt] <= tol {
+                    agree += 1;
+                }
+            }
+        }
+    });
+    let agreement = agree as f64 / total as f64;
+    assert!(
+        agreement >= 0.99,
+        "{what}: quantized top-1 agreement {agreement:.4} below 0.99 ({agree}/{total})"
+    );
+}
+
+#[test]
+fn vgg16_quantized_top1_within_one_percent_of_f32() {
+    let mut rng = StdRng::seed_from_u64(403);
+    let cfg = VggConfig::reduced();
+    let model = vgg16(&mut rng, &cfg).unwrap();
+    check_quant_accuracy(&model, cfg.input_channels, cfg.input_hw, 430, "vgg16");
+}
+
+#[test]
+fn resnet18_quantized_top1_within_one_percent_of_f32() {
+    let mut rng = StdRng::seed_from_u64(404);
+    let cfg = ResNetConfig::reduced(18);
+    let model = resnet(&mut rng, &cfg).unwrap();
+    check_quant_accuracy(&model, cfg.input_channels, cfg.input_hw, 440, "resnet18");
+}
+
+/// Oversized batches and wrong shapes are rejected by quantized plans
+/// exactly like f32 plans, and compile-time packing rejects nothing on
+/// the zoo models (every reduction depth is far below `MAX_QGEMM_K`).
+#[test]
+fn quantized_plan_rejects_bad_batches() {
+    let mut rng = StdRng::seed_from_u64(405);
+    let cfg = VggConfig::reduced();
+    let model = vgg16(&mut rng, &cfg).unwrap();
+    let input = Shape::nchw(1, cfg.input_channels, cfg.input_hw, cfg.input_hw);
+    let mut plan = CompiledModel::compile(&model, &input, 2, PlanOptions::quantized()).unwrap();
+    let too_big = Tensor::zeros(Shape::nchw(
+        3,
+        cfg.input_channels,
+        cfg.input_hw,
+        cfg.input_hw,
+    ));
+    assert!(plan.execute_into(&too_big).is_err());
+    let wrong = Tensor::zeros(Shape::nchw(1, cfg.input_channels + 1, 4, 4));
+    assert!(plan.execute_into(&wrong).is_err());
+}

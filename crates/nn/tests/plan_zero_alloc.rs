@@ -59,7 +59,11 @@ fn steady_state_execute_performs_zero_allocations() {
         1.0,
     );
     let pool = Pool::new(1);
-    for options in [PlanOptions::default(), PlanOptions::fused()] {
+    for options in [
+        PlanOptions::default(),
+        PlanOptions::fused(),
+        PlanOptions::quantized(),
+    ] {
         let mut plan = CompiledModel::compile(&model, &input, 2, options).unwrap();
         with_pool(&pool, || {
             // Warm-up: grows the per-thread im2col/packing scratch.

@@ -27,10 +27,10 @@ use seal_crypto::{
     Aes128, CounterCache, CounterCacheConfig, CryptoError, CtrCipher, EnginePipeline, EngineSpec,
     Key128, TenantCrypto,
 };
-use seal_core::traffic::network_traffic;
+use seal_core::traffic::network_traffic_dt;
 use seal_core::{EncryptionPlan, Scheme, SePolicy};
 use seal_faults::{FaultConfig, FaultPlan};
-use seal_nn::NetworkTopology;
+use seal_nn::{DType, NetworkTopology};
 
 use crate::{ServeError, ServerConfig};
 
@@ -255,18 +255,27 @@ impl CostModel {
         tenant: Option<&TenantCrypto>,
     ) -> Result<Self, ServeError> {
         let base = tenant.map_or(0, |t| t.counter_base());
+        // The dtype served is the dtype priced: an int8 deployment moves
+        // one byte per element (plus the per-channel scale sideband), so
+        // every lane's engine/counter traffic shrinks ~4× while the
+        // encrypted *fractions* — a plan property — stay put.
+        let dtype = if config.quantized {
+            DType::Int8
+        } else {
+            DType::F32
+        };
         let policy = SePolicy::paper_default().with_ratio(config.se_ratio);
         let plan = EncryptionPlan::from_topology(topo, policy)?;
-        let weight_total = topo.total_weight_bytes();
+        let weight_total = topo.total_weight_bytes_dt(dtype);
         let fmap_total: u64 = topo
             .layers()
             .iter()
-            .map(|l| l.ifmap_bytes() + l.ofmap_bytes())
+            .map(|l| l.ifmap_bytes_dt(dtype) + l.ofmap_bytes_dt(dtype))
             .sum();
 
         let mut lanes = Vec::with_capacity(COSTED_SCHEMES.len());
         for scheme in COSTED_SCHEMES {
-            let split = network_traffic(topo, &plan, scheme)?;
+            let split = network_traffic_dt(topo, &plan, scheme, dtype)?;
             let weight_enc: u64 = split.iter().map(|l| l.weight_enc).sum();
             let fmap_enc: u64 = split.iter().map(|l| l.ifmap_enc + l.ofmap_enc).sum();
             lanes.push(SchemeLane {
@@ -676,6 +685,62 @@ mod tests {
             b_while_idle, b_while_chaos,
             "tampering tenant A must not move tenant B's accounting"
         );
+    }
+
+    #[test]
+    fn int8_lanes_outrun_their_f32_counterparts_per_scheme() {
+        // Same batch stream priced at f32 and int8: every encrypting lane
+        // moves ~4× fewer bytes, so its makespan shrinks and throughput
+        // rises, while the Baseline lane (0 encrypted bytes, identical
+        // compute) only sheds plain-traffic accounting. The scheme
+        // *ordering* must hold within each dtype.
+        let mut f32_model = model();
+        let q_cfg = ServerConfig {
+            quantized: true,
+            ..ServerConfig::smoke()
+        };
+        let mut q_model = CostModel::new(&vgg16_topology(), &q_cfg).unwrap();
+        for b in [4usize, 8, 1, 8, 3] {
+            f32_model.cost_batch(b);
+            q_model.cost_batch(b);
+        }
+        let f_rows = f32_model.summaries();
+        let q_rows = q_model.summaries();
+        for scheme in COSTED_SCHEMES {
+            let f = by_scheme(&f_rows, scheme);
+            let q = by_scheme(&q_rows, scheme);
+            assert_eq!(f.samples, q.samples);
+            // ~4× fewer total bytes (scale sidebands keep it above 3×).
+            assert!(
+                q.total_bytes * 3 < f.total_bytes,
+                "{scheme:?}: int8 total {} vs f32 {}",
+                q.total_bytes,
+                f.total_bytes
+            );
+            if scheme == Scheme::Baseline {
+                assert_eq!(q.enc_bytes, 0);
+            } else {
+                assert!(
+                    q.enc_bytes * 3 < f.enc_bytes,
+                    "{scheme:?}: int8 enc {} vs f32 {}",
+                    q.enc_bytes,
+                    f.enc_bytes
+                );
+                assert!(
+                    q.makespan_cycles < f.makespan_cycles,
+                    "{scheme:?}: int8 must finish sooner ({} vs {})",
+                    q.makespan_cycles,
+                    f.makespan_cycles
+                );
+                assert!(q.throughput_rps > f.throughput_rps);
+            }
+        }
+        // Within the int8 run the paper's ordering is preserved.
+        let base = by_scheme(&q_rows, Scheme::Baseline);
+        let seal = by_scheme(&q_rows, Scheme::SealCounter);
+        let full = by_scheme(&q_rows, Scheme::Counter);
+        assert!(base.makespan_cycles < seal.makespan_cycles);
+        assert!(seal.makespan_cycles < full.makespan_cycles);
     }
 
     #[test]

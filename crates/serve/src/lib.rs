@@ -86,6 +86,8 @@ pub use netload::{NetLoadConfig, NetLoadReport, TenantLoad};
 pub use netreport::NetSmoke;
 pub use netserve::{NetServer, NetServerConfig, NetStats};
 pub use queue::{BoundedQueue, PushRefused};
-pub use report::{ChaosRun, ChaosSmoke, PlanComparison, ServeReport};
+pub use report::{
+    ChaosRun, ChaosSmoke, PlanComparison, QuantComparison, QuantLaneDelta, ServeReport,
+};
 pub use server::{Response, ResponseHandle, ServeStats, Server};
 pub use tenant::{TenantRegistry, TenantSpec, TenantState};

@@ -22,7 +22,7 @@ use seal_serve::netload::{run_tcp, NetLoadConfig};
 use seal_serve::netreport::NetPhase;
 use seal_serve::{
     loadgen, ChaosRun, ChaosSmoke, NetServer, NetServerConfig, NetSmoke, PlanComparison,
-    ServeReport, Server, ServerConfig,
+    QuantComparison, QuantLaneDelta, ServeReport, Server, ServerConfig, COSTED_SCHEMES,
 };
 
 const USAGE: &str = "usage: seal-serve [options]
@@ -384,6 +384,7 @@ fn run(args: Args) -> Result<ExitCode, String> {
         load,
         stats,
         plan_comparison: None,
+        quant_comparison: None,
     };
     if let Some(unplanned_rps) = unplanned_rps {
         let comparison = PlanComparison {
@@ -397,6 +398,57 @@ fn run(args: Args) -> Result<ExitCode, String> {
             comparison.speedup()
         );
         report.plan_comparison = Some(comparison);
+    }
+    // Smoke runs add a third pass: the same workload through the int8
+    // quantized plan, with every lane re-priced at int8 traffic. The
+    // report then carries the per-scheme f32-vs-int8 lane deltas — the
+    // quantization story told in the SEAL cost domain.
+    if args.smoke && report.config.use_plan && !report.config.quantized {
+        let q_config = ServerConfig {
+            quantized: true,
+            ..report.config.clone()
+        };
+        let server = Server::start(q_config).map_err(|e| e.to_string())?;
+        let q_load = loadgen::run_closed(&server, args.requests, args.concurrency, report.config.seed)
+            .map_err(|e| e.to_string())?;
+        let q_stats = server.shutdown().map_err(|e| e.to_string())?;
+        let lanes: Vec<QuantLaneDelta> = COSTED_SCHEMES
+            .iter()
+            .filter_map(|&scheme| {
+                let f32_lane = report
+                    .stats
+                    .schemes
+                    .iter()
+                    .find(|r| r.scheme == scheme)?
+                    .clone();
+                let int8_lane = q_stats.schemes.iter().find(|r| r.scheme == scheme)?.clone();
+                Some(QuantLaneDelta {
+                    scheme,
+                    f32_lane,
+                    int8_lane,
+                })
+            })
+            .collect();
+        let comparison = QuantComparison {
+            f32_rps: report.load.observed_throughput_rps,
+            int8_rps: q_load.observed_throughput_rps,
+            lanes,
+        };
+        println!(
+            "seal-serve: int8 plan {:.1} req/s vs f32 plan {:.1} req/s ({:.2}x)",
+            comparison.int8_rps,
+            comparison.f32_rps,
+            comparison.speedup()
+        );
+        for lane in &comparison.lanes {
+            println!(
+                "seal-serve:   {:>8} lane: int8 enc bytes x{:.3}, makespan x{:.3}",
+                lane.scheme.label(),
+                lane.enc_bytes_ratio(),
+                lane.makespan_ratio()
+            );
+        }
+        report.quant_comparison = Some(comparison);
     }
 
     let out = args

@@ -94,22 +94,38 @@ impl ServedModel {
     }
 
     /// Compiles an inference plan for this model: weights pre-packed,
-    /// activation arena sized for batches up to `max_batch`. Compiled
-    /// with [`PlanOptions::default`] (no fusion), so planned predictions
-    /// are **bitwise identical** to [`classify`](Self::classify) — the
-    /// speedup comes from pre-packing, the allocation-free arena, and
-    /// skipping the per-call weight transpose.
+    /// activation arena sized for batches up to `max_batch`.
+    ///
+    /// With `quantized == false` the plan is compiled with
+    /// [`PlanOptions::default`] (no fusion), so planned predictions are
+    /// **bitwise identical** to [`classify`](Self::classify) — the speedup
+    /// comes from pre-packing, the allocation-free arena, and skipping the
+    /// per-call weight transpose. With `quantized == true` the plan runs
+    /// the int8 path ([`PlanOptions::quantized`]): weights are packed as
+    /// per-channel-scaled int8 panels and each CONV/FC runs the
+    /// deterministic int8 GEMM, so predictions carry bounded quantization
+    /// error instead (bitwise identical across thread counts and kernel
+    /// modes, but not to the f32 path).
     ///
     /// # Errors
     ///
     /// Propagates plan-compilation failures (an unplannable layer); the
     /// server falls back to the unplanned path in that case.
-    pub fn compile_plan(&self, max_batch: usize) -> Result<CompiledModel, ServeError> {
+    pub fn compile_plan(
+        &self,
+        max_batch: usize,
+        quantized: bool,
+    ) -> Result<CompiledModel, ServeError> {
+        let options = if quantized {
+            PlanOptions::quantized()
+        } else {
+            PlanOptions::default()
+        };
         Ok(CompiledModel::compile(
             &self.model,
             &self.input,
             max_batch,
-            PlanOptions::default(),
+            options,
         )?)
     }
 

@@ -143,6 +143,7 @@ struct NetShared {
     batch_deadline: Duration,
     request_deadline: Duration,
     use_plan: bool,
+    quantized: bool,
 }
 
 /// The reactor-side admission handler: parse, resolve tenant, consult the
@@ -281,6 +282,7 @@ impl NetServer {
             batch_deadline: config.base.batch_deadline,
             request_deadline: config.base.request_deadline,
             use_plan: config.base.use_plan,
+            quantized: config.base.quantized,
         });
 
         let reactor_join = seal_pool::spawn_worker("seal-net-reactor", move || reactor.run())
@@ -408,7 +410,7 @@ fn serve_batch(
     // Lazily compile this tenant's plan once per worker; a failed compile
     // is recorded once and the worker falls back to the interpreter.
     if shared.use_plan && !plans.contains_key(&batch.tenant_index) {
-        let compiled = match tenant.model().compile_plan(shared.max_batch) {
+        let compiled = match tenant.model().compile_plan(shared.max_batch, shared.quantized) {
             Ok(p) => Some(p),
             Err(e) => {
                 locked(&shared.errors).push(e);

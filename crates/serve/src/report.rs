@@ -37,6 +37,71 @@ impl PlanComparison {
     }
 }
 
+/// One virtual lane priced at f32 and at int8: the same scheme, the same
+/// batch stream, two numeric formats. The delta *is* the SEAL lane
+/// economics of quantization — int8 moves ~4× fewer bytes through the AES
+/// engine, so every encrypting lane's makespan shrinks while the
+/// encrypted fraction (a plan property) stays put.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantLaneDelta {
+    /// The scheme both rows describe.
+    pub scheme: Scheme,
+    /// The lane priced at f32 traffic.
+    pub f32_lane: SchemeSummary,
+    /// The lane priced at int8 traffic.
+    pub int8_lane: SchemeSummary,
+}
+
+impl QuantLaneDelta {
+    /// int8 over f32 encrypted bytes (≈0.25; the per-channel scale
+    /// sideband keeps it slightly above an exact quarter). `0` when the
+    /// f32 lane encrypts nothing (Baseline).
+    pub fn enc_bytes_ratio(&self) -> f64 {
+        if self.f32_lane.enc_bytes > 0 {
+            self.int8_lane.enc_bytes as f64 / self.f32_lane.enc_bytes as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// int8 over f32 lane makespan (`< 1` on encrypting lanes; ≈1 on the
+    /// Baseline lane, whose cycles are pure compute).
+    pub fn makespan_ratio(&self) -> f64 {
+        if self.f32_lane.makespan_cycles > 0 {
+            self.int8_lane.makespan_cycles as f64 / self.f32_lane.makespan_cycles as f64
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Throughput of the same smoke workload served through the f32 compiled
+/// plan vs the int8 quantized plan, plus the per-scheme virtual-lane
+/// deltas (same shape of evidence as [`PlanComparison`], one level up:
+/// not planned-vs-unplanned but f32-vs-int8).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantComparison {
+    /// Client-observed throughput with the f32 plan (`quantized = false`).
+    pub f32_rps: f64,
+    /// Client-observed throughput with the int8 plan (`quantized = true`).
+    pub int8_rps: f64,
+    /// Per-scheme lane rows, f32 and int8 side by side, in
+    /// [`COSTED_SCHEMES`](crate::COSTED_SCHEMES) order.
+    pub lanes: Vec<QuantLaneDelta>,
+}
+
+impl QuantComparison {
+    /// int8 over f32 client throughput (`> 1` means quantization won
+    /// end to end).
+    pub fn speedup(&self) -> f64 {
+        if self.f32_rps > 0.0 {
+            self.int8_rps / self.f32_rps
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Everything one serving run produced: the configuration, the client-side
 /// load-generator view and the server-side runtime + cost-model view.
 #[derive(Debug)]
@@ -49,6 +114,8 @@ pub struct ServeReport {
     pub stats: ServeStats,
     /// Planned-vs-unplanned control measurement (smoke runs only).
     pub plan_comparison: Option<PlanComparison>,
+    /// f32-vs-int8 planned measurement (smoke runs only).
+    pub quant_comparison: Option<QuantComparison>,
 }
 
 impl ServeReport {
@@ -82,7 +149,8 @@ impl ServeReport {
             self.config.flops_per_cycle
         ));
         out.push_str(&format!("    \"seed\": {},\n", self.config.seed));
-        out.push_str(&format!("    \"use_plan\": {}\n", self.config.use_plan));
+        out.push_str(&format!("    \"use_plan\": {},\n", self.config.use_plan));
+        out.push_str(&format!("    \"quantized\": {}\n", self.config.quantized));
         out.push_str("  },\n");
 
         if let Some(p) = &self.plan_comparison {
@@ -96,6 +164,48 @@ impl ServeReport {
                 p.planned_rps
             ));
             out.push_str(&format!("    \"speedup\": {:.3}\n", p.speedup()));
+            out.push_str("  },\n");
+        }
+
+        if let Some(q) = &self.quant_comparison {
+            out.push_str("  \"quant\": {\n");
+            out.push_str(&format!(
+                "    \"f32_throughput_rps\": {:.3},\n",
+                q.f32_rps
+            ));
+            out.push_str(&format!(
+                "    \"int8_throughput_rps\": {:.3},\n",
+                q.int8_rps
+            ));
+            out.push_str(&format!("    \"speedup\": {:.3},\n", q.speedup()));
+            out.push_str("    \"lanes\": [\n");
+            for (i, lane) in q.lanes.iter().enumerate() {
+                out.push_str("      {\n");
+                out.push_str(&format!(
+                    "        \"scheme\": \"{}\",\n",
+                    json_escape(lane.scheme.label())
+                ));
+                out.push_str(&format!(
+                    "        \"enc_bytes_ratio\": {:.6},\n",
+                    lane.enc_bytes_ratio()
+                ));
+                out.push_str(&format!(
+                    "        \"makespan_ratio\": {:.6},\n",
+                    lane.makespan_ratio()
+                ));
+                out.push_str("        \"f32\": ");
+                out.push_str(scheme_json(&lane.f32_lane, "").trim_start());
+                out.push_str(",\n");
+                out.push_str("        \"int8\": ");
+                out.push_str(scheme_json(&lane.int8_lane, "").trim_start());
+                out.push('\n');
+                out.push_str(if i + 1 < q.lanes.len() {
+                    "      },\n"
+                } else {
+                    "      }\n"
+                });
+            }
+            out.push_str("    ]\n");
             out.push_str("  },\n");
         }
 
@@ -283,6 +393,46 @@ impl ServeReport {
                     "planned path slower than unplanned: {:.1} rps vs {:.1} rps",
                     p.planned_rps, p.unplanned_rps
                 ));
+            }
+        }
+        if let Some(q) = &self.quant_comparison {
+            // The virtual-lane deltas are deterministic (same batch
+            // stream, same cost model), so they are checked exactly; the
+            // wall-clock rps pair is reported but not gated — the kernel
+            // speedup is pinned by `bench_quant` instead.
+            if q.lanes.len() != 3 {
+                violations.push(format!(
+                    "quant comparison has {} lanes, expected 3",
+                    q.lanes.len()
+                ));
+            }
+            for lane in &q.lanes {
+                if lane.f32_lane.enc_bytes == 0 {
+                    if lane.int8_lane.enc_bytes != 0 {
+                        violations.push(format!(
+                            "{}: int8 lane encrypts {} bytes where f32 encrypts none",
+                            lane.scheme.label(),
+                            lane.int8_lane.enc_bytes
+                        ));
+                    }
+                    continue;
+                }
+                if lane.int8_lane.enc_bytes * 3 >= lane.f32_lane.enc_bytes {
+                    violations.push(format!(
+                        "{}: int8 enc bytes {} not ~4x below f32 {}",
+                        lane.scheme.label(),
+                        lane.int8_lane.enc_bytes,
+                        lane.f32_lane.enc_bytes
+                    ));
+                }
+                if lane.int8_lane.makespan_cycles >= lane.f32_lane.makespan_cycles {
+                    violations.push(format!(
+                        "{}: int8 lane makespan {} not below f32 {}",
+                        lane.scheme.label(),
+                        lane.int8_lane.makespan_cycles,
+                        lane.f32_lane.makespan_cycles
+                    ));
+                }
             }
         }
         violations
@@ -528,6 +678,7 @@ mod tests {
             load,
             stats,
             plan_comparison: None,
+            quant_comparison: None,
         }
     }
 
@@ -568,6 +719,84 @@ mod tests {
     fn escaping_handles_specials() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn quant_section_renders_and_gates_lane_deltas() {
+        use crate::cost::CostModel;
+        use crate::COSTED_SCHEMES;
+        use seal_nn::models::vgg16_topology;
+        // Build the real f32/int8 lane pair the smoke run records.
+        let f_cfg = ServerConfig::smoke();
+        let q_cfg = ServerConfig {
+            quantized: true,
+            ..ServerConfig::smoke()
+        };
+        let topo = vgg16_topology();
+        let mut f_cost = CostModel::new(&topo, &f_cfg).unwrap();
+        let mut q_cost = CostModel::new(&topo, &q_cfg).unwrap();
+        for b in [4usize, 8, 2] {
+            f_cost.cost_batch(b);
+            q_cost.cost_batch(b);
+        }
+        let lanes: Vec<QuantLaneDelta> = COSTED_SCHEMES
+            .iter()
+            .map(|&s| QuantLaneDelta {
+                scheme: s,
+                f32_lane: f_cost
+                    .summaries()
+                    .into_iter()
+                    .find(|r| r.scheme == s)
+                    .unwrap(),
+                int8_lane: q_cost
+                    .summaries()
+                    .into_iter()
+                    .find(|r| r.scheme == s)
+                    .unwrap(),
+            })
+            .collect();
+        let mut report = smoke_report();
+        report.quant_comparison = Some(QuantComparison {
+            f32_rps: 100.0,
+            int8_rps: 150.0,
+            lanes,
+        });
+        // Healthy deltas: no quant violations.
+        let v = report.smoke_violations();
+        assert!(
+            !v.iter().any(|s| s.contains("int8")),
+            "healthy quant lanes must pass: {v:?}"
+        );
+        let json = report.to_json();
+        for needle in [
+            "\"quant\"",
+            "\"f32_throughput_rps\"",
+            "\"int8_throughput_rps\"",
+            "\"enc_bytes_ratio\"",
+            "\"makespan_ratio\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle}");
+        }
+        // A SEAL-C lane delta of ~0.25-something enc bytes.
+        let q = report.quant_comparison.as_ref().unwrap();
+        let seal = q
+            .lanes
+            .iter()
+            .find(|l| l.scheme == Scheme::SealCounter)
+            .unwrap();
+        assert!(
+            seal.enc_bytes_ratio() > 0.2 && seal.enc_bytes_ratio() < 1.0 / 3.0,
+            "{}",
+            seal.enc_bytes_ratio()
+        );
+        assert!(seal.makespan_ratio() < 1.0);
+        // Sabotage: inflate the int8 SEAL-C lane's bytes — the gate fires.
+        let q = report.quant_comparison.as_mut().unwrap();
+        for lane in &mut q.lanes {
+            lane.int8_lane.enc_bytes = lane.f32_lane.enc_bytes;
+        }
+        let v = report.smoke_violations();
+        assert!(v.iter().any(|s| s.contains("not ~4x below")), "{v:?}");
     }
 
     #[test]

@@ -212,10 +212,11 @@ impl Server {
                 let max_batch = config.max_batch;
                 let deadline = config.batch_deadline;
                 let use_plan = config.use_plan;
+                let quantized = config.quantized;
                 spawn_supervised(
                     format!("seal-serve-worker-{i}"),
                     config.worker_respawn_budget,
-                    move || worker_loop(&shared, max_batch, deadline, use_plan),
+                    move || worker_loop(&shared, max_batch, deadline, use_plan, quantized),
                 )
                 .map_err(|e| ServeError::WorkerSpawn {
                     worker: i,
@@ -374,9 +375,17 @@ impl Server {
 /// respawn) and serves every batch through it — bitwise identical
 /// predictions, no steady-state allocation. A plan that fails to compile
 /// is recorded once and the worker falls back to `forward_infer`.
-fn worker_loop(shared: &Shared, max_batch: usize, deadline: Duration, use_plan: bool) {
+/// With `quantized` the plan runs the deterministic int8 path instead
+/// (bounded quantization error, lanes priced at int8 traffic).
+fn worker_loop(
+    shared: &Shared,
+    max_batch: usize,
+    deadline: Duration,
+    use_plan: bool,
+    quantized: bool,
+) {
     let mut plan = if use_plan {
-        match shared.model.compile_plan(max_batch) {
+        match shared.model.compile_plan(max_batch, quantized) {
             Ok(plan) => Some(plan),
             Err(e) => {
                 locked(&shared.errors).push(e);

@@ -38,6 +38,7 @@ fn closed_loop_vgg16_satisfies_the_acceptance_checks() {
         load,
         stats,
         plan_comparison: None,
+        quant_comparison: None,
     };
     let violations = report.smoke_violations();
     assert!(violations.is_empty(), "{violations:?}");
@@ -70,6 +71,7 @@ fn open_loop_emits_a_complete_json_report() {
         load,
         stats,
         plan_comparison: None,
+        quant_comparison: None,
     };
     let json = report.to_json();
     for needle in ["\"mode\": \"open\"", "\"schemes\"", "\"SEAL-C\""] {
@@ -109,6 +111,50 @@ fn tiny_queue_exerts_backpressure_on_an_open_loop() {
     }
     let stats = server.shutdown().unwrap();
     assert!(stats.queue_depth.depth_max <= 1);
+}
+
+#[test]
+fn quantized_serving_shrinks_every_encrypting_lane() {
+    // The same 16-request closed-loop workload served twice: f32 plan vs
+    // int8 quantized plan. Every prediction still lands, and each
+    // encrypting lane of the quantized run moves ~4× fewer encrypted
+    // bytes and finishes sooner in virtual cycles.
+    let f_config = ServerConfig {
+        workers: 2,
+        ..ServerConfig::smoke()
+    };
+    let q_config = ServerConfig {
+        quantized: true,
+        ..f_config.clone()
+    };
+    let run = |config: ServerConfig| {
+        let server = Server::start(config).unwrap();
+        let load = loadgen::run_closed(&server, 16, 4, 29).unwrap();
+        let stats = server.shutdown().unwrap();
+        assert_eq!(load.completed, 16);
+        assert!(stats.worker_errors.is_empty(), "{:?}", stats.worker_errors);
+        stats
+    };
+    let f_stats = run(f_config);
+    let q_stats = run(q_config);
+    for scheme in [Scheme::SealCounter, Scheme::Counter] {
+        let f = f_stats.stats_scheme(scheme).unwrap();
+        let q = q_stats.stats_scheme(scheme).unwrap();
+        assert!(
+            q.enc_bytes * 3 < f.enc_bytes,
+            "{scheme:?}: int8 enc {} vs f32 {}",
+            q.enc_bytes,
+            f.enc_bytes
+        );
+        assert!(
+            q.makespan_cycles < f.makespan_cycles,
+            "{scheme:?}: int8 makespan {} vs f32 {}",
+            q.makespan_cycles,
+            f.makespan_cycles
+        );
+    }
+    // Baseline encrypts nothing in either dtype.
+    assert_eq!(q_stats.stats_scheme(Scheme::Baseline).unwrap().enc_bytes, 0);
 }
 
 #[test]

@@ -41,6 +41,7 @@ mod init;
 mod shape;
 mod tensor;
 
+pub mod cpu;
 pub mod ops;
 pub mod rng;
 

@@ -14,11 +14,12 @@
 //! boundary, which is exact for `f32`), so the result is bitwise
 //! identical for any thread count. The micro-kernel implementation is
 //! selected per calling thread by [`KernelMode`] (`SEAL_KERNEL`
-//! environment variable, default auto): `scalar` and `avx2` evaluate the
-//! same multiply-then-add expression tree and are bitwise identical to
-//! [`matmul_naive`]; `fma` contracts each step into a fused
+//! environment variable, default auto): `scalar`, `avx2` and `avx512`
+//! evaluate the same multiply-then-add expression tree and are bitwise
+//! identical to [`matmul_naive`]; `fma` contracts each step into a fused
 //! multiply-add and is bitwise identical to its own reference,
-//! [`matmul_naive_fma`], again for any thread count.
+//! [`matmul_naive_fma`], again for any thread count. Feature availability
+//! comes from the shared cached-CPUID module [`crate::cpu`].
 
 use crate::{Shape, Tensor, TensorError};
 use std::cell::{Cell, RefCell};
@@ -38,13 +39,16 @@ pub(crate) const PAR_FLOP_THRESHOLD: usize = 1_000_000;
 /// Which micro-kernel implementation a GEMM uses.
 ///
 /// Selected once per calling thread from the `SEAL_KERNEL` environment
-/// variable (`scalar` | `avx2` | `fma`); unset or unavailable choices
-/// degrade to the widest available non-fused kernel. `Scalar` and `Avx2`
-/// evaluate identical multiply-then-add expression trees, so switching
-/// between them never changes output bits. `Fma` fuses each
-/// multiply-add step (one rounding instead of two) and therefore has its
-/// own bitwise reference, [`matmul_naive_fma`]. Within any one mode the
-/// result is bitwise identical for any thread count.
+/// variable (`scalar` | `avx2` | `avx512` | `fma`); unset or unavailable
+/// choices degrade to the widest available non-fused kernel. `Scalar`,
+/// `Avx2` and `Avx512` evaluate identical multiply-then-add expression
+/// trees, so switching between them never changes output bits. `Fma`
+/// fuses each multiply-add step (one rounding instead of two) and
+/// therefore has its own bitwise reference, [`matmul_naive_fma`]. Within
+/// any one mode the result is bitwise identical for any thread count.
+/// Availability is answered by the shared cached-CPUID module,
+/// [`crate::cpu::cpu_features`], so no kernel family can disagree with
+/// another about the host.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum KernelMode {
     /// Portable multiply-then-add kernel, no ISA assumptions.
@@ -52,25 +56,27 @@ pub enum KernelMode {
     /// The scalar expression tree compiled with 256-bit vectors enabled
     /// (bitwise identical to `Scalar`).
     Avx2,
+    /// The scalar expression tree compiled with AVX-512 codegen enabled
+    /// — still multiply-then-add, so bitwise identical to `Scalar` and
+    /// `Avx2` for `f32`. Its real payoff is the int8 path: this mode
+    /// selects the VNNI `vpdpbusd` quantized GEMM kernel when the CPU
+    /// has it (`ops::quant`).
+    Avx512,
     /// Fused multiply-add kernel (`f32::mul_add` / `vfmadd`): faster and
     /// more accurate, but rounds differently from `Scalar`/`Avx2`.
     Fma,
 }
 
 impl KernelMode {
-    /// True when the current CPU can run this kernel.
+    /// True when the current CPU can run this kernel (per the cached
+    /// [`crate::cpu::cpu_features`] probe).
     pub fn is_available(self) -> bool {
+        let f = crate::cpu::cpu_features();
         match self {
             KernelMode::Scalar => true,
-            #[cfg(target_arch = "x86_64")]
-            KernelMode::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
-            #[cfg(target_arch = "x86_64")]
-            KernelMode::Fma => {
-                std::arch::is_x86_feature_detected!("avx2")
-                    && std::arch::is_x86_feature_detected!("fma")
-            }
-            #[cfg(not(target_arch = "x86_64"))]
-            KernelMode::Avx2 | KernelMode::Fma => false,
+            KernelMode::Avx2 => f.avx2,
+            KernelMode::Avx512 => f.avx512(),
+            KernelMode::Fma => f.avx2 && f.fma,
         }
     }
 
@@ -79,16 +85,22 @@ impl KernelMode {
         match self {
             KernelMode::Scalar => "scalar",
             KernelMode::Avx2 => "avx2",
+            KernelMode::Avx512 => "avx512",
             KernelMode::Fma => "fma",
         }
     }
 
     /// Degrade an (possibly unavailable) request to the nearest kernel
-    /// the CPU actually offers: `fma → avx2 → scalar`.
+    /// the CPU actually offers, staying within the request's rounding
+    /// class: `avx512 → avx2 → scalar` (multiply-then-add tree, so the
+    /// degraded kernel is still bitwise identical to the requested one)
+    /// and `fma → avx2 → scalar`.
     fn degrade(self) -> KernelMode {
         match self {
             m if m.is_available() => m,
-            KernelMode::Fma if KernelMode::Avx2.is_available() => KernelMode::Avx2,
+            KernelMode::Fma | KernelMode::Avx512 if KernelMode::Avx2.is_available() => {
+                KernelMode::Avx2
+            }
             _ => KernelMode::Scalar,
         }
     }
@@ -97,6 +109,7 @@ impl KernelMode {
         let requested = match std::env::var("SEAL_KERNEL").ok().as_deref() {
             Some("scalar") => KernelMode::Scalar,
             Some("fma") => KernelMode::Fma,
+            Some("avx512") => KernelMode::Avx512,
             // `avx2`, unset, or an unknown value: the historical default.
             _ => KernelMode::Avx2,
         };
@@ -573,6 +586,9 @@ fn micro_kernel(
         // SAFETY: `Avx2`/`Fma` are only installed when detected
         // (`KernelMode::degrade`).
         KernelMode::Avx2 => unsafe { micro_kernel_avx2(a, bp, out, i0, k0, k, n, s) },
+        // SAFETY: `Avx512` is only installed when `cpu_features().avx512()`
+        // holds (`KernelMode::degrade`), so avx512f codegen is sound here.
+        KernelMode::Avx512 => unsafe { micro_kernel_avx512(a, bp, out, i0, k0, k, n, s) },
         // SAFETY: `Fma` likewise — `KernelMode::degrade` clears it on any
         // CPU that lacks the feature, so the target-feature fn is sound.
         KernelMode::Fma => unsafe { micro_kernel_fma(a, bp, out, i0, k0, k, n, s) },
@@ -591,6 +607,26 @@ fn micro_kernel(
 #[target_feature(enable = "avx2")]
 #[allow(clippy::too_many_arguments)]
 unsafe fn micro_kernel_avx2(
+    a: &[f32],
+    bp: &[f32],
+    out: &mut [f32],
+    i0: usize,
+    k0: usize,
+    k: usize,
+    n: usize,
+    s: usize,
+) {
+    micro_kernel_generic(a, bp, out, i0, k0, k, n, s);
+}
+
+/// [`micro_kernel_generic`] compiled with AVX-512 codegen enabled. The
+/// body is the same multiply-then-add expression tree — no FMA
+/// contraction — so results stay bitwise equal to `Scalar`/`Avx2`; the
+/// wider registers only change how the autovectorizer schedules it.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512bw,avx512vl")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn micro_kernel_avx512(
     a: &[f32],
     bp: &[f32],
     out: &mut [f32],
@@ -870,7 +906,7 @@ mod tests {
             let a = crate::uniform(&mut rng, Shape::matrix(m, k), -2.0, 2.0);
             let b = crate::uniform(&mut rng, Shape::matrix(k, n), -2.0, 2.0);
             let naive = matmul_naive(&a, &b).unwrap();
-            for mode in [KernelMode::Scalar, KernelMode::Avx2] {
+            for mode in [KernelMode::Scalar, KernelMode::Avx2, KernelMode::Avx512] {
                 if set_kernel_mode(mode) != mode {
                     continue; // CPU can't run this mode
                 }
@@ -950,6 +986,11 @@ mod tests {
         assert_eq!(set_kernel_mode(KernelMode::Scalar), KernelMode::Scalar);
         let fma = set_kernel_mode(KernelMode::Fma);
         assert!(fma.is_available());
+        let avx512 = set_kernel_mode(KernelMode::Avx512);
+        assert!(avx512.is_available());
+        // An unavailable avx512 request must stay in the multiply-then-add
+        // rounding class (avx2 or scalar), never degrade into fma.
+        assert_ne!(avx512, KernelMode::Fma);
         reset_kernel_mode();
     }
 }

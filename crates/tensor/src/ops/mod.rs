@@ -11,6 +11,7 @@ mod conv;
 mod matmul;
 mod pool;
 mod prepack;
+mod quant;
 
 pub use conv::{
     conv2d, conv2d_backward, conv2d_infer_packed, conv2d_reference, Conv2dGeometry,
@@ -24,4 +25,9 @@ pub use pool::{
     avg_pool2d, avg_pool2d_backward, avg_pool2d_into, max_pool2d, max_pool2d_backward,
     max_pool2d_into, PoolGeometry,
 };
-pub use prepack::{gemm_prepacked, matmul_prepacked, PackedB};
+pub use prepack::{gemm_prepacked, matmul_prepacked, PackedB, PackedBI8};
+pub use quant::{
+    dequantize, dequantize_bias_relu, dequantize_transpose_bias_relu, gather_patches_u8, gemm_i8,
+    matmul_i8, matmul_i8_reference, quantize_per_channel, quantize_rows_u8, quantize_slice_u8,
+    quantized_row_len, PatchGather, QuantAxis, QuantizedTensor, MAX_QGEMM_K,
+};

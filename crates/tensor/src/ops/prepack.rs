@@ -11,6 +11,7 @@
 //! thread count and kernel mode.
 
 use super::matmul::{gemm_shared_pack, kernel_mode, pack_b_full, KernelMode, TailB, NR};
+use super::quant::{channel_scale, quantize_value, MAX_QGEMM_K, QK, QNR};
 use crate::{Shape, Tensor, TensorError};
 
 /// A `k×n` right-hand GEMM operand packed once, ahead of time, into the
@@ -78,6 +79,159 @@ impl PackedB {
     /// Bytes held by the packed panels + tail.
     pub fn byte_size(&self) -> usize {
         (self.panels.len() + self.tail.len()) * std::mem::size_of::<f32>()
+    }
+}
+
+/// A `k×n` right-hand GEMM operand quantized symmetrically **per output
+/// channel** (one f32 scale per column) and packed ahead of time into the
+/// int8 kernel's quad-interleaved strip layout: strip `s` covers columns
+/// `s·QNR ..`, and within it group `q` stores, for each of the `QNR`
+/// columns, the 4 consecutive k-values `4q .. 4q+4` — the operand shape
+/// one AVX-512 VNNI `vpdpbusd` (or one sign-extended AVX2 `vpmaddwd`
+/// pair) consumes. Both `k` (to a multiple of 4) and `n` (to a multiple
+/// of `QNR`) are zero-padded at pack time; zeros contribute nothing to
+/// the integer sums, so the logical result is unchanged.
+///
+/// `col_sums` carries `Σ_k b(k,j)` per (padded) column — the pack-time
+/// constant the VNNI kernel subtracts (×128) to undo the offset-binary
+/// activation encoding.
+#[derive(Clone, Debug)]
+pub struct PackedBI8 {
+    pub(crate) k: usize,
+    pub(crate) n: usize,
+    /// `k.div_ceil(4)` — quads per column.
+    pub(crate) kq: usize,
+    /// `n.div_ceil(QNR)` — packed strips, the last possibly partial.
+    pub(crate) strips: usize,
+    /// Quad-interleaved payload, `strips · kq · QNR · 4` bytes.
+    pub(crate) data: Vec<i8>,
+    /// Per padded column: `Σ_k b(k,j)` (0 for pad columns).
+    pub(crate) col_sums: Vec<i32>,
+    /// Per logical column: the symmetric quantization scale.
+    scales: Vec<f32>,
+}
+
+impl PackedBI8 {
+    /// Quantize and pack a rank-2 tensor (`k×n`, e.g. a Linear layer's
+    /// `in×out` weight matrix) with per-output-channel (per-column)
+    /// scales.
+    ///
+    /// # Errors
+    ///
+    /// [`TensorError::RankMismatch`] if `b` is not rank 2;
+    /// [`TensorError::InvalidGeometry`] if `k` exceeds the int8
+    /// accumulator bound `MAX_QGEMM_K`.
+    // seal-lint: allow(panic-freedom) — the accessor indexes a rank-2 tensor whose k×n extent was just read from its own shape
+    pub fn pack(b: &Tensor) -> Result<PackedBI8, TensorError> {
+        if b.shape().rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: b.shape().rank(),
+                op: "pack_b_i8",
+            });
+        }
+        let (k, n) = (b.shape().dim(0), b.shape().dim(1));
+        let src = b.as_slice();
+        Self::pack_with(k, n, |kk, j| src[kk * n + j])
+    }
+
+    /// Quantize and pack convolution weights `w[c_out × kdim]` as the
+    /// **transposed** operand `B = Wᵀ [kdim × c_out]`, so the per-column
+    /// channel scales are the per-output-channel scales of the
+    /// convolution.
+    ///
+    /// # Errors
+    ///
+    /// [`TensorError::LengthMismatch`] if `w.len() != c_out·kdim`;
+    /// [`TensorError::InvalidGeometry`] if `kdim` exceeds `MAX_QGEMM_K`.
+    // seal-lint: allow(panic-freedom) — the accessor transposes within `c_out·kdim`, length-checked on entry
+    pub fn pack_conv(w: &[f32], c_out: usize, kdim: usize) -> Result<PackedBI8, TensorError> {
+        if w.len() != c_out * kdim {
+            return Err(TensorError::LengthMismatch {
+                expected: c_out * kdim,
+                actual: w.len(),
+            });
+        }
+        Self::pack_with(kdim, c_out, |kk, j| w[j * kdim + kk])
+    }
+
+    /// Shared pack core over an element accessor `get(kk, col)`.
+    // seal-lint: allow(panic-freedom) — pack offsets enumerate the padded layout exactly once over buffers sized right here
+    fn pack_with(
+        k: usize,
+        n: usize,
+        get: impl Fn(usize, usize) -> f32,
+    ) -> Result<PackedBI8, TensorError> {
+        if k > MAX_QGEMM_K {
+            return Err(TensorError::InvalidGeometry {
+                reason: format!(
+                    "int8 GEMM reduction depth {k} exceeds MAX_QGEMM_K ({MAX_QGEMM_K}); \
+                     the i32 accumulator could overflow"
+                ),
+            });
+        }
+        let kq = k.div_ceil(QK);
+        let strips = n.div_ceil(QNR);
+        // Pack-time (plan-compile-time) allocations, not the execute path.
+        let mut scales = vec![0.0f32; n]; // seal-lint: allow(hot-path-alloc)
+        for (j, s) in scales.iter_mut().enumerate() {
+            let mut maxabs = 0.0f32;
+            for kk in 0..k {
+                maxabs = maxabs.max(get(kk, j).abs());
+            }
+            *s = channel_scale(maxabs);
+        }
+        let mut data = vec![0i8; strips * kq * QNR * QK]; // seal-lint: allow(hot-path-alloc)
+        let mut col_sums = vec![0i32; strips * QNR]; // seal-lint: allow(hot-path-alloc)
+        for s in 0..strips {
+            let sdata = &mut data[s * kq * QNR * QK..(s + 1) * kq * QNR * QK];
+            for q in 0..kq {
+                for c in 0..QNR {
+                    let j = s * QNR + c;
+                    for t in 0..QK {
+                        let kk = q * QK + t;
+                        let v = if j < n && kk < k {
+                            quantize_value(get(kk, j), 1.0 / scales[j])
+                        } else {
+                            0
+                        };
+                        sdata[(q * QNR + c) * QK + t] = v;
+                        col_sums[s * QNR + c] += v as i32;
+                    }
+                }
+            }
+        }
+        Ok(PackedBI8 {
+            k,
+            n,
+            kq,
+            strips,
+            data,
+            col_sums,
+            scales,
+        })
+    }
+
+    /// Inner (contraction) dimension of the packed operand.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Output-column dimension of the packed operand.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Per-output-channel quantization scales (`n` of them).
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Bytes held by the packed payload + column sums + scales.
+    pub fn byte_size(&self) -> usize {
+        self.data.len()
+            + self.col_sums.len() * std::mem::size_of::<i32>()
+            + self.scales.len() * std::mem::size_of::<f32>()
     }
 }
 
@@ -167,7 +321,12 @@ mod tests {
             let a = crate::uniform(&mut rng, Shape::matrix(m, k), -2.0, 2.0);
             let b = crate::uniform(&mut rng, Shape::matrix(k, n), -2.0, 2.0);
             let pb = PackedB::pack(&b).unwrap();
-            for mode in [KernelMode::Scalar, KernelMode::Avx2, KernelMode::Fma] {
+            for mode in [
+                KernelMode::Scalar,
+                KernelMode::Avx2,
+                KernelMode::Avx512,
+                KernelMode::Fma,
+            ] {
                 if set_kernel_mode(mode) != mode {
                     continue;
                 }

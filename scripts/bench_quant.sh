@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Quantized-inference trajectory: int8 GEMM vs f32 blocked GEMM across
+# every available kernel mode (scalar / AVX2 vpmaddwd / AVX-512 VNNI
+# vpdpbusd), plus the int8-vs-f32 lane economics of the SEAL cost model,
+# written to `results/BENCH_quant.json`.
+#
+# Usage:
+#   scripts/bench_quant.sh [output.json]
+#
+# The JSON records:
+#   * gemm.f32_blocked_ns / f32_gflops       — the f32 production kernel
+#   * gemm.int8_modes.{scalar,avx2,avx512}   — per-mode int8 GEMM time
+#   * gemm.int8_best_x_f32                   — pure-kernel ratio (gated >= 2)
+#   * gemm.int8_steady_x_f32                 — with per-call quantization
+#   * lanes.per_scheme.{Baseline,SEAL-C,Counter} — enc-bytes and makespan
+#     ratios of pricing the VGG-16 stream at int8 instead of f32
+#
+# Bit-exactness of the int8 results across modes and threads is proven by
+# the determinism suite, not here; this script gates only the perf claim.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-results/BENCH_quant.json}"
+
+echo "==> cargo run --release -p seal-bench --bin bench_quant"
+cargo run --release -q -p seal-bench --bin bench_quant -- "$OUT"
+
+# Gate the two headline numbers so a kernel regression fails loudly:
+# the best int8 GEMM must beat the blocked f32 GEMM by >= 2x, and every
+# encrypting lane must move < 1/3 of its f32 encrypted bytes at int8.
+awk '
+/"int8_best_x_f32"/ {
+    gsub(/[^0-9.]/, "", $2)
+    ratio = $2 + 0
+    if (ratio < 2.0) {
+        printf "bench_quant: int8_best_x_f32 %.3f < 2.0\n", ratio
+        bad = 1
+    } else {
+        printf "bench_quant: int8_best_x_f32 %.3f >= 2.0  ok\n", ratio
+    }
+}
+/"enc_bytes_ratio"/ {
+    for (i = 1; i <= NF; i++) {
+        if ($i ~ /"enc_bytes_ratio":/) {
+            v = $(i + 1)
+            gsub(/[^0-9.]/, "", v)
+            r = v + 0
+            # Baseline encrypts nothing (ratio reported as 0).
+            if (r > 0 && r >= 1.0 / 3.0) {
+                printf "bench_quant: enc_bytes_ratio %.4f >= 1/3\n", r
+                bad = 1
+            }
+        }
+    }
+}
+END { exit bad }
+' "$OUT"
+echo "bench_quant: lane enc ratios < 1/3  ok"

@@ -41,6 +41,16 @@ cargo test --release -q -p seal-bench --test determinism
 echo "==> bench_infer (results/BENCH_infer.json)"
 scripts/bench_infer.sh
 
+# Quantized-inference trajectory: int8 GEMM vs f32 blocked GEMM per
+# kernel mode plus the int8-vs-f32 lane economics, into
+# results/BENCH_quant.json. Unlike bench_infer this one *is* gated:
+# best int8 GEMM >= 2x f32 blocked, every encrypting lane < 1/3 of its
+# f32 encrypted bytes. The ratio is machine-relative (same host, same
+# core count on both sides), so it cannot flake on a loaded CI box the
+# way an absolute GFLOP/s floor would.
+echo "==> bench_quant (results/BENCH_quant.json)"
+scripts/bench_quant.sh
+
 # Serving smoke run: ~100 closed-loop requests against the reduced
 # VGG-16; the binary exits non-zero if latency percentiles are
 # disordered, throughput is zero, or the encryption-scheme throughput

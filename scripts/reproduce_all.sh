@@ -33,6 +33,13 @@ scripts/bench_analyze.sh
 echo "==> bench_infer $MODE"
 scripts/bench_infer.sh
 
+# Quantized-inference trajectory (f32 vs per-mode int8 GEMM and the
+# int8 lane repricing; check.sh already gated and wrote
+# results/BENCH_quant.json, regenerated here for the same reason as
+# bench_infer).
+echo "==> bench_quant"
+scripts/bench_quant.sh
+
 # The serving view of the SE ratio: one open-loop run whose per-scheme
 # throughput columns land in results/serve_open.json (check.sh already
 # produced results/serve_smoke.json from the closed-loop preset, and
