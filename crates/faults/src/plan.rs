@@ -129,6 +129,21 @@ pub enum NetFault {
     /// The client sends a well-formed request then disconnects before
     /// the response: the response is dropped (counted), never a hang.
     Disconnect,
+    /// The client requests large responses through a deliberately tiny
+    /// receive window and never reads: the reactor's write-side
+    /// backpressure (outbox cap / write-stall reaper) must close it.
+    SlowReader,
+    /// The client fires a burst of pipelined requests far past the
+    /// per-connection cap: excess frames earn typed rejects and the
+    /// strike limit closes the connection.
+    PipelineAbuse,
+    /// The client opens a burst of connections and drops them without
+    /// sending a byte: accepted, seen closing cleanly, never fatal.
+    ConnectStorm,
+    /// During a graceful drain the client sends one more request and
+    /// disconnects instead of waiting: the server must still account for
+    /// it (typed reject or drop-count), never hang the drain window.
+    DrainDisconnect,
 }
 
 /// How many of each network fault class a plan injects over a request
@@ -143,12 +158,27 @@ pub struct NetFaultCounts {
     pub slow_loris: u64,
     /// Requests abandoned mid-flight.
     pub disconnects: u64,
+    /// Requests turned into never-reading slow-reader probes.
+    pub slow_reader: u64,
+    /// Requests turned into pipelining-abuse bursts.
+    pub pipeline_abuse: u64,
+    /// Requests turned into connect-and-drop storms.
+    pub connect_storm: u64,
+    /// Requests abandoned mid-drain (send then disconnect).
+    pub drain_disconnects: u64,
 }
 
 impl NetFaultCounts {
     /// Total injected network faults.
     pub fn total(&self) -> u64 {
-        self.malformed + self.truncated + self.slow_loris + self.disconnects
+        self.malformed
+            + self.truncated
+            + self.slow_loris
+            + self.disconnects
+            + self.slow_reader
+            + self.pipeline_abuse
+            + self.connect_storm
+            + self.drain_disconnects
     }
 }
 
@@ -187,6 +217,16 @@ pub struct FaultConfig {
     pub slow_loris_per_mille: u32,
     /// Permille of network requests abandoned before their response.
     pub disconnect_per_mille: u32,
+    /// Permille of network requests turned into slow-reader probes
+    /// (never read their responses; the write-side reaper must act).
+    pub slow_reader_per_mille: u32,
+    /// Permille of network requests turned into pipelining-abuse bursts.
+    pub pipeline_abuse_per_mille: u32,
+    /// Permille of network requests turned into connect-and-drop storms.
+    pub connect_storm_per_mille: u32,
+    /// Permille of drain-phase clients that send-then-disconnect instead
+    /// of honouring the GOAWAY.
+    pub drain_disconnect_per_mille: u32,
 }
 
 impl FaultConfig {
@@ -206,6 +246,10 @@ impl FaultConfig {
             truncated_per_mille: 0,
             slow_loris_per_mille: 0,
             disconnect_per_mille: 0,
+            slow_reader_per_mille: 0,
+            pipeline_abuse_per_mille: 0,
+            connect_storm_per_mille: 0,
+            drain_disconnect_per_mille: 0,
         }
     }
 
@@ -229,6 +273,10 @@ impl FaultConfig {
             truncated_per_mille: 0,
             slow_loris_per_mille: 0,
             disconnect_per_mille: 0,
+            slow_reader_per_mille: 0,
+            pipeline_abuse_per_mille: 0,
+            connect_storm_per_mille: 0,
+            drain_disconnect_per_mille: 0,
         }
     }
 
@@ -242,6 +290,22 @@ impl FaultConfig {
             truncated_per_mille: 20,
             slow_loris_per_mille: 10,
             disconnect_per_mille: 20,
+            // Byzantine-client classes are rarer: each probe is a whole
+            // extra connection with an expensive server-side lifecycle.
+            slow_reader_per_mille: 5,
+            pipeline_abuse_per_mille: 8,
+            connect_storm_per_mille: 5,
+            drain_disconnect_per_mille: 0,
+            ..FaultConfig::quiescent()
+        }
+    }
+
+    /// The drain-scenario schedule: every lifecycle class quiet except
+    /// drain-disconnect, rolled per *client* during the graceful-drain
+    /// phase (a quarter of clients abandon instead of honouring GOAWAY).
+    pub fn drain_smoke() -> Self {
+        FaultConfig {
+            drain_disconnect_per_mille: 250,
             ..FaultConfig::quiescent()
         }
     }
@@ -265,7 +329,11 @@ impl FaultConfig {
         let net_per_mille = u64::from(self.malformed_per_mille)
             + u64::from(self.truncated_per_mille)
             + u64::from(self.slow_loris_per_mille)
-            + u64::from(self.disconnect_per_mille);
+            + u64::from(self.disconnect_per_mille)
+            + u64::from(self.slow_reader_per_mille)
+            + u64::from(self.pipeline_abuse_per_mille)
+            + u64::from(self.connect_storm_per_mille)
+            + u64::from(self.drain_disconnect_per_mille);
         if net_per_mille > 1000 {
             return Err(FaultError::InvalidConfig {
                 reason: format!(
@@ -421,6 +489,22 @@ impl FaultPlan {
         if roll < edge {
             return Some(NetFault::Disconnect);
         }
+        edge += u64::from(c.slow_reader_per_mille);
+        if roll < edge {
+            return Some(NetFault::SlowReader);
+        }
+        edge += u64::from(c.pipeline_abuse_per_mille);
+        if roll < edge {
+            return Some(NetFault::PipelineAbuse);
+        }
+        edge += u64::from(c.connect_storm_per_mille);
+        if roll < edge {
+            return Some(NetFault::ConnectStorm);
+        }
+        edge += u64::from(c.drain_disconnect_per_mille);
+        if roll < edge {
+            return Some(NetFault::DrainDisconnect);
+        }
         None
     }
 
@@ -435,6 +519,10 @@ impl FaultPlan {
                 Some(NetFault::TruncatedFrame) => counts.truncated += 1,
                 Some(NetFault::SlowLoris) => counts.slow_loris += 1,
                 Some(NetFault::Disconnect) => counts.disconnects += 1,
+                Some(NetFault::SlowReader) => counts.slow_reader += 1,
+                Some(NetFault::PipelineAbuse) => counts.pipeline_abuse += 1,
+                Some(NetFault::ConnectStorm) => counts.connect_storm += 1,
+                Some(NetFault::DrainDisconnect) => counts.drain_disconnects += 1,
                 None => {}
             }
         }
@@ -544,6 +632,9 @@ mod tests {
             c.truncated_per_mille = 20;
             c.slow_loris_per_mille = 10;
             c.disconnect_per_mille = 20;
+            c.slow_reader_per_mille = 5;
+            c.pipeline_abuse_per_mille = 8;
+            c.connect_storm_per_mille = 5;
             FaultPlan::new(17, c).unwrap()
         };
         for i in 0..1000 {
@@ -557,10 +648,32 @@ mod tests {
         assert!((100..=300).contains(&counts.truncated), "{counts:?}");
         assert!((50..=150).contains(&counts.slow_loris), "{counts:?}");
         assert!((100..=300).contains(&counts.disconnects), "{counts:?}");
+        // Byzantine classes: 5‰ / 8‰ / 5‰ over 10k, ±~60% hash noise.
+        assert!((20..=100).contains(&counts.slow_reader), "{counts:?}");
+        assert!((30..=140).contains(&counts.pipeline_abuse), "{counts:?}");
+        assert!((20..=100).contains(&counts.connect_storm), "{counts:?}");
+        assert_eq!(counts.drain_disconnects, 0, "{counts:?}");
         assert_eq!(
             counts.total(),
-            counts.malformed + counts.truncated + counts.slow_loris + counts.disconnects
+            counts.malformed
+                + counts.truncated
+                + counts.slow_loris
+                + counts.disconnects
+                + counts.slow_reader
+                + counts.pipeline_abuse
+                + counts.connect_storm
         );
+    }
+
+    #[test]
+    fn drain_smoke_only_rolls_drain_disconnects() {
+        let p = FaultPlan::new(21, FaultConfig::drain_smoke()).unwrap();
+        let counts = p.planned_net_faults(1000);
+        assert_eq!(counts.total(), counts.drain_disconnects, "{counts:?}");
+        // 250‰ over 1000 clients: comfortably nonzero and non-total.
+        assert!((100..=400).contains(&counts.drain_disconnects), "{counts:?}");
+        assert_eq!(counts, p.planned_net_faults(1000), "re-plan must agree");
+        assert!(FaultConfig::drain_smoke().any_enabled());
     }
 
     #[test]

@@ -37,6 +37,33 @@ impl FrameClient {
         })
     }
 
+    /// Connects with `SO_RCVBUF` capped *before* the TCP handshake, so
+    /// the advertised receive window stays small. A client built this
+    /// way that never reads models a slow reader: the server's replies
+    /// back up in its own outbox instead of vanishing into kernel
+    /// buffers. Used by the slow-reader chaos fault.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Io`] on connect/option failures.
+    pub fn connect_with_rcvbuf(
+        port: u16,
+        read_timeout: Duration,
+        rcvbuf: usize,
+    ) -> Result<FrameClient, NetError> {
+        let stream =
+            crate::sys::connect_tcp_rcvbuf(port, rcvbuf).map_err(NetError::io("connect"))?;
+        stream.set_nodelay(true).map_err(NetError::io("nodelay"))?;
+        stream
+            .set_read_timeout(Some(read_timeout))
+            .map_err(NetError::io("read_timeout"))?;
+        Ok(FrameClient {
+            stream,
+            decoder: FrameDecoder::new(),
+            buf: vec![0u8; 64 * 1024],
+        })
+    }
+
     /// Sends one frame.
     ///
     /// # Errors

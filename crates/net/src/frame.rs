@@ -40,6 +40,10 @@ pub enum FrameKind {
     Response,
     /// Server → client: a typed rejection (admission, protocol, fault).
     Reject,
+    /// Server → client: a GOAWAY control frame — the server is draining
+    /// (or retiring this connection's keepalive budget); in-flight
+    /// requests still complete, new ones will be rejected or closed.
+    Goaway,
 }
 
 impl FrameKind {
@@ -48,6 +52,7 @@ impl FrameKind {
             FrameKind::Request => 1,
             FrameKind::Response => 2,
             FrameKind::Reject => 3,
+            FrameKind::Goaway => 4,
         }
     }
 
@@ -56,6 +61,7 @@ impl FrameKind {
             1 => Some(FrameKind::Request),
             2 => Some(FrameKind::Response),
             3 => Some(FrameKind::Reject),
+            4 => Some(FrameKind::Goaway),
             _ => None,
         }
     }
@@ -102,6 +108,18 @@ impl Frame {
             tenant,
             seq,
             payload,
+        }
+    }
+
+    /// Builds a GOAWAY control frame. `tenant`/`seq` are zero — the frame
+    /// addresses the connection, not any one request — and the payload
+    /// carries a short human-readable reason.
+    pub fn goaway(reason: &str) -> Frame {
+        Frame {
+            kind: FrameKind::Goaway,
+            tenant: 0,
+            seq: 0,
+            payload: reason.as_bytes().to_vec(),
         }
     }
 
@@ -264,9 +282,17 @@ mod tests {
             Frame::request(7, 42, vec![1, 2, 3]),
             Frame::response(u32::MAX, u64::MAX, vec![0xFF; 1000]),
             Frame::reject(3, 9, b"deadline".to_vec()),
+            Frame::goaway("draining"),
         ] {
             assert_eq!(roundtrip(&frame), frame);
         }
+    }
+
+    #[test]
+    fn goaway_wire_byte_is_stable() {
+        let wire = Frame::goaway("drain").encode();
+        assert_eq!(wire[3], 4, "GOAWAY must stay kind byte 4 on the wire");
+        assert_eq!(roundtrip(&Frame::goaway("drain")).kind, FrameKind::Goaway);
     }
 
     #[test]

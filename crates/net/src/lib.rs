@@ -16,7 +16,10 @@
 //!   nonblocking accept, per-connection read/decode/write state machines,
 //!   a wake pipe + [`reactor::Responder`] mailbox for worker threads, a
 //!   mid-frame idle sweep (slow-loris defence) and typed close reasons
-//!   for every way a connection can die.
+//!   for every way a connection can die. Connection-lifecycle governance
+//!   (pipelining caps, keepalive budgets, write backpressure with a
+//!   slow-reader reaper, GOAWAY-based graceful drain) lives here too —
+//!   see DESIGN §6j.
 //!
 //! Policy — tenants, admission, fairness, inference — deliberately lives
 //! above, in `seal-serve`: the reactor only moves frames. The

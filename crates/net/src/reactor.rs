@@ -17,6 +17,15 @@
 //!   frame; a peer that stalls mid-frame (slow-loris) is reaped by the
 //!   idle sweep; a peer that disconnects mid-request just loses its
 //!   response (counted, not fatal).
+//! * **Connection-lifecycle governance** (DESIGN §6j): a pipelining cap
+//!   bounds in-flight frames per connection (excess → typed reject,
+//!   repeat offenders → typed close), a keepalive budget retires
+//!   long-lived connections with a GOAWAY frame once their in-flight
+//!   work settles, the outbound reply buffer is byte-bounded and a
+//!   write-stall reaper closes peers that stop reading (slow readers),
+//!   and [`ReactorControl::drain`] switches the reactor into a graceful
+//!   drain: accepts freeze, every connection gets a GOAWAY, and
+//!   in-flight requests keep flowing until the owner shuts down.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -40,6 +49,15 @@ pub enum CloseReason {
     Protocol(FrameError),
     /// An OS-level read/write error.
     Io,
+    /// The peer kept pipelining past the cap after repeated typed
+    /// rejects: byzantine, closed.
+    PipelineAbuse,
+    /// The peer stopped draining its responses: the outbound buffer
+    /// overflowed `max_outbox_bytes` or stalled past `write_stall`.
+    SlowReader,
+    /// The connection's keepalive frame budget ran out; it was retired
+    /// with a GOAWAY once its in-flight work settled.
+    KeepaliveExhausted,
     /// The reactor is shutting down.
     Shutdown,
 }
@@ -53,6 +71,9 @@ impl CloseReason {
             CloseReason::IdleMidFrame => "idle_mid_frame",
             CloseReason::Protocol(_) => "protocol",
             CloseReason::Io => "io",
+            CloseReason::PipelineAbuse => "pipeline_abuse",
+            CloseReason::SlowReader => "slow_reader",
+            CloseReason::KeepaliveExhausted => "keepalive_exhausted",
             CloseReason::Shutdown => "shutdown",
         }
     }
@@ -72,6 +93,14 @@ pub trait Handler: Send {
     /// closed after any `reply` frames flush. Default: no reply.
     fn on_protocol_error(&mut self, conn: ConnId, err: &FrameError, reply: &mut Vec<Vec<u8>>) {
         let _ = (conn, err, reply);
+    }
+
+    /// `conn` pipelined past `max_pipeline` and this frame was **not**
+    /// delivered to [`Handler::on_frame`]. Push a typed reject onto
+    /// `reply` so the client learns why. Default: no reply (the strike
+    /// counting and eventual close happen regardless).
+    fn on_pipeline_exceeded(&mut self, conn: ConnId, frame: &Frame, reply: &mut Vec<Vec<u8>>) {
+        let _ = (conn, frame, reply);
     }
 
     /// `conn` is gone. Always called exactly once per accepted connection.
@@ -95,6 +124,31 @@ pub struct ReactorConfig {
     /// connections *between* frames are never reaped — persistent
     /// connections are the normal client idiom.
     pub idle_mid_frame: Duration,
+    /// Max frames per connection delivered to the handler but not yet
+    /// answered (pipelining cap). An over-cap frame is *not* delivered:
+    /// the handler gets [`Handler::on_pipeline_exceeded`] to push a
+    /// typed reject, and a strike is recorded. Zero = unlimited.
+    pub max_pipeline: usize,
+    /// Over-cap strikes tolerated before the connection is closed as
+    /// [`CloseReason::PipelineAbuse`]. Clamped to at least 1.
+    pub pipeline_strikes: u32,
+    /// Lifetime frame budget per connection (keepalive budget). When a
+    /// connection's `frames_seen` reaches it, the reactor queues a
+    /// GOAWAY frame and retires the connection once its in-flight work
+    /// settles ([`CloseReason::KeepaliveExhausted`]). Zero = unlimited.
+    pub keepalive_frames: u64,
+    /// Byte cap on a connection's pending (unwritten) outbound buffer.
+    /// Exceeding it closes the connection as [`CloseReason::SlowReader`]
+    /// — the peer is not draining responses. Zero = unbounded.
+    pub max_outbox_bytes: usize,
+    /// A connection whose outbound buffer has been non-empty for longer
+    /// than this without fully draining is closed as
+    /// [`CloseReason::SlowReader`]. Zero disables the stall reaper.
+    pub write_stall: Duration,
+    /// Explicit `SO_SNDBUF` for accepted sockets (disables kernel
+    /// autotuning, making slow-reader behaviour deterministic in tests).
+    /// Zero = kernel default.
+    pub sndbuf: usize,
 }
 
 impl Default for ReactorConfig {
@@ -104,6 +158,12 @@ impl Default for ReactorConfig {
             backlog: 128,
             max_conns: 1024,
             idle_mid_frame: Duration::from_millis(200),
+            max_pipeline: 256,
+            pipeline_strikes: 8,
+            keepalive_frames: 0,
+            max_outbox_bytes: 4 * 1024 * 1024,
+            write_stall: Duration::from_secs(5),
+            sndbuf: 0,
         }
     }
 }
@@ -128,6 +188,21 @@ pub struct ReactorStats {
     pub idle_reaped: u64,
     /// Worker responses dropped because the connection was already gone.
     pub dropped_responses: u64,
+    /// Accept attempts deferred on transient `EMFILE`/`ENFILE` fd
+    /// exhaustion (retried after a capped backoff, never fatal).
+    pub accept_deferred: u64,
+    /// Frames refused (not delivered) because the connection was over
+    /// its pipelining cap.
+    pub pipeline_rejects: u64,
+    /// Connections closed as [`CloseReason::PipelineAbuse`].
+    pub pipeline_closed: u64,
+    /// Connections closed as [`CloseReason::SlowReader`] (outbox
+    /// overflow or write stall).
+    pub slow_reader_closed: u64,
+    /// Connections retired as [`CloseReason::KeepaliveExhausted`].
+    pub keepalive_closed: u64,
+    /// GOAWAY control frames sent (keepalive retirement + drain).
+    pub goaways_sent: u64,
 }
 
 /// The worker-side handle for delivering responses to connections. Clone
@@ -150,10 +225,11 @@ impl Responder {
     }
 }
 
-/// The shutdown handle: flips a flag and nudges the reactor loop.
+/// The shutdown/drain handle: flips flags and nudges the reactor loop.
 #[derive(Debug, Clone)]
 pub struct ReactorControl {
     stop: Arc<AtomicBool>,
+    draining: Arc<AtomicBool>,
     wake: Arc<sys::WakePipe>,
 }
 
@@ -162,6 +238,15 @@ impl ReactorControl {
     /// [`CloseReason::Shutdown`]) and returns its stats.
     pub fn shutdown(&self) {
         self.stop.store(true, Ordering::Release);
+        let _ = self.wake.wake();
+    }
+
+    /// Begins a graceful drain: the reactor stops accepting, sends every
+    /// open connection a GOAWAY frame, and keeps serving in-flight and
+    /// already-buffered frames until [`ReactorControl::shutdown`]. The
+    /// owning server bounds the drain window and decides when to stop.
+    pub fn drain(&self) {
+        self.draining.store(true, Ordering::Release);
         let _ = self.wake.wake();
     }
 }
@@ -186,11 +271,48 @@ struct Conn {
     out_pos: usize,
     watching_write: bool,
     mid_frame_since: Option<Instant>,
+    /// Frames delivered to the handler but not yet answered.
+    in_flight: u64,
+    /// Lifetime frames received (keepalive budget accounting).
+    frames_seen: u64,
+    /// Over-pipelining strikes so far.
+    strikes: u32,
+    /// GOAWAY sent for keepalive exhaustion; close once settled.
+    retiring: bool,
+    /// Set when the outbox first became non-empty after a flush; cleared
+    /// when it fully drains. Drives the write-stall reaper.
+    write_pending_since: Option<Instant>,
 }
 
 impl Conn {
+    fn new(fd: sys::Fd) -> Conn {
+        Conn {
+            fd,
+            decoder: FrameDecoder::new(),
+            outbox: Vec::new(),
+            out_pos: 0,
+            watching_write: false,
+            mid_frame_since: None,
+            in_flight: 0,
+            frames_seen: 0,
+            strikes: 0,
+            retiring: false,
+            write_pending_since: None,
+        }
+    }
+
     fn pending_out(&self) -> bool {
         self.out_pos < self.outbox.len()
+    }
+
+    fn pending_bytes(&self) -> usize {
+        self.outbox.len() - self.out_pos
+    }
+
+    /// A retiring connection is done once no request awaits an answer
+    /// and everything owed has been written out.
+    fn retirement_complete(&self) -> bool {
+        self.retiring && self.in_flight == 0 && !self.pending_out()
     }
 }
 
@@ -205,12 +327,16 @@ pub struct Reactor<H: Handler> {
     wake: Arc<sys::WakePipe>,
     mailbox: Mailbox,
     stop: Arc<AtomicBool>,
+    drain_flag: Arc<AtomicBool>,
+    draining: bool,
     conns: HashMap<ConnId, Conn>,
     next_id: ConnId,
     handler: H,
     stats: ReactorStats,
     reply_scratch: Vec<Vec<u8>>,
     read_buf: Vec<u8>,
+    accept_backoff: seal_faults::Backoff,
+    accept_retry_at: Option<Instant>,
 }
 
 impl<H: Handler> Reactor<H> {
@@ -241,12 +367,19 @@ impl<H: Handler> Reactor<H> {
             wake,
             mailbox: Arc::new(Mutex::new(Vec::new())),
             stop: Arc::new(AtomicBool::new(false)),
+            drain_flag: Arc::new(AtomicBool::new(false)),
+            draining: false,
             conns: HashMap::new(),
             next_id: FIRST_CONN,
             handler,
             stats: ReactorStats::default(),
             reply_scratch: Vec::new(),
             read_buf: vec![0u8; 64 * 1024],
+            accept_backoff: seal_faults::Backoff::new(
+                Duration::from_millis(1),
+                Duration::from_millis(200),
+            ),
+            accept_retry_at: None,
         })
     }
 
@@ -263,10 +396,11 @@ impl<H: Handler> Reactor<H> {
         }
     }
 
-    /// A clonable shutdown handle.
+    /// A clonable shutdown/drain handle.
     pub fn control(&self) -> ReactorControl {
         ReactorControl {
             stop: Arc::clone(&self.stop),
+            draining: Arc::clone(&self.drain_flag),
             wake: Arc::clone(&self.wake),
         }
     }
@@ -276,16 +410,22 @@ impl<H: Handler> Reactor<H> {
     /// malformed peers; OS-level epoll failure ends the loop with stats so
     /// far (the owning server surfaces the condition as drained requests).
     pub fn run(mut self) -> ReactorStats {
-        let sweep_every = if self.config.idle_mid_frame.is_zero() {
-            Duration::from_millis(500)
-        } else {
-            // Sweep at half the limit so an overdue stall is caught within
-            // 1.5× the configured limit.
-            (self.config.idle_mid_frame / 2).max(Duration::from_millis(10))
+        // Sweep at half the tightest enabled deadline so an overdue
+        // stall is caught within 1.5× its configured limit.
+        let tightest = [self.config.idle_mid_frame, self.config.write_stall]
+            .into_iter()
+            .filter(|d| !d.is_zero())
+            .min();
+        let sweep_every = match tightest {
+            None => Duration::from_millis(500),
+            Some(limit) => (limit / 2).max(Duration::from_millis(10)),
         };
         let mut events = Vec::with_capacity(64);
         let mut last_sweep = Instant::now();
         while !self.stop.load(Ordering::Acquire) {
+            if !self.draining && self.drain_flag.load(Ordering::Acquire) {
+                self.begin_drain();
+            }
             events.clear();
             let timeout_ms = sweep_every.as_millis().min(1000) as i32;
             if self.epoll.wait(&mut events, timeout_ms).is_err() {
@@ -301,10 +441,15 @@ impl<H: Handler> Reactor<H> {
                     token => self.conn_ready(token, ev),
                 }
             }
-            if !self.config.idle_mid_frame.is_zero()
-                && last_sweep.elapsed() >= sweep_every
+            if self
+                .accept_retry_at
+                .is_some_and(|at| Instant::now() >= at)
             {
-                self.sweep_idle();
+                self.accept_retry_at = None;
+                self.accept_ready();
+            }
+            if last_sweep.elapsed() >= sweep_every {
+                self.sweep();
                 last_sweep = Instant::now();
             }
         }
@@ -320,34 +465,59 @@ impl<H: Handler> Reactor<H> {
     }
 
     fn accept_ready(&mut self) {
-        // Edge-triggered: accept until the queue is empty.
-        while let Ok(Some(fd)) = sys::accept_nonblocking(&self.listener) {
-            if self.conns.len() >= self.config.max_conns {
-                // `fd` drops at the end of this arm, closing the excess
-                // connection immediately: backpressure at the edge.
-                self.stats.over_capacity += 1;
-            } else {
-                let _ = sys::set_nodelay(&fd);
-                let id = self.next_id;
-                self.next_id += 1;
-                if self
-                    .epoll
-                    .add(&fd, id, sys::Interest { writable: false })
-                    .is_ok()
-                {
-                    self.stats.accepted += 1;
-                    self.conns.insert(
-                        id,
-                        Conn {
-                            fd,
-                            decoder: FrameDecoder::new(),
-                            outbox: Vec::new(),
-                            out_pos: 0,
-                            watching_write: false,
-                            mid_frame_since: None,
-                        },
-                    );
+        if self.draining {
+            return; // listener is already out of the epoll set
+        }
+        // Edge-triggered: accept until the queue is empty. Transient
+        // errno values are classified, not fatal (satellite: fd
+        // exhaustion defers with a capped backoff instead of silently
+        // ending the loop). The `continue` arm is not a hot retry: an
+        // aborted connection is consumed from the accept queue, so every
+        // iteration makes progress; the fd-exhaustion arm breaks out and
+        // defers re-accept until the `accept_backoff` deadline (honoured
+        // by the epoll timeout) instead of sleeping the reactor thread.
+        loop { // seal-lint: allow(retry-backoff)
+            match sys::accept_nonblocking(&self.listener) {
+                Ok(Some(fd)) => {
+                    self.accept_backoff.reset();
+                    if self.conns.len() >= self.config.max_conns {
+                        // `fd` drops at the end of this arm, closing the
+                        // excess connection immediately: backpressure at
+                        // the edge.
+                        self.stats.over_capacity += 1;
+                    } else {
+                        let _ = sys::set_nodelay(&fd);
+                        if self.config.sndbuf > 0 {
+                            let _ = sys::set_sndbuf(&fd, self.config.sndbuf);
+                        }
+                        let id = self.next_id;
+                        self.next_id += 1;
+                        if self
+                            .epoll
+                            .add(&fd, id, sys::Interest { writable: false })
+                            .is_ok()
+                        {
+                            self.stats.accepted += 1;
+                            self.conns.insert(id, Conn::new(fd));
+                        }
+                    }
                 }
+                Ok(None) => break, // EAGAIN: queue drained
+                Err(ref e) if sys::is_conn_aborted(e) => {
+                    // Peer gave up while queued; harmless, keep going.
+                    continue;
+                }
+                Err(ref e) if sys::is_fd_exhausted(e) => {
+                    // Out of file descriptors (EMFILE/ENFILE). Closing
+                    // an existing conn would punish the innocent; defer
+                    // the accept and retry after a capped backoff — an
+                    // in-flight close usually frees an fd first.
+                    self.stats.accept_deferred += 1;
+                    self.accept_retry_at =
+                        Some(Instant::now() + self.accept_backoff.next_delay());
+                    break;
+                }
+                Err(_) => break, // unknown errno: drop this edge, not the reactor
             }
         }
     }
@@ -358,11 +528,54 @@ impl<H: Handler> Reactor<H> {
             match self.conns.get_mut(&id) {
                 Some(conn) => {
                     conn.outbox.extend_from_slice(&bytes);
+                    conn.in_flight = conn.in_flight.saturating_sub(1);
                     self.stats.frames_out += 1;
                     self.flush_conn(id);
+                    self.finish_retirement(id);
                 }
                 None => self.stats.dropped_responses += 1,
             }
+        }
+    }
+
+    /// Closes `id` if it is retiring and fully settled.
+    fn finish_retirement(&mut self, id: ConnId) {
+        if self
+            .conns
+            .get(&id)
+            .is_some_and(Conn::retirement_complete)
+        {
+            self.stats.keepalive_closed += 1;
+            self.close_conn(id, CloseReason::KeepaliveExhausted);
+        }
+    }
+
+    /// Queues a GOAWAY control frame on `id` and flushes. `retire` marks
+    /// the connection for close-once-settled (keepalive exhaustion);
+    /// drain GOAWAYs leave the connection serving until shutdown.
+    fn send_goaway(&mut self, id: ConnId, reason: &str, retire: bool) {
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        conn.outbox
+            .extend_from_slice(&Frame::goaway(reason).encode());
+        if retire {
+            conn.retiring = true;
+        }
+        self.stats.goaways_sent += 1;
+        self.stats.frames_out += 1;
+        self.flush_conn(id);
+    }
+
+    /// Enters drain mode: unregister the listener (accepts freeze) and
+    /// tell every open connection via GOAWAY. In-flight frames keep
+    /// flowing; the owning server decides when to stop.
+    fn begin_drain(&mut self) {
+        self.draining = true;
+        let _ = self.epoll.delete(&self.listener);
+        let ids: Vec<ConnId> = self.conns.keys().copied().collect();
+        for id in ids {
+            self.send_goaway(id, "draining", false);
         }
     }
 
@@ -420,12 +633,11 @@ impl<H: Handler> Reactor<H> {
                 match conn.decoder.next_frame() {
                     Ok(Some(frame)) => {
                         conn.mid_frame_since = None;
+                        conn.frames_seen += 1;
                         self.stats.frames_in += 1;
-                        self.reply_scratch.clear();
-                        let mut reply = std::mem::take(&mut self.reply_scratch);
-                        self.handler.on_frame(token, frame, &mut reply);
-                        self.queue_replies(token, &mut reply);
-                        self.reply_scratch = reply;
+                        if let Some(reason) = self.govern_frame(token, frame) {
+                            return Some(reason);
+                        }
                     }
                     Ok(None) => {
                         if conn.decoder.mid_frame() {
@@ -442,7 +654,8 @@ impl<H: Handler> Reactor<H> {
                         self.reply_scratch.clear();
                         let mut reply = std::mem::take(&mut self.reply_scratch);
                         self.handler.on_protocol_error(token, &err, &mut reply);
-                        self.queue_replies(token, &mut reply);
+                        // The conn is closing; settlement is moot.
+                        self.queue_replies(token, &mut reply, false);
                         self.reply_scratch = reply;
                         // Best-effort flush of the reject, then drop.
                         self.flush_conn(token);
@@ -453,13 +666,61 @@ impl<H: Handler> Reactor<H> {
         }
     }
 
-    fn queue_replies(&mut self, token: ConnId, reply: &mut Vec<Vec<u8>>) {
+    /// Applies pipelining-cap / keepalive-budget policy to a decoded
+    /// frame, delivering it to the handler when admitted. Returns
+    /// `Some(reason)` when the connection must close.
+    fn govern_frame(&mut self, token: ConnId, frame: Frame) -> Option<CloseReason> {
+        let conn = self.conns.get_mut(&token)?;
+        if conn.retiring {
+            // The peer kept sending after its keepalive GOAWAY.
+            self.stats.keepalive_closed += 1;
+            return Some(CloseReason::KeepaliveExhausted);
+        }
+        let cap = self.config.max_pipeline;
+        if cap > 0 && conn.in_flight >= cap as u64 {
+            conn.strikes += 1;
+            let strikes = conn.strikes;
+            self.stats.pipeline_rejects += 1;
+            self.reply_scratch.clear();
+            let mut reply = std::mem::take(&mut self.reply_scratch);
+            self.handler.on_pipeline_exceeded(token, &frame, &mut reply);
+            // The reject does not settle anything: the over-cap frame
+            // was never counted in-flight.
+            self.queue_replies(token, &mut reply, false);
+            self.reply_scratch = reply;
+            if strikes >= self.config.pipeline_strikes.max(1) {
+                self.stats.pipeline_closed += 1;
+                self.flush_conn(token); // best effort: strikes' rejects
+                return Some(CloseReason::PipelineAbuse);
+            }
+            return None;
+        }
+        conn.in_flight += 1;
+        let budget = self.config.keepalive_frames;
+        let exhausted = budget > 0 && conn.frames_seen >= budget;
+        self.reply_scratch.clear();
+        let mut reply = std::mem::take(&mut self.reply_scratch);
+        self.handler.on_frame(token, frame, &mut reply);
+        self.queue_replies(token, &mut reply, true);
+        self.reply_scratch = reply;
+        if exhausted {
+            self.send_goaway(token, "keepalive budget exhausted", true);
+        }
+        self.finish_retirement(token);
+        None
+    }
+
+    fn queue_replies(&mut self, token: ConnId, reply: &mut Vec<Vec<u8>>, settles: bool) {
         if reply.is_empty() {
             return;
         }
         if let Some(conn) = self.conns.get_mut(&token) {
             for bytes in reply.drain(..) {
                 conn.outbox.extend_from_slice(&bytes);
+                if settles {
+                    // An immediate reply answers one in-flight frame.
+                    conn.in_flight = conn.in_flight.saturating_sub(1);
+                }
                 self.stats.frames_out += 1;
             }
         } else {
@@ -486,12 +747,18 @@ impl<H: Handler> Reactor<H> {
                 }
             }
         }
+        let mut overflow = false;
         if !io_error {
             if !conn.pending_out() {
                 conn.outbox.clear();
                 conn.out_pos = 0;
+                conn.write_pending_since = None;
+            } else if conn.write_pending_since.is_none() {
+                conn.write_pending_since = Some(Instant::now());
             }
-            let want_write = conn.pending_out();
+            overflow = self.config.max_outbox_bytes > 0
+                && conn.pending_bytes() > self.config.max_outbox_bytes;
+            let want_write = conn.pending_out() && !overflow;
             if want_write != conn.watching_write {
                 conn.watching_write = want_write;
                 let _ = self.epoll.modify(
@@ -505,23 +772,43 @@ impl<H: Handler> Reactor<H> {
         }
         if io_error {
             self.close_conn(token, CloseReason::Io);
+        } else if overflow {
+            // The peer is not reading: its share of reply memory is
+            // spent. Typed close, counted.
+            self.stats.slow_reader_closed += 1;
+            self.close_conn(token, CloseReason::SlowReader);
         }
     }
 
-    fn sweep_idle(&mut self) {
-        let limit = self.config.idle_mid_frame;
-        let overdue: Vec<ConnId> = self
-            .conns
-            .iter()
-            .filter(|(_, c)| {
-                c.mid_frame_since
-                    .is_some_and(|since| since.elapsed() >= limit)
-            })
-            .map(|(id, _)| *id)
-            .collect();
-        for id in overdue {
-            self.stats.idle_reaped += 1;
-            self.close_conn(id, CloseReason::IdleMidFrame);
+    /// Periodic housekeeping: slow-loris reaps, write-stall reaps, and
+    /// retirement finalization the event edges may have missed.
+    fn sweep(&mut self) {
+        let idle_limit = self.config.idle_mid_frame;
+        let stall_limit = self.config.write_stall;
+        let mut overdue: Vec<(ConnId, CloseReason)> = Vec::new();
+        for (id, c) in &self.conns {
+            if !idle_limit.is_zero()
+                && c.mid_frame_since
+                    .is_some_and(|since| since.elapsed() >= idle_limit)
+            {
+                overdue.push((*id, CloseReason::IdleMidFrame));
+            } else if !stall_limit.is_zero()
+                && c.write_pending_since
+                    .is_some_and(|since| since.elapsed() >= stall_limit)
+            {
+                overdue.push((*id, CloseReason::SlowReader));
+            } else if c.retirement_complete() {
+                overdue.push((*id, CloseReason::KeepaliveExhausted));
+            }
+        }
+        for (id, reason) in overdue {
+            match reason {
+                CloseReason::IdleMidFrame => self.stats.idle_reaped += 1,
+                CloseReason::SlowReader => self.stats.slow_reader_closed += 1,
+                CloseReason::KeepaliveExhausted => self.stats.keepalive_closed += 1,
+                _ => {}
+            }
+            self.close_conn(id, reason);
         }
     }
 

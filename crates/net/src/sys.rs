@@ -48,6 +48,7 @@ mod c {
         pub(crate) fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
         pub(crate) fn bind(fd: c_int, addr: *const sockaddr_in, len: socklen_t) -> c_int;
         pub(crate) fn listen(fd: c_int, backlog: c_int) -> c_int;
+        pub(crate) fn connect(fd: c_int, addr: *const sockaddr_in, len: socklen_t) -> c_int;
         pub(crate) fn accept4(
             fd: c_int,
             addr: *mut sockaddr_in,
@@ -92,6 +93,8 @@ const SOCK_NONBLOCK: c::c_int = 0o4000;
 const SOCK_CLOEXEC: c::c_int = 0o2000000;
 const SOL_SOCKET: c::c_int = 1;
 const SO_REUSEADDR: c::c_int = 2;
+const SO_SNDBUF: c::c_int = 7;
+const SO_RCVBUF: c::c_int = 8;
 const IPPROTO_TCP: c::c_int = 6;
 const TCP_NODELAY: c::c_int = 1;
 const EPOLL_CLOEXEC: c::c_int = 0o2000000;
@@ -118,10 +121,29 @@ const EPOLLET: u32 = 1 << 31;
 pub const EAGAIN: i32 = 11;
 /// errno: call interrupted by a signal; retry.
 pub const EINTR: i32 = 4;
+/// errno: the process file-descriptor table is full.
+pub const EMFILE: i32 = 24;
+/// errno: the system-wide file table is full.
+pub const ENFILE: i32 = 23;
+/// errno: the pending connection was aborted before accept picked it up.
+pub const ECONNABORTED: i32 = 103;
 
 /// `true` when `err` is the nonblocking "would block" condition.
 pub fn is_would_block(err: &io::Error) -> bool {
     err.raw_os_error() == Some(EAGAIN)
+}
+
+/// `true` when an accept failed because descriptors ran out (`EMFILE` /
+/// `ENFILE`) — transient resource pressure the reactor must back off
+/// from, not a fatal listener error.
+pub fn is_fd_exhausted(err: &io::Error) -> bool {
+    matches!(err.raw_os_error(), Some(EMFILE) | Some(ENFILE))
+}
+
+/// `true` when the pending connection died in the accept queue
+/// (`ECONNABORTED`) — the right response is to keep accepting.
+pub fn is_conn_aborted(err: &io::Error) -> bool {
+    err.raw_os_error() == Some(ECONNABORTED)
 }
 
 /// An owned file descriptor: closed exactly once, on drop.
@@ -305,6 +327,96 @@ pub fn set_nodelay(fd: &Fd) -> io::Result<()> {
         return Err(io::Error::last_os_error());
     }
     Ok(())
+}
+
+/// Caps the kernel send buffer on an accepted socket. Setting an explicit
+/// size also disables send-buffer autotuning, which is what makes the
+/// slow-reader reaper's overflow condition deterministic in tests and
+/// chaos runs (the kernel can no longer grow the buffer under pressure).
+///
+/// # Errors
+///
+/// Propagates the `setsockopt` failure.
+pub fn set_sndbuf(fd: &Fd, bytes: usize) -> io::Result<()> {
+    let val: c::c_int = bytes.min(i32::MAX as usize) as c::c_int;
+    // SAFETY: `val` is a live stack `c_int` and the length passed is its
+    // exact size; `fd` owns a live descriptor.
+    let rc = unsafe {
+        c::setsockopt(
+            fd.raw(),
+            SOL_SOCKET,
+            SO_SNDBUF,
+            &val,
+            std::mem::size_of::<c::c_int>() as c::socklen_t,
+        )
+    };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// Connects a blocking loopback TCP socket whose receive buffer is capped
+/// at `rcvbuf` bytes *before* the connection is established (the cap must
+/// precede `connect` to take effect on the window and to disable receive
+/// autotuning). Used by slow-reader chaos probes: a tiny client window
+/// forces server-side reply bytes to pile up in the server's outbox.
+///
+/// Returns a `std::net::TcpStream` so callers compose with the ordinary
+/// blocking client machinery.
+///
+/// # Errors
+///
+/// Propagates `socket`/`setsockopt`/`connect` failures.
+pub fn connect_tcp_rcvbuf(port: u16, rcvbuf: usize) -> io::Result<std::net::TcpStream> {
+    // SAFETY: plain value arguments; `socket` reads no caller memory.
+    let raw = unsafe { c::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0) };
+    if raw < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    let fd = Fd::from_raw(raw);
+    let val: c::c_int = rcvbuf.min(i32::MAX as usize) as c::c_int;
+    // SAFETY: `val` is a live stack `c_int` and the length passed is its
+    // exact size; `fd` owns a live descriptor.
+    let rc = unsafe {
+        c::setsockopt(
+            fd.raw(),
+            SOL_SOCKET,
+            SO_RCVBUF,
+            &val,
+            std::mem::size_of::<c::c_int>() as c::socklen_t,
+        )
+    };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    let addr = c::sockaddr_in {
+        sin_family: AF_INET as u16,
+        sin_port: port.to_be(),
+        sin_addr: u32::from_be_bytes([127, 0, 0, 1]).to_be(),
+        sin_zero: [0; 8],
+    };
+    // SAFETY: `addr` is a live, fully-initialised `sockaddr_in` and the
+    // length passed is its exact size, so `connect` reads only valid
+    // memory; `fd` owns the descriptor.
+    let rc = unsafe {
+        c::connect(
+            fd.raw(),
+            &addr,
+            std::mem::size_of::<c::sockaddr_in>() as c::socklen_t,
+        )
+    };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    let raw = fd.raw();
+    // Hand ownership to the TcpStream: forget the Fd so its Drop does not
+    // close the descriptor the stream now owns.
+    std::mem::forget(fd);
+    // SAFETY: `raw` is a live, connected socket descriptor whose `Fd`
+    // wrapper was just forgotten, so `from_raw_fd` takes sole ownership
+    // and no double-close can occur.
+    Ok(unsafe { <std::net::TcpStream as std::os::fd::FromRawFd>::from_raw_fd(raw) })
 }
 
 /// What a connection is registered for, beyond the always-on read interest.
@@ -567,6 +679,45 @@ mod tests {
         assert!(n >= 1);
         assert!(events.iter().any(|e| e.token == 7 && e.readable));
         epoll.delete(&listener).unwrap();
+    }
+
+    #[test]
+    fn accept_errno_classification() {
+        assert!(is_fd_exhausted(&io::Error::from_raw_os_error(EMFILE)));
+        assert!(is_fd_exhausted(&io::Error::from_raw_os_error(ENFILE)));
+        assert!(!is_fd_exhausted(&io::Error::from_raw_os_error(ECONNABORTED)));
+        assert!(is_conn_aborted(&io::Error::from_raw_os_error(ECONNABORTED)));
+        assert!(!is_conn_aborted(&io::Error::from_raw_os_error(EAGAIN)));
+        assert!(is_would_block(&io::Error::from_raw_os_error(EAGAIN)));
+    }
+
+    #[test]
+    fn rcvbuf_capped_connect_exchanges_bytes() {
+        let (listener, port) = listen_tcp(0, 16).unwrap();
+        let mut client = connect_tcp_rcvbuf(port, 8192).unwrap();
+        let conn = loop {
+            if let Some(c) = accept_nonblocking(&listener).unwrap() {
+                break c;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        };
+        set_sndbuf(&conn, 8192).unwrap();
+        client.write_all(b"tiny").unwrap();
+        let mut buf = [0u8; 8];
+        let n = loop {
+            match conn.read(&mut buf) {
+                Ok(n) => break n,
+                Err(e) if is_would_block(&e) => {
+                    std::thread::sleep(std::time::Duration::from_millis(1))
+                }
+                Err(e) => panic!("read: {e}"),
+            }
+        };
+        assert_eq!(&buf[..n], b"tiny");
+        assert_eq!(conn.write(b"ok").unwrap(), 2);
+        let mut back = [0u8; 2];
+        client.read_exact(&mut back).unwrap();
+        assert_eq!(&back, b"ok");
     }
 
     #[test]

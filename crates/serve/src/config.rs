@@ -142,6 +142,25 @@ impl ServerConfig {
         }
     }
 
+    /// The base runtime of the TCP front-end's smoke/chaos presets: the
+    /// small `mlp` model, gentle batching, a real per-request deadline
+    /// (network queues can hold requests across a drain) and a queue
+    /// deep enough for windowed multi-client load. Network-specific
+    /// knobs (ports, lifecycle limits) layer on top in
+    /// `NetServerConfig`; this lives here so the in-process and TCP
+    /// serving stacks share one source of runtime defaults.
+    pub fn net_smoke() -> Self {
+        ServerConfig {
+            model: "mlp".into(),
+            workers: 2,
+            max_batch: 8,
+            batch_deadline: Duration::from_micros(200),
+            queue_capacity: 256,
+            request_deadline: Duration::from_secs(2),
+            ..ServerConfig::smoke()
+        }
+    }
+
     /// Validates every field, returning the first violation.
     ///
     /// # Errors
@@ -202,6 +221,14 @@ mod tests {
     #[test]
     fn smoke_preset_is_valid() {
         assert!(ServerConfig::smoke().validate().is_ok());
+    }
+
+    #[test]
+    fn net_smoke_preset_is_valid() {
+        let c = ServerConfig::net_smoke();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.model, "mlp");
+        assert!(c.request_deadline > Duration::ZERO, "net queues need a deadline");
     }
 
     #[test]

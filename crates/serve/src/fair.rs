@@ -61,6 +61,9 @@ pub struct FairBatch<T> {
 pub struct FairQueue<T> {
     state: Mutex<FairState<T>>,
     not_empty: Condvar,
+    /// Signalled whenever `queued` returns to zero — the graceful-drain
+    /// window waits on this instead of polling.
+    emptied: Condvar,
     per_tenant_capacity: usize,
     quantum: u64,
 }
@@ -86,6 +89,7 @@ impl<T> FairQueue<T> {
                 queued: 0,
             }),
             not_empty: Condvar::new(),
+            emptied: Condvar::new(),
             per_tenant_capacity: per_tenant_capacity.max(1),
             quantum: quantum.max(1),
         }
@@ -183,6 +187,9 @@ impl<T> FairQueue<T> {
                         lane.deficit = 0;
                     }
                     s.queued -= take;
+                    if s.queued == 0 {
+                        self.emptied.notify_all();
+                    }
                     // Advance past the served lane so siblings interleave.
                     s.cursor = (idx + 1) % lanes;
                     return Some(FairBatch {
@@ -217,7 +224,29 @@ impl<T> FairQueue<T> {
             }
         }
         s.queued = 0;
+        self.emptied.notify_all();
         out
+    }
+
+    /// Blocks until every lane is empty or `timeout` elapses; returns
+    /// `true` when the queue emptied in time. This is the bounded drain
+    /// window: workers keep popping after [`close`](Self::close), and the
+    /// drain coordinator waits here instead of polling [`len`](Self::len).
+    pub fn wait_empty(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut s = locked(&self.state);
+        while s.queued > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .emptied
+                .wait_timeout(s, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            s = guard;
+        }
+        true
     }
 
     /// Items currently queued across all lanes.
@@ -321,6 +350,29 @@ mod tests {
         assert_eq!(drained.len(), 2);
         assert_eq!(drained[1].items, vec![2, 3]);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn wait_empty_bounds_the_drain_window() {
+        use std::sync::Arc;
+        let q = Arc::new(FairQueue::new(&weights(1), 8, 1));
+        q.try_push(0, 1).unwrap();
+        q.try_push(0, 2).unwrap();
+        // Backlogged: the window must expire, not hang.
+        assert!(!q.wait_empty(Duration::from_millis(20)));
+        let popper = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                while !q.is_empty() {
+                    let _ = q.pop_batch(8, Duration::ZERO);
+                }
+            })
+        };
+        assert!(q.wait_empty(Duration::from_secs(5)), "drain must be seen");
+        popper.join().unwrap();
+        // Already-empty queues return immediately.
+        assert!(q.wait_empty(Duration::ZERO));
     }
 
     #[test]

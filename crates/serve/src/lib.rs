@@ -82,8 +82,10 @@ pub use fair::{FairBatch, FairQueue};
 pub use loadgen::{ChaosReport, LoadMode, LoadReport};
 pub use metrics::{BatchStats, LatencyHistogram, QueueDepthStats};
 pub use model::{ServedModel, ZOO};
-pub use netload::{NetLoadConfig, NetLoadReport, TenantLoad};
-pub use netreport::NetSmoke;
+pub use netload::{
+    run_drain, run_tcp, DrainLoadConfig, DrainLoadReport, NetLoadConfig, NetLoadReport, TenantLoad,
+};
+pub use netreport::{DrainPhase, NetPhase, NetSmoke};
 pub use netserve::{NetServer, NetServerConfig, NetStats};
 pub use queue::{BoundedQueue, PushRefused};
 pub use report::{

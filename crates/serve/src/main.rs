@@ -18,8 +18,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use seal_serve::netload::{run_tcp, NetLoadConfig};
-use seal_serve::netreport::NetPhase;
+use seal_serve::netload::{run_drain, run_tcp, DrainLoadConfig, NetLoadConfig};
+use seal_serve::netreport::{DrainPhase, NetPhase};
 use seal_serve::{
     loadgen, ChaosRun, ChaosSmoke, NetServer, NetServerConfig, NetSmoke, PlanComparison,
     QuantComparison, QuantLaneDelta, ServeReport, Server, ServerConfig, COSTED_SCHEMES,
@@ -37,9 +37,12 @@ const USAGE: &str = "usage: seal-serve [options]
   --net-smoke         network smoke: serve skew-weighted tenants over real
                       loopback TCP (seal-net reactor + weighted-fair
                       admission), measure per-tenant latency and Jain's
-                      fairness index, then run the seeded network-fault
-                      schedule twice and assert determinism; write
-                      results/serve_net.json
+                      fairness index, run the seeded byzantine-client
+                      fault schedule twice (slow readers, pipeline abuse,
+                      connect storms, disconnects) asserting exact typed
+                      ledgers and determinism, then exercise graceful
+                      drain twice asserting the zero-silent-drops
+                      contract; write results/serve_net.json
   --tenants N         tenants for --net-smoke                   (default 8)
   --users N           distinct simulated users for --net-smoke
                       fairness phase                       (default 100000)
@@ -272,21 +275,28 @@ fn run_net_smoke(args: Args) -> Result<ExitCode, String> {
         fairness.load.jain_index()
     );
 
-    // Chaos runs hold partial frames on purpose (slow-loris); a short
-    // mid-frame idle budget keeps the reap inside the client timeout.
-    let mut chaos_cfg = server_cfg.clone();
-    chaos_cfg.idle_mid_frame = Duration::from_millis(40);
+    // Chaos runs get the governance-tightened preset: serial workers (so
+    // the settle wave is a real barrier), a short mid-frame idle budget
+    // for the slow-loris reap, and the small outbox/sndbuf that makes
+    // slow readers hit write backpressure deterministically.
+    let mut chaos_cfg = NetServerConfig::chaos_smoke(args.tenants);
+    chaos_cfg.base.seed = seed;
     let chaos_load = NetLoadConfig::chaos(args.net_requests, seed, fault_seed);
     let mut chaos_runs = Vec::with_capacity(2);
     for attempt in 1..=2 {
         let phase = run_net_phase(&chaos_cfg, &chaos_load)?;
         println!(
-            "seal-serve: chaos run {attempt}: {} completed, faults realized: {} malformed, {} truncated, {} slow-loris, {} disconnects",
+            "seal-serve: chaos run {attempt}: {} completed, faults realized: {} malformed, \
+             {} truncated, {} slow-loris, {} disconnects, {} slow-reader, {} pipeline-abuse, \
+             {} connect-storm",
             phase.load.total_completed(),
             phase.load.realized.malformed,
             phase.load.realized.truncated,
             phase.load.realized.slow_loris,
-            phase.load.realized.disconnects
+            phase.load.realized.disconnects,
+            phase.load.realized.slow_reader,
+            phase.load.realized.pipeline_abuse,
+            phase.load.realized.connect_storm
         );
         chaos_runs.push(phase);
     }
@@ -295,11 +305,37 @@ fn run_net_smoke(args: Args) -> Result<ExitCode, String> {
         Err(_) => return Err("net smoke did not produce two chaos runs".into()),
     };
 
+    // Two same-fault-seed graceful-drain exercises: every client must see
+    // a GOAWAY, every post-drain request a typed reject, and both runs
+    // must produce bit-identical reports.
+    let mut drain_runs = Vec::with_capacity(2);
+    for attempt in 1..=2 {
+        let server = NetServer::start(server_cfg.clone()).map_err(|e| e.to_string())?;
+        let weights = server.registry().weights();
+        let drain_cfg = DrainLoadConfig::smoke(fault_seed);
+        let load = run_drain(server.port(), &weights, &drain_cfg, || server.begin_drain())
+            .map_err(|e| e.to_string())?;
+        let stats = server
+            .finish_drain(Duration::from_secs(5))
+            .map_err(|e| e.to_string())?;
+        println!(
+            "seal-serve: drain run {attempt}: {} pre-drain completed, {} GOAWAYs, \
+             {} typed drain rejects, {} clients vanished mid-drain",
+            load.pre_completed, load.goaways, load.post_rejected, load.realized_disconnects
+        );
+        drain_runs.push(DrainPhase { load, stats });
+    }
+    let drain: [DrainPhase; 2] = match drain_runs.try_into() {
+        Ok(r) => r,
+        Err(_) => return Err("net smoke did not produce two drain runs".into()),
+    };
+
     let mut smoke = NetSmoke {
         seed,
         fault_seed,
         fairness,
         chaos,
+        drain,
         jain_floor: 0.9,
     };
     for t in &mut smoke.fairness.load.per_tenant {
@@ -324,7 +360,10 @@ fn run_net_smoke(args: Args) -> Result<ExitCode, String> {
 
     let violations = smoke.violations();
     if violations.is_empty() {
-        println!("seal-serve: net checks clean (fair, deterministic, fault ledger exact)");
+        println!(
+            "seal-serve: net checks clean (fair, deterministic, fault ledger exact, \
+             drain dropped nothing)"
+        );
         Ok(ExitCode::SUCCESS)
     } else {
         for v in &violations {

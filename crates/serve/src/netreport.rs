@@ -6,18 +6,24 @@
 //!   and skew-weighted tenants, judged on per-tenant latency percentiles
 //!   and Jain's fairness index over weight-normalised completions;
 //! * **chaos** — two same-fault-seed TCP runs under the
-//!   [`net_smoke`](seal_faults::FaultConfig::net_smoke) fault mix, judged
-//!   on exact fault-ledger agreement (client realised == plan; reactor
-//!   typed counts == plan) and cross-run determinism of every
-//!   seed-deterministic counter.
+//!   [`net_smoke`](seal_faults::FaultConfig::net_smoke) fault mix
+//!   (including the byzantine-client classes: slow readers, pipeline
+//!   abuse, connect storms), judged on exact fault-ledger agreement
+//!   (client realised == plan; reactor typed counts == plan) and
+//!   cross-run determinism of every seed-deterministic counter;
+//! * **drain** — two same-fault-seed graceful-drain exercises, judged on
+//!   the zero-silent-drops contract: one GOAWAY per client, every
+//!   post-drain request typed-rejected, every vanished client's final
+//!   request in the server's `rejected_drain` ledger, and bit-identical
+//!   same-seed reports.
 //!
 //! Rendering uses the workspace's hand-rolled JSON writer (no serde).
 
 use std::io::Write as _;
 use std::path::Path;
 
-use crate::netload::NetLoadReport;
-use crate::netserve::NetStats;
+use crate::netload::{DrainLoadReport, NetLoadReport};
+use crate::netserve::{NetStats, CHAOS_PIPELINE_STRIKES};
 
 /// One phase: the client-side load report and the server's shutdown stats.
 #[derive(Debug)]
@@ -36,14 +42,28 @@ impl NetPhase {
     /// buffer before the close is observed.
     pub fn deterministic_signature(&self) -> Vec<u64> {
         let mut sig = self.load.deterministic_signature();
-        for &(tenant, completed, queue_full, breaker, shed) in &self.stats.tenants {
-            sig.extend_from_slice(&[u64::from(tenant), completed, queue_full, breaker, shed]);
+        for &(tenant, completed, queue_full, breaker, shed, rejected_drain) in &self.stats.tenants {
+            sig.extend_from_slice(&[
+                u64::from(tenant),
+                completed,
+                queue_full,
+                breaker,
+                shed,
+                rejected_drain,
+            ]);
         }
         sig.extend_from_slice(&[
+            self.stats.reactor.accepted,
             self.stats.reactor.protocol_errors,
             self.stats.reactor.truncated,
             self.stats.reactor.idle_reaped,
+            self.stats.reactor.slow_reader_closed,
+            self.stats.reactor.pipeline_rejects,
+            self.stats.reactor.pipeline_closed,
+            self.stats.reactor.keepalive_closed,
+            self.stats.reactor.goaways_sent,
             self.stats.drained,
+            self.stats.drain_rejected,
         ]);
         sig
     }
@@ -73,6 +93,39 @@ impl NetPhase {
                 self.stats.reactor.idle_reaped, self.load.planned.slow_loris
             ));
         }
+        if self.stats.reactor.slow_reader_closed != self.load.planned.slow_reader {
+            out.push(format!(
+                "{label}: reactor slow-reader closes {} != planned {}",
+                self.stats.reactor.slow_reader_closed, self.load.planned.slow_reader
+            ));
+        }
+        if self.stats.reactor.pipeline_closed != self.load.planned.pipeline_abuse {
+            out.push(format!(
+                "{label}: reactor pipeline-abuse closes {} != planned {}",
+                self.stats.reactor.pipeline_closed, self.load.planned.pipeline_abuse
+            ));
+        }
+        let expected_rejects =
+            self.load.planned.pipeline_abuse * u64::from(CHAOS_PIPELINE_STRIKES);
+        if self.stats.reactor.pipeline_rejects != expected_rejects {
+            out.push(format!(
+                "{label}: reactor pipeline rejects {} != planned {expected_rejects}",
+                self.stats.reactor.pipeline_rejects
+            ));
+        }
+        if self.stats.reactor.accepted != self.load.expected_accepted() {
+            out.push(format!(
+                "{label}: reactor accepted {} connections, expected {}",
+                self.stats.reactor.accepted,
+                self.load.expected_accepted()
+            ));
+        }
+        if self.stats.reactor.goaways_sent != 0 {
+            out.push(format!(
+                "{label}: {} GOAWAYs sent outside a drain",
+                self.stats.reactor.goaways_sent
+            ));
+        }
         if !self.stats.worker_errors.is_empty() {
             out.push(format!(
                 "{label}: {} server-side worker errors",
@@ -83,14 +136,123 @@ impl NetPhase {
             out.push(format!("{label}: a worker was quarantined"));
         }
         // Server-side completions must cover every client completion plus
-        // every abandoned (disconnect-fault) request — nothing vanishes.
+        // every abandoned (byzantine-fault) request plus the settle-wave
+        // probes — nothing vanishes.
         let served: u64 = self.stats.tenants.iter().map(|t| t.1).sum();
         let abandoned: u64 = self.load.per_tenant.iter().map(|t| t.abandoned).sum();
-        if served != self.load.total_completed() + abandoned {
+        if served != self.load.total_completed() + abandoned + self.load.settle_completed {
             out.push(format!(
-                "{label}: server completed {served} != client completed {} + abandoned {abandoned}",
-                self.load.total_completed()
+                "{label}: server completed {served} != client completed {} + abandoned \
+                 {abandoned} + settled {}",
+                self.load.total_completed(),
+                self.load.settle_completed
             ));
+        }
+    }
+}
+
+/// One graceful-drain exercise: the client-side drain report and the
+/// server's post-drain stats.
+#[derive(Debug)]
+pub struct DrainPhase {
+    /// What the drain load generator observed.
+    pub load: DrainLoadReport,
+    /// What the server reported after `finish_drain`.
+    pub stats: NetStats,
+}
+
+impl DrainPhase {
+    /// Seed-deterministic counters: the client drain ledger plus the
+    /// server's per-tenant counters and the drain-specific reactor
+    /// counts.
+    pub fn deterministic_signature(&self) -> Vec<u64> {
+        let mut sig = self.load.deterministic_signature();
+        for &(tenant, completed, queue_full, breaker, shed, rejected_drain) in &self.stats.tenants {
+            sig.extend_from_slice(&[
+                u64::from(tenant),
+                completed,
+                queue_full,
+                breaker,
+                shed,
+                rejected_drain,
+            ]);
+        }
+        sig.extend_from_slice(&[
+            self.stats.reactor.goaways_sent,
+            self.stats.drained,
+            self.stats.drain_rejected,
+        ]);
+        sig
+    }
+
+    fn violations(&self, label: &str, out: &mut Vec<String>) {
+        let l = &self.load;
+        if l.wrong_replies != 0 {
+            out.push(format!("{label}: {} mismatched replies", l.wrong_replies));
+        }
+        if l.pre_completed != l.clients * l.pre_requests {
+            out.push(format!(
+                "{label}: pre-drain completed {} != {} clients x {} requests",
+                l.pre_completed, l.clients, l.pre_requests
+            ));
+        }
+        if l.goaways != l.clients {
+            out.push(format!(
+                "{label}: {} GOAWAYs observed for {} clients",
+                l.goaways, l.clients
+            ));
+        }
+        if self.stats.reactor.goaways_sent != l.clients {
+            out.push(format!(
+                "{label}: reactor sent {} GOAWAYs for {} clients",
+                self.stats.reactor.goaways_sent, l.clients
+            ));
+        }
+        if l.realized_disconnects != l.planned_disconnects {
+            out.push(format!(
+                "{label}: realised drain disconnects {} != planned {}",
+                l.realized_disconnects, l.planned_disconnects
+            ));
+        }
+        let surviving = l.clients - l.realized_disconnects;
+        if l.post_rejected != surviving * l.post_requests {
+            out.push(format!(
+                "{label}: {} post-drain rejects != {surviving} survivors x {} requests",
+                l.post_rejected, l.post_requests
+            ));
+        }
+        // Zero silent drops: every post-drain request — including the one
+        // each vanished client fired before dropping its connection —
+        // must land in the server's typed drain-reject ledger.
+        let rejected_drain: u64 = self.stats.tenants.iter().map(|t| t.5).sum();
+        if rejected_drain != l.post_rejected + l.realized_disconnects {
+            out.push(format!(
+                "{label}: server drain rejects {rejected_drain} != {} client-observed + {} \
+                 from vanished clients",
+                l.post_rejected, l.realized_disconnects
+            ));
+        }
+        let served: u64 = self.stats.tenants.iter().map(|t| t.1).sum();
+        if served != l.pre_completed {
+            out.push(format!(
+                "{label}: server completed {served} != pre-drain completions {}",
+                l.pre_completed
+            ));
+        }
+        if self.stats.drained != 0 {
+            out.push(format!(
+                "{label}: {} requests still queued after the drain window",
+                self.stats.drained
+            ));
+        }
+        if !self.stats.worker_errors.is_empty() {
+            out.push(format!(
+                "{label}: {} server-side worker errors",
+                self.stats.worker_errors.len()
+            ));
+        }
+        if self.stats.supervision.quarantined {
+            out.push(format!("{label}: a worker was quarantined"));
         }
     }
 }
@@ -106,20 +268,24 @@ pub struct NetSmoke {
     pub fairness: NetPhase,
     /// Two same-seed chaos runs, in execution order.
     pub chaos: [NetPhase; 2],
+    /// Two same-seed graceful-drain exercises, in execution order.
+    pub drain: [DrainPhase; 2],
     /// Jain-index acceptance floor (the ISSUE pins 0.9).
     pub jain_floor: f64,
 }
 
 impl NetSmoke {
-    /// `true` when both chaos runs produced identical deterministic
-    /// signatures.
+    /// `true` when both chaos runs and both drain exercises produced
+    /// identical deterministic signatures.
     pub fn deterministic(&self) -> bool {
         self.chaos[0].deterministic_signature() == self.chaos[1].deterministic_signature()
+            && self.drain[0].deterministic_signature() == self.drain[1].deterministic_signature()
     }
 
     /// Every acceptance violation (empty = the net smoke passes):
     /// fairness-phase completion/Jain/latency checks, per-phase fault
-    /// ledger agreement, and cross-run chaos determinism.
+    /// ledger agreement, the drain zero-silent-drops contract, and
+    /// cross-run determinism.
     pub fn violations(&mut self) -> Vec<String> {
         let mut v = Vec::new();
         if self.fairness.load.total_completed() == 0 {
@@ -145,18 +311,34 @@ impl NetSmoke {
         self.fairness.violations("fairness", &mut v);
         self.chaos[0].violations("chaos run 1", &mut v);
         self.chaos[1].violations("chaos run 2", &mut v);
-        if !self.deterministic() {
-            let (a, b) = (
-                self.chaos[0].deterministic_signature(),
-                self.chaos[1].deterministic_signature(),
-            );
+        self.drain[0].violations("drain run 1", &mut v);
+        self.drain[1].violations("drain run 2", &mut v);
+        let chaos_sigs = (
+            self.chaos[0].deterministic_signature(),
+            self.chaos[1].deterministic_signature(),
+        );
+        if chaos_sigs.0 != chaos_sigs.1 {
             v.push(format!(
                 "fault seed {}: chaos signatures differ across same-seed runs \
                  ({} vs {} entries, first divergence at index {:?})",
                 self.fault_seed,
-                a.len(),
-                b.len(),
-                a.iter().zip(&b).position(|(x, y)| x != y)
+                chaos_sigs.0.len(),
+                chaos_sigs.1.len(),
+                chaos_sigs.0.iter().zip(&chaos_sigs.1).position(|(x, y)| x != y)
+            ));
+        }
+        let drain_sigs = (
+            self.drain[0].deterministic_signature(),
+            self.drain[1].deterministic_signature(),
+        );
+        if drain_sigs.0 != drain_sigs.1 {
+            v.push(format!(
+                "fault seed {}: drain signatures differ across same-seed runs \
+                 ({} vs {} entries, first divergence at index {:?})",
+                self.fault_seed,
+                drain_sigs.0.len(),
+                drain_sigs.1.len(),
+                drain_sigs.0.iter().zip(&drain_sigs.1).position(|(x, y)| x != y)
             ));
         }
         v
@@ -182,6 +364,12 @@ impl NetSmoke {
             out.push_str("    ");
             out.push_str(&phase_json(&mut self.chaos[i], "    "));
             out.push_str(if i + 1 < self.chaos.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ],\n  \"drain\": [\n");
+        for i in 0..self.drain.len() {
+            out.push_str("    ");
+            out.push_str(&drain_json(&self.drain[i], "    "));
+            out.push_str(if i + 1 < self.drain.len() { ",\n" } else { "\n" });
         }
         out.push_str("  ]\n}\n");
         out
@@ -223,33 +411,24 @@ fn phase_json(phase: &mut NetPhase, indent: &str) -> String {
         phase.load.jain_index()
     ));
     out.push_str(&format!(
-        "{indent}  \"planned_faults\": {{ \"malformed\": {}, \"truncated\": {}, \"slow_loris\": {}, \"disconnects\": {} }},\n",
-        phase.load.planned.malformed,
-        phase.load.planned.truncated,
-        phase.load.planned.slow_loris,
-        phase.load.planned.disconnects
+        "{indent}  \"settle_completed\": {},\n",
+        phase.load.settle_completed
     ));
     out.push_str(&format!(
-        "{indent}  \"realized_faults\": {{ \"malformed\": {}, \"truncated\": {}, \"slow_loris\": {}, \"disconnects\": {} }},\n",
-        phase.load.realized.malformed,
-        phase.load.realized.truncated,
-        phase.load.realized.slow_loris,
-        phase.load.realized.disconnects
+        "{indent}  \"planned_faults\": {},\n",
+        fault_counts_json(&phase.load.planned)
     ));
     out.push_str(&format!(
-        "{indent}  \"reactor\": {{ \"accepted\": {}, \"frames_in\": {}, \"frames_out\": {}, \
-         \"protocol_errors\": {}, \"truncated\": {}, \"idle_reaped\": {}, \"dropped_responses\": {} }},\n",
-        phase.stats.reactor.accepted,
-        phase.stats.reactor.frames_in,
-        phase.stats.reactor.frames_out,
-        phase.stats.reactor.protocol_errors,
-        phase.stats.reactor.truncated,
-        phase.stats.reactor.idle_reaped,
-        phase.stats.reactor.dropped_responses
+        "{indent}  \"realized_faults\": {},\n",
+        fault_counts_json(&phase.load.realized)
     ));
     out.push_str(&format!(
-        "{indent}  \"drained\": {},\n",
-        phase.stats.drained
+        "{indent}  \"reactor\": {},\n",
+        reactor_json(&phase.stats.reactor)
+    ));
+    out.push_str(&format!(
+        "{indent}  \"drained\": {},\n{indent}  \"drain_rejected\": {},\n",
+        phase.stats.drained, phase.stats.drain_rejected
     ));
     out.push_str(&format!("{indent}  \"tenants\": [\n"));
     let n = phase.load.per_tenant.len();
@@ -281,16 +460,100 @@ fn phase_json(phase: &mut NetPhase, indent: &str) -> String {
     out
 }
 
+/// Renders one eight-class fault ledger as a flat JSON object.
+fn fault_counts_json(c: &seal_faults::NetFaultCounts) -> String {
+    format!(
+        "{{ \"malformed\": {}, \"truncated\": {}, \"slow_loris\": {}, \"disconnects\": {}, \
+         \"slow_reader\": {}, \"pipeline_abuse\": {}, \"connect_storm\": {}, \
+         \"drain_disconnect\": {} }}",
+        c.malformed,
+        c.truncated,
+        c.slow_loris,
+        c.disconnects,
+        c.slow_reader,
+        c.pipeline_abuse,
+        c.connect_storm,
+        c.drain_disconnects
+    )
+}
+
+/// Renders the reactor's counter block as a flat JSON object.
+fn reactor_json(r: &seal_net::ReactorStats) -> String {
+    format!(
+        "{{ \"accepted\": {}, \"accept_deferred\": {}, \"frames_in\": {}, \"frames_out\": {}, \
+         \"protocol_errors\": {}, \"truncated\": {}, \"idle_reaped\": {}, \
+         \"dropped_responses\": {}, \"pipeline_rejects\": {}, \"pipeline_closed\": {}, \
+         \"slow_reader_closed\": {}, \"keepalive_closed\": {}, \"goaways_sent\": {} }}",
+        r.accepted,
+        r.accept_deferred,
+        r.frames_in,
+        r.frames_out,
+        r.protocol_errors,
+        r.truncated,
+        r.idle_reaped,
+        r.dropped_responses,
+        r.pipeline_rejects,
+        r.pipeline_closed,
+        r.slow_reader_closed,
+        r.keepalive_closed,
+        r.goaways_sent
+    )
+}
+
+/// Renders one drain exercise (load + server stats) as a JSON object.
+fn drain_json(phase: &DrainPhase, indent: &str) -> String {
+    let l = &phase.load;
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\n");
+    out.push_str(&format!("{indent}  \"clients\": {},\n", l.clients));
+    out.push_str(&format!(
+        "{indent}  \"pre_requests\": {},\n{indent}  \"post_requests\": {},\n",
+        l.pre_requests, l.post_requests
+    ));
+    out.push_str(&format!(
+        "{indent}  \"pre_completed\": {},\n{indent}  \"goaways\": {},\n",
+        l.pre_completed, l.goaways
+    ));
+    out.push_str(&format!(
+        "{indent}  \"post_rejected\": {},\n{indent}  \"wrong_replies\": {},\n",
+        l.post_rejected, l.wrong_replies
+    ));
+    out.push_str(&format!(
+        "{indent}  \"planned_disconnects\": {},\n{indent}  \"realized_disconnects\": {},\n",
+        l.planned_disconnects, l.realized_disconnects
+    ));
+    out.push_str(&format!(
+        "{indent}  \"reactor\": {},\n",
+        reactor_json(&phase.stats.reactor)
+    ));
+    out.push_str(&format!(
+        "{indent}  \"drained\": {},\n{indent}  \"drain_rejected\": {},\n",
+        phase.stats.drained, phase.stats.drain_rejected
+    ));
+    out.push_str(&format!("{indent}  \"tenants\": [\n"));
+    let n = phase.stats.tenants.len();
+    for (i, &(tenant, completed, queue_full, breaker, shed, rejected_drain)) in
+        phase.stats.tenants.iter().enumerate()
+    {
+        out.push_str(&format!(
+            "{indent}    {{ \"tenant\": {tenant}, \"completed\": {completed}, \
+             \"rejected_queue_full\": {queue_full}, \"rejected_breaker\": {breaker}, \
+             \"shed\": {shed}, \"rejected_drain\": {rejected_drain} }}{}",
+            if i + 1 < n { ",\n" } else { "\n" }
+        ));
+    }
+    out.push_str(&format!("{indent}  ]\n{indent}}}"));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::netload::{run_tcp, NetLoadConfig};
+    use crate::netload::{run_drain, run_tcp, DrainLoadConfig, NetLoadConfig};
     use crate::netserve::{NetServer, NetServerConfig};
     use std::time::Duration;
 
-    fn run_phase(cfg: &NetLoadConfig) -> NetPhase {
-        let mut server_cfg = NetServerConfig::smoke(2);
-        server_cfg.idle_mid_frame = Duration::from_millis(40);
+    fn run_phase(server_cfg: NetServerConfig, cfg: &NetLoadConfig) -> NetPhase {
         let server = NetServer::start(server_cfg).unwrap();
         let weights = server.registry().weights();
         let load = run_tcp(server.port(), &weights, cfg).unwrap();
@@ -298,15 +561,25 @@ mod tests {
         NetPhase { load, stats }
     }
 
+    fn run_drain_phase(fault_seed: u64) -> DrainPhase {
+        let server = NetServer::start(NetServerConfig::smoke(2)).unwrap();
+        let weights = server.registry().weights();
+        let cfg = DrainLoadConfig::smoke(fault_seed);
+        let load = run_drain(server.port(), &weights, &cfg, || server.begin_drain()).unwrap();
+        let stats = server.finish_drain(Duration::from_secs(5)).unwrap();
+        DrainPhase { load, stats }
+    }
+
     fn tiny_smoke() -> NetSmoke {
         NetSmoke {
             seed: 3,
             fault_seed: 11,
-            fairness: run_phase(&NetLoadConfig::fairness(200, 3)),
+            fairness: run_phase(NetServerConfig::smoke(2), &NetLoadConfig::fairness(200, 3)),
             chaos: [
-                run_phase(&NetLoadConfig::chaos(150, 3, 11)),
-                run_phase(&NetLoadConfig::chaos(150, 3, 11)),
+                run_phase(NetServerConfig::chaos_smoke(2), &NetLoadConfig::chaos(150, 3, 11)),
+                run_phase(NetServerConfig::chaos_smoke(2), &NetLoadConfig::chaos(150, 3, 11)),
             ],
+            drain: [run_drain_phase(11), run_drain_phase(11)],
             jain_floor: 0.9,
         }
     }
@@ -322,9 +595,22 @@ mod tests {
             "\"jain_index\"",
             "\"fairness\"",
             "\"chaos\"",
+            "\"drain\"",
             "\"planned_faults\"",
             "\"realized_faults\"",
+            "\"slow_reader\"",
+            "\"pipeline_abuse\"",
+            "\"connect_storm\"",
+            "\"settle_completed\"",
             "\"reactor\"",
+            "\"pipeline_rejects\"",
+            "\"slow_reader_closed\"",
+            "\"keepalive_closed\"",
+            "\"goaways_sent\"",
+            "\"goaways\"",
+            "\"post_rejected\"",
+            "\"rejected_drain\"",
+            "\"drain_rejected\"",
             "\"tenants\"",
             "\"deterministic\": true",
             "\"violations\": 0",
@@ -341,7 +627,18 @@ mod tests {
         assert!(smoke
             .violations()
             .iter()
-            .any(|v| v.contains("signatures differ")));
+            .any(|v| v.contains("chaos signatures differ")));
+    }
+
+    #[test]
+    fn broken_drain_determinism_is_reported() {
+        let mut smoke = tiny_smoke();
+        smoke.drain[1].load.pre_completed += 1;
+        assert!(!smoke.deterministic());
+        assert!(smoke
+            .violations()
+            .iter()
+            .any(|v| v.contains("drain signatures differ")));
     }
 
     #[test]

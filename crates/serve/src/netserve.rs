@@ -9,12 +9,15 @@
 //!
 //! ## Wire contract (over the seal-net frame protocol)
 //!
-//! * Request payload: 8 bytes, a little-endian simulated **user id**. The
-//!   server derives the inference input deterministically from that id,
-//!   so a 12-byte frame stands in for a full tensor upload and 10^5+
-//!   distinct users stay cheap enough to drive over loopback.
-//! * Response payload: predicted class (`u32` LE) followed by the echoed
-//!   user id (`u64` LE).
+//! * Request payload: 8 bytes, a little-endian simulated **user id** —
+//!   or 16 bytes, the user id followed by a requested response **pad**
+//!   (`u64` LE, capped at [`MAX_RESPONSE_PAD`]). The server derives the
+//!   inference input deterministically from the id, so a small frame
+//!   stands in for a full tensor upload and 10^5+ distinct users stay
+//!   cheap enough to drive over loopback; the pad lets chaos clients
+//!   request arbitrarily bulky responses (slow-reader probes).
+//! * Response payload: predicted class (`u32` LE), the echoed user id
+//!   (`u64` LE), then `pad` zero bytes.
 //! * Reject payload: one code byte (see the `REJECT_*` constants) plus a
 //!   human-readable message. Rejects echo the request's `seq`, so clients
 //!   can match and — for [`REJECT_QUEUE_FULL`] — retry.
@@ -56,6 +59,18 @@ pub const REJECT_SHED: u8 = 6;
 pub const REJECT_DRAINED: u8 = 7;
 /// Reject code: the model failed on this batch (server-side error).
 pub const REJECT_MODEL: u8 = 8;
+/// Reject code: the connection pipelined past its in-flight cap; the
+/// frame was refused without admission (repeat offenders are closed).
+pub const REJECT_PIPELINE: u8 = 9;
+
+/// Largest response pad a request may ask for (16-byte payload form).
+pub const MAX_RESPONSE_PAD: u64 = 512 * 1024;
+
+/// Pipelining cap the chaos preset configures — the abuse probe in
+/// `netload` bursts past exactly this, so the two must agree.
+pub const CHAOS_MAX_PIPELINE: usize = 32;
+/// Over-cap strikes the chaos preset tolerates before a typed close.
+pub const CHAOS_PIPELINE_STRIKES: u32 = 8;
 
 /// Builds a reject payload: code byte + message text.
 pub fn reject_payload(code: u8, message: &str) -> Vec<u8> {
@@ -92,6 +107,23 @@ pub struct NetServerConfig {
     /// Deficit-round-robin quantum (requests credited per unit weight per
     /// scheduler visit).
     pub quantum: u64,
+    /// Per-connection in-flight frame cap (0 = unlimited); excess frames
+    /// are refused with [`REJECT_PIPELINE`].
+    pub max_pipeline: usize,
+    /// Over-cap strikes before a connection is closed as pipeline abuse.
+    pub pipeline_strikes: u32,
+    /// Per-connection lifetime frame budget (0 = unlimited); exhausted
+    /// connections are retired with a GOAWAY.
+    pub keepalive_frames: u64,
+    /// Byte cap on a connection's pending reply buffer (0 = unbounded);
+    /// overflowing peers are closed as slow readers.
+    pub max_outbox_bytes: usize,
+    /// Deadline for a peer to drain pending replies; stalled peers are
+    /// closed as slow readers. Zero disables the stall reaper.
+    pub write_stall: Duration,
+    /// Explicit `SO_SNDBUF` on accepted sockets (0 = kernel default);
+    /// chaos presets pin it so slow-reader behaviour is deterministic.
+    pub sndbuf: usize,
 }
 
 impl NetServerConfig {
@@ -99,22 +131,61 @@ impl NetServerConfig {
     /// ephemeral port.
     pub fn smoke(tenants: u32) -> NetServerConfig {
         NetServerConfig {
-            base: ServerConfig {
-                model: "mlp".into(),
-                workers: 2,
-                max_batch: 8,
-                batch_deadline: Duration::from_micros(200),
-                queue_capacity: 256,
-                request_deadline: Duration::from_secs(2),
-                ..ServerConfig::smoke()
-            },
+            base: ServerConfig::net_smoke(),
             tenants: TenantSpec::skewed(tenants),
             master_seed: 0x5EA1_6E65,
             port: 0,
             max_conns: 256,
             idle_mid_frame: Duration::from_millis(200),
             quantum: 2,
+            // Governance at permissive defaults: well over the load
+            // generator's per-connection window, no keepalive budget.
+            max_pipeline: 64,
+            pipeline_strikes: 8,
+            keepalive_frames: 0,
+            max_outbox_bytes: 4 * 1024 * 1024,
+            write_stall: Duration::from_secs(5),
+            sndbuf: 0,
         }
+    }
+
+    /// The byzantine-client chaos preset: [`smoke`](Self::smoke) with the
+    /// lifecycle limits tightened so the injected slow-reader and
+    /// pipeline-abuse probes hit them deterministically.
+    ///
+    /// * `sndbuf` pinned small + `max_outbox_bytes` well under one padded
+    ///   response, so a never-reading probe overflows on its first reply;
+    /// * `max_pipeline`/`pipeline_strikes` pinned to the
+    ///   [`CHAOS_MAX_PIPELINE`]/[`CHAOS_PIPELINE_STRIKES`] contract the
+    ///   abuse probe bursts past;
+    /// * lane capacity raised so an abuse burst is never confounded by
+    ///   queue-full rejects (which would settle in-flight accounting).
+    pub fn chaos_smoke(tenants: u32) -> NetServerConfig {
+        let mut config = NetServerConfig::smoke(tenants);
+        // One worker: strictly serial serving plus the ordered reply
+        // mailbox make the end-of-run settle wave a real barrier — once
+        // a lane's settle answers, every earlier request in that lane
+        // has been served and its reply flushed (or typed-closed).
+        config.base.workers = 1;
+        config.base.queue_capacity = 1024;
+        // A chaos schedule opens hundreds of short-lived connections
+        // (storms, probes, per-fault reconnects). On a loaded host the
+        // reactor can lag closing dead ones, so the cap must hold the
+        // plan's whole connection population at once — an over-capacity
+        // drop would be a timing-dependent client error, not chaos.
+        config.max_conns = 1024;
+        // No organic deadline sheds: under CI load a backlogged lane
+        // could shed an abandoned probe request, and whether that beats
+        // the worker is wall-clock, not seed. The ledger must be a pure
+        // function of the fault plan.
+        config.base.request_deadline = Duration::ZERO;
+        config.idle_mid_frame = Duration::from_millis(40);
+        config.max_pipeline = CHAOS_MAX_PIPELINE;
+        config.pipeline_strikes = CHAOS_PIPELINE_STRIKES;
+        config.max_outbox_bytes = 128 * 1024;
+        config.write_stall = Duration::from_secs(5);
+        config.sndbuf = 16 * 1024;
+        config
     }
 }
 
@@ -124,6 +195,8 @@ struct NetRequest {
     conn: ConnId,
     seq: u64,
     user: u64,
+    /// Requested response pad in bytes (slow-reader chaos probes).
+    pad: u64,
     enqueued: Instant,
 }
 
@@ -162,12 +235,27 @@ impl Admission {
             return Err(reject_payload(REJECT_UNKNOWN_TENANT, "tenant not registered"));
         };
         let tenant = self.registry.by_index(index);
-        let user_bytes: [u8; 8] = match frame.payload.as_slice().try_into() {
-            Ok(bytes) => bytes,
-            Err(_) => {
+        let body = frame.payload.as_slice();
+        let le_u64 = |b: &[u8]| {
+            u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+        };
+        let (user, pad) = match body.len() {
+            8 => (le_u64(body), 0),
+            16 => {
+                let user = le_u64(&body[..8]);
+                let pad = le_u64(&body[8..]);
+                if pad > MAX_RESPONSE_PAD {
+                    return Err(reject_payload(
+                        REJECT_BAD_PAYLOAD,
+                        &format!("requested pad {pad} exceeds cap {MAX_RESPONSE_PAD}"),
+                    ));
+                }
+                (user, pad)
+            }
+            _ => {
                 return Err(reject_payload(
                     REJECT_BAD_PAYLOAD,
-                    "request body must be an 8-byte user id",
+                    "request body must be 8 bytes (user id) or 16 (user id + pad)",
                 ));
             }
         };
@@ -181,7 +269,8 @@ impl Admission {
         let request = NetRequest {
             conn,
             seq: frame.seq,
-            user: u64::from_le_bytes(user_bytes),
+            user,
+            pad,
             enqueued: Instant::now(),
         };
         match self.queue.try_push(index, request) {
@@ -191,7 +280,8 @@ impl Admission {
                 Err(reject_payload(REJECT_QUEUE_FULL, "tenant lane full; retry"))
             }
             Err((_, PushRefused::Closed)) => {
-                Err(reject_payload(REJECT_DRAINED, "server shutting down"))
+                tenant.rejected_drain.fetch_add(1, Ordering::Relaxed);
+                Err(reject_payload(REJECT_DRAINED, "server draining; not accepting"))
             }
         }
     }
@@ -202,6 +292,17 @@ impl Handler for Admission {
         if let Err(payload) = self.admit(conn, &frame) {
             reply.push(Frame::reject(frame.tenant, frame.seq, payload).encode());
         }
+    }
+
+    fn on_pipeline_exceeded(&mut self, _conn: ConnId, frame: &Frame, reply: &mut Vec<Vec<u8>>) {
+        reply.push(
+            Frame::reject(
+                frame.tenant,
+                frame.seq,
+                reject_payload(REJECT_PIPELINE, "pipelined past the in-flight cap"),
+            )
+            .encode(),
+        );
     }
 }
 
@@ -214,9 +315,13 @@ pub struct NetStats {
     pub supervision: SupervisorReport,
     /// Requests still queued at shutdown (rejected, never dropped).
     pub drained: u64,
+    /// Requests typed-rejected with [`REJECT_DRAINED`] because they were
+    /// still queued when the graceful-drain window expired.
+    pub drain_rejected: u64,
     /// Deterministic per-tenant counters, in registry order:
-    /// `(tenant, completed, rejected_queue_full, rejected_breaker, shed)`.
-    pub tenants: Vec<(u32, u64, u64, u64, u64)>,
+    /// `(tenant, completed, rejected_queue_full, rejected_breaker, shed,
+    /// rejected_drain)`.
+    pub tenants: Vec<(u32, u64, u64, u64, u64, u64)>,
     /// Server-side errors recorded by workers (model/batch failures).
     pub worker_errors: Vec<ServeError>,
 }
@@ -262,6 +367,12 @@ impl NetServer {
                 backlog: 128,
                 max_conns: config.max_conns,
                 idle_mid_frame: config.idle_mid_frame,
+                max_pipeline: config.max_pipeline,
+                pipeline_strikes: config.pipeline_strikes,
+                keepalive_frames: config.keepalive_frames,
+                max_outbox_bytes: config.max_outbox_bytes,
+                write_stall: config.write_stall,
+                sndbuf: config.sndbuf,
             },
             Admission {
                 registry: Arc::clone(&registry),
@@ -319,25 +430,18 @@ impl NetServer {
         &self.shared.registry
     }
 
-    /// Stops the reactor, closes the fair queue, joins the workers and
-    /// returns the aggregated run statistics. Requests still queued are
-    /// counted as drained (their connections are gone with the reactor,
-    /// so no reject frame can reach them — but they are never silently
-    /// lost from the accounting).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`ServeError::WorkerLost`] only if the reactor thread
-    /// itself panicked (a harness bug, not chaos).
-    pub fn shutdown(mut self) -> Result<NetStats, ServeError> {
-        self.control.shutdown();
-        let reactor = match self.reactor.take() {
+    /// Joins the reactor thread, surfacing a panic as a typed error.
+    fn join_reactor(&mut self) -> Result<ReactorStats, ServeError> {
+        match self.reactor.take() {
             Some(handle) => handle
                 .join()
-                .map_err(|_| ServeError::WorkerLost { request_id: 0 })?,
-            None => ReactorStats::default(),
-        };
-        self.shared.queue.close();
+                .map_err(|_| ServeError::WorkerLost { request_id: 0 }),
+            None => Ok(ReactorStats::default()),
+        }
+    }
+
+    /// Joins every worker, merging their supervision reports.
+    fn join_workers(&mut self) -> SupervisorReport {
         let mut supervision = SupervisorReport::default();
         for w in self.workers.drain(..) {
             let report = w.join();
@@ -348,6 +452,25 @@ impl NetServer {
                 supervision.last_panic = report.last_panic;
             }
         }
+        supervision
+    }
+
+    /// Stops the reactor, closes the fair queue, joins the workers and
+    /// returns the aggregated run statistics. Requests still queued are
+    /// counted as drained (their connections are gone with the reactor,
+    /// so no reject frame can reach them — but they are never silently
+    /// lost from the accounting). For an orderly stop that *answers*
+    /// every queued request instead, see [`drain`](Self::drain).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::WorkerLost`] only if the reactor thread
+    /// itself panicked (a harness bug, not chaos).
+    pub fn shutdown(mut self) -> Result<NetStats, ServeError> {
+        self.control.shutdown();
+        let reactor = self.join_reactor()?;
+        self.shared.queue.close();
+        let supervision = self.join_workers();
         let drained: u64 = self
             .shared
             .queue
@@ -360,10 +483,75 @@ impl NetServer {
             reactor,
             supervision,
             drained,
+            drain_rejected: 0,
             tenants: self.shared.registry.counter_snapshot(),
             worker_errors,
         })
     }
+
+    /// Enters drain mode: the fair queue closes (new admissions are
+    /// typed-rejected with [`REJECT_DRAINED`]) and the reactor stops
+    /// accepting connections and broadcasts a GOAWAY control frame to
+    /// every connected peer. Existing connections keep being served —
+    /// call [`finish_drain`](Self::finish_drain) to bound the window and
+    /// tear down. Idempotent.
+    pub fn begin_drain(&self) {
+        self.shared.queue.close();
+        self.control.drain();
+    }
+
+    /// Completes a drain started by [`begin_drain`](Self::begin_drain):
+    /// waits up to `window` for the queue to empty, then typed-rejects
+    /// whatever is still queued ([`REJECT_DRAINED`], counted per tenant
+    /// in `rejected_drain` and in [`NetStats::drain_rejected`]) while the
+    /// reactor is still alive to deliver those rejects. Every request
+    /// accepted before the drain is thus *answered* — served, shed or
+    /// typed-rejected — never silently dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::WorkerLost`] only if the reactor thread
+    /// itself panicked.
+    pub fn finish_drain(mut self, window: Duration) -> Result<NetStats, ServeError> {
+        let emptied = self.shared.queue.wait_empty(window);
+        let mut drain_rejected = 0u64;
+        if !emptied {
+            // Window expired: answer the backlog, typed, while the
+            // reactor can still flush frames to the peers.
+            for batch in self.shared.queue.drain_remaining() {
+                let tenant = self.shared.registry.by_index(batch.tenant_index);
+                for req in batch.items {
+                    tenant.rejected_drain.fetch_add(1, Ordering::Relaxed);
+                    drain_rejected += 1;
+                    self.shared.responder.send(
+                        req.conn,
+                        Frame::reject(
+                            batch.tenant,
+                            req.seq,
+                            reject_payload(REJECT_DRAINED, "drain window expired"),
+                        )
+                        .encode(),
+                    );
+                }
+            }
+        }
+        // The queue is closed and empty, so workers exit on their own;
+        // joining them first guarantees their final responses are in the
+        // responder mailbox before the reactor's shutdown flush.
+        let supervision = self.join_workers();
+        self.control.shutdown();
+        let reactor = self.join_reactor()?;
+        let worker_errors = std::mem::take(&mut *locked(&self.shared.errors));
+        Ok(NetStats {
+            reactor,
+            supervision,
+            drained: 0,
+            drain_rejected,
+            tenants: self.shared.registry.counter_snapshot(),
+            worker_errors,
+        })
+    }
+
 }
 
 /// Serves one single-tenant batch: shed the expired, derive each user's
@@ -379,7 +567,11 @@ fn serve_batch(
     let mut live = Vec::with_capacity(batch.items.len());
     for req in batch.items {
         let waited = now.saturating_duration_since(req.enqueued);
-        if waited > shared.request_deadline {
+        // `ZERO` disables organic shedding, matching `ServerConfig`'s
+        // request_deadline contract (chaos presets rely on it: whether a
+        // backlogged request beats a wall-clock deadline is not a
+        // function of the fault seed).
+        if !shared.request_deadline.is_zero() && waited > shared.request_deadline {
             tenant.shed.fetch_add(1, Ordering::Relaxed);
             locked(&tenant.breaker).on_shed();
             let msg = format!(
@@ -439,9 +631,12 @@ fn serve_batch(
                 latency.record(req.enqueued.elapsed().as_micros() as u64);
                 tenant.completed.fetch_add(1, Ordering::Relaxed);
                 breaker.on_success();
-                let mut payload = Vec::with_capacity(12);
+                let mut payload = Vec::with_capacity(12 + req.pad as usize);
                 payload.extend_from_slice(&(pred as u32).to_le_bytes());
                 payload.extend_from_slice(&req.user.to_le_bytes());
+                // Requested pad: zero filler that makes the reply bulky
+                // enough to exercise write-side backpressure.
+                payload.resize(12 + req.pad as usize, 0);
                 shared
                     .responder
                     .send(req.conn, Frame::response(batch.tenant, req.seq, payload).encode());
@@ -474,13 +669,51 @@ fn net_worker_loop(shared: &NetShared) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use seal_net::FrameClient;
+    use seal_net::{FrameClient, FrameDecoder};
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
 
     fn roundtrip_user(client: &mut FrameClient, tenant: u32, seq: u64, user: u64) -> Frame {
         client
             .send(&Frame::request(tenant, seq, user.to_le_bytes().to_vec()))
             .unwrap();
         client.recv().unwrap()
+    }
+
+    /// A raw client holding one decoder across reads, so coalesced
+    /// replies are never lost between calls.
+    struct Wire {
+        stream: TcpStream,
+        dec: FrameDecoder,
+    }
+
+    impl Wire {
+        fn connect(port: u16) -> Wire {
+            let stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
+            stream.set_nodelay(true).unwrap();
+            stream
+                .set_read_timeout(Some(Duration::from_secs(10)))
+                .unwrap();
+            Wire { stream, dec: FrameDecoder::new() }
+        }
+
+        /// Next frame, or `None` on orderly EOF / reset.
+        fn read_frame(&mut self) -> Option<Frame> {
+            let mut buf = [0u8; 64 * 1024];
+            loop {
+                if let Some(frame) = self.dec.next_frame().unwrap() {
+                    return Some(frame);
+                }
+                match self.stream.read(&mut buf) {
+                    Ok(0) | Err(_) => return None,
+                    Ok(n) => self.dec.push(&buf[..n]),
+                }
+            }
+        }
+    }
+
+    fn request_bytes(tenant: u32, seq: u64, user: u64) -> Vec<u8> {
+        Frame::request(tenant, seq, user.to_le_bytes().to_vec()).encode()
     }
 
     #[test]
@@ -552,6 +785,106 @@ mod tests {
             answers.push(round);
         }
         assert_eq!(answers[0], answers[1], "same seed, same answers");
+    }
+
+    #[test]
+    fn padded_requests_get_bulky_zero_filled_responses() {
+        let server = NetServer::start(NetServerConfig::smoke(1)).unwrap();
+        let mut client = FrameClient::connect(server.port(), Duration::from_secs(10)).unwrap();
+        let mut payload = 77u64.to_le_bytes().to_vec();
+        payload.extend_from_slice(&1024u64.to_le_bytes());
+        client.send(&Frame::request(0, 1, payload)).unwrap();
+        let reply = client.recv().unwrap();
+        assert_eq!(reply.kind, FrameKind::Response);
+        assert_eq!(reply.payload.len(), 12 + 1024);
+        let echoed = u64::from_le_bytes(reply.payload[4..12].try_into().unwrap());
+        assert_eq!(echoed, 77);
+        assert!(reply.payload[12..].iter().all(|&b| b == 0), "pad is zeros");
+        drop(client);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn oversized_pad_is_a_typed_payload_reject() {
+        let server = NetServer::start(NetServerConfig::smoke(1)).unwrap();
+        let mut client = FrameClient::connect(server.port(), Duration::from_secs(10)).unwrap();
+        let mut payload = 77u64.to_le_bytes().to_vec();
+        payload.extend_from_slice(&(MAX_RESPONSE_PAD + 1).to_le_bytes());
+        client.send(&Frame::request(0, 1, payload)).unwrap();
+        let reply = client.recv().unwrap();
+        assert_eq!(reply.kind, FrameKind::Reject);
+        assert_eq!(parse_reject(&reply.payload).unwrap().0, REJECT_BAD_PAYLOAD);
+        drop(client);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn pipeline_overrun_is_rejected_with_the_typed_code() {
+        let mut config = NetServerConfig::smoke(1);
+        config.max_pipeline = 1;
+        config.pipeline_strikes = 100; // rejects only, no close
+        let server = NetServer::start(config).unwrap();
+        let mut wire = Wire::connect(server.port());
+        // One write: the reactor sees all 8 frames in a single read
+        // batch, before any worker response can settle in-flight.
+        let burst: Vec<u8> = (1..=8u64).flat_map(|seq| request_bytes(0, seq, seq)).collect();
+        wire.stream.write_all(&burst).unwrap();
+        let mut responses = 0u32;
+        let mut pipeline_rejects = 0u32;
+        for _ in 0..8 {
+            let frame = wire.read_frame().expect("a reply per request");
+            match frame.kind {
+                FrameKind::Response => responses += 1,
+                FrameKind::Reject => {
+                    assert_eq!(parse_reject(&frame.payload).unwrap().0, REJECT_PIPELINE);
+                    pipeline_rejects += 1;
+                }
+                other => panic!("unexpected reply kind {other:?}"),
+            }
+        }
+        assert_eq!((responses, pipeline_rejects), (1, 7));
+        drop(wire);
+        let stats = server.shutdown().unwrap();
+        assert_eq!(stats.reactor.pipeline_rejects, 7);
+        assert_eq!(stats.reactor.pipeline_closed, 0);
+    }
+
+    #[test]
+    fn drain_answers_every_accepted_request() {
+        let server = NetServer::start(NetServerConfig::smoke(1)).unwrap();
+        let mut wire = Wire::connect(server.port());
+        const BURST: u64 = 48;
+        let burst: Vec<u8> = (0..BURST).flat_map(|seq| request_bytes(0, seq, seq)).collect();
+        wire.stream.write_all(&burst).unwrap();
+        // One reply back means the whole burst was admitted (a single
+        // read batch) — drain with a zero window so the backlog must be
+        // typed-rejected rather than served out.
+        let first = wire.read_frame().expect("first reply");
+        assert_ne!(first.kind, FrameKind::Goaway);
+        server.begin_drain();
+        let stats = server.finish_drain(Duration::ZERO).unwrap();
+
+        // Server-side ledger: every admitted request is accounted —
+        // completed, shed or drain-rejected. Nothing silently dropped.
+        let (_, completed, queue_full, breaker, shed, rejected_drain) = stats.tenants[0];
+        assert_eq!(queue_full + breaker, 0);
+        assert_eq!(completed + shed + rejected_drain, BURST);
+        assert_eq!(stats.drained, 0, "drain leaves nothing unanswered");
+        assert!(stats.drain_rejected <= rejected_drain);
+        assert_eq!(stats.reactor.goaways_sent, 1);
+
+        // Client side: every remaining reply arrives before EOF.
+        let mut answered = 1u64;
+        let mut goaways = 0u64;
+        while let Some(frame) = wire.read_frame() {
+            if frame.kind == FrameKind::Goaway {
+                goaways += 1;
+            } else {
+                answered += 1;
+            }
+        }
+        assert_eq!(answered, BURST, "all requests answered on the wire");
+        assert_eq!(goaways, 1, "drain broadcast one GOAWAY");
     }
 
     #[test]

@@ -85,6 +85,10 @@ pub struct TenantState {
     pub rejected_breaker: AtomicU64,
     /// Requests shed past their deadline.
     pub shed: AtomicU64,
+    /// Requests typed-rejected because the server was draining (queue
+    /// closed at admission, or still queued when the drain window
+    /// expired) — the "never silently dropped" ledger.
+    pub rejected_drain: AtomicU64,
 }
 
 impl TenantState {
@@ -173,6 +177,7 @@ impl TenantRegistry {
                 rejected_queue_full: AtomicU64::new(0),
                 rejected_breaker: AtomicU64::new(0),
                 shed: AtomicU64::new(0),
+                rejected_drain: AtomicU64::new(0),
             });
         }
         Ok(TenantRegistry { tenants, by_id })
@@ -219,8 +224,8 @@ impl TenantRegistry {
 
     /// Snapshot of the deterministic per-tenant counters, in registry
     /// order: `(tenant, completed, rejected_queue_full, rejected_breaker,
-    /// shed)`.
-    pub fn counter_snapshot(&self) -> Vec<(u32, u64, u64, u64, u64)> {
+    /// shed, rejected_drain)`.
+    pub fn counter_snapshot(&self) -> Vec<(u32, u64, u64, u64, u64, u64)> {
         self.tenants
             .iter()
             .map(|t| {
@@ -230,6 +235,7 @@ impl TenantRegistry {
                     t.rejected_queue_full.load(Ordering::Relaxed),
                     t.rejected_breaker.load(Ordering::Relaxed),
                     t.shed.load(Ordering::Relaxed),
+                    t.rejected_drain.load(Ordering::Relaxed),
                 )
             })
             .collect()

@@ -1,0 +1,69 @@
+//! End-to-end graceful-drain suite over the public API: a TCP server
+//! under multi-client load is drained mid-flight and must uphold the
+//! zero-silent-drops contract — every client sees a GOAWAY, every
+//! request accepted before the drain is answered, every request after
+//! it is typed-rejected (including the final request of clients that
+//! vanish mid-drain, which must still land in the server's
+//! `rejected_drain` ledger), and two same-fault-seed exercises must
+//! produce bit-identical reports.
+
+use std::time::Duration;
+
+use seal_serve::{run_drain, DrainLoadConfig, DrainPhase, NetServer, NetServerConfig};
+
+fn drain_exercise(fault_seed: u64) -> DrainPhase {
+    let server = NetServer::start(NetServerConfig::smoke(3)).expect("start");
+    let weights = server.registry().weights();
+    let cfg = DrainLoadConfig::smoke(fault_seed);
+    let load =
+        run_drain(server.port(), &weights, &cfg, || server.begin_drain()).expect("drain load");
+    let stats = server
+        .finish_drain(Duration::from_secs(5))
+        .expect("finish drain");
+    DrainPhase { load, stats }
+}
+
+#[test]
+fn drain_never_silently_drops_and_is_deterministic() {
+    let a = drain_exercise(97);
+    let b = drain_exercise(97);
+
+    // The zero-silent-drops contract, end to end.
+    let l = &a.load;
+    assert_eq!(l.wrong_replies, 0, "mismatched replies");
+    assert_eq!(l.pre_completed, l.clients * l.pre_requests);
+    assert_eq!(l.goaways, l.clients, "every client sees a GOAWAY");
+    assert_eq!(a.stats.reactor.goaways_sent, l.clients);
+    assert_eq!(l.realized_disconnects, l.planned_disconnects);
+    assert_eq!(
+        l.post_rejected,
+        (l.clients - l.realized_disconnects) * l.post_requests,
+        "every surviving client's post-drain requests are typed-rejected"
+    );
+    let rejected_drain: u64 = a.stats.tenants.iter().map(|t| t.5).sum();
+    assert_eq!(
+        rejected_drain,
+        l.post_rejected + l.realized_disconnects,
+        "vanished clients' final requests still hit the drain ledger"
+    );
+    let served: u64 = a.stats.tenants.iter().map(|t| t.1).sum();
+    assert_eq!(served, l.pre_completed, "nothing admitted goes unanswered");
+    assert_eq!(a.stats.drained, 0, "no leftovers past the drain window");
+    assert!(a.stats.worker_errors.is_empty());
+
+    // Same fault seed, bit-identical reports.
+    assert_eq!(a.load, b.load);
+    assert_eq!(a.deterministic_signature(), b.deterministic_signature());
+}
+
+#[test]
+fn distinct_fault_seeds_can_vary_the_disconnect_schedule() {
+    // Not all seeds plan the same disconnect set; the report must carry
+    // whatever the plan said, exactly.
+    let phase = drain_exercise(3);
+    assert_eq!(
+        phase.load.realized_disconnects,
+        phase.load.planned_disconnects
+    );
+    assert_eq!(phase.load.goaways, phase.load.clients);
+}

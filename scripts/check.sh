@@ -73,10 +73,15 @@ cargo run --release -q -p seal-serve -- --chaos
 # skew-weighted tenants (per-tenant AES keys, counter windows and
 # compiled plans; deficit-round-robin admission) over real loopback TCP
 # under a deterministic open-loop Pareto load of 1e5 distinct users,
-# then replays the seeded network-fault schedule (malformed frames,
-# truncations, slow-loris holds, disconnects) twice. Fails on a Jain
-# fairness index < 0.9, any fault-ledger mismatch, or cross-run
-# nondeterminism; the artifact lands in results/serve_net.json.
+# then replays the seeded byzantine-client fault schedule (malformed
+# frames, truncations, slow-loris holds, disconnects, slow readers that
+# trip write backpressure, pipeline over-runs past the in-flight cap,
+# connect storms) twice, then exercises graceful drain twice
+# (GOAWAY-per-client, typed rejects for everything accepted after the
+# drain begins — the zero-silent-drops contract). Fails on a Jain
+# fairness index < 0.9, any typed fault-ledger mismatch, a dropped or
+# unanswered request across the drain, or cross-run nondeterminism; the
+# artifact lands in results/serve_net.json.
 echo "==> seal-serve --net-smoke"
 cargo run --release -q -p seal-serve -- --net-smoke
 
