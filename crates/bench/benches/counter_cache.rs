@@ -1,8 +1,10 @@
 //! Micro-benchmark for counter-cache lookups (the per-request operation
-//! on the counter-mode critical path).
+//! on the counter-mode critical path), plus the batched `access_run`
+//! walk against the equivalent per-page loop — the fast path the serve
+//! cost model's hot weight walk rides.
 
 use seal_bench::timing::bench;
-use seal_crypto::{CounterCache, CounterCacheConfig};
+use seal_crypto::{CounterCache, CounterCacheConfig, CounterGeometry};
 
 fn main() {
     for kb in [24usize, 1536] {
@@ -13,4 +15,31 @@ fn main() {
             cc.access(addr)
         });
     }
+
+    // The hot weight walk, per-page vs batched, over a pinned read-only
+    // region (tuned geometry): access_run collapses the whole run into
+    // one region check once the shared major counter is resident.
+    let pages = 4096u64;
+    let page = CounterGeometry::tuned().coverage_bytes() as u64;
+    let cfg = CounterCacheConfig::with_kilobytes(96)
+        .with_read_only_region(0, pages * page)
+        .unwrap();
+
+    let mut cc = CounterCache::new(cfg).unwrap();
+    cc.access_run(0, pages);
+    bench("counter_cache/walk_per_page_4096", || {
+        let mut misses = 0u64;
+        for p in 0..pages {
+            if !cc.access(p * page) {
+                misses += 1;
+            }
+        }
+        misses
+    });
+
+    let mut cc = CounterCache::new(cfg).unwrap();
+    cc.access_run(0, pages);
+    bench("counter_cache/walk_access_run_4096", || {
+        cc.access_run(0, pages).misses
+    });
 }

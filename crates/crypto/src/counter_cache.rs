@@ -7,13 +7,145 @@
 //! 1536 KB and reports the hit rate (Fig. 1b) and the resulting IPC
 //! (Fig. 1a).
 //!
-//! We model a set-associative, LRU, write-allocate cache. Following the
-//! split-counter organisation of Yan et al. (ISCA'06), one 64-byte counter
-//! line covers a 4 KB data page, so a cache of `S` bytes tracks counters for
-//! `64 · S` bytes of data.
-
+//! We model a set-associative, LRU, write-allocate cache with three
+//! locality mechanisms layered on top of the plain LRU array:
+//!
+//! * **Split counters** (Yan et al., ISCA'06): one 64-byte line packs a
+//!   64-bit major counter plus a run of small minor counters, so a single
+//!   line covers a whole data page. The minor width is configurable
+//!   ([`CounterCacheConfig::split_kilobytes`]) — 7-bit minors give the
+//!   classic 4 KiB coverage, narrower minors stretch one line over more
+//!   data at the price of more frequent minor-counter overflows.
+//! * **Read-only regions** (GuardNN lineage: read-only model weights need
+//!   no per-write version counters): a region registered via
+//!   [`CounterCacheConfig::with_read_only_region`] shares one pinned major
+//!   counter. The first touch fetches it (one miss); afterwards the whole
+//!   region hits forever and can never be evicted by streaming traffic,
+//!   because the pinned state lives outside the LRU sets.
+//! * **Next-line prefetch** (Seculator lineage: fast counter management
+//!   for streaming workloads): on a demand miss — or on consuming a
+//!   prefetched line, which continues the stream — the next sequential
+//!   counter line is filled ahead of use. Prefetched lines count as
+//!   `prefetch_hits` when a demand access lands on them.
 
 use crate::CryptoError;
+
+/// Bits in one counter-cache line (64 bytes).
+const LINE_BITS: usize = 512;
+
+/// Bits of the shared major counter in a split-counter line.
+const MAJOR_BITS: usize = 64;
+
+/// Bytes of data protected by one minor counter (one AES block run).
+const MINOR_BLOCK_BYTES: usize = 64;
+
+/// Maximum number of pinned read-only regions one cache tracks. Small and
+/// fixed so [`CounterCacheConfig`] stays `Copy` (the gpusim config fans a
+/// single template out across memory controllers by struct update).
+pub const MAX_READ_ONLY_REGIONS: usize = 4;
+
+/// A pinned read-only address window: `[base, base + bytes)` of *data*
+/// addresses whose counters collapse onto one shared major counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadOnlyRegion {
+    /// First data address covered.
+    pub base: u64,
+    /// Length of the window in bytes.
+    pub bytes: u64,
+}
+
+impl ReadOnlyRegion {
+    /// Whether `addr` falls inside the window.
+    fn contains(&self, addr: u64) -> bool {
+        addr >= self.base && addr - self.base < self.bytes
+    }
+
+    /// Exclusive end address; `None` when the window overflows `u64`.
+    fn end(&self) -> Option<u64> {
+        self.base.checked_add(self.bytes)
+    }
+}
+
+/// The counter-*organisation* knob the serving stack threads from
+/// `ServerConfig` down to every lane's [`CounterCache`]: how wide the
+/// split-counter minors are, whether the next-line prefetcher runs, and
+/// whether weight windows are pinned as GuardNN-style read-only regions.
+///
+/// [`CounterGeometry::classic`] reproduces the paper's baseline counter
+/// organisation (plain per-page LRU, everything streams); it is what the
+/// before/after benchmark uses as its "before" arm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterGeometry {
+    /// Split-counter minor width in bits (7 = classic 4 KiB coverage per
+    /// line; narrower minors widen one line's coverage).
+    pub minor_bits: u32,
+    /// Run the next-line sequential prefetcher on streaming misses.
+    pub prefetch: bool,
+    /// Register each lane's weight window as a pinned read-only region
+    /// (shared major counter, never evicted by streaming feature maps).
+    pub read_only_weights: bool,
+}
+
+impl CounterGeometry {
+    /// The paper's baseline organisation: 7-bit minors, no prefetch, no
+    /// pinned regions. Counter behavior is identical to the pre-overhaul
+    /// cost model.
+    pub const fn classic() -> Self {
+        CounterGeometry {
+            minor_bits: 7,
+            prefetch: false,
+            read_only_weights: false,
+        }
+    }
+
+    /// The locality-tuned organisation: classic coverage plus prefetch
+    /// and pinned read-only weight windows (Seculator/GuardNN lineage).
+    pub const fn tuned() -> Self {
+        CounterGeometry {
+            minor_bits: 7,
+            prefetch: true,
+            read_only_weights: true,
+        }
+    }
+
+    /// Bytes of data one counter line covers under this minor width
+    /// (0 when `minor_bits` is invalid).
+    pub fn coverage_bytes(&self) -> usize {
+        CounterCacheConfig::split_kilobytes(1, self.minor_bits).coverage_bytes
+    }
+
+    /// Validates the minor width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidConfig`] when the minor width yields
+    /// zero coverage (0 bits, or wider than the line's minor field).
+    pub fn validate(&self) -> Result<(), CryptoError> {
+        if self.coverage_bytes() == 0 {
+            return Err(CryptoError::InvalidConfig {
+                reason: format!(
+                    "counter_geometry minor_bits {} leaves no minor counters in a {} B line",
+                    self.minor_bits,
+                    LINE_BITS / 8
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// The cache geometry this knob implies at `kb` kilobytes of
+    /// capacity (read-only regions are registered per lane on top).
+    pub fn cache_config(&self, kb: usize) -> CounterCacheConfig {
+        CounterCacheConfig::split_kilobytes(kb, self.minor_bits).with_prefetch(self.prefetch)
+    }
+}
+
+impl Default for CounterGeometry {
+    /// The locality-tuned organisation.
+    fn default() -> Self {
+        CounterGeometry::tuned()
+    }
+}
 
 /// Geometry of a counter cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,17 +158,87 @@ pub struct CounterCacheConfig {
     pub ways: usize,
     /// Bytes of *data* covered by one counter line (split-counter page).
     pub coverage_bytes: usize,
+    /// Enable the next-line sequential prefetcher.
+    pub prefetch: bool,
+    /// Pinned read-only regions (weight windows); `None` slots are free.
+    pub read_only: [Option<ReadOnlyRegion>; MAX_READ_ONLY_REGIONS],
 }
 
 impl CounterCacheConfig {
     /// The paper's sweep point at `kb` kilobytes with the default geometry
-    /// (64-byte lines, 8 ways, 4 KB coverage per line).
+    /// (64-byte lines, 8 ways, 4 KB coverage per line, no prefetch, no
+    /// read-only regions).
     pub fn with_kilobytes(kb: usize) -> Self {
         CounterCacheConfig {
             capacity_bytes: kb * 1024,
             line_bytes: 64,
             ways: 8,
             coverage_bytes: 4096,
+            prefetch: false,
+            read_only: [None; MAX_READ_ONLY_REGIONS],
+        }
+    }
+
+    /// A split-counter geometry at `kb` kilobytes: one 64-byte line holds
+    /// a 64-bit major counter plus `(512 - 64) / minor_bits` minor
+    /// counters, each guarding a 64-byte data block. `minor_bits = 7`
+    /// reproduces the classic 4 KiB/line coverage; narrower minors widen
+    /// the coverage (e.g. 3-bit minors cover 9 KiB per line).
+    ///
+    /// The geometry is validated by [`CounterCache::new`]; a `minor_bits`
+    /// of zero or wider than the line's minor field yields zero coverage
+    /// and is rejected there.
+    pub fn split_kilobytes(kb: usize, minor_bits: u32) -> Self {
+        let minors = if minor_bits == 0 {
+            0
+        } else {
+            (LINE_BITS - MAJOR_BITS) / minor_bits as usize
+        };
+        CounterCacheConfig {
+            coverage_bytes: minors * MINOR_BLOCK_BYTES,
+            ..CounterCacheConfig::with_kilobytes(kb)
+        }
+    }
+
+    /// Returns the config with the next-line prefetcher switched.
+    pub fn with_prefetch(mut self, on: bool) -> Self {
+        self.prefetch = on;
+        self
+    }
+
+    /// Registers `[base, base + bytes)` as a pinned read-only region
+    /// (GuardNN-style shared major counter; see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidConfig`] when all
+    /// [`MAX_READ_ONLY_REGIONS`] slots are taken, the window is empty, or
+    /// it overlaps an already-registered region.
+    pub fn with_read_only_region(mut self, base: u64, bytes: u64) -> Result<Self, CryptoError> {
+        let region = ReadOnlyRegion { base, bytes };
+        if bytes == 0 || region.end().is_none() {
+            return Err(CryptoError::InvalidConfig {
+                reason: format!("read-only region [{base:#x}, +{bytes}) is empty or overflows"),
+            });
+        }
+        for r in self.read_only.iter().flatten() {
+            if base < r.end().unwrap_or(u64::MAX) && r.base < region.end().unwrap_or(u64::MAX) {
+                return Err(CryptoError::InvalidConfig {
+                    reason: format!(
+                        "read-only region [{base:#x}, +{bytes}) overlaps [{:#x}, +{})",
+                        r.base, r.bytes
+                    ),
+                });
+            }
+        }
+        match self.read_only.iter_mut().find(|slot| slot.is_none()) {
+            Some(slot) => {
+                *slot = Some(region);
+                Ok(self)
+            }
+            None => Err(CryptoError::InvalidConfig {
+                reason: format!("more than {MAX_READ_ONLY_REGIONS} read-only regions"),
+            }),
         }
     }
 
@@ -64,6 +266,13 @@ pub struct CounterCacheStats {
     /// (integrity check failed) and repaired it with a DRAM re-fetch —
     /// these are also counted in `misses`, since they pay a fetch.
     pub corruptions_detected: u64,
+    /// Hits served by a line the prefetcher brought in (subset of `hits`).
+    pub prefetch_hits: u64,
+    /// Lines the prefetcher fetched ahead of use.
+    pub prefetch_fills: u64,
+    /// Hits served by a pinned read-only region's shared major counter
+    /// (subset of `hits`).
+    pub ro_hits: u64,
 }
 
 impl CounterCacheStats {
@@ -78,6 +287,15 @@ impl CounterCacheStats {
     }
 }
 
+/// Hit/miss outcome of one [`CounterCache::access_run`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Pages of the run whose counter line was resident.
+    pub hits: u64,
+    /// Pages of the run that paid a DRAM counter fetch.
+    pub misses: u64,
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Way {
     tag: u64,
@@ -87,6 +305,19 @@ struct Way {
     /// next access detects this (modelling the counter block's own MAC /
     /// ECC check) and repairs the line with a re-fetch instead of handing
     /// out a bogus counter.
+    corrupt: bool,
+    /// The line was filled by the prefetcher and has not been demanded
+    /// yet; the first demand access counts it as a `prefetch_hit`.
+    prefetched: bool,
+}
+
+/// Runtime state of one pinned read-only region.
+#[derive(Debug, Clone, Copy)]
+struct RoSlot {
+    region: ReadOnlyRegion,
+    /// The shared major counter has been fetched (first touch).
+    touched: bool,
+    /// Fault-injection flag on the shared major counter line.
     corrupt: bool,
 }
 
@@ -106,6 +337,7 @@ struct Way {
 pub struct CounterCache {
     config: CounterCacheConfig,
     sets: Vec<Vec<Way>>,
+    ro: Vec<RoSlot>,
     tick: u64,
     stats: CounterCacheStats,
 }
@@ -126,8 +358,9 @@ impl CounterCache {
     ///
     /// # Errors
     ///
-    /// Returns [`CryptoError::InvalidConfig`] if any geometry field is zero
-    /// or the capacity does not hold at least one set.
+    /// Returns [`CryptoError::InvalidConfig`] if any geometry field is zero,
+    /// the capacity does not hold at least one set, or a read-only region
+    /// is empty / overflowing / overlapping another.
     pub fn new(config: CounterCacheConfig) -> Result<Self, CryptoError> {
         if config.line_bytes == 0 || config.ways == 0 || config.coverage_bytes == 0 {
             return Err(CryptoError::InvalidConfig {
@@ -143,6 +376,29 @@ impl CounterCache {
                 ),
             });
         }
+        let regions: Vec<ReadOnlyRegion> = config.read_only.iter().flatten().copied().collect();
+        for (i, r) in regions.iter().enumerate() {
+            if r.bytes == 0 || r.end().is_none() {
+                return Err(CryptoError::InvalidConfig {
+                    reason: format!(
+                        "read-only region [{:#x}, +{}) is empty or overflows",
+                        r.base, r.bytes
+                    ),
+                });
+            }
+            for other in &regions[i + 1..] {
+                if r.base < other.end().unwrap_or(u64::MAX)
+                    && other.base < r.end().unwrap_or(u64::MAX)
+                {
+                    return Err(CryptoError::InvalidConfig {
+                        reason: format!(
+                            "read-only regions [{:#x}, +{}) and [{:#x}, +{}) overlap",
+                            r.base, r.bytes, other.base, other.bytes
+                        ),
+                    });
+                }
+            }
+        }
         Ok(CounterCache {
             config,
             sets: vec![
@@ -151,12 +407,21 @@ impl CounterCache {
                         tag: 0,
                         last_use: 0,
                         valid: false,
-                        corrupt: false
+                        corrupt: false,
+                        prefetched: false,
                     };
                     config.ways
                 ];
                 sets
             ],
+            ro: regions
+                .into_iter()
+                .map(|region| RoSlot {
+                    region,
+                    touched: false,
+                    corrupt: false,
+                })
+                .collect(),
             tick: 0,
             stats: CounterCacheStats::default(),
         })
@@ -167,47 +432,195 @@ impl CounterCache {
         &self.config
     }
 
+    /// Index of the pinned read-only region containing `addr`, if any.
+    fn ro_index(&self, addr: u64) -> Option<usize> {
+        self.ro.iter().position(|s| s.region.contains(addr))
+    }
+
+    /// Set index and tag of the counter line covering `addr`.
+    fn locate(&self, addr: u64) -> (usize, u64) {
+        let line_id = addr / self.config.coverage_bytes as u64;
+        let num_sets = self.sets.len() as u64;
+        ((line_id % num_sets) as usize, line_id / num_sets)
+    }
+
     /// Looks up the counter line covering data address `addr`, allocating it
     /// on a miss. Returns `true` on hit.
     pub fn access(&mut self, addr: u64) -> bool {
-        self.tick += 1;
-        let line_id = addr / self.config.coverage_bytes as u64;
-        let num_sets = self.sets.len() as u64;
-        let set_idx = (line_id % num_sets) as usize;
-        let tag = line_id / num_sets;
-        let set = &mut self.sets[set_idx];
-
-        if let Some(way) = set.iter_mut().find(|w| w.valid && w.tag == tag) {
-            if way.corrupt {
-                // The line's integrity check fails: repair it with a DRAM
-                // re-fetch. Priced as a miss, surfaced in the stats, and
-                // never handed out as a (bogus) hit.
-                way.corrupt = false;
-                way.last_use = self.tick;
+        // Pinned read-only regions sit outside the LRU sets: the first
+        // touch fetches the shared major counter (one miss), every later
+        // access hits and nothing streaming through the sets can evict it.
+        if let Some(i) = self.ro_index(addr) {
+            let slot = &mut self.ro[i];
+            if slot.corrupt {
+                slot.corrupt = false;
                 self.stats.corruptions_detected += 1;
                 self.stats.misses += 1;
                 return false;
             }
-            way.last_use = self.tick;
-            self.stats.hits += 1;
-            return true;
+            if slot.touched {
+                self.stats.hits += 1;
+                self.stats.ro_hits += 1;
+                return true;
+            }
+            slot.touched = true;
+            self.stats.misses += 1;
+            return false;
         }
-        self.stats.misses += 1;
-        // Victimise an invalid way, else the LRU way.
-        let victim = match set
-            .iter_mut()
-            .min_by_key(|w| if w.valid { w.last_use } else { 0 })
-        {
-            Some(way) => way,
-            // Unreachable: config validation rejects zero-way geometries.
-            // A degenerate empty set simply caches nothing.
-            None => return false,
+
+        let (set_idx, tag) = self.locate(addr);
+        if self.config.ways == 0 || self.sets[set_idx].is_empty() {
+            // A degenerate empty set caches nothing; skipping the tick
+            // keeps the LRU order of the real sets unperturbed.
+            self.stats.misses += 1;
+            return false;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        // Single pass: find the matching way and, for the miss path, the
+        // victim (first invalid way, else least-recently-used) together.
+        let set = &mut self.sets[set_idx];
+        let mut hit_way = None;
+        let mut victim = 0usize;
+        let mut victim_key = u64::MAX;
+        for (i, w) in set.iter().enumerate() {
+            if w.valid && w.tag == tag {
+                hit_way = Some(i);
+                break;
+            }
+            let key = if w.valid { w.last_use } else { 0 };
+            if key < victim_key {
+                victim_key = key;
+                victim = i;
+            }
+        }
+        let stream_next = match hit_way {
+            Some(i) => {
+                let way = &mut set[i];
+                if way.corrupt {
+                    // The line's integrity check fails: repair it with a
+                    // DRAM re-fetch. Priced as a miss, surfaced in the
+                    // stats, and never handed out as a (bogus) hit.
+                    way.corrupt = false;
+                    way.prefetched = false;
+                    way.last_use = tick;
+                    self.stats.corruptions_detected += 1;
+                    self.stats.misses += 1;
+                    return false;
+                }
+                way.last_use = tick;
+                let consumed_prefetch = way.prefetched;
+                way.prefetched = false;
+                self.stats.hits += 1;
+                if consumed_prefetch {
+                    self.stats.prefetch_hits += 1;
+                }
+                // Consuming a prefetched line continues a stream — keep
+                // running ahead of it. A plain hit does not re-prefetch.
+                consumed_prefetch
+            }
+            None => {
+                let way = &mut set[victim];
+                way.tag = tag;
+                way.valid = true;
+                way.corrupt = false;
+                way.prefetched = false;
+                way.last_use = tick;
+                self.stats.misses += 1;
+                true
+            }
         };
-        victim.tag = tag;
-        victim.valid = true;
-        victim.corrupt = false;
-        victim.last_use = self.tick;
-        false
+        let hit = hit_way.is_some();
+        if self.config.prefetch && stream_next {
+            self.prefetch_fill(addr / self.config.coverage_bytes as u64 + 1);
+        }
+        hit
+    }
+
+    /// Fills the counter line `line_id` ahead of demand (next-line
+    /// prefetch). No-op when the line is already resident or falls inside
+    /// a pinned read-only region (whose major counter is already shared).
+    fn prefetch_fill(&mut self, line_id: u64) {
+        let addr = match line_id.checked_mul(self.config.coverage_bytes as u64) {
+            Some(a) => a,
+            None => return,
+        };
+        if self.ro_index(addr).is_some() {
+            return;
+        }
+        let (set_idx, tag) = self.locate(addr);
+        let tick = self.tick;
+        let set = &mut self.sets[set_idx];
+        if set.is_empty() {
+            return;
+        }
+        let mut victim = 0usize;
+        let mut victim_key = u64::MAX;
+        for (i, w) in set.iter().enumerate() {
+            if w.valid && w.tag == tag {
+                return; // already resident — nothing to fetch
+            }
+            let key = if w.valid { w.last_use } else { 0 };
+            if key < victim_key {
+                victim_key = key;
+                victim = i;
+            }
+        }
+        let way = &mut set[victim];
+        way.tag = tag;
+        way.valid = true;
+        way.corrupt = false;
+        way.prefetched = true;
+        way.last_use = tick;
+        self.stats.prefetch_fills += 1;
+    }
+
+    /// Walks `pages` consecutive counter pages starting at `base` — the
+    /// batched form of the serve cost model's hot counter walk.
+    ///
+    /// **Determinism contract:** the outcome (stats, LRU state, prefetch
+    /// state) is bitwise identical to calling [`access`](Self::access) once
+    /// per page in ascending order; the batched form only short-circuits
+    /// runs that sit entirely inside one pinned read-only region to O(1).
+    pub fn access_run(&mut self, base: u64, pages: u64) -> RunOutcome {
+        let cov = self.config.coverage_bytes as u64;
+        if pages > 0 {
+            if let Some(i) = self.ro_index(base) {
+                let slot = self.ro[i];
+                let last = base + (pages - 1).saturating_mul(cov);
+                if slot.region.contains(last) && !slot.corrupt {
+                    // Whole run under one shared major counter: first
+                    // touch is the region's single fetch, everything else
+                    // hits — exactly what the per-page loop would do.
+                    let slot = &mut self.ro[i];
+                    if slot.touched {
+                        self.stats.hits += pages;
+                        self.stats.ro_hits += pages;
+                        return RunOutcome {
+                            hits: pages,
+                            misses: 0,
+                        };
+                    }
+                    slot.touched = true;
+                    self.stats.misses += 1;
+                    self.stats.hits += pages - 1;
+                    self.stats.ro_hits += pages - 1;
+                    return RunOutcome {
+                        hits: pages - 1,
+                        misses: 1,
+                    };
+                }
+            }
+        }
+        let mut out = RunOutcome::default();
+        for p in 0..pages {
+            if self.access(base + p * cov) {
+                out.hits += 1;
+            } else {
+                out.misses += 1;
+            }
+        }
+        out
     }
 
     /// Flags the resident counter line covering `addr` as corrupted (a
@@ -215,10 +628,15 @@ impl CounterCache {
     /// `true` if the line was resident — a non-resident line cannot be
     /// corrupted on-chip and the next access simply re-fetches it.
     pub fn corrupt(&mut self, addr: u64) -> bool {
-        let line_id = addr / self.config.coverage_bytes as u64;
-        let num_sets = self.sets.len() as u64;
-        let set_idx = (line_id % num_sets) as usize;
-        let tag = line_id / num_sets;
+        if let Some(i) = self.ro_index(addr) {
+            let slot = &mut self.ro[i];
+            if slot.touched {
+                slot.corrupt = true;
+                return true;
+            }
+            return false;
+        }
+        let (set_idx, tag) = self.locate(addr);
         match self.sets[set_idx]
             .iter_mut()
             .find(|w| w.valid && w.tag == tag)
@@ -236,13 +654,19 @@ impl CounterCache {
         self.stats
     }
 
-    /// Clears contents and statistics.
+    /// Clears contents and statistics (pinned regions go back to
+    /// untouched).
     pub fn reset(&mut self) {
         for set in &mut self.sets {
             for way in set {
                 way.valid = false;
                 way.corrupt = false;
+                way.prefetched = false;
             }
+        }
+        for slot in &mut self.ro {
+            slot.touched = false;
+            slot.corrupt = false;
         }
         self.tick = 0;
         self.stats = CounterCacheStats::default();
@@ -286,7 +710,7 @@ mod tests {
             capacity_bytes: 2 * 64,
             line_bytes: 64,
             ways: 2,
-            coverage_bytes: 4096,
+            ..CounterCacheConfig::with_kilobytes(24)
         };
         let mut cc = CounterCache::new(cfg).unwrap();
         cc.access(0); // A miss
@@ -350,18 +774,19 @@ mod tests {
     fn invalid_geometry_rejected() {
         let bad = CounterCacheConfig {
             capacity_bytes: 32,
-            line_bytes: 64,
-            ways: 8,
-            coverage_bytes: 4096,
+            ..CounterCacheConfig::with_kilobytes(24)
         };
         assert!(CounterCache::new(bad).is_err());
         let zero = CounterCacheConfig {
             capacity_bytes: 1024,
             line_bytes: 0,
             ways: 1,
-            coverage_bytes: 4096,
+            ..CounterCacheConfig::with_kilobytes(24)
         };
         assert!(CounterCache::new(zero).is_err());
+        // Zero / oversized minor widths yield zero coverage.
+        assert!(CounterCache::new(CounterCacheConfig::split_kilobytes(96, 0)).is_err());
+        assert!(CounterCache::new(CounterCacheConfig::split_kilobytes(96, 1000)).is_err());
     }
 
     #[test]
@@ -372,5 +797,171 @@ mod tests {
         cc.reset();
         assert!(!cc.access(0));
         assert_eq!(cc.stats().misses, 1);
+    }
+
+    #[test]
+    fn split_geometry_scales_coverage() {
+        // 7-bit minors reproduce the classic split counter: 64 minors of
+        // 64 B each = 4 KiB per line.
+        assert_eq!(
+            CounterCacheConfig::split_kilobytes(96, 7).coverage_bytes,
+            4096
+        );
+        // 3-bit minors stretch one line over 149 blocks (~9.3 KiB).
+        let wide = CounterCacheConfig::split_kilobytes(96, 3);
+        assert_eq!(wide.coverage_bytes, 149 * 64);
+        // Wider coverage hits more on a dense scan: same 4 MiB walked.
+        let mut classic =
+            CounterCache::new(CounterCacheConfig::split_kilobytes(24, 7)).unwrap();
+        let mut stretched = CounterCache::new(wide).unwrap();
+        for pass in 0..2u64 {
+            let _ = pass;
+            for addr in (0..4 * 1024 * 1024u64).step_by(256) {
+                classic.access(addr);
+                stretched.access(addr);
+            }
+        }
+        assert!(stretched.stats().hit_rate() > classic.stats().hit_rate());
+    }
+
+    #[test]
+    fn read_only_region_hits_after_one_shared_fetch() {
+        let cfg = CounterCacheConfig::with_kilobytes(24)
+            .with_read_only_region(0x10_0000, 1 << 20)
+            .unwrap();
+        let mut cc = CounterCache::new(cfg).unwrap();
+        assert!(!cc.access(0x10_0000), "first touch fetches the shared major");
+        for p in 1..256u64 {
+            assert!(cc.access(0x10_0000 + p * 4096), "page {p} pinned");
+        }
+        assert_eq!(cc.stats().misses, 1);
+        assert_eq!(cc.stats().ro_hits, 255);
+    }
+
+    #[test]
+    fn pinned_region_survives_streaming_evictions() {
+        // Property: no amount of cross-window streaming can evict the
+        // pinned read-only line — it lives outside the LRU sets.
+        let cfg = CounterCacheConfig::with_kilobytes(24)
+            .with_read_only_region(0, 1 << 20)
+            .unwrap();
+        let mut cc = CounterCache::new(cfg).unwrap();
+        cc.access(0); // shared fetch
+        let lines = cfg.capacity_bytes as u64 / cfg.line_bytes as u64;
+        // Stream 64× the cache's line count of distinct cold pages from a
+        // far-away window (every one a miss and an eviction attempt).
+        let stream_base = 1u64 << 40;
+        for i in 0..lines * 64 {
+            assert!(!cc.access(stream_base + i * 4096));
+        }
+        let before = cc.stats();
+        assert!(cc.access(4096), "pinned region still hits");
+        assert_eq!(cc.stats().ro_hits, before.ro_hits + 1);
+        assert_eq!(cc.stats().misses, before.misses, "no re-fetch needed");
+    }
+
+    #[test]
+    fn read_only_region_validation() {
+        let base = CounterCacheConfig::with_kilobytes(24);
+        assert!(base.with_read_only_region(0, 0).is_err(), "empty window");
+        assert!(
+            base.with_read_only_region(u64::MAX, 2).is_err(),
+            "overflowing window"
+        );
+        let one = base.with_read_only_region(0, 8192).unwrap();
+        assert!(one.with_read_only_region(4096, 8192).is_err(), "overlap");
+        let mut full = base;
+        for i in 0..MAX_READ_ONLY_REGIONS as u64 {
+            full = full.with_read_only_region(i << 30, 4096).unwrap();
+        }
+        assert!(full.with_read_only_region(1 << 50, 4096).is_err(), "slots full");
+        // Overlapping literals are caught by the constructor too.
+        let sneaky = CounterCacheConfig {
+            read_only: [
+                Some(ReadOnlyRegion { base: 0, bytes: 8192 }),
+                Some(ReadOnlyRegion { base: 4096, bytes: 8192 }),
+                None,
+                None,
+            ],
+            ..base
+        };
+        assert!(CounterCache::new(sneaky).is_err());
+    }
+
+    #[test]
+    fn prefetch_runs_ahead_of_a_stream() {
+        let cfg = CounterCacheConfig::with_kilobytes(96).with_prefetch(true);
+        let mut cc = CounterCache::new(cfg).unwrap();
+        // A sequential page stream: the first access misses and pulls the
+        // next line in; every later access consumes a prefetched line.
+        for p in 0..64u64 {
+            cc.access(p * 4096);
+        }
+        let s = cc.stats();
+        assert_eq!(s.misses, 1, "only the stream head misses");
+        assert_eq!(s.hits, 63);
+        assert_eq!(s.prefetch_hits, 63);
+        assert!(s.prefetch_fills >= 63);
+        // Prefetch is strictly opt-in: the default geometry never fills.
+        let mut plain = CounterCache::new(CounterCacheConfig::with_kilobytes(96)).unwrap();
+        for p in 0..64u64 {
+            plain.access(p * 4096);
+        }
+        assert_eq!(plain.stats().prefetch_fills, 0);
+        assert_eq!(plain.stats().misses, 64);
+    }
+
+    #[test]
+    fn access_run_matches_per_page_access_exactly() {
+        // The batched walk's determinism contract: identical stats and
+        // identical downstream behavior to the per-page loop, across a
+        // mixed workload (pinned region + streaming + revisits).
+        let cfg = CounterCacheConfig::with_kilobytes(24)
+            .with_prefetch(true)
+            .with_read_only_region(0, 1 << 20)
+            .unwrap();
+        let mut batched = CounterCache::new(cfg).unwrap();
+        let mut looped = CounterCache::new(cfg).unwrap();
+        let runs: &[(u64, u64)] = &[
+            (0, 200),            // inside the pinned region
+            (1 << 30, 57),       // streaming, prefetch engaged
+            (0, 200),            // pinned revisit
+            ((1 << 30) + 57 * 4096, 31), // stream continuation
+            (1 << 35, 3),        // short cold burst
+            (1 << 30, 57),       // revisit the evicted stream
+            (1 << 20, 4),        // run that *leaves* the pinned region
+        ];
+        for &(base, pages) in runs {
+            let out = batched.access_run(base, pages);
+            let mut hits = 0u64;
+            let mut misses = 0u64;
+            for p in 0..pages {
+                if looped.access(base + p * 4096) {
+                    hits += 1;
+                } else {
+                    misses += 1;
+                }
+            }
+            assert_eq!(out, RunOutcome { hits, misses }, "run ({base:#x}, {pages})");
+            assert_eq!(batched.stats(), looped.stats());
+        }
+        // And the final probe behavior agrees too.
+        for addr in [0u64, 1 << 30, (1 << 30) + 80 * 4096, 1 << 35] {
+            assert_eq!(batched.access(addr), looped.access(addr), "{addr:#x}");
+        }
+    }
+
+    #[test]
+    fn pinned_region_corruption_is_detected_once() {
+        let cfg = CounterCacheConfig::with_kilobytes(24)
+            .with_read_only_region(0, 1 << 16)
+            .unwrap();
+        let mut cc = CounterCache::new(cfg).unwrap();
+        assert!(!cc.corrupt(0), "untouched shared counter is not on-chip");
+        cc.access(0);
+        assert!(cc.corrupt(4096), "any address in the region flags it");
+        assert!(!cc.access(8192), "corrupt shared counter re-fetches");
+        assert_eq!(cc.stats().corruptions_detected, 1);
+        assert!(cc.access(0), "repaired region hits again");
     }
 }

@@ -43,7 +43,10 @@ mod mac;
 mod tenant;
 
 pub use aes::{Aes128, BLOCK_BYTES};
-pub use counter_cache::{CounterCache, CounterCacheConfig, CounterCacheStats};
+pub use counter_cache::{
+    CounterCache, CounterCacheConfig, CounterCacheStats, CounterGeometry, ReadOnlyRegion,
+    RunOutcome, MAX_READ_ONLY_REGIONS,
+};
 pub use ctr::CtrCipher;
 pub use direct::DirectCipher;
 pub use engine::{EnginePipeline, EngineSpec, TABLE_I_ENGINES};

@@ -42,6 +42,20 @@ pub enum AccessPattern {
         /// Number of full matrix sweeps.
         passes: f64,
     },
+    /// Tile-blocked *reuse* walk: the region is visited in `tile_bytes`
+    /// blocks, each streamed `reads` times back-to-back before the walk
+    /// advances. This is how a blocked GEMM actually re-reads a weight
+    /// panel or im2col slice — the re-reference distance is one tile, not
+    /// the whole buffer, so counter-cache hit rate becomes a function of
+    /// capacity (the Fig. 6–8 sweeps) instead of collapsing to zero the
+    /// way a cyclic full-buffer rescan does.
+    TiledReuse {
+        /// Reuse-block size in bytes (clamped up to one line).
+        tile_bytes: u64,
+        /// Times each block is streamed before advancing; the fractional
+        /// part truncates the final repeat of every block.
+        reads: f64,
+    },
 }
 
 impl Default for AccessPattern {
@@ -115,11 +129,20 @@ impl Region {
         self
     }
 
+    /// Switches to a tile-blocked reuse walk: `tile_bytes` blocks, each
+    /// streamed `reads` times back-to-back.
+    #[must_use]
+    pub fn tiled_reuse(mut self, tile_bytes: u64, reads: f64) -> Self {
+        self.pattern = AccessPattern::TiledReuse { tile_bytes, reads };
+        self
+    }
+
     /// Total bytes this region moves across the bus (size × passes).
     pub fn traffic_bytes(&self) -> u64 {
         let passes = match self.pattern {
             AccessPattern::Stream { passes } => passes,
             AccessPattern::Tiled { passes, .. } => passes,
+            AccessPattern::TiledReuse { reads, .. } => reads,
         };
         (self.bytes as f64 * passes).round() as u64
     }
@@ -175,6 +198,20 @@ impl Region {
                         }
                         r0 = r1;
                     }
+                }
+            }
+            AccessPattern::TiledReuse { tile_bytes, reads } => {
+                let tile = tile_bytes.max(line);
+                let mut t0 = 0u64;
+                while t0 < self.bytes {
+                    let t1 = (t0 + tile).min(self.bytes);
+                    let lines_in_tile = (t1 - t0).div_ceil(line);
+                    let total = (lines_in_tile as f64 * reads).round() as u64;
+                    for i in 0..total {
+                        let off = (i % lines_in_tile) * line;
+                        push(out, self.base + t0 + off);
+                    }
+                    t0 = t1;
                 }
             }
         }
@@ -421,6 +458,31 @@ mod tests {
         assert_eq!(out[0].addr, 0);
         assert_eq!(out[1].addr, 4096);
         assert_eq!(out.len(), 4 * 4096 / 128);
+    }
+
+    #[test]
+    fn tiled_reuse_rereads_each_block_back_to_back() {
+        let r = Region::read("w", 0, 1024).tiled_reuse(512, 2.0);
+        let mut out = Vec::new();
+        r.emit(128, &mut out);
+        // Two 512 B tiles of 4 lines, each streamed twice: 16 requests.
+        assert_eq!(out.len(), 16);
+        // First tile repeats immediately (short re-reference distance)…
+        assert_eq!(out[0].addr, 0);
+        assert_eq!(out[4].addr, 0);
+        // …and the second tile starts only after both reads of the first.
+        assert_eq!(out[8].addr, 512);
+        assert_eq!(out[12].addr, 512);
+    }
+
+    #[test]
+    fn tiled_reuse_fractional_reads_truncate_per_tile() {
+        let r = Region::read("w", 0, 1024).tiled_reuse(512, 1.5);
+        let mut out = Vec::new();
+        r.emit(128, &mut out);
+        // 4 lines × 1.5 per tile = 6 requests per tile, two tiles.
+        assert_eq!(out.len(), 12);
+        assert_eq!(r.traffic_bytes(), 1536);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 
 use std::time::Duration;
 
+use seal_crypto::CounterGeometry;
 use seal_faults::FaultConfig;
 
 use crate::ServeError;
@@ -34,6 +35,13 @@ pub struct ServerConfig {
     pub clock_ghz: f64,
     /// Counter-cache capacity in KiB for the counter-mode schemes.
     pub counter_cache_kb: usize,
+    /// Counter *organisation* of every lane's cache: split-counter minor
+    /// width, next-line prefetch, and pinned read-only weight windows.
+    /// [`CounterGeometry::classic`] reproduces the pre-locality model;
+    /// the default is [`CounterGeometry::tuned`]. Threaded through
+    /// [`CostModel::for_tenant`](crate::cost::CostModel::for_tenant) so
+    /// each tenant's pinned window stays inside its own counter window.
+    pub counter_geometry: CounterGeometry,
     /// Sustained accelerator arithmetic throughput in FLOPs per cycle,
     /// used to convert a batch's FLOPs into compute cycles.
     pub flops_per_cycle: f64,
@@ -106,6 +114,7 @@ impl ServerConfig {
             se_ratio: 0.5,
             clock_ghz: 1.401,
             counter_cache_kb: 96,
+            counter_geometry: CounterGeometry::tuned(),
             flops_per_cycle: 512.0,
             seed: 7,
             kernel_threads: 0,
@@ -186,6 +195,9 @@ impl ServerConfig {
         if self.counter_cache_kb == 0 {
             return fail("counter_cache_kb must be >= 1".into());
         }
+        if let Err(e) = self.counter_geometry.validate() {
+            return fail(format!("counter_geometry invalid: {e}"));
+        }
         if self.flops_per_cycle <= 0.0 {
             return fail(format!(
                 "flops_per_cycle {} must be positive",
@@ -258,6 +270,10 @@ mod tests {
             (
                 Box::new(|c: &mut ServerConfig| c.counter_cache_kb = 0),
                 "counter_cache_kb",
+            ),
+            (
+                Box::new(|c: &mut ServerConfig| c.counter_geometry.minor_bits = 0),
+                "counter_geometry",
             ),
             (
                 Box::new(|c: &mut ServerConfig| c.flops_per_cycle = -1.0),

@@ -17,14 +17,23 @@
 //! * engine occupancy for `weights_enc + B · fmap_enc` bytes (weights are
 //!   streamed once per batch — the batch amortises the encrypted weight
 //!   traffic, which is why bigger batches recover throughput),
-//! * a DRAM round-trip penalty per counter-cache miss (counter-mode lanes
-//!   only; weights live at stable addresses so their counters hit across
-//!   batches, streaming feature maps are cold),
+//! * a DRAM round-trip penalty per counter-cache *demand* miss plus a
+//!   small bandwidth-overlap charge per prefetcher fill (counter-mode
+//!   lanes only),
 //! * the batch's compute cycles (`B · FLOPs / flops_per_cycle`), identical
 //!   across lanes.
+//!
+//! The counter walk itself follows the configured
+//! [`CounterGeometry`](seal_crypto::CounterGeometry): each lane's weight
+//! window is registered as a pinned read-only region (GuardNN-style shared
+//! major counter — warm after the first batch, immune to streaming
+//! evictions), the per-batch weight sweep is one batched
+//! [`access_run`](CounterCache::access_run) call, and streaming feature
+//! maps stay cold but engage the next-line prefetcher so their counter
+//! fetches overlap the data fetches instead of stalling them.
 
 use seal_crypto::{
-    Aes128, CounterCache, CounterCacheConfig, CryptoError, CtrCipher, EnginePipeline, EngineSpec,
+    Aes128, CounterCache, CryptoError, CtrCipher, EnginePipeline, EngineSpec,
     Key128, TenantCrypto,
 };
 use seal_core::traffic::network_traffic_dt;
@@ -34,13 +43,14 @@ use seal_nn::{DType, NetworkTopology};
 
 use crate::{ServeError, ServerConfig};
 
-/// Bytes of data covered by one counter-cache line (a 64 B line of 8-bit
-/// minor counters covers a 4 KiB page — Sec. II of the paper).
-const COUNTER_PAGE_BYTES: u64 = 4096;
-
-/// Virtual cycles charged per counter-cache miss (one DRAM round trip to
-/// fetch the counter line).
+/// Virtual cycles charged per counter-cache demand miss (one DRAM round
+/// trip to fetch the counter line).
 const COUNTER_MISS_CYCLES: u64 = 200;
+
+/// Virtual cycles charged per prefetcher fill: the fetch still occupies
+/// DRAM bandwidth, but it overlaps the in-flight data access instead of
+/// stalling the pipeline, so it is priced at a fraction of a demand miss.
+const PREFETCH_FILL_CYCLES: u64 = 20;
 
 /// Virtual base address of the streaming feature-map region, far above the
 /// weight region so the two never alias in the counter cache.
@@ -162,6 +172,10 @@ struct SchemeLane {
     weight_base: u64,
     /// Encrypted weight bytes streamed once per batch.
     weight_enc: u64,
+    /// Counter pages the weight sweep touches per batch.
+    weight_pages: u64,
+    /// Bytes of data one counter line covers (from the lane's geometry).
+    page_bytes: u64,
     /// Encrypted feature-map bytes per sample.
     fmap_enc: u64,
     /// Virtual cycle at which this lane finishes its last batch.
@@ -197,6 +211,18 @@ pub struct SchemeSummary {
     pub throughput_rps: f64,
     /// Counter-cache hit rate (0 for schemes without counters).
     pub counter_hit_rate: f64,
+    /// Counter-cache hits, including read-only-region and prefetch hits.
+    pub counter_hits: u64,
+    /// Counter-cache demand misses (each priced one DRAM round trip).
+    pub counter_misses: u64,
+    /// Hits served by a line the next-line prefetcher brought in.
+    pub prefetch_hits: u64,
+    /// Lines the prefetcher fetched ahead of use (priced at the
+    /// bandwidth-overlap rate, not the demand-miss rate).
+    pub prefetch_fills: u64,
+    /// Hits served by the pinned read-only weight window's shared major
+    /// counter.
+    pub ro_hits: u64,
     /// Makespan relative to the Baseline lane (1.0 = no slowdown).
     pub slowdown_vs_baseline: f64,
 }
@@ -273,19 +299,32 @@ impl CostModel {
             .map(|l| l.ifmap_bytes_dt(dtype) + l.ofmap_bytes_dt(dtype))
             .sum();
 
+        let geometry = config.counter_geometry;
         let mut lanes = Vec::with_capacity(COSTED_SCHEMES.len());
         for scheme in COSTED_SCHEMES {
             let split = network_traffic_dt(topo, &plan, scheme, dtype)?;
             let weight_enc: u64 = split.iter().map(|l| l.weight_enc).sum();
             let fmap_enc: u64 = split.iter().map(|l| l.ifmap_enc + l.ofmap_enc).sum();
+            let mut cc_cfg = geometry.cache_config(config.counter_cache_kb);
+            let page_bytes = cc_cfg.coverage_bytes as u64;
+            let weight_pages = weight_enc.div_ceil(page_bytes);
+            // Pin this lane's weight window as a GuardNN-style read-only
+            // region: the weights never change at serving time, so one
+            // shared major counter covers the whole window and streaming
+            // feature maps can never evict it. The window sits at the
+            // tenant's counter base, far below the fmap/storm cursors, so
+            // tenant windows stay disjoint by construction.
+            if geometry.read_only_weights && weight_pages > 0 {
+                cc_cfg = cc_cfg.with_read_only_region(base, weight_pages * page_bytes)?;
+            }
             lanes.push(SchemeLane {
                 scheme,
                 engine: EnginePipeline::new(EngineSpec::seal_default(), config.clock_ghz)?,
-                cache: CounterCache::new(CounterCacheConfig::with_kilobytes(
-                    config.counter_cache_kb,
-                ))?,
+                cache: CounterCache::new(cc_cfg)?,
                 weight_base: base,
                 weight_enc,
+                weight_pages,
+                page_bytes,
                 fmap_enc,
                 free_at: 0,
                 fmap_cursor: base + FMAP_REGION_BASE,
@@ -382,11 +421,13 @@ impl CostModel {
                 lane.engine.submit(arrival, enc)
             };
             if counter_lane {
+                let fills_before = lane.cache.stats().prefetch_fills;
                 let mut misses = lane.walk_counters(b);
                 // A miss storm floods the counter cache with always-cold
                 // pages: every one is a priced miss and an eviction.
                 misses += lane.walk_storm(events.storms * storm_pages);
-                done += misses * COUNTER_MISS_CYCLES;
+                let fills = lane.cache.stats().prefetch_fills - fills_before;
+                done += misses * COUNTER_MISS_CYCLES + fills * PREFETCH_FILL_CYCLES;
             }
             lane.free_at = done + compute;
             lane.enc_bytes += enc;
@@ -427,6 +468,7 @@ impl CostModel {
             .iter()
             .map(|lane| {
                 let seconds = lane.free_at as f64 / (self.clock_ghz * 1e9);
+                let cc = lane.cache.stats();
                 SchemeSummary {
                     scheme: lane.scheme,
                     batches: lane.batches,
@@ -440,7 +482,12 @@ impl CostModel {
                     } else {
                         0.0
                     },
-                    counter_hit_rate: lane.cache.stats().hit_rate(),
+                    counter_hit_rate: cc.hit_rate(),
+                    counter_hits: cc.hits,
+                    counter_misses: cc.misses,
+                    prefetch_hits: cc.prefetch_hits,
+                    prefetch_fills: cc.prefetch_fills,
+                    ro_hits: cc.ro_hits,
                     slowdown_vs_baseline: if baseline > 0 {
                         lane.free_at as f64 / baseline as f64
                     } else {
@@ -452,38 +499,128 @@ impl CostModel {
     }
 }
 
+impl SchemeSummary {
+    /// Rolls per-tenant lane rows up into one fleet row per scheme
+    /// ([`COSTED_SCHEMES`] order): counts and bytes sum, the makespan is
+    /// the *max* across tenants (tenant lanes run concurrently), the hit
+    /// rate is recomputed from the summed hit/miss counts, and the
+    /// slowdown compares total scheme cycles against total Baseline
+    /// cycles. Used by the TCP front-end, whose report spans many
+    /// tenants' cost models.
+    pub fn aggregate(per_tenant: &[Vec<SchemeSummary>]) -> Vec<SchemeSummary> {
+        let baseline_total: u64 = per_tenant
+            .iter()
+            .flat_map(|rows| rows.iter())
+            .filter(|r| r.scheme == Scheme::Baseline)
+            .map(|r| r.makespan_cycles)
+            .sum();
+        COSTED_SCHEMES
+            .iter()
+            .map(|&scheme| {
+                let mut out = SchemeSummary {
+                    scheme,
+                    batches: 0,
+                    samples: 0,
+                    enc_bytes: 0,
+                    total_bytes: 0,
+                    makespan_cycles: 0,
+                    virtual_seconds: 0.0,
+                    throughput_rps: 0.0,
+                    counter_hit_rate: 0.0,
+                    counter_hits: 0,
+                    counter_misses: 0,
+                    prefetch_hits: 0,
+                    prefetch_fills: 0,
+                    ro_hits: 0,
+                    slowdown_vs_baseline: 1.0,
+                };
+                let mut scheme_total = 0u64;
+                for row in per_tenant.iter().flat_map(|rows| rows.iter()) {
+                    if row.scheme != scheme {
+                        continue;
+                    }
+                    out.batches += row.batches;
+                    out.samples += row.samples;
+                    out.enc_bytes += row.enc_bytes;
+                    out.total_bytes += row.total_bytes;
+                    out.counter_hits += row.counter_hits;
+                    out.counter_misses += row.counter_misses;
+                    out.prefetch_hits += row.prefetch_hits;
+                    out.prefetch_fills += row.prefetch_fills;
+                    out.ro_hits += row.ro_hits;
+                    scheme_total += row.makespan_cycles;
+                    if row.makespan_cycles > out.makespan_cycles {
+                        out.makespan_cycles = row.makespan_cycles;
+                        out.virtual_seconds = row.virtual_seconds;
+                    }
+                }
+                let accesses = out.counter_hits + out.counter_misses;
+                if accesses > 0 {
+                    out.counter_hit_rate = out.counter_hits as f64 / accesses as f64;
+                }
+                if out.virtual_seconds > 0.0 {
+                    out.throughput_rps = out.samples as f64 / out.virtual_seconds;
+                }
+                if baseline_total > 0 {
+                    out.slowdown_vs_baseline = scheme_total as f64 / baseline_total as f64;
+                }
+                out
+            })
+            .collect()
+    }
+}
+
 impl SchemeLane {
-    /// Walks the counter cache for one batch: encrypted weight pages live
-    /// at stable addresses (hits after the first batch), feature-map pages
-    /// stream through fresh addresses (cold). Returns the miss count.
+    /// Exclusive end of this lane's weight counter window.
+    fn weight_window_end(&self) -> u64 {
+        self.weight_base + self.weight_pages * self.page_bytes
+    }
+
+    /// Walks the counter cache for one batch: the weight window is one
+    /// batched [`access_run`] over stable addresses (pinned read-only
+    /// under the tuned geometry — warm after batch 1), feature-map pages
+    /// stream through fresh addresses (cold, but the prefetcher runs
+    /// ahead of them). Returns the demand-miss count.
+    ///
+    /// [`access_run`]: CounterCache::access_run
     fn walk_counters(&mut self, batch: u64) -> u64 {
-        let mut misses = 0u64;
-        let weight_pages = self.weight_enc.div_ceil(COUNTER_PAGE_BYTES);
-        for p in 0..weight_pages {
-            if !self.cache.access(self.weight_base + p * COUNTER_PAGE_BYTES) {
-                misses += 1;
-            }
-        }
-        let fmap_pages = (batch * self.fmap_enc).div_ceil(COUNTER_PAGE_BYTES);
-        for _ in 0..fmap_pages {
-            if !self.cache.access(self.fmap_cursor) {
-                misses += 1;
-            }
-            self.fmap_cursor += COUNTER_PAGE_BYTES;
-        }
+        let mut misses = self.cache.access_run(self.weight_base, self.weight_pages).misses;
+        let fmap_pages = (batch * self.fmap_enc).div_ceil(self.page_bytes);
+        // The streaming cursor must never wander into the weight counter
+        // window — that would let feature-map traffic alias (and, without
+        // pinning, evict) the weight counters of its own tenant.
+        debug_assert!(
+            fmap_pages == 0 || self.fmap_cursor >= self.weight_window_end(),
+            "fmap cursor {:#x} aliases the weight window [{:#x}, {:#x})",
+            self.fmap_cursor,
+            self.weight_base,
+            self.weight_window_end()
+        );
+        misses += self.cache.access_run(self.fmap_cursor, fmap_pages).misses;
+        self.fmap_cursor += fmap_pages * self.page_bytes;
         misses
     }
 
     /// An injected miss storm: `pages` never-before-seen counter pages
     /// sweep through the cache, each a guaranteed miss that also evicts a
-    /// resident line. Returns the miss count (== `pages`).
+    /// resident line. The cursor strides *two* pages so the next-line
+    /// prefetcher can never cover a storm — storms model scattered cold
+    /// counters, not a well-behaved stream. Returns the miss count
+    /// (== `pages`).
     fn walk_storm(&mut self, pages: u64) -> u64 {
+        debug_assert!(
+            pages == 0 || self.storm_cursor >= self.weight_window_end(),
+            "storm cursor {:#x} aliases the weight window [{:#x}, {:#x})",
+            self.storm_cursor,
+            self.weight_base,
+            self.weight_window_end()
+        );
         let mut misses = 0u64;
         for _ in 0..pages {
             if !self.cache.access(self.storm_cursor) {
                 misses += 1;
             }
-            self.storm_cursor += COUNTER_PAGE_BYTES;
+            self.storm_cursor += 2 * self.page_bytes;
         }
         misses
     }
@@ -752,3 +889,111 @@ mod tests {
     }
 }
 
+
+#[cfg(test)]
+mod locality_tests {
+    //! Satellite coverage for the counter-locality overhaul: a Fig.
+    //! 1-style capacity sweep, the tuned-geometry smoke win, and the
+    //! pinned-window-vs-chaos-storm property.
+
+    use super::*;
+    use seal_crypto::CounterGeometry;
+    use seal_nn::models::vgg16_topology;
+
+    fn by_scheme(rows: &[SchemeSummary], s: Scheme) -> SchemeSummary {
+        rows.iter().find(|r| r.scheme == s).cloned().unwrap()
+    }
+
+    /// Fig. 1-style sensitivity sweep under the *classic* (pre-overhaul)
+    /// split geometry: hit rate must be monotone non-decreasing in
+    /// capacity, thrash to zero when the weight window dwarfs the cache,
+    /// and clear 0.9 once 1536 KB covers the working set — the paper's
+    /// Fig. 6-8 shape.
+    #[test]
+    fn classic_hit_rate_is_monotone_in_capacity_and_saturates() {
+        let topo = vgg16_topology();
+        let mut rates = Vec::new();
+        for kb in [24usize, 96, 384, 768, 1536] {
+            let cfg = ServerConfig {
+                counter_cache_kb: kb,
+                counter_geometry: CounterGeometry::classic(),
+                ..ServerConfig::smoke()
+            };
+            let mut m = CostModel::new(&topo, &cfg).unwrap();
+            for _ in 0..200 {
+                m.cost_batch(1);
+            }
+            rates.push((kb, by_scheme(&m.summaries(), Scheme::Counter).counter_hit_rate));
+        }
+        for pair in rates.windows(2) {
+            assert!(
+                pair[1].1 >= pair[0].1,
+                "hit rate must be monotone in capacity: {rates:?}"
+            );
+        }
+        assert_eq!(rates[0].1, 0.0, "24 KB must thrash on the smoke walk");
+        assert!(
+            rates.last().unwrap().1 > 0.9,
+            "1536 KB must exceed 0.9 on the smoke workload: {rates:?}"
+        );
+    }
+
+    /// The tuned geometry (read-only weight window + prefetcher) is the
+    /// smoke default and must beat both the recorded 4.238x Counter-lane
+    /// slowdown and the 0.5 hit-rate floor from the acceptance criteria.
+    #[test]
+    fn tuned_geometry_fixes_the_counter_lane_on_smoke() {
+        let mut m = CostModel::new(&vgg16_topology(), &ServerConfig::smoke()).unwrap();
+        for _ in 0..25 {
+            m.cost_batch(4);
+        }
+        let rows = m.summaries();
+        let seal = by_scheme(&rows, Scheme::SealCounter);
+        let full = by_scheme(&rows, Scheme::Counter);
+        for r in [&seal, &full] {
+            assert!(
+                r.counter_hit_rate >= 0.5,
+                "{:?} hit rate {} below the 0.5 floor",
+                r.scheme,
+                r.counter_hit_rate
+            );
+            assert!(r.ro_hits > 0, "weight window never pinned for {:?}", r.scheme);
+            assert!(
+                r.prefetch_hits > 0,
+                "fmap stream never hit a prefetched line for {:?}",
+                r.scheme
+            );
+        }
+        assert!(
+            full.slowdown_vs_baseline < 4.238,
+            "Counter lane regressed: {}",
+            full.slowdown_vs_baseline
+        );
+        assert!(
+            seal.slowdown_vs_baseline < full.slowdown_vs_baseline,
+            "SEAL-C must stay cheaper than full Counter"
+        );
+    }
+
+    /// Chaos miss-storms stream through an always-cold region; the
+    /// pinned read-only weight window must be untouched by them, so the
+    /// counter lanes stay warm even under sustained storms. (The storm
+    /// and fmap cursor debug-asserts also run here.)
+    #[test]
+    fn chaos_storms_cannot_cool_the_pinned_weight_window() {
+        let cfg = ServerConfig::chaos_smoke(7);
+        let mut m = CostModel::new(&vgg16_topology(), &cfg).unwrap();
+        for _ in 0..40 {
+            m.cost_batch(2);
+        }
+        let stats = m.fault_stats().expect("chaos armed");
+        assert!(stats.storms_injected > 0, "plan must actually inject storms");
+        let full = by_scheme(&m.summaries(), Scheme::Counter);
+        assert!(
+            full.counter_hit_rate >= 0.5,
+            "storms must not evict the pinned window: hit rate {}",
+            full.counter_hit_rate
+        );
+        assert!(full.ro_hits > 0);
+    }
+}

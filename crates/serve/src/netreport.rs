@@ -308,6 +308,22 @@ impl NetSmoke {
                 ));
             }
         }
+        // The counter-locality overhaul's serving-scale gate: with tuned
+        // geometry the fleet's counter-mode lanes must actually hit —
+        // pinned weight windows plus the fmap prefetcher keep the rate
+        // well above the 0.5 floor on any clean run that priced batches.
+        for row in &self.fairness.stats.schemes {
+            if row.enc_bytes > 0
+                && row.counter_hits + row.counter_misses > 0
+                && row.counter_hit_rate < 0.5
+            {
+                v.push(format!(
+                    "fairness: {} lane counter hit rate {:.4} below the 0.5 floor",
+                    row.scheme.label(),
+                    row.counter_hit_rate
+                ));
+            }
+        }
         self.fairness.violations("fairness", &mut v);
         self.chaos[0].violations("chaos run 1", &mut v);
         self.chaos[1].violations("chaos run 2", &mut v);
@@ -430,6 +446,16 @@ fn phase_json(phase: &mut NetPhase, indent: &str) -> String {
         "{indent}  \"drained\": {},\n{indent}  \"drain_rejected\": {},\n",
         phase.stats.drained, phase.stats.drain_rejected
     ));
+    out.push_str(&format!("{indent}  \"schemes\": [\n"));
+    for (i, s) in phase.stats.schemes.iter().enumerate() {
+        out.push_str(&crate::report::scheme_json(s, &format!("{indent}    ")));
+        out.push_str(if i + 1 < phase.stats.schemes.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str(&format!("{indent}  ],\n"));
     out.push_str(&format!("{indent}  \"tenants\": [\n"));
     let n = phase.load.per_tenant.len();
     for (i, t) in phase.load.per_tenant.iter_mut().enumerate() {
@@ -612,10 +638,29 @@ mod tests {
             "\"rejected_drain\"",
             "\"drain_rejected\"",
             "\"tenants\"",
+            "\"schemes\"",
+            "\"counter_hit_rate\"",
+            "\"prefetch_hits\"",
+            "\"prefetch_fills\"",
+            "\"ro_hits\"",
             "\"deterministic\": true",
             "\"violations\": 0",
         ] {
             assert!(json.contains(needle), "missing {needle}");
+        }
+        // The serving-scale locality gate: every counter-mode lane of the
+        // fleet rollup hits well past the 0.5 floor under the tuned
+        // default geometry.
+        for row in &smoke.fairness.stats.schemes {
+            if row.enc_bytes > 0 {
+                assert!(
+                    row.counter_hit_rate >= 0.5,
+                    "{} lane hit rate {} below floor",
+                    row.scheme.label(),
+                    row.counter_hit_rate
+                );
+                assert!(row.ro_hits > 0, "pinned weight window never hit");
+            }
         }
     }
 

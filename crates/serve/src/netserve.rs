@@ -322,6 +322,11 @@ pub struct NetStats {
     /// `(tenant, completed, rejected_queue_full, rejected_breaker, shed,
     /// rejected_drain)`.
     pub tenants: Vec<(u32, u64, u64, u64, u64, u64)>,
+    /// Fleet-wide virtual-lane rows: every tenant's cost lanes rolled up
+    /// per scheme (counter hit rates, prefetch/read-only stats,
+    /// slowdowns). Timing-dependent — reported, never part of a
+    /// deterministic signature.
+    pub schemes: Vec<crate::cost::SchemeSummary>,
     /// Server-side errors recorded by workers (model/batch failures).
     pub worker_errors: Vec<ServeError>,
 }
@@ -485,6 +490,7 @@ impl NetServer {
             drained,
             drain_rejected: 0,
             tenants: self.shared.registry.counter_snapshot(),
+            schemes: self.shared.registry.scheme_rollup(),
             worker_errors,
         })
     }
@@ -548,6 +554,7 @@ impl NetServer {
             drained: 0,
             drain_rejected,
             tenants: self.shared.registry.counter_snapshot(),
+            schemes: self.shared.registry.scheme_rollup(),
             worker_errors,
         })
     }

@@ -623,12 +623,14 @@ fn latency_json(h: &mut crate::metrics::LatencyHistogram, _indent: &str) -> Stri
     )
 }
 
-/// Renders one scheme summary row.
-fn scheme_json(s: &SchemeSummary, indent: &str) -> String {
+/// Renders one scheme summary row (shared with the net report).
+pub(crate) fn scheme_json(s: &SchemeSummary, indent: &str) -> String {
     format!(
         "{indent}{{ \"scheme\": \"{}\", \"batches\": {}, \"samples\": {}, \"enc_bytes\": {}, \
          \"total_bytes\": {}, \"makespan_cycles\": {}, \"virtual_seconds\": {:.9}, \
-         \"throughput_rps\": {:.3}, \"counter_hit_rate\": {:.6}, \"slowdown_vs_baseline\": {:.6} }}",
+         \"throughput_rps\": {:.3}, \"counter_hit_rate\": {:.6}, \"counter_hits\": {}, \
+         \"counter_misses\": {}, \"prefetch_hits\": {}, \"prefetch_fills\": {}, \
+         \"ro_hits\": {}, \"slowdown_vs_baseline\": {:.6} }}",
         json_escape(s.scheme.label()),
         s.batches,
         s.samples,
@@ -638,6 +640,11 @@ fn scheme_json(s: &SchemeSummary, indent: &str) -> String {
         s.virtual_seconds,
         s.throughput_rps,
         s.counter_hit_rate,
+        s.counter_hits,
+        s.counter_misses,
+        s.prefetch_hits,
+        s.prefetch_fills,
+        s.ro_hits,
         s.slowdown_vs_baseline
     )
 }
@@ -698,10 +705,37 @@ mod tests {
             "\"SEAL-C\"",
             "\"Counter\"",
             "\"mode\": \"closed\"",
+            "\"counter_hits\"",
+            "\"counter_misses\"",
+            "\"prefetch_hits\"",
+            "\"prefetch_fills\"",
+            "\"ro_hits\"",
         ] {
             assert!(json.contains(needle), "missing {needle} in:\n{json}");
         }
         assert!(matches!(report.load.mode, LoadMode::Closed { .. }));
+    }
+
+    /// Regression pin for the counter-locality overhaul: the smoke
+    /// report's encrypting lanes must never again render
+    /// `counter_hit_rate: 0.000000` — the tuned geometry keeps the
+    /// weight window pinned read-only, so the walk hits from batch 2 on.
+    #[test]
+    fn smoke_report_counter_lanes_actually_hit() {
+        let report = smoke_report();
+        let mut checked = 0;
+        for row in &report.stats.schemes {
+            if row.enc_bytes > 0 && row.counter_hits + row.counter_misses > 0 {
+                assert!(
+                    row.counter_hit_rate > 0.0,
+                    "{:?} lane regressed to a 0% counter hit rate",
+                    row.scheme
+                );
+                assert!(row.ro_hits > 0, "{:?} weight window not pinned", row.scheme);
+                checked += 1;
+            }
+        }
+        assert!(checked >= 2, "both encrypting lanes must be checked");
     }
 
     #[test]

@@ -222,6 +222,26 @@ impl TenantRegistry {
         self.tenants.iter().map(|t| u64::from(t.spec.weight)).sum()
     }
 
+    /// Fleet-wide scheme rows: every tenant's cost-lane summaries rolled
+    /// up per scheme ([`SchemeSummary::aggregate`] semantics). Makespans
+    /// and hit rates depend on how traffic batched, so these rows are
+    /// *reported* but never part of a deterministic signature.
+    pub fn scheme_rollup(&self) -> Vec<crate::cost::SchemeSummary> {
+        let per_tenant: Vec<_> = self
+            .tenants
+            .iter()
+            .map(|t| {
+                // Recover the guard from a possibly-poisoned mutex — the
+                // cost model is plain data, same idiom as the worker path.
+                t.cost
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .summaries()
+            })
+            .collect();
+        crate::cost::SchemeSummary::aggregate(&per_tenant)
+    }
+
     /// Snapshot of the deterministic per-tenant counters, in registry
     /// order: `(tenant, completed, rejected_queue_full, rejected_breaker,
     /// shed, rejected_drain)`.

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Counter-locality trajectory: the batched read-only weight walk vs the
+# per-page LRU probe, and the smoke cost model's counter lanes under the
+# classic (pre-overhaul) vs tuned (read-only window + prefetch) geometry,
+# written to `results/BENCH_counter.json`.
+#
+# Usage:
+#   scripts/bench_counter.sh [output.json]
+#
+# The JSON records:
+#   * walk.per_page_access_ns_per_page  — per-page LRU probe over the walk
+#   * walk.access_run_ns_per_page       — batched pinned-region fast path
+#   * lanes.before_classic / after_tuned — Counter and SEAL-C hit rate and
+#     slowdown_vs_baseline on the same 25x4 smoke batch stream
+#
+# The lane rows are deterministic cost-model outputs, so the gates below
+# are exact: the tuned Counter lane must hit > 0.5 and land strictly
+# below the 4.2x worst case (and below the classic arm it replaces).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-results/BENCH_counter.json}"
+
+echo "==> cargo run --release -p seal-bench --bin bench_counter"
+cargo run --release -q -p seal-bench --bin bench_counter -- "$OUT"
+
+awk '
+/"after_tuned"/ { arm = "after" }
+/"before_classic"/ { arm = "before" }
+arm == "before" && /"Counter":/ {
+    for (i = 1; i <= NF; i++) if ($i ~ /"slowdown_vs_baseline":/) {
+        v = $(i + 1); gsub(/[^0-9.]/, "", v); before_slow = v + 0
+    }
+}
+arm == "after" && /"Counter":/ {
+    for (i = 1; i <= NF; i++) {
+        if ($i ~ /"counter_hit_rate":/) {
+            v = $(i + 1); gsub(/[^0-9.]/, "", v); after_hit = v + 0
+        }
+        if ($i ~ /"slowdown_vs_baseline":/) {
+            v = $(i + 1); gsub(/[^0-9.]/, "", v); after_slow = v + 0
+        }
+    }
+}
+END {
+    bad = 0
+    if (after_hit <= 0.5) {
+        printf "bench_counter: tuned Counter hit rate %.4f <= 0.5\n", after_hit
+        bad = 1
+    } else {
+        printf "bench_counter: tuned Counter hit rate %.4f > 0.5  ok\n", after_hit
+    }
+    if (after_slow >= 4.2) {
+        printf "bench_counter: tuned Counter slowdown %.3f >= 4.2\n", after_slow
+        bad = 1
+    } else {
+        printf "bench_counter: tuned Counter slowdown %.3f < 4.2  ok\n", after_slow
+    }
+    if (before_slow > 0 && after_slow >= before_slow) {
+        printf "bench_counter: tuned slowdown %.3f did not beat classic %.3f\n", after_slow, before_slow
+        bad = 1
+    } else {
+        printf "bench_counter: tuned slowdown %.3f beats classic %.3f  ok\n", after_slow, before_slow
+    }
+    exit bad
+}
+' "$OUT"

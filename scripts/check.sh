@@ -51,12 +51,46 @@ scripts/bench_infer.sh
 echo "==> bench_quant (results/BENCH_quant.json)"
 scripts/bench_quant.sh
 
+# Counter-locality trajectory: the batched read-only weight walk vs the
+# per-page LRU probe, and the classic-vs-tuned geometry lane comparison,
+# into results/BENCH_counter.json. Gated: the tuned Counter lane must
+# hit > 0.5 and land strictly below the pre-overhaul 4.2x slowdown.
+echo "==> bench_counter (results/BENCH_counter.json)"
+scripts/bench_counter.sh
+
 # Serving smoke run: ~100 closed-loop requests against the reduced
 # VGG-16; the binary exits non-zero if latency percentiles are
 # disordered, throughput is zero, or the encryption-scheme throughput
 # ordering (Baseline > SEAL-C > Counter) breaks.
 echo "==> seal-serve --smoke"
 cargo run --release -q -p seal-serve -- --smoke
+
+# Counter-locality gate on the smoke artifact: every encrypting lane
+# must show a live counter cache (hit rate >= 0.5, never the 0.000000
+# the pre-overhaul geometry thrashed to) and the Counter lane must stay
+# strictly below the recorded 4.238x pre-overhaul slowdown baseline.
+awk '
+/"scheme":/ && !/"Baseline"/ {
+    hit = -1; slow = -1; scheme = ""
+    for (i = 1; i <= NF; i++) {
+        if ($i ~ /"scheme":/) { scheme = $(i + 1); gsub(/[",]/, "", scheme) }
+        if ($i ~ /"counter_hit_rate":/) { v = $(i + 1); gsub(/[^0-9.]/, "", v); hit = v + 0 }
+        if ($i ~ /"slowdown_vs_baseline":/) { v = $(i + 1); gsub(/[^0-9.]/, "", v); slow = v + 0 }
+    }
+    if (hit >= 0 && hit < 0.5) {
+        printf "check: %s counter_hit_rate %.4f < 0.5\n", scheme, hit
+        bad = 1
+    }
+    if (scheme == "Counter" && slow >= 4.238) {
+        printf "check: Counter slowdown %.3f regressed above the 4.238 baseline\n", slow
+        bad = 1
+    }
+}
+END {
+    if (!bad) print "check: smoke counter lanes warm and below the 4.238x baseline  ok"
+    exit bad
+}
+' results/serve_smoke.json
 
 # Chaos suite: the seeded fault-injection tests (MAC-detected tampers,
 # counter-cache corruption, worker panics) plus the end-to-end chaos

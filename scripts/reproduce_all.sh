@@ -40,6 +40,12 @@ scripts/bench_infer.sh
 echo "==> bench_quant"
 scripts/bench_quant.sh
 
+# Counter-locality trajectory (batched pinned walk vs per-page probe,
+# classic vs tuned lane geometry; check.sh already gated and wrote
+# results/BENCH_counter.json, regenerated here for the same reason).
+echo "==> bench_counter"
+scripts/bench_counter.sh
+
 # The serving view of the SE ratio: one open-loop run whose per-scheme
 # throughput columns land in results/serve_open.json (check.sh already
 # produced results/serve_smoke.json from the closed-loop preset, and
